@@ -1,0 +1,50 @@
+// Ablation: which pieces of the AIC decider matter?
+//
+// Compares, on the two benchmarks with the widest delta swings (milc,
+// sjeng):
+//   SIC          — static interval from the profiled L2L3 optimum,
+//   AIC          — the full adaptive decider (span + dip gating),
+//   AIC@2s/@5s   — coarser decision periods (the paper argues for
+//                  per-second granularity).
+// Shape expectations: the full AIC beats SIC; coarser decision periods
+// erode the gain (the dips are seconds wide).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "control/experiment.h"
+
+using namespace aic;
+using control::Scheme;
+
+int main() {
+  bench::Checker check;
+  const double kScale = 0.25;
+
+  TextTable table("Ablation — decider variants (NET^2; lower is better)");
+  table.set_header({"benchmark", "SIC", "AIC (1s)", "AIC (2s)", "AIC (5s)"});
+
+  for (auto b :
+       {workload::SpecBenchmark::kMilc, workload::SpecBenchmark::kSjeng}) {
+    auto cfg = bench::testbed_config(b, kScale);
+    const auto sic = run_experiment(Scheme::kSic, b, cfg);
+    const auto aic1 = run_experiment(Scheme::kAic, b, cfg);
+    cfg.decision_period = 2.0;
+    const auto aic2 = run_experiment(Scheme::kAic, b, cfg);
+    cfg.decision_period = 5.0;
+    const auto aic5 = run_experiment(Scheme::kAic, b, cfg);
+
+    table.add_row({aic1.workload, TextTable::num(sic.net2, 3),
+                   TextTable::num(aic1.net2, 3), TextTable::num(aic2.net2, 3),
+                   TextTable::num(aic5.net2, 3)});
+
+    check.expect(aic1.net2 <= sic.net2,
+                 std::string(to_string(b)) + ": full AIC beats SIC");
+    check.expect(aic1.net2 <= aic5.net2 * 1.05,
+                 std::string(to_string(b)) +
+                     ": per-second decisions are not worse than 5 s ones");
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+  return check.exit_code();
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the table/figure reproduction benches: the paper's
+// testbed configuration (Section V.A/V.C) and a uniform CHECK reporter for
+// the shape assertions each bench makes against the paper's claims.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "control/experiment.h"
+#include "model/system_profile.h"
+#include "workload/workload.h"
+
+namespace aic::bench {
+
+/// The Section V testbed configuration: failure rate 1e-3 split with the
+/// Coastal shares, Coastal bandwidths rescaled to the synthetic footprint
+/// (see control::CostModel::paper_scaled), SF = 1.
+inline control::ExperimentConfig testbed_config(
+    workload::SpecBenchmark benchmark, double workload_scale = 0.25,
+    double system_scale = 1.0) {
+  control::ExperimentConfig cfg;
+  const auto split = model::split_rate(1e-3);
+  cfg.system.lambda = {split[0], split[1], split[2]};
+  cfg.workload_scale = workload_scale;
+  const auto prof = workload::spec_profile(benchmark, workload_scale);
+  cfg.costs = control::CostModel::paper_scaled(prof.footprint_pages *
+                                               kPageSize)
+                  .scaled_rms(system_scale);
+  return cfg;
+}
+
+/// Reproduction-check reporter: prints CHECK lines and tracks failures so
+/// a bench's exit code reflects whether the paper's shape held.
+class Checker {
+ public:
+  void expect(bool ok, const std::string& claim) {
+    std::printf("CHECK %-4s %s\n", ok ? "ok" : "FAIL", claim.c_str());
+    if (!ok) ++failures_;
+  }
+  int exit_code() const { return failures_ == 0 ? 0 : 1; }
+  int failures() const { return failures_; }
+
+ private:
+  int failures_ = 0;
+};
+
+}  // namespace aic::bench

@@ -1,0 +1,75 @@
+// Fig. 5 reproduction: NET^2 of the MPI program pF3D under the concurrent
+// models (L1L3 / L2L3 / L1L2L3) and the Moody baseline, for system sizes
+// 1x .. 20x of the Coastal cluster. MPI scaling grows both the failure
+// rates and c3 (Section III.D).
+//
+// Paper shape: L2L3 ~= L1L2L3, always lowest; L1L3 blows up at scale
+// (frequent f2 failures recover from expensive L3); Moody's gap vs L2L3
+// grows until ~10x and shrinks again by 20x.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "model/interval_models.h"
+#include "model/moody.h"
+#include "model/optimizer.h"
+
+using namespace aic;
+using model::LevelCombo;
+
+int main() {
+  bench::Checker check;
+  const std::vector<double> scales = {1, 2, 4, 8, 10, 16, 20};
+
+  TextTable table("Fig. 5 — NET^2 of pF3D (MPI scaling) vs system size");
+  table.set_header({"size", "L1L3", "L2L3", "L1L2L3", "Moody",
+                    "L2L3 gain vs Moody"});
+
+  std::map<double, std::map<std::string, double>> results;
+  for (double s : scales) {
+    const auto sys = model::SystemProfile::coastal().scaled_mpi(s);
+    auto best = [&](LevelCombo combo) {
+      return model::minimize_scalar(
+                 [&](double w) { return model::net2_static(combo, sys, w); },
+                 1.0, 5e6, 32, 50)
+          .value;
+    };
+    const double l1l3 = best(LevelCombo::kL1L3);
+    const double l2l3 = best(LevelCombo::kL2L3);
+    const double l1l2l3 = best(LevelCombo::kL1L2L3);
+    const auto moody = model::optimize_moody(sys);
+    const double gain = (moody.net2 - l2l3) / moody.net2;
+    results[s] = {{"L1L3", l1l3},
+                  {"L2L3", l2l3},
+                  {"L1L2L3", l1l2l3},
+                  {"Moody", moody.net2},
+                  {"gain", gain}};
+    table.add_row({TextTable::num(s, 0) + "x", TextTable::num(l1l3, 3),
+                   TextTable::num(l2l3, 3), TextTable::num(l1l2l3, 3),
+                   TextTable::num(moody.net2, 3), TextTable::pct(gain, 1)});
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+
+  for (double s : scales) {
+    auto& r = results[s];
+    check.expect(std::abs(r["L2L3"] - r["L1L2L3"]) < 0.05 * r["L2L3"],
+                 "L2L3 ~= L1L2L3 at " + TextTable::num(s, 0) + "x");
+    check.expect(r["L2L3"] <= r["L1L3"] + 1e-9,
+                 "L2L3 <= L1L3 at " + TextTable::num(s, 0) + "x");
+    if (s <= 10.0) {
+      check.expect(r["L2L3"] <= r["Moody"] + 1e-9,
+                   "L2L3 beats Moody at " + TextTable::num(s, 0) + "x");
+    }
+  }
+  check.expect(results[20]["L1L3"] > 3.0 * results[20]["L2L3"],
+               "L1L3 blows up at 20x (f2 recovers from expensive L3)");
+  check.expect(results[10]["gain"] > results[1]["gain"],
+               "Moody gap grows from 1x to 10x");
+  check.expect(results[20]["gain"] < results[10]["gain"],
+               "Moody gap collapses by 20x (the pipelined L3 can no longer "
+               "keep up — the paper's 'improvement almost disappears')");
+  return check.exit_code();
+}

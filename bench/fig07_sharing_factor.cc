@@ -1,0 +1,72 @@
+// Fig. 7 reproduction: NET^2 of the L2L3 concurrent model under different
+// sharing factors (SF = computation processes per checkpointing core) and
+// system sizes, with Moody's optimum as the profitability reference.
+//
+// Paper shape: L2L3 degrades as SF grows (the shared checkpointing core's
+// transfers dilate) but remains profitable against Moody for SF in the
+// 3-15 range across 1x-20x sizes.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "model/interval_models.h"
+#include "model/moody.h"
+#include "model/optimizer.h"
+
+using namespace aic;
+using model::LevelCombo;
+
+int main() {
+  bench::Checker check;
+  const std::vector<double> sizes = {1, 4, 10, 20};
+  const std::vector<double> sfs = {1, 2, 3, 5, 8, 10, 15, 20, 30};
+
+  TextTable table("Fig. 7 — NET^2 of L2L3 under sharing factor and size");
+  std::vector<std::string> header = {"SF"};
+  for (double s : sizes) header.push_back(TextTable::num(s, 0) + "x L2L3");
+  for (double s : sizes) header.push_back(TextTable::num(s, 0) + "x Moody");
+  table.set_header(header);
+
+  std::map<double, double> moody_ref;
+  for (double s : sizes) {
+    moody_ref[s] =
+        model::optimize_moody(model::SystemProfile::coastal().scaled_rms(s))
+            .net2;
+  }
+
+  // max SF (per size) at which L2L3 still beats Moody.
+  std::map<double, double> last_profitable;
+  for (double sf : sfs) {
+    std::vector<std::string> row = {TextTable::num(sf, 0)};
+    std::vector<double> l2l3_vals;
+    for (double s : sizes) {
+      const auto sys =
+          model::SystemProfile::coastal().scaled_rms(s).with_sharing(sf);
+      const double v =
+          model::minimize_scalar(
+              [&](double w) {
+                return model::net2_static(LevelCombo::kL2L3, sys, w);
+              },
+              1.0, 1e7, 32, 50)
+              .value;
+      l2l3_vals.push_back(v);
+      if (v < moody_ref[s]) last_profitable[s] = sf;
+      row.push_back(TextTable::num(v, 3));
+    }
+    for (double s : sizes) row.push_back(TextTable::num(moody_ref[s], 3));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+
+  for (double s : sizes) {
+    std::printf("size %.0fx: L2L3 profitable up to SF = %.0f\n", s,
+                last_profitable[s]);
+    check.expect(last_profitable[s] >= 3.0,
+                 "L2L3 beats Moody at SF >= 3 for size " +
+                     TextTable::num(s, 0) + "x");
+  }
+  return check.exit_code();
+}

@@ -1,0 +1,65 @@
+// Fig. 11 reproduction: NET^2 of the six SPEC benchmarks under AIC, SIC
+// and Moody on the Section-V testbed (failure rate 1e-3 with Coastal
+// shares, Coastal bandwidths scaled to footprint, SF = 1).
+//
+// Paper shape: the concurrent schemes (AIC, SIC) beat Moody markedly on
+// every benchmark; AIC <= SIC everywhere, with the largest gaps on the
+// big-delta benchmarks (milc, lbm) and the smallest on sphinx3.
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "control/experiment.h"
+
+using namespace aic;
+using control::Scheme;
+
+int main() {
+  bench::Checker check;
+  const double kScale = 0.25;
+
+  TextTable table("Fig. 11 — NET^2 of six benchmarks under AIC / SIC / Moody");
+  table.set_header({"benchmark", "AIC", "SIC", "Moody", "AIC ckpts",
+                    "AIC vs SIC", "AIC vs Moody"});
+
+  std::map<workload::SpecBenchmark, std::map<std::string, double>> results;
+  for (auto b : workload::all_benchmarks()) {
+    const auto cfg = bench::testbed_config(b, kScale);
+    const auto aic = run_experiment(Scheme::kAic, b, cfg);
+    const auto sic = run_experiment(Scheme::kSic, b, cfg);
+    const auto moody = run_experiment(Scheme::kMoody, b, cfg);
+    const double vs_sic = (sic.net2 - aic.net2) / sic.net2;
+    const double vs_moody = (moody.net2 - aic.net2) / moody.net2;
+    results[b] = {{"aic", aic.net2},
+                  {"sic", sic.net2},
+                  {"moody", moody.net2},
+                  {"vs_sic", vs_sic}};
+    table.add_row({aic.workload, TextTable::num(aic.net2, 3),
+                   TextTable::num(sic.net2, 3), TextTable::num(moody.net2, 3),
+                   std::to_string(aic.intervals.size()),
+                   TextTable::pct(vs_sic, 1), TextTable::pct(vs_moody, 1)});
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+
+  for (auto b : workload::all_benchmarks()) {
+    auto& r = results[b];
+    check.expect(r["aic"] < r["moody"] && r["sic"] < r["moody"],
+                 std::string(to_string(b)) +
+                     ": concurrent schemes beat Moody");
+    check.expect(r["aic"] <= r["sic"] * 1.02,
+                 std::string(to_string(b)) + ": AIC <= SIC (2% slack)");
+  }
+  const double milc_gap =
+      results[workload::SpecBenchmark::kMilc]["vs_sic"];
+  const double lbm_gap = results[workload::SpecBenchmark::kLbm]["vs_sic"];
+  const double sphinx_gap =
+      results[workload::SpecBenchmark::kSphinx3]["vs_sic"];
+  check.expect(milc_gap > 0.05 && lbm_gap > 0.03,
+               "largest AIC gains on milc and lbm (paper: gap larger for "
+               "applications with higher NET^2)");
+  check.expect(sphinx_gap < milc_gap,
+               "sphinx3 benefits least from adaptivity (tiny deltas)");
+  return check.exit_code();
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark): real wall-clock throughput of the
+// delta codecs across page-similarity levels, plus the page-aligned
+// checkpoint compressor end to end. These measure the host's actual
+// compressor speed — the experiment harness uses deterministic work units
+// instead, calibrated to the paper's testbed class.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "delta/page_delta.h"
+#include "delta/xdelta3.h"
+#include "delta/xor_delta.h"
+#include "mem/snapshot.h"
+
+namespace {
+
+using namespace aic;
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes b(n);
+  for (auto& x : b) x = std::uint8_t(rng());
+  return b;
+}
+
+/// Target = source with `dissimilarity` fraction rewritten contiguously.
+Bytes edited(const Bytes& source, double dissimilarity, Rng& rng) {
+  Bytes t = source;
+  const std::size_t len = std::size_t(dissimilarity * double(t.size()));
+  if (len == 0) return t;
+  const std::size_t off = rng.uniform_u64(t.size() - len + 1);
+  for (std::size_t i = 0; i < len; ++i) t[off + i] = std::uint8_t(rng());
+  return t;
+}
+
+void BM_XDelta3Encode(benchmark::State& state) {
+  Rng rng(1);
+  const std::size_t size = 256 * kKiB;
+  const double dissim = double(state.range(0)) / 100.0;
+  Bytes src = random_bytes(rng, size);
+  Bytes tgt = edited(src, dissim, rng);
+  delta::XDelta3Codec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(src, tgt));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(size));
+}
+BENCHMARK(BM_XDelta3Encode)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_XDelta3Decode(benchmark::State& state) {
+  Rng rng(2);
+  const std::size_t size = 256 * kKiB;
+  Bytes src = random_bytes(rng, size);
+  Bytes tgt = edited(src, 0.1, rng);
+  delta::XDelta3Codec codec;
+  Bytes delta = codec.encode(src, tgt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(src, delta));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(size));
+}
+BENCHMARK(BM_XDelta3Decode);
+
+void BM_XorDeltaEncode(benchmark::State& state) {
+  Rng rng(3);
+  const std::size_t size = 256 * kKiB;
+  Bytes src = random_bytes(rng, size);
+  Bytes tgt = edited(src, double(state.range(0)) / 100.0, rng);
+  delta::XorDeltaCodec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(src, tgt));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(size));
+}
+BENCHMARK(BM_XorDeltaEncode)->Arg(1)->Arg(50);
+
+void BM_PageAlignedCompress(benchmark::State& state) {
+  // A realistic checkpoint: `pages` hot pages, 20% of each rewritten.
+  Rng rng(4);
+  const std::size_t pages = std::size_t(state.range(0));
+  mem::AddressSpace space;
+  space.allocate_range(0, pages);
+  for (mem::PageId id = 0; id < pages; ++id) {
+    space.mutate(id, [&](std::span<std::uint8_t> b) {
+      for (auto& x : b) x = std::uint8_t(rng());
+    });
+  }
+  mem::Snapshot prev = mem::Snapshot::capture(space);
+  space.protect_all();
+  for (mem::PageId id = 0; id < pages; ++id) {
+    Bytes edit = random_bytes(rng, kPageSize / 5);
+    space.write(id, rng.uniform_u64(kPageSize - edit.size()), edit);
+  }
+  std::vector<delta::DirtyPage> dirty;
+  for (auto id : space.dirty_pages())
+    dirty.push_back({id, space.page_bytes(id)});
+  delta::PageAlignedCompressor pa;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pa.compress(dirty, prev));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(pages * kPageSize));
+}
+BENCHMARK(BM_PageAlignedCompress)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Microbenchmarks for the analytic machinery: Markov-chain solves, the
+// offline optimizer, and AIC's per-decision online search. The paper's
+// argument for online feasibility: the Newton–Raphson decision is O(1) and
+// converges in a handful of iterations — the full decision must fit easily
+// inside the one-second decision period.
+#include <benchmark/benchmark.h>
+
+#include "model/interval_models.h"
+#include "model/moody.h"
+#include "model/optimizer.h"
+
+namespace {
+
+using namespace aic;
+using model::LevelCombo;
+
+void BM_L2L3IntervalSolve(benchmark::State& state) {
+  const auto sys = model::SystemProfile::coastal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::expected_interval_time(LevelCombo::kL2L3, sys, 3000.0));
+  }
+}
+BENCHMARK(BM_L2L3IntervalSolve);
+
+void BM_L1L2L3IntervalSolve(benchmark::State& state) {
+  const auto sys = model::SystemProfile::coastal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::expected_interval_time(LevelCombo::kL1L2L3, sys, 3000.0));
+  }
+}
+BENCHMARK(BM_L1L2L3IntervalSolve);
+
+void BM_MoodyPeriodSolve(benchmark::State& state) {
+  const auto sys = model::SystemProfile::coastal();
+  const int n = int(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::moody_period_time(sys, 2000.0, n, n));
+  }
+}
+BENCHMARK(BM_MoodyPeriodSolve)->Arg(0)->Arg(2)->Arg(4);
+
+void BM_OfflineOptimize(benchmark::State& state) {
+  const auto sys = model::SystemProfile::coastal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::minimize_scalar(
+        [&](double w) {
+          return model::net2_static(LevelCombo::kL2L3, sys, w);
+        },
+        1.0, 1e6, 32, 50));
+  }
+}
+BENCHMARK(BM_OfflineOptimize);
+
+void BM_OnlineDecision(benchmark::State& state) {
+  // The exact search the AIC decider runs once per second: EVT boundaries
+  // + coarse grid + Newton–Raphson over the adaptive interval model.
+  const auto sys = model::SystemProfile::coastal();
+  const auto p = model::IntervalParams::from_profile(sys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::extreme_value_minimum(
+        [&](double w) { return model::net2_adaptive(sys, w, p, p); }, 1.0,
+        1e5, 2500.0));
+  }
+}
+BENCHMARK(BM_OnlineDecision);
+
+void BM_MoodyFullOptimize(benchmark::State& state) {
+  const auto sys = model::SystemProfile::coastal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::optimize_moody(sys));
+  }
+}
+BENCHMARK(BM_MoodyFullOptimize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

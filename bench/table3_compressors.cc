@@ -1,0 +1,143 @@
+// Table 3 reproduction: per-benchmark base execution time, compression
+// ratio and delta latency of the conventional whole-file Xdelta3 vs the
+// page-aligned Xdelta3-PA (plus the XOR+RLE baseline from the related
+// work), and AIC's failure-free execution-time overhead.
+//
+// Paper shape: Xdelta3 and Xdelta3-PA land close to each other per
+// benchmark; the benchmark ordering of ratios holds (sphinx3 smallest,
+// lbm/milc worst); AIC overhead stays in the low single digits (paper:
+// 0.7% .. 2.6%).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "control/experiment.h"
+#include "delta/page_delta.h"
+#include "delta/xor_delta.h"
+#include "mem/snapshot.h"
+
+using namespace aic;
+
+namespace {
+
+struct CompressorResult {
+  double ratio_pa = 0.0;
+  double ratio_whole = 0.0;
+  double ratio_xor = 0.0;
+  double latency_pa = 0.0;
+  double latency_whole = 0.0;
+};
+
+/// Runs SIC-style periodic checkpoints and compresses each interval's
+/// dirty pages with all three compressors.
+CompressorResult compare_compressors(workload::SpecBenchmark b, double scale,
+                                     double interval,
+                                     const control::CostModel& costs) {
+  auto wl = workload::make_spec_workload(b, scale);
+  mem::AddressSpace space;
+  wl->initialize(space);
+  mem::Snapshot prev = mem::Snapshot::capture(space);
+  space.protect_all();
+
+  delta::PageAlignedCompressor pa;
+  delta::WholeFileCompressor whole;
+  delta::XorDeltaCodec xr;
+
+  double in_bytes = 0, pa_bytes = 0, whole_bytes = 0, xor_bytes = 0;
+  double pa_work = 0, whole_work = 0;
+  const int checkpoints = std::min(10, int(wl->base_time() / interval));
+  for (int i = 0; i < checkpoints; ++i) {
+    wl->step(space, interval);
+    std::vector<delta::DirtyPage> dirty;
+    for (auto id : space.dirty_pages())
+      dirty.push_back({id, space.page_bytes(id)});
+
+    const auto pa_res = pa.compress(dirty, prev);
+    const auto whole_res = whole.compress(dirty, prev);
+    // XOR baseline works page-aligned too (the classic scheme of [19]).
+    double xor_out = 0;
+    for (const auto& page : dirty) {
+      delta::CodecStats st;
+      if (prev.contains(page.id)) {
+        (void)xr.encode(prev.page_bytes(page.id), page.bytes, &st);
+        xor_out += double(std::min<std::uint64_t>(st.output_bytes,
+                                                  kPageSize));
+      } else {
+        xor_out += double(kPageSize);
+      }
+    }
+
+    in_bytes += double(pa_res.stats.input_bytes);
+    pa_bytes += double(pa_res.stats.output_bytes);
+    whole_bytes += double(whole_res.stats.output_bytes);
+    xor_bytes += xor_out;
+    pa_work += double(pa_res.stats.work_units);
+    whole_work += double(whole_res.stats.work_units);
+
+    prev = mem::Snapshot::capture(space);
+    space.protect_all();
+  }
+  CompressorResult r;
+  r.ratio_pa = pa_bytes / in_bytes;
+  r.ratio_whole = whole_bytes / in_bytes;
+  r.ratio_xor = xor_bytes / in_bytes;
+  r.latency_pa = pa_work / costs.compress_bps / checkpoints;
+  r.latency_whole = whole_work / costs.compress_bps / checkpoints;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::Checker check;
+  const double kScale = 0.25;
+
+  TextTable table(
+      "Table 3 — compressors (ratio = compressed/uncompressed, latency = "
+      "mean delta latency per checkpoint) and AIC overhead");
+  table.set_header({"benchmark", "base t(s)", "Xdelta3 ratio",
+                    "Xdelta3-PA ratio", "XOR ratio", "Xdelta3 lat(s)",
+                    "PA lat(s)", "AIC exec(s)", "AIC overhead"});
+
+  double max_overhead = 0.0;
+  double sphinx_pa = 1.0, lbm_pa = 0.0, milc_pa = 0.0;
+  double worst_gap = 0.0;
+  for (auto b : workload::all_benchmarks()) {
+    const auto cfg = bench::testbed_config(b, kScale);
+    const auto comp = compare_compressors(b, kScale, 10.0, cfg.costs);
+    const auto aic = control::run_experiment(control::Scheme::kAic, b, cfg);
+
+    table.add_row({aic.workload, TextTable::num(aic.base_time, 0),
+                   TextTable::num(comp.ratio_whole, 2),
+                   TextTable::num(comp.ratio_pa, 2),
+                   TextTable::num(comp.ratio_xor, 2),
+                   TextTable::num(comp.latency_whole, 1),
+                   TextTable::num(comp.latency_pa, 1),
+                   TextTable::num(aic.exec_time, 0),
+                   TextTable::pct(aic.overhead_fraction(), 1)});
+
+    max_overhead = std::max(max_overhead, aic.overhead_fraction());
+    worst_gap = std::max(worst_gap,
+                         std::abs(comp.ratio_pa - comp.ratio_whole));
+    if (b == workload::SpecBenchmark::kSphinx3) sphinx_pa = comp.ratio_pa;
+    if (b == workload::SpecBenchmark::kLbm) lbm_pa = comp.ratio_pa;
+    if (b == workload::SpecBenchmark::kMilc) milc_pa = comp.ratio_pa;
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+
+  check.expect(max_overhead < 0.05,
+               "AIC failure-free overhead stays in low single digits "
+               "(paper: 0.7% .. 2.6%)");
+  check.expect(sphinx_pa < 0.5, "sphinx3 compresses best (paper PA: 0.27)");
+  // Absolute ratios depend on where checkpoints land relative to the
+  // consolidation phases (see EXPERIMENTS.md); the benchmark ORDERING is
+  // the reproducible shape: lbm and milc compress worst, sphinx3 best.
+  check.expect(lbm_pa > 0.4 && milc_pa > 0.4 && lbm_pa > 2.0 * sphinx_pa &&
+                   milc_pa > 2.0 * sphinx_pa,
+               "lbm/milc compress worst of the six (paper PA: 0.90 / 0.79)");
+  check.expect(worst_gap < 0.35,
+               "Xdelta3 and Xdelta3-PA land in the same ballpark per "
+               "benchmark");
+  return check.exit_code();
+}

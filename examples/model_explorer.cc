@@ -1,0 +1,62 @@
+// Model explorer: a small CLI over the multi-level checkpoint models.
+// Feed it your system's failure rates and checkpoint latencies; it prints
+// the NET^2 curve, the optimal work span for each level combination, and
+// the Moody baseline schedule — the sizing exercise an operator would do
+// before deploying checkpointing.
+//
+//   build/examples/example_model_explorer [lambda c1 c2 c3]
+//   defaults: the Coastal cluster (lambda = 2.4e-6, c = 0.5/4.5/1052).
+#include <cstdio>
+#include <cstdlib>
+
+#include "aic/aic.h"
+
+using namespace aic;
+using model::LevelCombo;
+
+int main(int argc, char** argv) {
+  auto sys = model::SystemProfile::coastal();
+  if (argc == 5) {
+    const double lambda = std::atof(argv[1]);
+    const auto split = model::split_rate(lambda);
+    sys.lambda = {split[0], split[1], split[2]};
+    sys.c = {std::atof(argv[2]), std::atof(argv[3]), std::atof(argv[4])};
+    sys.r = sys.c;
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [lambda c1 c2 c3]\n", argv[0]);
+    return 2;
+  }
+
+  std::printf("system: lambda = %.3g /s (f1 %.3g, f2 %.3g, f3 %.3g)\n",
+              sys.total_lambda(), sys.lambda[0], sys.lambda[1],
+              sys.lambda[2]);
+  std::printf("        c1 = %.3g s, c2 = %.3g s, c3 = %.3g s, r_k = c_k\n\n",
+              sys.c[0], sys.c[1], sys.c[2]);
+
+  // Optimal span per level combination.
+  std::printf("%-8s %-12s %-10s\n", "combo", "w* (s)", "NET^2");
+  for (auto combo :
+       {LevelCombo::kL1L3, LevelCombo::kL2L3, LevelCombo::kL1L2L3}) {
+    const auto best = model::minimize_scalar(
+        [&](double w) { return model::net2_static(combo, sys, w); }, 1.0,
+        5e6, 32, 50);
+    std::printf("%-8s %-12.0f %-10.4f\n", to_string(combo), best.x,
+                best.value);
+  }
+  const auto moody = model::optimize_moody(sys);
+  std::printf("%-8s %-12.0f %-10.4f  (n1=%d, n2=%d — blocking baseline)\n\n",
+              "Moody", moody.w, moody.net2, moody.n1, moody.n2);
+
+  // The NET^2 curve for L2L3 (the combination AIC uses online).
+  std::printf("NET^2(w) for L2L3 (feasible from w = c3 - c1 = %.0f s):\n",
+              sys.c[2] - sys.c[0]);
+  const double lo = (sys.c[2] - sys.c[0]) * 1.01 + 1.0;
+  for (double w = lo; w < lo * 64; w *= 2.0) {
+    const double v = model::net2_static(LevelCombo::kL2L3, sys, w);
+    std::printf("  w = %8.0f s  NET^2 = %.4f  ", w, v);
+    const int bars = int((v - 1.0) * 200.0);
+    for (int i = 0; i < std::min(bars, 60); ++i) std::printf("#");
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Multi-level storage walkthrough: place checkpoints on local disk, a
+// RAID-5 partner group, and remote storage; kill things level by level and
+// watch recovery come from the cheapest surviving copy — including a RAID
+// parity reconstruction and a full reseed after a catastrophic loss.
+//
+//   build/examples/example_multilevel_storage
+#include <cstdio>
+
+#include "aic/aic.h"
+
+using namespace aic;
+
+int main() {
+  storage::MultiLevelStore store;
+  Rng rng(2026);
+
+  // A small job writing checkpoints through the store.
+  mem::AddressSpace space;
+  space.allocate_range(0, 256);
+  for (mem::PageId id = 0; id < 256; ++id) {
+    space.mutate(id, [&](std::span<std::uint8_t> b) {
+      for (auto& x : b) x = std::uint8_t(rng());
+    });
+  }
+  ckpt::CheckpointChain chain;
+  chain.capture(space, {}, 0.0);
+  auto t0 = store.put_checkpoint(chain.files().back());
+  std::printf("full checkpoint placed: local %.3fs, raid %.3fs, remote %.3fs\n",
+              t0.local, t0.raid, t0.remote);
+  space.protect_all();
+
+  for (int i = 1; i <= 4; ++i) {
+    Bytes edit(128);
+    for (auto& x : edit) x = std::uint8_t(rng());
+    space.write(rng.uniform_u64(256), rng.uniform_u64(kPageSize - 128), edit);
+    chain.capture(space, {}, double(i));
+    store.put_checkpoint(chain.files().back());
+    space.protect_all();
+  }
+  const mem::Snapshot truth = mem::Snapshot::capture(space);
+  delta::PageAlignedCompressor pa;
+  auto verify = [&](const storage::MultiLevelStore::Recovery& rec) {
+    auto restored = ckpt::RestartEngine::restore(rec.chain, pa);
+    return truth.equals_space(restored.memory.materialize());
+  };
+
+  auto r1 = store.recover();
+  std::printf("healthy:        recover from L%d in %.4fs — %s\n",
+              r1->level_used, r1->read_seconds,
+              verify(*r1) ? "byte-exact" : "CORRUPT");
+
+  store.apply_failure(2, rng);
+  auto r2 = store.recover();
+  std::printf("level-2 fail:   recover from L%d in %.4fs — %s "
+              "(local disk lost; RAID member rebuilt from parity)\n",
+              r2->level_used, r2->read_seconds,
+              verify(*r2) ? "byte-exact" : "CORRUPT");
+
+  store.apply_failure(3, rng);
+  auto r3 = store.recover();
+  std::printf("level-3 fail:   recover from L%d in %.4fs — %s "
+              "(two RAID members down: only the remote copy survives)\n",
+              r3->level_used, r3->read_seconds,
+              verify(*r3) ? "byte-exact" : "CORRUPT");
+
+  store.repair_raid_group();
+  const auto copied = store.reseed_from_remote();
+  auto r4 = store.recover();
+  std::printf("after reseed:   %.1f KiB copied down; recover from L%d — %s\n",
+              double(copied) / 1024.0, r4->level_used,
+              verify(*r4) ? "byte-exact" : "CORRUPT");
+
+  return (verify(*r1) && verify(*r2) && verify(*r3) && verify(*r4)) ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+#include "ckpt/async_checkpointer.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace aic::ckpt {
+
+AsyncCheckpointer::AsyncCheckpointer(Config config)
+    : config_(std::move(config)),
+      chain_(config_.chain),
+      worker_([this] { worker_loop(); }) {}
+
+AsyncCheckpointer::~AsyncCheckpointer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::uint64_t AsyncCheckpointer::submit(mem::AddressSpace& space,
+                                        ByteSpan cpu_state, double app_time) {
+  // The blocking L1 step: copy the pages the checkpoint needs. Reading the
+  // chain's full-or-incremental decision is safe here: the schedule state
+  // only changes inside process(), and submit callers serialize with the
+  // worker through the queue (the decision for THIS job depends only on
+  // how many jobs precede it, which we know).
+  Job job;
+  job.app_time = app_time;
+  job.cpu_state.assign(cpu_state.begin(), cpu_state.end());
+  job.live = space.live_pages();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  job.sequence = next_sequence_++;
+  // Full-vs-incremental is a pure function of the sequence number under
+  // the chain's schedule (fulls at multiples of full_period + 1), so the
+  // submitter can decide what to snapshot without racing the worker.
+  const std::uint32_t period = config_.chain.full_period;
+  job.full = period == 0 ? job.sequence == 0
+                         : job.sequence % (period + 1) == 0;
+  lock.unlock();
+
+  if (job.full) {
+    job.pages = mem::Snapshot::capture(space);
+  } else {
+    job.pages = mem::Snapshot::capture_pages(space, space.dirty_pages());
+  }
+  space.protect_all();  // next interval's dirty tracking starts now
+
+  const std::uint64_t sequence = job.sequence;
+  lock.lock();
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  cv_.notify_all();
+  return sequence;
+}
+
+bool AsyncCheckpointer::busy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_ || !queue_.empty();
+}
+
+void AsyncCheckpointer::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+}
+
+RestartEngine::Restored AsyncCheckpointer::restore() {
+  drain();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return chain_.restore();
+}
+
+std::uint64_t AsyncCheckpointer::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void AsyncCheckpointer::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ = true;
+    }
+    process(std::move(job));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ = false;
+      ++completed_;
+    }
+    cv_.notify_all();
+  }
+}
+
+void AsyncCheckpointer::process(Job job) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CaptureStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats = chain_.capture_pages(job.pages, job.live, job.cpu_state,
+                                 job.app_time);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (config_.on_complete) {
+    AsyncResult result;
+    result.sequence = job.sequence;
+    result.app_time = job.app_time;
+    result.stats = stats;
+    result.compress_ns = std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    config_.on_complete(result);
+  }
+}
+
+}  // namespace aic::ckpt

@@ -1,0 +1,124 @@
+#include "ckpt/checkpoint_file.h"
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace aic::ckpt {
+namespace {
+
+// "AICCKPT1" little-endian.
+constexpr std::uint64_t kMagic = 0x31544B4343494141ULL;
+
+}  // namespace
+
+const char* to_string(CheckpointKind kind) {
+  switch (kind) {
+    case CheckpointKind::kFull:
+      return "full";
+    case CheckpointKind::kIncremental:
+      return "incremental";
+    case CheckpointKind::kIncrementalDelta:
+      return "incremental-delta";
+  }
+  return "?";
+}
+
+Bytes CheckpointFile::serialize() const {
+  Bytes out;
+  out.reserve(payload.size() + cpu_state.size() + 64);
+  ByteWriter w(out);
+  w.u64(kMagic);
+  w.u8(std::uint8_t(kind));
+  w.varint(sequence);
+  w.f64(app_time);
+  w.varint(cpu_state.size());
+  w.raw(cpu_state);
+  w.varint(freed_pages.size());
+  PageId last = 0;
+  for (PageId id : freed_pages) {
+    AIC_CHECK_MSG(id >= last, "freed pages must be id-sorted");
+    w.varint(id - last);
+    last = id;
+  }
+  w.varint(payload.size());
+  w.raw(payload);
+  return out;
+}
+
+CheckpointFile CheckpointFile::parse(ByteSpan data) {
+  ByteReader r(data);
+  AIC_CHECK_MSG(r.u64() == kMagic, "bad checkpoint magic");
+  CheckpointFile f;
+  const std::uint8_t kind = r.u8();
+  AIC_CHECK_MSG(kind <= std::uint8_t(CheckpointKind::kIncrementalDelta),
+                "bad checkpoint kind " << int(kind));
+  f.kind = CheckpointKind(kind);
+  f.sequence = r.varint();
+  f.app_time = r.f64();
+  const std::uint64_t cpu_len = r.varint();
+  ByteSpan cpu = r.raw(cpu_len);
+  f.cpu_state.assign(cpu.begin(), cpu.end());
+  const std::uint64_t freed = r.varint();
+  PageId last = 0;
+  f.freed_pages.reserve(freed);
+  for (std::uint64_t i = 0; i < freed; ++i) {
+    last += r.varint();
+    f.freed_pages.push_back(last);
+  }
+  const std::uint64_t payload_len = r.varint();
+  ByteSpan payload = r.raw(payload_len);
+  f.payload.assign(payload.begin(), payload.end());
+  AIC_CHECK_MSG(r.done(), "trailing bytes after checkpoint");
+  return f;
+}
+
+std::uint64_t CheckpointFile::serialized_size() const {
+  // Exact would require varint width math; serialize() is cheap relative to
+  // page payloads, so measure precisely via a scratch buffer only when the
+  // caller asks. Here: compute exactly with a writer over a small buffer
+  // for the header and add payload sizes.
+  Bytes scratch;
+  ByteWriter w(scratch);
+  w.u64(kMagic);
+  w.u8(std::uint8_t(kind));
+  w.varint(sequence);
+  w.f64(app_time);
+  w.varint(cpu_state.size());
+  w.varint(freed_pages.size());
+  PageId last = 0;
+  for (PageId id : freed_pages) {
+    w.varint(id - last);
+    last = id;
+  }
+  w.varint(payload.size());
+  return scratch.size() + cpu_state.size() + payload.size();
+}
+
+Bytes encode_raw_pages(const std::vector<std::pair<PageId, ByteSpan>>& pages) {
+  Bytes out;
+  out.reserve(pages.size() * (kPageSize + 4) + 8);
+  ByteWriter w(out);
+  w.varint(pages.size());
+  for (const auto& [id, bytes] : pages) {
+    AIC_CHECK(bytes.size() == kPageSize);
+    w.varint(id);
+    w.raw(bytes);
+  }
+  return out;
+}
+
+std::vector<std::pair<PageId, Bytes>> decode_raw_pages(ByteSpan payload) {
+  ByteReader r(payload);
+  const std::uint64_t count = r.varint();
+  std::vector<std::pair<PageId, Bytes>> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const PageId id = r.varint();
+    ByteSpan bytes = r.raw(kPageSize);
+    out.emplace_back(id, Bytes(bytes.begin(), bytes.end()));
+  }
+  AIC_CHECK_MSG(r.done(), "trailing bytes in raw-page payload");
+  return out;
+}
+
+}  // namespace aic::ckpt

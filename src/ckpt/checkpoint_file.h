@@ -1,0 +1,72 @@
+// Checkpoint file format (the BLCR context-file stand-in).
+//
+// A checkpoint file carries: a small uncompressed "CPU state" blob (the
+// paper notes CPU states / process linkage / fds are a minor fraction and
+// are not delta-compressed), the list of pages freed since the previous
+// checkpoint, and the page payload in one of three forms:
+//
+//   kFull             — every live page, raw.
+//   kIncremental      — dirty pages only, raw.
+//   kIncrementalDelta — dirty pages, page-aligned delta against the
+//                       previous checkpoint (delta/PageAlignedCompressor
+//                       payload; decoding needs the accumulated previous
+//                       state).
+//
+// Restart needs the last full checkpoint plus *all* incremental checkpoints
+// after it (Section II.A); RestartEngine replays exactly that.
+//
+// Serialized layout (little-endian, varints per common/bytes.h):
+//   u64 magic "AICCKPT1" | u8 kind | varint sequence | f64 app_time
+//   varint cpu_state_len | cpu_state bytes
+//   varint freed_count | freed page ids (ascending, delta-coded)
+//   varint payload_len | payload bytes
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "mem/address_space.h"
+
+namespace aic::ckpt {
+
+using mem::PageId;
+
+enum class CheckpointKind : std::uint8_t {
+  kFull = 0,
+  kIncremental = 1,
+  kIncrementalDelta = 2,
+};
+
+const char* to_string(CheckpointKind kind);
+
+struct CheckpointFile {
+  CheckpointKind kind = CheckpointKind::kFull;
+  /// Monotone sequence number within a chain; full checkpoints restart
+  /// nothing — the sequence keeps increasing across the whole job.
+  std::uint64_t sequence = 0;
+  /// Virtual application time at capture (seconds).
+  double app_time = 0.0;
+  /// Opaque processor/process state (registers, fds, ...) — small, raw.
+  Bytes cpu_state;
+  /// Pages freed since the previous checkpoint (empty for kFull).
+  std::vector<PageId> freed_pages;
+  /// Page payload; interpretation depends on `kind` (see header comment).
+  Bytes payload;
+
+  /// Serializes to the on-disk byte layout.
+  Bytes serialize() const;
+  /// Parses a serialized checkpoint; throws CheckError on corruption.
+  static CheckpointFile parse(ByteSpan data);
+
+  /// Total serialized size without building the buffer (used for bandwidth
+  /// accounting before the bytes are materialized remotely).
+  std::uint64_t serialized_size() const;
+};
+
+/// Raw-page payload helpers shared by full and plain-incremental files:
+///   varint page_count, then per page: varint id, kPageSize raw bytes.
+Bytes encode_raw_pages(const std::vector<std::pair<PageId, ByteSpan>>& pages);
+std::vector<std::pair<PageId, Bytes>> decode_raw_pages(ByteSpan payload);
+
+}  // namespace aic::ckpt

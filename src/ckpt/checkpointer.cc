@@ -1,0 +1,323 @@
+#include "ckpt/checkpointer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace aic::ckpt {
+namespace {
+
+std::vector<PageId> freed_since(const std::vector<PageId>& prev_live,
+                                const mem::AddressSpace& space) {
+  std::vector<PageId> freed;
+  for (PageId id : prev_live) {
+    if (!space.contains(id)) freed.push_back(id);
+  }
+  return freed;  // prev_live is sorted, so freed is sorted
+}
+
+std::vector<std::pair<PageId, ByteSpan>> page_views(
+    const mem::AddressSpace& space, const std::vector<PageId>& ids) {
+  std::vector<std::pair<PageId, ByteSpan>> out;
+  out.reserve(ids.size());
+  for (PageId id : ids) out.emplace_back(id, space.page_bytes(id));
+  return out;
+}
+
+}  // namespace
+
+CheckpointFile Checkpointer::take_full(const mem::AddressSpace& space,
+                                       ByteSpan cpu_state,
+                                       std::uint64_t sequence, double app_time,
+                                       CaptureStats* stats) {
+  CheckpointFile f;
+  f.kind = CheckpointKind::kFull;
+  f.sequence = sequence;
+  f.app_time = app_time;
+  f.cpu_state.assign(cpu_state.begin(), cpu_state.end());
+  const auto live = space.live_pages();
+  f.payload = encode_raw_pages(page_views(space, live));
+  if (stats) {
+    *stats = CaptureStats{};
+    stats->kind = f.kind;
+    stats->pages_written = live.size();
+    stats->pages_raw = live.size();
+    stats->uncompressed_bytes = live.size() * kPageSize + cpu_state.size();
+    stats->file_bytes = f.serialized_size();
+  }
+  return f;
+}
+
+CheckpointFile Checkpointer::take_incremental(
+    const mem::AddressSpace& space, ByteSpan cpu_state, std::uint64_t sequence,
+    double app_time, const std::vector<PageId>& prev_live,
+    CaptureStats* stats) {
+  CheckpointFile f;
+  f.kind = CheckpointKind::kIncremental;
+  f.sequence = sequence;
+  f.app_time = app_time;
+  f.cpu_state.assign(cpu_state.begin(), cpu_state.end());
+  f.freed_pages = freed_since(prev_live, space);
+  const auto dirty = space.dirty_pages();
+  f.payload = encode_raw_pages(page_views(space, dirty));
+  if (stats) {
+    *stats = CaptureStats{};
+    stats->kind = f.kind;
+    stats->pages_written = dirty.size();
+    stats->pages_raw = dirty.size();
+    stats->freed_pages = f.freed_pages.size();
+    stats->uncompressed_bytes = dirty.size() * kPageSize + cpu_state.size();
+    stats->file_bytes = f.serialized_size();
+  }
+  return f;
+}
+
+CheckpointFile Checkpointer::take_incremental_delta(
+    const mem::AddressSpace& space, ByteSpan cpu_state, std::uint64_t sequence,
+    double app_time, const std::vector<PageId>& prev_live,
+    const mem::Snapshot& prev, const delta::PageAlignedCompressor& compressor,
+    CaptureStats* stats) {
+  CheckpointFile f;
+  f.kind = CheckpointKind::kIncrementalDelta;
+  f.sequence = sequence;
+  f.app_time = app_time;
+  f.cpu_state.assign(cpu_state.begin(), cpu_state.end());
+  f.freed_pages = freed_since(prev_live, space);
+
+  const auto dirty_ids = space.dirty_pages();
+  std::vector<delta::DirtyPage> dirty;
+  dirty.reserve(dirty_ids.size());
+  for (PageId id : dirty_ids) dirty.push_back({id, space.page_bytes(id)});
+  delta::DeltaResult res = compressor.compress(dirty, prev);
+  f.payload = std::move(res.payload);
+
+  if (stats) {
+    *stats = CaptureStats{};
+    stats->kind = f.kind;
+    stats->pages_written = dirty_ids.size();
+    stats->freed_pages = f.freed_pages.size();
+    stats->uncompressed_bytes = dirty_ids.size() * kPageSize + cpu_state.size();
+    stats->file_bytes = f.serialized_size();
+    stats->delta_work_units = res.stats.work_units;
+    stats->pages_delta = res.pages_delta;
+    stats->pages_raw = res.pages_raw;
+  }
+  return f;
+}
+
+RestartEngine::Restored RestartEngine::restore(
+    const std::vector<CheckpointFile>& chain,
+    const delta::PageAlignedCompressor& compressor) {
+  AIC_CHECK_MSG(!chain.empty(), "empty restart chain");
+  AIC_CHECK_MSG(chain.front().kind == CheckpointKind::kFull,
+                "restart chain must begin with a full checkpoint");
+  Restored out;
+  std::uint64_t prev_seq = 0;
+  bool first = true;
+  for (const CheckpointFile& f : chain) {
+    AIC_CHECK_MSG(first || f.sequence > prev_seq,
+                  "restart chain sequences must increase");
+    first = false;
+    prev_seq = f.sequence;
+
+    switch (f.kind) {
+      case CheckpointKind::kFull: {
+        out.memory = mem::Snapshot();
+        for (auto& [id, bytes] : decode_raw_pages(f.payload))
+          out.memory.put_page(id, bytes);
+        break;
+      }
+      case CheckpointKind::kIncremental: {
+        for (PageId id : f.freed_pages) out.memory.erase_page(id);
+        for (auto& [id, bytes] : decode_raw_pages(f.payload))
+          out.memory.put_page(id, bytes);
+        break;
+      }
+      case CheckpointKind::kIncrementalDelta: {
+        // Deltas reference page versions as of the previous checkpoint,
+        // which is exactly the accumulated state before this file — decode
+        // first, then apply frees and overlay.
+        mem::Snapshot pages = compressor.decompress(f.payload, out.memory);
+        for (PageId id : f.freed_pages) out.memory.erase_page(id);
+        pages.overlay_onto(out.memory);
+        break;
+      }
+    }
+    out.cpu_state = f.cpu_state;
+    out.app_time = f.app_time;
+    out.sequence = f.sequence;
+  }
+  return out;
+}
+
+CheckpointChain::CheckpointChain(Config config)
+    : config_(config), compressor_(config.page_codec) {}
+
+bool CheckpointChain::next_capture_is_full() const {
+  return files_.empty() || (config_.full_period > 0 &&
+                            incrementals_since_full_ >= config_.full_period);
+}
+
+CaptureStats CheckpointChain::capture_pages(const mem::Snapshot& pages,
+                                            const std::vector<PageId>& live_now,
+                                            ByteSpan cpu_state,
+                                            double app_time) {
+  CaptureStats stats{};
+  CheckpointFile file;
+  file.sequence = next_sequence_;
+  file.app_time = app_time;
+  file.cpu_state.assign(cpu_state.begin(), cpu_state.end());
+
+  // Freed pages: live at the previous checkpoint, gone now.
+  for (PageId id : last_live_) {
+    if (!std::binary_search(live_now.begin(), live_now.end(), id))
+      file.freed_pages.push_back(id);
+  }
+
+  const auto page_ids = pages.page_ids();
+  if (next_capture_is_full()) {
+    AIC_CHECK_MSG(page_ids.size() == live_now.size(),
+                  "full capture needs every live page snapshotted");
+    file.kind = CheckpointKind::kFull;
+    file.freed_pages.clear();
+    std::vector<std::pair<PageId, ByteSpan>> views;
+    views.reserve(page_ids.size());
+    for (PageId id : page_ids) views.emplace_back(id, pages.page_bytes(id));
+    file.payload = encode_raw_pages(views);
+    stats.kind = file.kind;
+    stats.pages_written = page_ids.size();
+    stats.pages_raw = page_ids.size();
+    stats.uncompressed_bytes = page_ids.size() * kPageSize + cpu_state.size();
+    incrementals_since_full_ = 0;
+  } else if (config_.delta_compress) {
+    file.kind = CheckpointKind::kIncrementalDelta;
+    std::vector<delta::DirtyPage> dirty;
+    dirty.reserve(page_ids.size());
+    for (PageId id : page_ids) dirty.push_back({id, pages.page_bytes(id)});
+    delta::DeltaResult res = compressor_.compress(dirty, accumulated_);
+    file.payload = std::move(res.payload);
+    stats.kind = file.kind;
+    stats.pages_written = page_ids.size();
+    stats.freed_pages = file.freed_pages.size();
+    stats.uncompressed_bytes = page_ids.size() * kPageSize + cpu_state.size();
+    stats.delta_work_units = res.stats.work_units;
+    stats.pages_delta = res.pages_delta;
+    stats.pages_raw = res.pages_raw;
+    ++incrementals_since_full_;
+  } else {
+    file.kind = CheckpointKind::kIncremental;
+    std::vector<std::pair<PageId, ByteSpan>> views;
+    views.reserve(page_ids.size());
+    for (PageId id : page_ids) views.emplace_back(id, pages.page_bytes(id));
+    file.payload = encode_raw_pages(views);
+    stats.kind = file.kind;
+    stats.pages_written = page_ids.size();
+    stats.pages_raw = page_ids.size();
+    stats.freed_pages = file.freed_pages.size();
+    stats.uncompressed_bytes = page_ids.size() * kPageSize + cpu_state.size();
+    ++incrementals_since_full_;
+  }
+  stats.file_bytes = file.serialized_size();
+  ++next_sequence_;
+
+  if (file.kind == CheckpointKind::kFull) {
+    accumulated_ = mem::Snapshot();
+  } else {
+    for (PageId id : file.freed_pages) accumulated_.erase_page(id);
+  }
+  pages.overlay_onto(accumulated_);
+  last_live_ = live_now;
+  files_.push_back(std::move(file));
+  return stats;
+}
+
+CaptureStats CheckpointChain::capture(const mem::AddressSpace& space,
+                                      ByteSpan cpu_state, double app_time) {
+  CaptureStats stats;
+  const bool want_full =
+      files_.empty() || (config_.full_period > 0 &&
+                         incrementals_since_full_ >= config_.full_period);
+  CheckpointFile file;
+  if (want_full) {
+    file = Checkpointer::take_full(space, cpu_state, next_sequence_, app_time,
+                                   &stats);
+    incrementals_since_full_ = 0;
+  } else if (config_.delta_compress) {
+    file = Checkpointer::take_incremental_delta(
+        space, cpu_state, next_sequence_, app_time, last_live_, accumulated_,
+        compressor_, &stats);
+    ++incrementals_since_full_;
+  } else {
+    file = Checkpointer::take_incremental(space, cpu_state, next_sequence_,
+                                          app_time, last_live_, &stats);
+    ++incrementals_since_full_;
+  }
+  ++next_sequence_;
+
+  // Fold this checkpoint into the accumulated state so the *next* delta has
+  // the right source pages.
+  for (PageId id : file.freed_pages) accumulated_.erase_page(id);
+  if (file.kind == CheckpointKind::kFull) {
+    accumulated_ = mem::Snapshot();
+    for (auto& [id, bytes] : decode_raw_pages(file.payload))
+      accumulated_.put_page(id, bytes);
+  } else {
+    // Dirty pages are in `space` right now — cheaper to copy from the live
+    // space than to re-decode the payload.
+    for (PageId id : space.dirty_pages())
+      accumulated_.put_page(id, space.page_bytes(id));
+  }
+  last_live_ = space.live_pages();
+  files_.push_back(std::move(file));
+  return stats;
+}
+
+RestartEngine::Restored CheckpointChain::restore() const {
+  AIC_CHECK_MSG(!files_.empty(), "no checkpoints to restore");
+  // Find the latest full checkpoint and replay from there.
+  std::size_t start = files_.size();
+  while (start > 0 && files_[start - 1].kind != CheckpointKind::kFull) --start;
+  AIC_CHECK_MSG(start > 0, "chain has no full checkpoint");
+  std::vector<CheckpointFile> chain(files_.begin() + (start - 1),
+                                    files_.end());
+  return RestartEngine::restore(chain, compressor_);
+}
+
+void CheckpointChain::rollback_to(std::uint64_t sequence) {
+  while (!files_.empty() && files_.back().sequence > sequence)
+    files_.pop_back();
+  AIC_CHECK_MSG(!files_.empty(), "rollback removed every checkpoint");
+  // Rewind derived state to the restore point.
+  auto restored = restore();
+  accumulated_ = std::move(restored.memory);
+  last_live_ = accumulated_.page_ids();
+  next_sequence_ = files_.back().sequence + 1;
+  incrementals_since_full_ = 0;
+  for (auto it = files_.rbegin();
+       it != files_.rend() && it->kind != CheckpointKind::kFull; ++it)
+    ++incrementals_since_full_;
+}
+
+std::uint64_t CheckpointChain::restart_chain_bytes() const {
+  std::uint64_t total = 0;
+  std::size_t start = files_.size();
+  while (start > 0 && files_[start - 1].kind != CheckpointKind::kFull) --start;
+  if (start == 0) return 0;
+  for (std::size_t i = start - 1; i < files_.size(); ++i)
+    total += files_[i].serialized_size();
+  return total;
+}
+
+std::uint64_t CheckpointChain::truncate_before_last_full() {
+  std::size_t start = files_.size();
+  while (start > 0 && files_[start - 1].kind != CheckpointKind::kFull) --start;
+  if (start <= 1) return 0;  // nothing before the last full (or no full yet)
+  std::uint64_t reclaimed = 0;
+  for (std::size_t i = 0; i + 1 < start; ++i)
+    reclaimed += files_[i].serialized_size();
+  files_.erase(files_.begin(), files_.begin() + (start - 1));
+  return reclaimed;
+}
+
+}  // namespace aic::ckpt

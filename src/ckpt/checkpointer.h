@@ -1,0 +1,160 @@
+// Checkpoint capture: full, plain-incremental, and delta-compressed
+// incremental checkpoints over a mem::AddressSpace, plus the restart
+// replay engine.
+//
+// CheckpointChain is the stateful façade the controllers use. It tracks
+// the accumulated previous-checkpoint state (needed both to delta-compress
+// hot pages and to compute the freed-page list), forces a periodic full
+// checkpoint to bound the restart chain, and reports per-checkpoint size /
+// work accounting (the `ds` and `dl`-work inputs to the AIC predictor).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ckpt/checkpoint_file.h"
+#include "delta/page_delta.h"
+#include "mem/address_space.h"
+#include "mem/snapshot.h"
+
+namespace aic::ckpt {
+
+/// Accounting for one captured checkpoint.
+struct CaptureStats {
+  CheckpointKind kind = CheckpointKind::kFull;
+  std::uint64_t pages_written = 0;
+  std::uint64_t freed_pages = 0;
+  /// Uncompressed checkpoint content (pages + cpu state), i.e. what an
+  /// incremental checkpoint without delta compression would write.
+  std::uint64_t uncompressed_bytes = 0;
+  /// Serialized file size (after delta compression if applied) == `ds`
+  /// plus headers.
+  std::uint64_t file_bytes = 0;
+  /// Deterministic compression effort (delta/CodecStats::work_units); the
+  /// simulation layer converts this to delta latency `dl`.
+  std::uint64_t delta_work_units = 0;
+  std::uint64_t pages_delta = 0;
+  std::uint64_t pages_raw = 0;
+};
+
+/// Stateless capture primitives.
+class Checkpointer {
+ public:
+  /// Captures every live page, raw.
+  static CheckpointFile take_full(const mem::AddressSpace& space,
+                                  ByteSpan cpu_state, std::uint64_t sequence,
+                                  double app_time, CaptureStats* stats);
+
+  /// Captures the current dirty pages raw. `prev_live` is the live-page set
+  /// at the previous checkpoint (to derive freed pages).
+  static CheckpointFile take_incremental(const mem::AddressSpace& space,
+                                         ByteSpan cpu_state,
+                                         std::uint64_t sequence,
+                                         double app_time,
+                                         const std::vector<PageId>& prev_live,
+                                         CaptureStats* stats);
+
+  /// Captures dirty pages delta-compressed against `prev` (the accumulated
+  /// state as of the previous checkpoint) with the page-aligned compressor.
+  static CheckpointFile take_incremental_delta(
+      const mem::AddressSpace& space, ByteSpan cpu_state,
+      std::uint64_t sequence, double app_time,
+      const std::vector<PageId>& prev_live, const mem::Snapshot& prev,
+      const delta::PageAlignedCompressor& compressor, CaptureStats* stats);
+};
+
+/// Replays a restart chain: one full checkpoint followed by its incremental
+/// successors, in sequence order.
+class RestartEngine {
+ public:
+  struct Restored {
+    mem::Snapshot memory;
+    Bytes cpu_state;
+    double app_time = 0.0;
+    std::uint64_t sequence = 0;
+  };
+
+  /// `chain` must start with a kFull file; later files must have strictly
+  /// increasing sequence numbers. Delta files are decoded against the
+  /// accumulated state, mirroring capture.
+  static Restored restore(const std::vector<CheckpointFile>& chain,
+                          const delta::PageAlignedCompressor& compressor);
+};
+
+/// Stateful chain manager: owns the accumulated previous-checkpoint state,
+/// decides full-vs-incremental, and keeps the replay chain.
+class CheckpointChain {
+ public:
+  struct Config {
+    /// Take a fresh full checkpoint after this many incrementals (bounds
+    /// restart cost); 0 means "only the first checkpoint is full".
+    std::uint32_t full_period = 0;
+    /// Delta-compress incrementals (Xdelta3-PA). When false, incrementals
+    /// are written raw — the "incremental checkpointing without delta
+    /// compression" ablation point.
+    bool delta_compress = true;
+    delta::XDelta3Config page_codec = delta::PageAlignedCompressor::page_config();
+  };
+
+  CheckpointChain() : CheckpointChain(Config{}) {}
+  explicit CheckpointChain(Config config);
+
+  /// Captures the next checkpoint of `space`. The caller must protect_all()
+  /// afterwards to start the next interval's dirty tracking (the chain does
+  /// not do it, so callers control the exact protocol timing).
+  CaptureStats capture(const mem::AddressSpace& space, ByteSpan cpu_state,
+                       double app_time);
+
+  /// True if the next capture will be a full checkpoint (first capture, or
+  /// the periodic-full schedule is due). Lets asynchronous callers know
+  /// whether to snapshot every live page or only the dirty set.
+  bool next_capture_is_full() const;
+
+  /// Capture from pre-copied page images instead of the live space — the
+  /// entry point for the concurrent checkpointing core, which must work
+  /// from a stable copy while the application keeps mutating. `pages`
+  /// holds the dirty pages' images (every live page when
+  /// next_capture_is_full()); `live_now` is the live-page set at snapshot
+  /// time (freed pages are derived from it).
+  CaptureStats capture_pages(const mem::Snapshot& pages,
+                             const std::vector<PageId>& live_now,
+                             ByteSpan cpu_state, double app_time);
+
+  /// Restores the latest state from the retained chain.
+  RestartEngine::Restored restore() const;
+
+  /// Accumulated state as of the last checkpoint (what the next delta is
+  /// compressed against).
+  const mem::Snapshot& last_state() const { return accumulated_; }
+
+  std::uint64_t checkpoints_taken() const { return next_sequence_; }
+  const std::vector<CheckpointFile>& files() const { return files_; }
+
+  /// Drops files preceding the most recent full checkpoint (they are no
+  /// longer needed for restart). Returns bytes reclaimed.
+  std::uint64_t truncate_before_last_full();
+
+  /// Failure rollback: discards checkpoints with sequence > `sequence`
+  /// (taken after the restore point, now invalid) and rewinds the
+  /// accumulated state so the next delta compresses against the restore
+  /// point. The remaining chain must still contain a full checkpoint at or
+  /// before `sequence`.
+  void rollback_to(std::uint64_t sequence);
+
+  /// Total serialized bytes of the files needed to restore the latest
+  /// state (last full + successors) — what a recovery must read.
+  std::uint64_t restart_chain_bytes() const;
+
+ private:
+  Config config_;
+  delta::PageAlignedCompressor compressor_;
+  std::vector<CheckpointFile> files_;
+  mem::Snapshot accumulated_;
+  std::vector<PageId> last_live_;
+  std::uint64_t next_sequence_ = 0;
+  std::uint32_t incrementals_since_full_ = 0;
+};
+
+}  // namespace aic::ckpt

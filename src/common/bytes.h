@@ -1,0 +1,113 @@
+// Byte-stream serialization: LEB128 varints and little-endian fixed-width
+// integers over growable byte buffers.
+//
+// Used by the delta instruction stream (delta/) and the checkpoint file
+// format (ckpt/). All multi-byte integers are stored little-endian so the
+// formats are deterministic and portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace aic {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Appends encoded values to a Bytes buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) { fixed(v, 2); }
+  void u32(std::uint32_t v) { fixed(v, 4); }
+  void u64(std::uint64_t v) { fixed(v, 8); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(std::uint8_t(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(std::uint8_t(v));
+  }
+
+  void raw(ByteSpan data) { out_.insert(out_.end(), data.begin(), data.end()); }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  void fixed(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  Bytes& out_;
+};
+
+/// Reads encoded values from a byte span; bounds-checked via AIC_CHECK.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t u8() {
+    AIC_CHECK_MSG(pos_ < data_.size(), "byte stream underrun");
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() { return std::uint16_t(fixed(2)); }
+  std::uint32_t u32() { return std::uint32_t(fixed(4)); }
+  std::uint64_t u64() { return fixed(8); }
+
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      AIC_CHECK_MSG(shift < 64, "varint overlong");
+      std::uint8_t b = u8();
+      v |= std::uint64_t(b & 0x7F) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+    }
+  }
+
+  ByteSpan raw(std::size_t n) {
+    AIC_CHECK_MSG(pos_ + n <= data_.size(), "byte stream underrun");
+    ByteSpan s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::uint64_t fixed(int n) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) v |= std::uint64_t(u8()) << (8 * i);
+    return v;
+  }
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace aic

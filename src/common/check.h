@@ -1,0 +1,47 @@
+// Lightweight invariant checking for the aic library.
+//
+// AIC_CHECK is active in all build types: the library models checkpointing
+// correctness, so silent invariant violations would invalidate every result
+// computed downstream. Failures throw aic::CheckError with the failing
+// expression and location, which tests can assert on.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aic {
+
+/// Thrown when an AIC_CHECK invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace aic
+
+#define AIC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::aic::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define AIC_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream aic_check_os_;                              \
+      aic_check_os_ << msg;                                          \
+      ::aic::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  aic_check_os_.str());              \
+    }                                                                \
+  } while (0)

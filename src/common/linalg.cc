@@ -1,0 +1,106 @@
+#include "common/linalg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aic {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  AIC_CHECK(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  return out;
+}
+
+bool solve_linear(Matrix a, std::vector<double> b, std::vector<double>& x) {
+  const std::size_t n = a.rows();
+  AIC_CHECK(a.cols() == n && b.size() == n);
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  x.assign(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a(ri, c) * x[c];
+    x[ri] = s / a(ri, ri);
+  }
+  return true;
+}
+
+bool least_squares(const Matrix& x, const std::vector<double>& y,
+                   std::vector<double>& beta, double ridge) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  AIC_CHECK(y.size() == n);
+  // Normal equations: (X'X + ridge*I) beta = X'y.
+  Matrix xtx(p, p);
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a2 = 0; a2 < p; ++a2) {
+      const double xa = x(i, a2);
+      if (xa == 0.0) continue;
+      xty[a2] += xa * y[i];
+      for (std::size_t b2 = a2; b2 < p; ++b2) xtx(a2, b2) += xa * x(i, b2);
+    }
+  }
+  for (std::size_t a2 = 0; a2 < p; ++a2) {
+    xtx(a2, a2) += ridge;
+    for (std::size_t b2 = 0; b2 < a2; ++b2) xtx(a2, b2) = xtx(b2, a2);
+  }
+  return solve_linear(xtx, xty, beta);
+}
+
+double residual_sum_squares(const Matrix& x, const std::vector<double>& y,
+                            const std::vector<double>& beta) {
+  AIC_CHECK(x.rows() == y.size() && x.cols() == beta.size());
+  double rss = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double pred = 0.0;
+    for (std::size_t j = 0; j < x.cols(); ++j) pred += x(i, j) * beta[j];
+    const double r = y[i] - pred;
+    rss += r * r;
+  }
+  return rss;
+}
+
+}  // namespace aic

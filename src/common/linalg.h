@@ -1,0 +1,57 @@
+// Small dense linear algebra: just enough for the Markov chain expected-time
+// solver (Gaussian elimination with partial pivoting) and least-squares fits
+// for the stepwise/online regression predictor.
+//
+// Sizes are tiny (tens of states, <= 4 regression terms) so a simple O(n^3)
+// dense solver is the right tool; no external BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aic {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns false (and leaves x unspecified) if A is singular to working
+/// precision.
+bool solve_linear(Matrix a, std::vector<double> b, std::vector<double>& x);
+
+/// Ordinary least squares: finds beta minimizing ||X beta - y||^2 via the
+/// normal equations with a tiny ridge term for numerical safety.
+/// X is n-by-p (n samples, p features). Returns false if the system is
+/// degenerate even with the ridge.
+bool least_squares(const Matrix& x, const std::vector<double>& y,
+                   std::vector<double>& beta, double ridge = 1e-9);
+
+/// Residual sum of squares of a fitted linear model.
+double residual_sum_squares(const Matrix& x, const std::vector<double>& y,
+                            const std::vector<double>& beta);
+
+}  // namespace aic

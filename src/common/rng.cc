@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aic {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  AIC_CHECK(n > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = __uint128_t(x) * __uint128_t(n);
+  std::uint64_t l = std::uint64_t(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = (*this)();
+      m = __uint128_t(x) * __uint128_t(n);
+      l = std::uint64_t(m);
+    }
+  }
+  return std::uint64_t(m >> 64);
+}
+
+double Rng::exponential(double lambda) {
+  AIC_CHECK(lambda > 0.0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Rng::normal() {
+  double u1 = 1.0 - uniform();  // (0, 1]
+  double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  AIC_CHECK(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for trace
+  // synthesis where mean is large.
+  double v = normal(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0 : std::uint64_t(v + 0.5);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  AIC_CHECK(xm > 0.0 && alpha > 0.0);
+  double u = 1.0 - uniform();  // (0, 1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::zipf_like(std::uint64_t n, double decay) {
+  AIC_CHECK(n > 0);
+  AIC_CHECK(decay > 0.0 && decay < 1.0);
+  // Truncated geometric: index k with weight decay^k, renormalized to [0,n).
+  double u = uniform();
+  double total = (1.0 - std::pow(decay, double(n))) / (1.0 - decay);
+  double acc = 0.0;
+  double w = 1.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    acc += w / total;
+    if (u < acc) return k;
+    w *= decay;
+  }
+  return n - 1;
+}
+
+}  // namespace aic

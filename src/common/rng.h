@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation for workloads, failure
+// injection, and trace synthesis.
+//
+// All stochastic components of the library take an explicit Rng so that
+// every experiment is reproducible from a seed. The generator is
+// xoshiro256** seeded via SplitMix64, which is fast, high quality, and
+// identical across platforms (unlike std::mt19937 distributions, whose
+// std::*_distribution outputs are implementation-defined — we implement the
+// distributions ourselves).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace aic {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — the library-wide PRNG. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x8badf00d) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return double((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire rejection to
+  /// avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + std::int64_t(uniform_u64(std::uint64_t(hi - lo) + 1));
+  }
+
+  /// Exponential with rate lambda (mean 1/lambda). lambda must be > 0.
+  double exponential(double lambda);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal();
+
+  /// Normal with given mean and stddev.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Poisson with mean `mean` (Knuth for small means, normal approx above).
+  std::uint64_t poisson(double mean);
+
+  /// Pareto (power-law) sample with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Geometric-like integer in [0, n): probability decays by `decay` per
+  /// step. Used to bias page selection toward "hot" regions.
+  std::uint64_t zipf_like(std::uint64_t n, double decay);
+
+  /// Derive an independent child generator (for per-trial streams).
+  Rng fork() {
+    std::uint64_t seed = (*this)();
+    return Rng(seed);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace aic

@@ -1,0 +1,91 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aic {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double d = x - mean_;
+  mean_ += d / double(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ >= 2 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(double(n_));
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double d = other.mean_ - mean_;
+  const std::size_t n = n_ + other.n_;
+  m2_ += other.m2_ + d * d * double(n_) * double(other.n_) / double(n);
+  mean_ += d * double(other.n_) / double(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / double(xs.size());
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / double(xs.size() - 1));
+}
+
+double percentile_of(std::vector<double> xs, double q) {
+  AIC_CHECK(q >= 0.0 && q <= 1.0);
+  AIC_CHECK(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  const double idx = q * double(xs.size() - 1);
+  const std::size_t lo = std::size_t(idx);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - double(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double correlation_of(const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  AIC_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean_of(xs);
+  const double my = mean_of(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace aic

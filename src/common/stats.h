@@ -1,0 +1,52 @@
+// Streaming and batch statistics used throughout the library: Welford
+// running moments, percentiles, and simple aggregation for experiment
+// reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aic {
+
+/// Numerically stable streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * double(n_) : 0.0; }
+
+  /// Half-width of the ~95% confidence interval of the mean.
+  double ci95_halfwidth() const;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than 2 samples.
+double stddev_of(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, q in [0, 1]. Input need not be sorted.
+double percentile_of(std::vector<double> xs, double q);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double correlation_of(const std::vector<double>& xs,
+                      const std::vector<double>& ys);
+
+}  // namespace aic

@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aic {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  AIC_CHECK_MSG(header_.empty() || row.size() == header_.size(),
+                "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(int(widths[i]) + 2) << row[i];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  os.flush();
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  };
+  os << "# csv: " << title_ << "\n";
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  os.flush();
+}
+
+}  // namespace aic

@@ -1,0 +1,37 @@
+// Plain-text table rendering for benchmark harness output.
+//
+// Every bench/ binary reproduces one of the paper's tables or figures and
+// prints it as an aligned ASCII table plus (optionally) a CSV block that is
+// easy to plot; this helper keeps that output uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aic {
+
+/// Column-aligned text table with a title and optional CSV emission.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders the aligned table.
+  void print(std::ostream& os) const;
+  /// Renders a machine-readable CSV block (comma separated, no alignment).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aic

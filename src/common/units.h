@@ -1,0 +1,27 @@
+// Units and conversion constants shared across the library.
+//
+// Convention: all simulated time is in seconds (double), all data sizes in
+// bytes (std::uint64_t), all bandwidths in bytes/second (double). Helper
+// constants make call sites read like the paper ("483 GB/s", "2 MB/s").
+#pragma once
+
+#include <cstdint>
+
+namespace aic {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Page size used throughout (matches the paper's testbed: 4096 bytes).
+inline constexpr std::uint64_t kPageSize = 4096ULL;
+
+/// Decimal storage/bandwidth units (the paper quotes GB/s, MB/s decimal).
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+constexpr double mib_to_bytes(double mib) { return mib * double(kMiB); }
+constexpr double bytes_to_mib(double bytes) { return bytes / double(kMiB); }
+
+}  // namespace aic

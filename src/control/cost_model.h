@@ -1,0 +1,98 @@
+// Converts measured checkpoint artifacts into the latency variables of the
+// paper's models (Section IV.D / V.A).
+//
+// From a captured incremental checkpoint we know: the uncompressed content
+// size (what the local L1 write moves), the compressed delta size ds, and
+// the deterministic compressor effort in work units. The cost model turns
+// those into seconds:
+//   c1 = uncompressed_bytes / local_bps          (blocking local write)
+//   dl = work_units / compress_bps               (delta latency, ckpt core)
+//   c2 = c1 + dl + ds / b2_bps                   (RAID-group landing time)
+//   c3 = c1 + dl + ds / b3_bps                   (remote-store landing time)
+// and r_k = c_k, as the paper assumes. The L2/L3 transfers overlap on the
+// checkpointing core's NICs; with B3 << B2, c3 dominates, matching the
+// paper's c3 = ds/B3 accounting.
+//
+// Bandwidths default to the Coastal cluster figures (B2 = 483 GB/s
+// aggregate, B3 = 2 MB/s per node). Using deterministic work units rather
+// than wall-clock keeps every experiment reproducible across hosts; the
+// micro-benchmarks measure the real wall-clock separately.
+#pragma once
+
+#include <cstdint>
+
+#include "ckpt/checkpointer.h"
+#include "common/units.h"
+#include "model/interval_models.h"
+
+namespace aic::control {
+
+struct CostModel {
+  double local_bps = 100.0 * kMB;     // L1: node-local disk
+  double compress_bps = 400.0 * kMB;  // delta compressor (work units/s)
+  double b2_bps = 483.0 * kGB;        // L2: RAID-5 partner group (aggregate)
+  double b3_bps = 2.0 * kMB;          // L3: remote FS share per node
+  /// Computation-core cost of one decider evaluation (prediction + NR).
+  double decision_seconds = 200e-6;
+  /// JD/DI cost per sampled page (paper: < 100 us).
+  double metric_seconds_per_page = 50e-6;
+
+  /// Latency variables for a delta-compressed incremental checkpoint.
+  model::IntervalParams delta_params(std::uint64_t uncompressed_bytes,
+                                     std::uint64_t delta_bytes,
+                                     std::uint64_t work_units) const {
+    model::IntervalParams p;
+    p.c1 = double(uncompressed_bytes) / local_bps;
+    const double dl = double(work_units) / compress_bps;
+    p.c2 = p.c1 + dl + double(delta_bytes) / b2_bps;
+    p.c3 = p.c1 + dl + double(delta_bytes) / b3_bps;
+    p.r1 = p.c1;
+    p.r2 = p.c2;
+    p.r3 = p.c3;
+    return p;
+  }
+
+  /// Latency variables for an uncompressed (full or raw-incremental)
+  /// checkpoint of the given size.
+  model::IntervalParams raw_params(std::uint64_t bytes) const {
+    model::IntervalParams p;
+    p.c1 = double(bytes) / local_bps;
+    p.c2 = p.c1 + double(bytes) / b2_bps;
+    p.c3 = p.c1 + double(bytes) / b3_bps;
+    p.r1 = p.c1;
+    p.r2 = p.c2;
+    p.r3 = p.c3;
+    return p;
+  }
+
+  double delta_latency(std::uint64_t work_units) const {
+    return double(work_units) / compress_bps;
+  }
+
+  /// System-size scaling for RMS applications (Section V.C): only the
+  /// per-node remote bandwidth shrinks as the system grows.
+  CostModel scaled_rms(double s) const {
+    CostModel m = *this;
+    m.b3_bps /= s;
+    return m;
+  }
+
+  /// Rescales every bandwidth so that a process of `footprint_bytes`
+  /// reproduces the paper's time constants for its 1 GiB benchmarks
+  /// (c1 around half a second, delta latencies from tens of milliseconds
+  /// for sphinx3 to ~50 s for milc/lbm, c3 in the tens-to-hundreds of
+  /// seconds at B3 = 2 MB/s). Our synthetic footprints are megabytes, not
+  /// a gigabyte, so without this the checkpoint costs would be negligible
+  /// against the paper's failure rates and every scheme would look alike.
+  static CostModel paper_scaled(std::uint64_t footprint_bytes) {
+    const double ratio = double(footprint_bytes) / double(kGiB);
+    CostModel m;
+    m.local_bps = 2.0 * kGB * ratio;    // paper: c1 = 0.5 s for ~1 GiB
+    m.compress_bps = 50.0 * kMB * ratio;  // single-core Xdelta3-PA class
+    m.b2_bps = 483.0 * kGB * ratio;
+    m.b3_bps = 2.0 * kMB * ratio;
+    return m;
+  }
+};
+
+}  // namespace aic::control

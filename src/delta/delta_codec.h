@@ -1,0 +1,57 @@
+// Whole-buffer delta codec interface and shared types.
+//
+// A DeltaCodec encodes a `target` buffer as a delta against a `source`
+// buffer; decoding the delta with the same source reproduces the target
+// byte-for-byte. Two implementations ship:
+//   * XDelta3Codec  — rsync-style block matching with COPY/ADD instructions
+//                     (the from-scratch stand-in for the Xdelta3 library).
+//   * XorDeltaCodec — XOR + zero-run-length baseline, as in Plank's
+//                     "compressed differences" [19].
+//
+// Codecs also report `work_units` — a deterministic count of bytes touched
+// (hashing, matching, copying) that the simulation layer converts into
+// delta latency via a calibrated throughput, so experiments are
+// reproducible regardless of host speed. Real wall-clock is measured
+// separately by the micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace aic::delta {
+
+/// Accounting of one encode/decode call.
+struct CodecStats {
+  std::uint64_t input_bytes = 0;   // target size
+  std::uint64_t source_bytes = 0;  // source size
+  std::uint64_t output_bytes = 0;  // encoded delta size
+  std::uint64_t work_units = 0;    // deterministic effort proxy (bytes)
+  std::uint64_t copy_ops = 0;
+  std::uint64_t add_ops = 0;
+
+  /// compressed/uncompressed; 1.0 means no gain (paper's "compression
+  /// ratio", lower is better).
+  double ratio() const {
+    return input_bytes ? double(output_bytes) / double(input_bytes) : 1.0;
+  }
+};
+
+class DeltaCodec {
+ public:
+  virtual ~DeltaCodec() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Encodes target as a delta against source. `stats`, if non-null, is
+  /// overwritten with this call's accounting.
+  virtual Bytes encode(ByteSpan source, ByteSpan target,
+                       CodecStats* stats = nullptr) const = 0;
+
+  /// Inverse of encode: reproduces target from source + delta.
+  virtual Bytes decode(ByteSpan source, ByteSpan delta,
+                       CodecStats* stats = nullptr) const = 0;
+};
+
+}  // namespace aic::delta

@@ -1,0 +1,151 @@
+#include "delta/page_delta.h"
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace aic::delta {
+namespace {
+
+constexpr std::uint8_t kKindRaw = 0;
+constexpr std::uint8_t kKindDelta = 1;
+
+}  // namespace
+
+PageAlignedCompressor::PageAlignedCompressor(XDelta3Config per_page)
+    : codec_(per_page) {}
+
+DeltaResult PageAlignedCompressor::compress(
+    const std::vector<DirtyPage>& dirty, const mem::Snapshot& prev) const {
+  DeltaResult result;
+  result.pages_total = dirty.size();
+  ByteWriter w(result.payload);
+  w.varint(dirty.size());
+  for (const DirtyPage& page : dirty) {
+    AIC_CHECK(page.bytes.size() == kPageSize);
+    w.varint(page.id);
+    result.stats.input_bytes += kPageSize;
+    if (prev.contains(page.id)) {
+      CodecStats st;
+      Bytes delta = codec_.encode(prev.page_bytes(page.id), page.bytes, &st);
+      result.stats.work_units += st.work_units;
+      result.stats.copy_ops += st.copy_ops;
+      result.stats.add_ops += st.add_ops;
+      result.stats.source_bytes += kPageSize;
+      if (delta.size() < kPageSize) {
+        w.u8(kKindDelta);
+        w.varint(delta.size());
+        w.raw(delta);
+        ++result.pages_delta;
+        continue;
+      }
+      // Delta expanded (dissimilar page): fall through to raw.
+    }
+    w.u8(kKindRaw);
+    w.varint(kPageSize);
+    w.raw(page.bytes);
+    result.stats.work_units += kPageSize;
+    ++result.pages_raw;
+  }
+  result.stats.output_bytes = result.payload.size();
+  return result;
+}
+
+mem::Snapshot PageAlignedCompressor::decompress(
+    ByteSpan payload, const mem::Snapshot& prev) const {
+  mem::Snapshot out;
+  ByteReader r(payload);
+  const std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const PageId id = r.varint();
+    const std::uint8_t kind = r.u8();
+    const std::uint64_t len = r.varint();
+    ByteSpan body = r.raw(len);
+    if (kind == kKindRaw) {
+      out.put_page(id, body);
+    } else if (kind == kKindDelta) {
+      AIC_CHECK_MSG(prev.contains(id),
+                    "delta page " << id << " missing from previous snapshot");
+      Bytes page = codec_.decode(prev.page_bytes(id), body);
+      AIC_CHECK(page.size() == kPageSize);
+      out.put_page(id, page);
+    } else {
+      AIC_CHECK_MSG(false, "bad page kind " << int(kind));
+    }
+  }
+  AIC_CHECK_MSG(r.done(), "trailing bytes in page-delta payload");
+  return out;
+}
+
+WholeFileCompressor::WholeFileCompressor(XDelta3Config config)
+    : codec_(config) {}
+
+DeltaResult WholeFileCompressor::compress(const std::vector<DirtyPage>& dirty,
+                                          const mem::Snapshot& prev) const {
+  DeltaResult result;
+  result.pages_total = dirty.size();
+  result.pages_delta = dirty.size();
+
+  // Source: all pages of the previous checkpoint, concatenated in id order.
+  Bytes source;
+  for (PageId id : prev.page_ids()) {
+    ByteSpan b = prev.page_bytes(id);
+    source.insert(source.end(), b.begin(), b.end());
+  }
+  // Target: the dirty pages, concatenated in the given order.
+  Bytes target;
+  target.reserve(dirty.size() * kPageSize);
+  for (const DirtyPage& page : dirty) {
+    AIC_CHECK(page.bytes.size() == kPageSize);
+    target.insert(target.end(), page.bytes.begin(), page.bytes.end());
+  }
+
+  ByteWriter w(result.payload);
+  w.varint(dirty.size());
+  PageId last = 0;
+  for (const DirtyPage& page : dirty) {
+    // Ids are stored as deltas from the previous id (ascending input).
+    AIC_CHECK_MSG(page.id >= last, "dirty pages must be id-sorted");
+    w.varint(page.id - last);
+    last = page.id;
+  }
+  CodecStats st;
+  Bytes delta = codec_.encode(source, target, &st);
+  w.varint(delta.size());
+  w.raw(delta);
+  result.stats = st;
+  result.stats.input_bytes = target.size();
+  result.stats.output_bytes = result.payload.size();
+  return result;
+}
+
+mem::Snapshot WholeFileCompressor::decompress(ByteSpan payload,
+                                              const mem::Snapshot& prev) const {
+  ByteReader r(payload);
+  const std::uint64_t count = r.varint();
+  std::vector<PageId> ids(count);
+  PageId last = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    last += r.varint();
+    ids[i] = last;
+  }
+  const std::uint64_t delta_len = r.varint();
+  ByteSpan delta = r.raw(delta_len);
+  AIC_CHECK_MSG(r.done(), "trailing bytes in whole-file payload");
+
+  Bytes source;
+  for (PageId id : prev.page_ids()) {
+    ByteSpan b = prev.page_bytes(id);
+    source.insert(source.end(), b.begin(), b.end());
+  }
+  Bytes target = codec_.decode(source, delta);
+  AIC_CHECK(target.size() == count * kPageSize);
+
+  mem::Snapshot out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.put_page(ids[i],
+                 ByteSpan(target.data() + i * kPageSize, kPageSize));
+  }
+  return out;
+}
+
+}  // namespace aic::delta

@@ -1,0 +1,44 @@
+// Rolling (weak) and strong hashes for rsync-style delta compression.
+//
+// The weak hash is the classic Adler-style two-component checksum from the
+// rsync algorithm [Tridgell 2000]: it can be rolled one byte at a time over
+// the target stream in O(1). Candidate matches found via the weak hash are
+// confirmed with a direct byte comparison, so hash quality affects only
+// speed, never correctness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace aic::delta {
+
+/// rsync weak rolling checksum over a fixed-size window.
+class RollingHash {
+ public:
+  /// Initializes over data[0, len). len must be >= 1.
+  RollingHash(const std::uint8_t* data, std::size_t len);
+
+  /// Rolls the window one byte: removes `outgoing`, appends `incoming`.
+  void roll(std::uint8_t outgoing, std::uint8_t incoming);
+
+  std::uint32_t digest() const { return (b_ << 16) | (a_ & 0xFFFF); }
+  std::size_t window() const { return len_; }
+
+  /// One-shot convenience.
+  static std::uint32_t of(ByteSpan data) {
+    return RollingHash(data.data(), data.size()).digest();
+  }
+
+ private:
+  std::uint32_t a_ = 0;  // sum of bytes (mod 2^16 at digest time)
+  std::uint32_t b_ = 0;  // weighted sum
+  std::size_t len_ = 0;
+};
+
+/// FNV-1a 64-bit hash; used where a cheap non-rolling strong-ish hash is
+/// handy (e.g. content fingerprints in tests and stats).
+std::uint64_t fnv1a64(ByteSpan data);
+
+}  // namespace aic::delta

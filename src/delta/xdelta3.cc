@@ -1,0 +1,181 @@
+#include "delta/xdelta3.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "delta/rolling_hash.h"
+
+namespace aic::delta {
+namespace {
+
+constexpr std::uint8_t kOpAdd = 0x00;
+constexpr std::uint8_t kOpCopy = 0x01;
+
+/// Weak-hash index of block-aligned source offsets.
+class BlockIndex {
+ public:
+  BlockIndex(ByteSpan source, std::size_t block_size) {
+    if (source.size() < block_size) return;
+    const std::size_t n_blocks = source.size() / block_size;
+    buckets_.reserve(n_blocks * 2);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      const std::size_t off = b * block_size;
+      const std::uint32_t h =
+          RollingHash(source.data() + off, block_size).digest();
+      buckets_[h].push_back(off);
+    }
+  }
+
+  const std::vector<std::size_t>* lookup(std::uint32_t weak) const {
+    auto it = buckets_.find(weak);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> buckets_;
+};
+
+struct Match {
+  std::size_t src_start = 0;  // source offset of the full (back-extended) match
+  std::size_t back = 0;       // bytes the match reaches left of the scan pos
+  std::size_t fwd = 0;        // bytes matched at/after the scan pos
+  std::size_t total() const { return back + fwd; }
+};
+
+void emit_add(ByteWriter& w, ByteSpan target, std::size_t start,
+              std::size_t len, CodecStats& st) {
+  if (len == 0) return;
+  w.u8(kOpAdd);
+  w.varint(len);
+  w.raw(target.subspan(start, len));
+  ++st.add_ops;
+}
+
+void emit_copy(ByteWriter& w, std::size_t src_off, std::size_t len,
+               CodecStats& st) {
+  w.u8(kOpCopy);
+  w.varint(src_off);
+  w.varint(len);
+  ++st.copy_ops;
+}
+
+}  // namespace
+
+XDelta3Codec::XDelta3Codec(XDelta3Config config) : config_(config) {
+  AIC_CHECK(config_.block_size >= 4);
+  AIC_CHECK(config_.max_probes >= 1);
+  AIC_CHECK(config_.min_match >= 1);
+}
+
+Bytes XDelta3Codec::encode(ByteSpan source, ByteSpan target,
+                           CodecStats* stats) const {
+  CodecStats st;
+  st.input_bytes = target.size();
+  st.source_bytes = source.size();
+
+  Bytes out;
+  out.reserve(target.size() / 8 + 32);
+  ByteWriter w(out);
+  w.varint(source.size());
+  w.varint(target.size());
+
+  const std::size_t bs = config_.block_size;
+  BlockIndex index(source, bs);
+  st.work_units += source.size();  // block hashing pass over the source
+
+  std::size_t add_start = 0;  // first target byte not yet covered by any op
+
+  if (target.size() >= bs && source.size() >= bs) {
+    std::size_t pos = 0;  // scan position == rolling window start
+    RollingHash rh(target.data(), bs);
+    while (pos + bs <= target.size()) {
+      const auto* bucket = index.lookup(rh.digest());
+      Match best;
+      if (bucket) {
+        std::size_t probes = 0;
+        for (std::size_t cand : *bucket) {
+          if (++probes > config_.max_probes) break;
+          st.work_units += bs;
+          if (std::memcmp(source.data() + cand, target.data() + pos, bs) != 0)
+            continue;
+          Match m;
+          m.fwd = bs;
+          while (cand + m.fwd < source.size() &&
+                 pos + m.fwd < target.size() &&
+                 source[cand + m.fwd] == target[pos + m.fwd]) {
+            ++m.fwd;
+          }
+          m.back = 0;
+          while (m.back < cand && pos - m.back > add_start &&
+                 source[cand - m.back - 1] == target[pos - m.back - 1]) {
+            ++m.back;
+          }
+          m.src_start = cand - m.back;
+          st.work_units += (m.fwd - bs) + m.back;
+          if (m.total() > best.total()) best = m;
+        }
+      }
+      if (best.total() >= config_.min_match) {
+        const std::size_t match_tgt_start = pos - best.back;
+        emit_add(w, target, add_start, match_tgt_start - add_start, st);
+        emit_copy(w, best.src_start, best.total(), st);
+        pos += best.fwd;
+        add_start = pos;
+        if (pos + bs <= target.size()) {
+          rh = RollingHash(target.data() + pos, bs);
+          st.work_units += bs;
+        }
+      } else {
+        if (pos + bs < target.size()) rh.roll(target[pos], target[pos + bs]);
+        ++pos;
+        ++st.work_units;
+      }
+    }
+  }
+
+  emit_add(w, target, add_start, target.size() - add_start, st);
+  st.output_bytes = out.size();
+  if (stats) *stats = st;
+  return out;
+}
+
+Bytes XDelta3Codec::decode(ByteSpan source, ByteSpan delta,
+                           CodecStats* stats) const {
+  CodecStats st;
+  ByteReader r(delta);
+  const std::uint64_t source_size = r.varint();
+  const std::uint64_t target_size = r.varint();
+  AIC_CHECK_MSG(source_size == source.size(),
+                "delta was made against a different source");
+  Bytes out;
+  out.reserve(target_size);
+  while (!r.done()) {
+    const std::uint8_t op = r.u8();
+    if (op == kOpAdd) {
+      const std::uint64_t len = r.varint();
+      ByteSpan data = r.raw(len);
+      out.insert(out.end(), data.begin(), data.end());
+      ++st.add_ops;
+      st.work_units += len;
+    } else if (op == kOpCopy) {
+      const std::uint64_t off = r.varint();
+      const std::uint64_t len = r.varint();
+      AIC_CHECK_MSG(off + len <= source.size(), "copy past source end");
+      out.insert(out.end(), source.begin() + off, source.begin() + off + len);
+      ++st.copy_ops;
+      st.work_units += len;
+    } else {
+      AIC_CHECK_MSG(false, "bad delta opcode " << int(op));
+    }
+  }
+  AIC_CHECK_MSG(out.size() == target_size, "decoded size mismatch");
+  st.input_bytes = out.size();
+  st.source_bytes = source.size();
+  st.output_bytes = delta.size();
+  if (stats) *stats = st;
+  return out;
+}
+
+}  // namespace aic::delta

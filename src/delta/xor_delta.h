@@ -1,0 +1,37 @@
+// XOR + zero-run-length delta baseline.
+//
+// The simple "compressed differences" scheme of Plank et al. [19]: XOR the
+// target with the source (source shorter than target is zero-extended) and
+// run-length-encode the zero runs. It is much cheaper than block matching
+// but only exploits byte-identical positions, not shifted content — the
+// contrast the paper draws when it says AIC "can afford more aggressive
+// compression".
+//
+// Format: varint source_size, varint target_size, then runs:
+//   0x00 <varint len>              — len XOR-zero bytes (target == source)
+//   0x01 <varint len> <len bytes>  — len literal XOR bytes
+#pragma once
+
+#include "delta/delta_codec.h"
+
+namespace aic::delta {
+
+class XorDeltaCodec final : public DeltaCodec {
+ public:
+  /// Zero runs shorter than this are folded into literals (a run record
+  /// costs ~2 bytes).
+  explicit XorDeltaCodec(std::size_t min_zero_run = 4)
+      : min_zero_run_(min_zero_run) {}
+
+  std::string name() const override { return "xor-rle"; }
+
+  Bytes encode(ByteSpan source, ByteSpan target,
+               CodecStats* stats = nullptr) const override;
+  Bytes decode(ByteSpan source, ByteSpan delta,
+               CodecStats* stats = nullptr) const override;
+
+ private:
+  std::size_t min_zero_run_;
+};
+
+}  // namespace aic::delta

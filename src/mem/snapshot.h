@@ -1,0 +1,59 @@
+// Point-in-time page images of an AddressSpace.
+//
+// A Snapshot is the in-memory form of "the previous checkpoint's pages":
+// the delta compressor differences current pages against it, and the
+// restart engine materializes an AddressSpace from one. It owns copies of
+// page bytes, so it stays valid while the live space keeps mutating.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "mem/address_space.h"
+
+namespace aic::mem {
+
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// Captures all live pages of the space.
+  static Snapshot capture(const AddressSpace& space);
+
+  /// Captures only the given pages (which must all exist).
+  static Snapshot capture_pages(const AddressSpace& space,
+                                const std::vector<PageId>& ids);
+
+  bool contains(PageId id) const { return pages_.contains(id); }
+  std::size_t page_count() const { return pages_.size(); }
+
+  /// Page image bytes; page must be present.
+  ByteSpan page_bytes(PageId id) const;
+
+  /// Inserts or replaces a page image.
+  void put_page(PageId id, ByteSpan bytes);
+
+  /// Removes a page image if present.
+  void erase_page(PageId id) { pages_.erase(id); }
+
+  /// Sorted ids of all captured pages.
+  std::vector<PageId> page_ids() const;
+
+  /// Applies this snapshot on top of another (later pages win); used when
+  /// replaying a full checkpoint followed by increments.
+  void overlay_onto(Snapshot& base) const;
+
+  /// Materializes a fresh AddressSpace equal to this snapshot.
+  AddressSpace materialize() const;
+
+  /// Byte-for-byte equality with a live address space (test helper).
+  bool equals_space(const AddressSpace& space) const;
+
+ private:
+  // std::map keeps ids ordered for deterministic iteration/serialization.
+  std::map<PageId, std::unique_ptr<PageData>> pages_;
+};
+
+}  // namespace aic::mem

@@ -1,0 +1,26 @@
+#include "model/exp_math.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aic::model {
+
+double p_no_failure(double lambda, double tau) {
+  AIC_CHECK(lambda >= 0.0 && tau >= 0.0);
+  return std::exp(-lambda * tau);
+}
+
+double expected_failure_time(double lambda, double tau) {
+  AIC_CHECK(lambda >= 0.0 && tau >= 0.0);
+  if (tau == 0.0) return 0.0;
+  const double x = lambda * tau;
+  if (x < 1e-6) {
+    // Series of 1/lambda - tau/expm1(x) around x = 0:
+    //   tau * (1/2 - x/12 + x^3/720 - ...)
+    return tau * (0.5 - x / 12.0);
+  }
+  return 1.0 / lambda - tau / std::expm1(x);
+}
+
+}  // namespace aic::model

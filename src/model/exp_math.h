@@ -1,0 +1,23 @@
+// Identities for exponentially distributed failure inter-arrival times.
+//
+// With failure rate lambda, over a state of duration tau:
+//   P(no failure)              = exp(-lambda * tau)
+//   E[time-to-failure | X<tau] = 1/lambda - tau / (exp(lambda*tau) - 1)
+//
+// The conditional expectation is evaluated with expm1 and a series fallback
+// so it stays accurate for lambda*tau down to 0 (where it tends to tau/2).
+// These are the edge weights of every Markov model in this module
+// (Section III.C: "Since the time between failures follows an exponential
+// distribution, the edge-associated values can be calculated").
+#pragma once
+
+namespace aic::model {
+
+/// P(no failure within tau) at rate lambda. tau >= 0, lambda >= 0.
+double p_no_failure(double lambda, double tau);
+
+/// E[X | X < tau] for X ~ Exp(lambda): mean time until the failure that
+/// interrupts a state of duration tau. Returns 0 for tau == 0.
+double expected_failure_time(double lambda, double tau);
+
+}  // namespace aic::model

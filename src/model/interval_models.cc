@@ -1,0 +1,322 @@
+#include "model/interval_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "model/markov_chain.h"
+
+namespace aic::model {
+namespace {
+
+/// Feasibility: the paper's concurrent model "does not initiate any L1
+/// until the last L3 has finished", so the work span must cover the
+/// previous interval's concurrent transfer: w >= SF*(c3_prev - c1_prev).
+/// Infeasible spans get a steep finite penalty that decreases toward the
+/// boundary, so derivative-based searches are pushed into the feasible
+/// region instead of seeing NaNs.
+constexpr double kInfeasiblePenalty = 1e6;
+
+double infeasible_penalty(double w, double d_prev) {
+  return kInfeasiblePenalty * (1.0 + (d_prev - w) / std::max(d_prev, 1e-9));
+}
+
+void check_params(const IntervalParams& p) {
+  AIC_CHECK_MSG(p.c1 >= 0 && p.c2 >= p.c1 && p.c3 >= p.c2,
+                "need 0 <= c1 <= c2 <= c3");
+  AIC_CHECK(p.r1 >= 0 && p.r2 >= 0 && p.r3 >= 0);
+}
+
+std::vector<double> rates(const SystemProfile& sys) {
+  return {sys.lambda[0], sys.lambda[1], sys.lambda[2]};
+}
+
+/// L1L3 chain (Fig. 4(a)). Levels: f1 -> L1, f2/f3 -> L3 (no L2 enabled).
+double interval_l1l3(const SystemProfile& sys, double w,
+                     const IntervalParams& cur, const IntervalParams& prev) {
+  MarkovChain m(rates(sys));
+  const double d_cur = sys.shared(cur.c3 - cur.c1);
+  const double d_prev = sys.shared(prev.c3 - prev.c1);
+
+  auto s1 = m.add_state(w + cur.c1, "S1 w+c1");
+  auto s2 = m.add_state(d_cur, "S2 c3-c1");
+  auto s3 = m.add_state(prev.r1, "S3 r1 old");
+  auto s4 = m.add_state(prev.r3, "S4 r3 old");
+  auto s5 = m.add_state(d_prev, "S5 rerun");
+  auto s6 = m.add_state(cur.r1, "S6 r1 new");
+
+  m.set_success(s1, s2);
+  m.set_failure(s1, 1, s3);
+  m.set_failures(s1, {2, 3}, s4);
+
+  m.set_success(s2, MarkovChain::kDone);
+  m.set_failure(s2, 1, s6);
+  m.set_failures(s2, {2, 3}, s4);
+
+  m.set_success(s3, s5);
+  m.set_failure(s3, 1, s3);
+  m.set_failures(s3, {2, 3}, s4);
+
+  m.set_success(s4, s5);
+  m.set_failures(s4, {1, 2, 3}, s4);
+
+  m.set_success(s5, s1);
+  m.set_failure(s5, 1, s3);
+  m.set_failures(s5, {2, 3}, s4);
+
+  m.set_success(s6, s2);
+  m.set_failure(s6, 1, s6);
+  m.set_failures(s6, {2, 3}, s4);
+
+  return m.expected_time(s1);
+}
+
+/// L2L3 chain (Fig. 4(b)); also the adaptive model of Fig. 8 when
+/// cur != prev. Levels: f1/f2 -> L2, f3 -> L3 (L1 embedded in L2; the
+/// local write still happens in S1 but no L1 recovery level exists).
+MarkovChain build_l2l3(const SystemProfile& sys, double w,
+                       const IntervalParams& cur, const IntervalParams& prev,
+                       MarkovChain::StateId* start) {
+  MarkovChain m(rates(sys));
+  const double d2_cur = sys.shared(cur.c2 - cur.c1);
+  const double d3_cur = sys.shared(cur.c3 - cur.c2);
+  const double d_full_cur = sys.shared(cur.c3 - cur.c1);
+  const double d_prev = sys.shared(prev.c3 - prev.c1);
+
+  auto s1 = m.add_state(w + cur.c1, "S1 w+c1");
+  auto s2a = m.add_state(d2_cur, "S2a L2 xfer");
+  auto s2b = m.add_state(d3_cur, "S2b L3 tail");
+  auto s2r = m.add_state(d_full_cur, "S2r L3 retry");
+  auto s3 = m.add_state(prev.r2, "S3 r2 old");
+  auto s4 = m.add_state(prev.r3, "S4 r3 old");
+  auto s5 = m.add_state(d_prev, "S5 rerun");
+  auto s6 = m.add_state(cur.r2, "S6 r2 new");
+
+  m.set_success(s1, s2a);
+  m.set_failures(s1, {1, 2}, s3);
+  m.set_failure(s1, 3, s4);
+
+  m.set_success(s2a, s2b);
+  m.set_failures(s2a, {1, 2}, s3);  // new L2 incomplete -> old L2
+  m.set_failure(s2a, 3, s4);
+
+  m.set_success(s2b, MarkovChain::kDone);
+  m.set_failures(s2b, {1, 2}, s6);  // new L2 complete
+  m.set_failure(s2b, 3, s4);
+
+  m.set_success(s2r, MarkovChain::kDone);
+  m.set_failures(s2r, {1, 2}, s6);
+  m.set_failure(s2r, 3, s4);
+
+  m.set_success(s3, s5);
+  m.set_failures(s3, {1, 2}, s3);
+  m.set_failure(s3, 3, s4);
+
+  m.set_success(s4, s5);
+  m.set_failures(s4, {1, 2, 3}, s4);
+
+  m.set_success(s5, s1);
+  m.set_failures(s5, {1, 2}, s3);
+  m.set_failure(s5, 3, s4);
+
+  m.set_success(s6, s2r);
+  m.set_failures(s6, {1, 2}, s6);
+  m.set_failure(s6, 3, s4);
+
+  *start = s1;
+  return m;
+}
+
+double interval_l2l3(const SystemProfile& sys, double w,
+                     const IntervalParams& cur, const IntervalParams& prev) {
+  MarkovChain::StateId start;
+  MarkovChain m = build_l2l3(sys, w, cur, prev, &start);
+  return m.expected_time(start);
+}
+
+/// L1L2L3 chain (Fig. 4(c)): adds cheap L1 recovery for f1.
+double interval_l1l2l3(const SystemProfile& sys, double w,
+                       const IntervalParams& cur, const IntervalParams& prev) {
+  MarkovChain m(rates(sys));
+  const double d2_cur = sys.shared(cur.c2 - cur.c1);
+  const double d3_cur = sys.shared(cur.c3 - cur.c2);
+  const double d_full_cur = sys.shared(cur.c3 - cur.c1);
+  const double d_prev = sys.shared(prev.c3 - prev.c1);
+
+  auto s1 = m.add_state(w + cur.c1, "S1 w+c1");
+  auto s2a = m.add_state(d2_cur, "S2a L2 xfer");
+  auto s2b = m.add_state(d3_cur, "S2b L3 tail");
+  auto s2r = m.add_state(d_full_cur, "S2r L3 retry");
+  auto s3a = m.add_state(prev.r1, "S3a r1 old");
+  auto s3b = m.add_state(prev.r2, "S3b r2 old");
+  auto s4 = m.add_state(prev.r3, "S4 r3 old");
+  auto s5 = m.add_state(d_prev, "S5 rerun");
+  auto s6a = m.add_state(cur.r1, "S6a r1 new->S2a");
+  auto s6b = m.add_state(cur.r1, "S6b r1 new->S2r");
+  auto s6c = m.add_state(cur.r2, "S6c r2 new->S2r");
+
+  m.set_success(s1, s2a);
+  m.set_failure(s1, 1, s3a);
+  m.set_failure(s1, 2, s3b);
+  m.set_failure(s1, 3, s4);
+
+  // During the L2 transfer, the current L1 file exists: f1 recovers from it
+  // and restarts both transfers; f2 must fall back to the old L2.
+  m.set_success(s2a, s2b);
+  m.set_failure(s2a, 1, s6a);
+  m.set_failure(s2a, 2, s3b);
+  m.set_failure(s2a, 3, s4);
+
+  // After the L2 transfer completed, only the L3 tail restarts.
+  m.set_success(s2b, MarkovChain::kDone);
+  m.set_failure(s2b, 1, s6b);
+  m.set_failure(s2b, 2, s6c);
+  m.set_failure(s2b, 3, s4);
+
+  m.set_success(s2r, MarkovChain::kDone);
+  m.set_failure(s2r, 1, s6b);
+  m.set_failure(s2r, 2, s6c);
+  m.set_failure(s2r, 3, s4);
+
+  m.set_success(s3a, s5);
+  m.set_failure(s3a, 1, s3a);
+  m.set_failure(s3a, 2, s3b);
+  m.set_failure(s3a, 3, s4);
+
+  m.set_success(s3b, s5);
+  m.set_failure(s3b, 1, s3a);  // old L1 shares the restore point, cheaper
+  m.set_failure(s3b, 2, s3b);
+  m.set_failure(s3b, 3, s4);
+
+  m.set_success(s4, s5);
+  m.set_failures(s4, {1, 2, 3}, s4);
+
+  m.set_success(s5, s1);
+  m.set_failure(s5, 1, s3a);
+  m.set_failure(s5, 2, s3b);
+  m.set_failure(s5, 3, s4);
+
+  m.set_success(s6a, s2a);
+  m.set_failure(s6a, 1, s6a);
+  m.set_failure(s6a, 2, s3b);
+  m.set_failure(s6a, 3, s4);
+
+  m.set_success(s6b, s2r);
+  m.set_failure(s6b, 1, s6b);
+  m.set_failure(s6b, 2, s6c);
+  m.set_failure(s6b, 3, s4);
+
+  m.set_success(s6c, s2r);
+  m.set_failure(s6c, 1, s6b);
+  m.set_failure(s6c, 2, s6c);
+  m.set_failure(s6c, 3, s4);
+
+  return m.expected_time(s1);
+}
+
+}  // namespace
+
+MarkovChain make_l2l3_chain(const SystemProfile& sys, double w,
+                            const IntervalParams& cur,
+                            const IntervalParams& prev,
+                            MarkovChain::StateId* start) {
+  AIC_CHECK(w > 0.0 && start != nullptr);
+  check_params(cur);
+  check_params(prev);
+  return build_l2l3(sys, w, cur, prev, start);
+}
+
+const char* to_string(LevelCombo combo) {
+  switch (combo) {
+    case LevelCombo::kL1L3:
+      return "L1L3";
+    case LevelCombo::kL2L3:
+      return "L2L3";
+    case LevelCombo::kL1L2L3:
+      return "L1L2L3";
+  }
+  return "?";
+}
+
+double expected_interval_time(LevelCombo combo, const SystemProfile& sys,
+                              double w) {
+  AIC_CHECK(w > 0.0);
+  const IntervalParams p = IntervalParams::from_profile(sys);
+  check_params(p);
+  const double d_prev = sys.shared(p.c3 - p.c1);
+  if (w < d_prev) return infeasible_penalty(w, d_prev) * (w + d_prev);
+  switch (combo) {
+    case LevelCombo::kL1L3:
+      return interval_l1l3(sys, w, p, p);
+    case LevelCombo::kL2L3:
+      return interval_l2l3(sys, w, p, p);
+    case LevelCombo::kL1L2L3:
+      return interval_l1l2l3(sys, w, p, p);
+  }
+  AIC_CHECK(false);
+  return 0.0;
+}
+
+double interval_work(LevelCombo combo, const SystemProfile& sys, double w) {
+  (void)combo;  // all combos compute through the full concurrent segment
+  return w + sys.shared(sys.c[2] - sys.c[0]);
+}
+
+double net2_static(LevelCombo combo, const SystemProfile& sys, double w) {
+  return expected_interval_time(combo, sys, w) /
+         interval_work(combo, sys, w);
+}
+
+double expected_interval_time_adaptive(const SystemProfile& sys, double w,
+                                       const IntervalParams& cur,
+                                       const IntervalParams& prev) {
+  AIC_CHECK(w > 0.0);
+  check_params(cur);
+  check_params(prev);
+  const double d_prev = sys.shared(prev.c3 - prev.c1);
+  if (w < d_prev) return infeasible_penalty(w, d_prev) * (w + d_prev);
+  return interval_l2l3(sys, w, cur, prev);
+}
+
+double interval_work_adaptive(const SystemProfile& sys, double w,
+                              const IntervalParams& cur) {
+  return w + sys.shared(cur.c3 - cur.c1);
+}
+
+double net2_adaptive(const SystemProfile& sys, double w,
+                     const IntervalParams& cur, const IntervalParams& prev) {
+  return expected_interval_time_adaptive(sys, w, cur, prev) /
+         interval_work_adaptive(sys, w, cur);
+}
+
+double expected_tail_time(const SystemProfile& sys, double w_tail,
+                          const IntervalParams& prev) {
+  if (w_tail <= 0.0) return 0.0;
+  check_params(prev);
+  MarkovChain m(rates(sys));
+  const double d_prev = sys.shared(prev.c3 - prev.c1);
+  auto s1 = m.add_state(w_tail, "tail work");
+  auto s3 = m.add_state(prev.r2, "r2 old");
+  auto s4 = m.add_state(prev.r3, "r3 old");
+  auto s5 = m.add_state(d_prev, "rerun");
+
+  m.set_success(s1, MarkovChain::kDone);
+  m.set_failures(s1, {1, 2}, s3);
+  m.set_failure(s1, 3, s4);
+
+  m.set_success(s3, s5);
+  m.set_failures(s3, {1, 2}, s3);
+  m.set_failure(s3, 3, s4);
+
+  m.set_success(s4, s5);
+  m.set_failures(s4, {1, 2, 3}, s4);
+
+  m.set_success(s5, s1);
+  m.set_failures(s5, {1, 2}, s3);
+  m.set_failure(s5, 3, s4);
+
+  return m.expected_time(s1);
+}
+
+}  // namespace aic::model

@@ -1,0 +1,97 @@
+// Concurrent multi-level checkpoint interval models (Section III).
+//
+// Each builder constructs the per-interval Markov chain of Fig. 4 for one
+// level combination and returns its expected wall time T_int. States follow
+// the paper's description for L1L3 (Section III.C); L2L3 and L1L2L3 "are
+// derived similarly", which we do with the same semantics:
+//
+//   S1    work + local write (w + c1); the process halts during c1.
+//   S2*   concurrent remote transfer segments on the checkpointing core
+//         while the process keeps computing (durations dilated by the
+//         sharing factor SF).
+//   S3/S4 recovery from the *previous* interval's checkpoints (old L1/L2 or
+//         old L3) — restore point: end of the previous interval's w.
+//   S5    rerun of the previous interval's concurrent segment (the work
+//         done while the previous transfer was in flight is not covered by
+//         the old checkpoints).
+//   S6*   recovery from the *current* interval's checkpoint (it exists once
+//         c1, resp. the L2 transfer, completed); only transfer progress is
+//         lost, so these loop back into the S2 family.
+//
+// Interval accounting: an interval accomplishes U = w + SF*(c3 - c1)
+// seconds of base work (the process computes through the whole concurrent
+// segment), and completes when its L3 transfer lands. Hence
+//   NET^2(w) = T_int(w) / U(w),
+// which degenerates to T_int/w for blocking schemes (D = 0). This is the
+// accounting under which concurrent checkpointing hides remote-transfer
+// cost in the failure-free limit, matching the paper's motivation.
+//
+// The adaptive variant (Fig. 8) re-parameterizes the states that reference
+// the previous interval (greyed in the paper) with interval-(i-1) values.
+#pragma once
+
+#include "model/markov_chain.h"
+#include "model/system_profile.h"
+
+namespace aic::model {
+
+enum class LevelCombo { kL1L3, kL2L3, kL1L2L3 };
+
+const char* to_string(LevelCombo combo);
+
+/// Checkpoint latencies/recovery times of one interval (static models use
+/// the same values for every interval).
+struct IntervalParams {
+  double c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  double r1 = 0.0, r2 = 0.0, r3 = 0.0;
+
+  static IntervalParams from_profile(const SystemProfile& p) {
+    return {p.c[0], p.c[1], p.c[2], p.r[0], p.r[1], p.r[2]};
+  }
+};
+
+/// Expected wall time of one interval with work span w under the static
+/// concurrent model for the given level combination.
+double expected_interval_time(LevelCombo combo, const SystemProfile& sys,
+                              double w);
+
+/// Useful base work accomplished per interval (w plus the concurrent
+/// segment), for the same accounting as expected_interval_time.
+double interval_work(LevelCombo combo, const SystemProfile& sys, double w);
+
+/// NET^2 contribution of one static interval: T_int / U.
+double net2_static(LevelCombo combo, const SystemProfile& sys, double w);
+
+/// Adaptive two-level (L2L3) interval model of Fig. 8: `cur` parameterizes
+/// this interval's checkpoints, `prev` the previous interval's (used by the
+/// old-checkpoint recovery states and the rerun state).
+double expected_interval_time_adaptive(const SystemProfile& sys, double w,
+                                       const IntervalParams& cur,
+                                       const IntervalParams& prev);
+
+/// Useful work of an adaptive interval: w + SF*(c3_cur - c1_cur).
+double interval_work_adaptive(const SystemProfile& sys, double w,
+                              const IntervalParams& cur);
+
+/// Per-interval NET^2 of the adaptive model: T_int / U. Minimizing this in
+/// w is the AIC decision problem (Section III.E).
+double net2_adaptive(const SystemProfile& sys, double w,
+                     const IntervalParams& cur, const IntervalParams& prev);
+
+/// Builds the (adaptive) L2L3 interval chain and reports its entry state.
+/// Exposed so simulation-based validation (sim/chain_sim) can walk the
+/// exact graph the solver computes on.
+MarkovChain make_l2l3_chain(const SystemProfile& sys, double w,
+                            const IntervalParams& cur,
+                            const IntervalParams& prev,
+                            MarkovChain::StateId* start);
+
+/// Expected wall time of a *tail* segment: w_tail seconds of work after the
+/// last checkpoint with no further checkpoint before job completion. Any
+/// failure restarts from the previous checkpoint (prev's recovery states +
+/// rerun of its concurrent segment). Used by Eq. (1) for the final stretch
+/// of a run — without it, "never checkpoint again" would look free.
+double expected_tail_time(const SystemProfile& sys, double w_tail,
+                          const IntervalParams& prev);
+
+}  // namespace aic::model

@@ -1,0 +1,209 @@
+#include "model/markov_chain.h"
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/linalg.h"
+#include "model/exp_math.h"
+
+namespace aic::model {
+
+MarkovChain::MarkovChain(std::vector<double> level_rates)
+    : rates_(std::move(level_rates)) {
+  AIC_CHECK_MSG(!rates_.empty(), "need at least one failure level");
+  for (double r : rates_) {
+    AIC_CHECK(r >= 0.0);
+    total_rate_ += r;
+  }
+}
+
+MarkovChain::StateId MarkovChain::add_state(double tau, std::string label) {
+  AIC_CHECK_MSG(tau >= 0.0, "state duration must be non-negative");
+  State s;
+  s.tau = tau;
+  s.label = std::move(label);
+  s.on_failure.assign(rates_.size(), kUnset);
+  states_.push_back(std::move(s));
+  return StateId(states_.size()) - 1;
+}
+
+void MarkovChain::set_success(StateId state, StateId target) {
+  AIC_CHECK(state >= 0 && std::size_t(state) < states_.size());
+  AIC_CHECK(target == kDone ||
+            (target >= 0 && std::size_t(target) < states_.size()));
+  states_[state].success = target;
+}
+
+void MarkovChain::set_failure(StateId state, int level, StateId target) {
+  AIC_CHECK(state >= 0 && std::size_t(state) < states_.size());
+  AIC_CHECK_MSG(level >= 1 && std::size_t(level) <= rates_.size(),
+                "failure level out of range");
+  AIC_CHECK(target == kDone ||
+            (target >= 0 && std::size_t(target) < states_.size()));
+  states_[state].on_failure[level - 1] = target;
+}
+
+void MarkovChain::set_failures(StateId state, std::initializer_list<int> levels,
+                               StateId target) {
+  for (int level : levels) set_failure(state, level, target);
+}
+
+double MarkovChain::duration(StateId state) const {
+  AIC_CHECK(state >= 0 && std::size_t(state) < states_.size());
+  return states_[state].tau;
+}
+
+const std::string& MarkovChain::label(StateId state) const {
+  AIC_CHECK(state >= 0 && std::size_t(state) < states_.size());
+  return states_[state].label;
+}
+
+MarkovChain::StateId MarkovChain::success_target(StateId state) const {
+  AIC_CHECK(state >= 0 && std::size_t(state) < states_.size());
+  AIC_CHECK_MSG(states_[state].success != kUnset, "success edge unset");
+  return states_[state].success;
+}
+
+MarkovChain::StateId MarkovChain::failure_target(StateId state,
+                                                 int level) const {
+  AIC_CHECK(state >= 0 && std::size_t(state) < states_.size());
+  AIC_CHECK(level >= 1 && std::size_t(level) <= rates_.size());
+  const StateId t = states_[state].on_failure[std::size_t(level - 1)];
+  AIC_CHECK_MSG(t != kUnset, "failure edge unset");
+  return t;
+}
+
+double MarkovChain::level_rate(int level) const {
+  AIC_CHECK(level >= 1 && std::size_t(level) <= rates_.size());
+  return rates_[std::size_t(level - 1)];
+}
+
+void MarkovChain::check_complete() const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const State& s = states_[i];
+    AIC_CHECK_MSG(s.success != kUnset,
+                  "state " << i << " (" << s.label << ") has no success edge");
+    for (std::size_t k = 0; k < rates_.size(); ++k) {
+      if (rates_[k] > 0.0) {
+        AIC_CHECK_MSG(s.on_failure[k] != kUnset,
+                      "state " << i << " (" << s.label
+                               << ") missing level-" << (k + 1)
+                               << " failure edge");
+      }
+    }
+  }
+}
+
+void MarkovChain::build(std::vector<std::vector<double>>& p,
+                        std::vector<double>& b) const {
+  const std::size_t n = states_.size();
+  p.assign(n, std::vector<double>(n + 1, 0.0));  // column n == kDone
+  b.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const State& s = states_[i];
+    const double ps = p_no_failure(total_rate_, s.tau);
+    const double pf = 1.0 - ps;
+    const double tf = expected_failure_time(total_rate_, s.tau);
+    auto col = [&](StateId t) { return t == kDone ? n : std::size_t(t); };
+    p[i][col(s.success)] += ps;
+    b[i] += ps * s.tau;
+    if (pf > 0.0 && total_rate_ > 0.0) {
+      for (std::size_t k = 0; k < rates_.size(); ++k) {
+        if (rates_[k] == 0.0) continue;
+        const double pk = pf * rates_[k] / total_rate_;
+        p[i][col(s.on_failure[k])] += pk;
+        b[i] += pk * tf;
+      }
+    }
+  }
+}
+
+bool MarkovChain::absorbs_structurally() const {
+  // Backward reachability from kDone along success edges and failure edges
+  // whose level rate is positive. Independent of numeric probabilities, so
+  // it distinguishes topology bugs from probability underflow.
+  const std::size_t n = states_.size();
+  std::vector<bool> reaches(n, false);
+  bool changed = true;
+  auto edge_reaches = [&](StateId t) {
+    return t == kDone || reaches[std::size_t(t)];
+  };
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reaches[i]) continue;
+      const State& s = states_[i];
+      bool ok = edge_reaches(s.success);
+      for (std::size_t k = 0; !ok && k < rates_.size(); ++k)
+        if (rates_[k] > 0.0 && s.on_failure[k] != kUnset)
+          ok = edge_reaches(s.on_failure[k]);
+      if (ok) {
+        reaches[i] = true;
+        changed = true;
+      }
+    }
+  }
+  for (bool r : reaches)
+    if (!r) return false;
+  return true;
+}
+
+double MarkovChain::expected_time(StateId start) const {
+  AIC_CHECK(start >= 0 && std::size_t(start) < states_.size());
+  check_complete();
+  AIC_CHECK_MSG(absorbs_structurally(),
+                "chain does not absorb (no path to done)");
+  const std::size_t n = states_.size();
+  std::vector<std::vector<double>> p;
+  std::vector<double> b;
+  build(p, b);
+
+  // Solve (I - P) E = b over transient states.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = (i == j ? 1.0 : 0.0) - p[i][j];
+  std::vector<double> e;
+  // The chain absorbs structurally, so a singular system means success
+  // probabilities underflowed (states of many mean-times-between-failures)
+  // — the expected time is effectively infinite.
+  if (!solve_linear(a, b, e))
+    return std::numeric_limits<double>::infinity();
+  // Small negative round-off is clamped. Large negative values mean the
+  // system is so ill-conditioned that the absorption probability has
+  // underflowed (e.g. work spans of many mean-times-between-failures); the
+  // expected time is astronomically large there, so report infinity and
+  // let optimizers steer away. Structural errors are caught earlier by
+  // check_complete() and the singularity check.
+  double scale = 1.0;
+  for (double v : e) scale = std::max(scale, std::abs(v));
+  for (double& v : e) {
+    if (v < -1e-9 * scale)
+      return std::numeric_limits<double>::infinity();
+    if (v < 0.0) v = 0.0;
+  }
+  return e[start];
+}
+
+std::vector<double> MarkovChain::expected_visits(StateId start) const {
+  AIC_CHECK(start >= 0 && std::size_t(start) < states_.size());
+  check_complete();
+  const std::size_t n = states_.size();
+  std::vector<std::vector<double>> p;
+  std::vector<double> b;
+  build(p, b);
+
+  // Visits v solves v = e_start + P^T v  =>  (I - P^T) v = e_start.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = (i == j ? 1.0 : 0.0) - p[j][i];
+  std::vector<double> rhs(n, 0.0);
+  rhs[std::size_t(start)] = 1.0;
+  std::vector<double> v;
+  AIC_CHECK_MSG(solve_linear(a, rhs, v), "chain does not absorb");
+  return v;
+}
+
+}  // namespace aic::model

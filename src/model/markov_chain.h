@@ -1,0 +1,90 @@
+// Generic absorbing Markov chain for checkpoint-interval analysis.
+//
+// A chain is a set of states, each with a deterministic duration tau and,
+// for every failure level k, a transition target taken when a level-k
+// failure interrupts the state. Completing the duration without failure
+// follows the success edge (possibly to kDone, the absorbing completion).
+//
+// With per-level exponential failure rates lambda_k (total lambda), the
+// edge probabilities and expected dwell times follow from exp_math:
+//   success:  p = e^(-lambda tau),            dwell = tau
+//   fail(k):  p = (lambda_k/lambda)(1-e^..),  dwell = E[X | X < tau]
+//
+// expected_time(start) solves E_i = dwell_i + sum_j P_ij E_j by dense
+// Gaussian elimination — chains here range from ~6 states (concurrent
+// two-level model) to a few hundred (Moody period chains), well within
+// dense-solver territory. This mirrors Section III.C: "the formula ... can
+// be obtained by solving a set of linear equations".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aic::model {
+
+class MarkovChain {
+ public:
+  using StateId = int;
+  static constexpr StateId kDone = -1;
+
+  /// `level_rates[k]` is lambda_{k+1}; all rates must be >= 0.
+  explicit MarkovChain(std::vector<double> level_rates);
+
+  std::size_t level_count() const { return rates_.size(); }
+  double total_rate() const { return total_rate_; }
+
+  /// Adds a state with dwell duration `tau` (>= 0) and a debugging label.
+  /// Success and failure targets default to unset and must be assigned
+  /// before solving (failure targets may be left unset only when the
+  /// corresponding rate is zero).
+  StateId add_state(double tau, std::string label = {});
+
+  void set_success(StateId state, StateId target);
+  /// level is 1-based (level-k failure, k in [1, level_count()]).
+  void set_failure(StateId state, int level, StateId target);
+  /// Convenience: same target for several levels.
+  void set_failures(StateId state, std::initializer_list<int> levels,
+                    StateId target);
+
+  double duration(StateId state) const;
+  std::size_t state_count() const { return states_.size(); }
+  const std::string& label(StateId state) const;
+
+  /// Edge accessors (for simulators/diagnostics that walk the graph).
+  /// Targets must have been assigned (CheckError otherwise).
+  StateId success_target(StateId state) const;
+  StateId failure_target(StateId state, int level) const;
+  double level_rate(int level) const;
+
+  /// Expected time from `start` until absorption in kDone. Throws
+  /// CheckError if the chain is incomplete or does not absorb.
+  double expected_time(StateId start) const;
+
+  /// Expected number of visits to each state starting from `start`
+  /// (diagnostics; e.g. expected recoveries per interval).
+  std::vector<double> expected_visits(StateId start) const;
+
+ private:
+  struct State {
+    double tau = 0.0;
+    std::string label;
+    StateId success = kUnset;
+    std::vector<StateId> on_failure;  // per level, kUnset if not assigned
+  };
+  static constexpr StateId kUnset = -2;
+
+  void check_complete() const;
+  /// True iff kDone is reachable from every state along positive-rate
+  /// edges (topology only, independent of probability underflow).
+  bool absorbs_structurally() const;
+  /// Builds transition probabilities P and per-visit dwell b.
+  void build(std::vector<std::vector<double>>& p,
+             std::vector<double>& b) const;
+
+  std::vector<double> rates_;
+  double total_rate_ = 0.0;
+  std::vector<State> states_;
+};
+
+}  // namespace aic::model

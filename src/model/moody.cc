@@ -1,0 +1,110 @@
+#include "model/moody.h"
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "model/markov_chain.h"
+#include "model/optimizer.h"
+
+namespace aic::model {
+namespace {
+
+/// Checkpoint level at period position j (1-based); position 0 is the
+/// previous period's L3 checkpoint.
+int level_at(int j, int n1, int n2, int n_total) {
+  if (j == 0) return 3;
+  if (j == n_total) return 3;
+  (void)n2;
+  if (j % (n1 + 1) == 0) return 2;
+  return 1;
+}
+
+}  // namespace
+
+double moody_period_time(const SystemProfile& sys, double w, int n1, int n2) {
+  AIC_CHECK(w > 0.0 && n1 >= 0 && n2 >= 0);
+  const int n_total = (n1 + 1) * (n2 + 1);
+
+  MarkovChain m({sys.lambda[0], sys.lambda[1], sys.lambda[2]});
+
+  // Segment states 1..n_total.
+  std::vector<MarkovChain::StateId> seg(n_total + 1, MarkovChain::kDone);
+  for (int j = 1; j <= n_total; ++j) {
+    const int lvl = level_at(j, n1, n2, n_total);
+    seg[j] = m.add_state(w + sys.c[lvl - 1],
+                         "seg" + std::to_string(j) + " L" +
+                             std::to_string(lvl));
+  }
+
+  // Latest position p <= from with a checkpoint of level >= k.
+  auto latest_at_least = [&](int k, int from) {
+    for (int p = from; p >= 1; --p) {
+      if (level_at(p, n1, n2, n_total) >= k) return p;
+    }
+    return 0;  // previous period's L3
+  };
+
+  // Recovery states keyed by (failure level, restore position).
+  std::map<std::pair<int, int>, MarkovChain::StateId> recovery;
+  // Two passes: create, then wire (recovery states reference each other).
+  std::function<MarkovChain::StateId(int, int)> get_recovery =
+      [&](int k, int p) -> MarkovChain::StateId {
+    auto key = std::make_pair(k, p);
+    auto it = recovery.find(key);
+    if (it != recovery.end()) return it->second;
+    auto id = m.add_state(sys.r[k - 1], "rec L" + std::to_string(k) + "@" +
+                                            std::to_string(p));
+    recovery.emplace(key, id);
+    // Success: resume at the segment after the restore point.
+    m.set_success(id, p + 1 <= n_total ? seg[p + 1] : MarkovChain::kDone);
+    // A level-k' failure during recovery restarts recovery from the latest
+    // surviving checkpoint at position <= p able to handle it.
+    for (int k2 = 1; k2 <= 3; ++k2) {
+      const int q = latest_at_least(k2, p);
+      m.set_failure(id, k2, get_recovery(k2, q));
+    }
+    return id;
+  };
+
+  for (int j = 1; j <= n_total; ++j) {
+    m.set_success(seg[j], j < n_total ? seg[j + 1] : MarkovChain::kDone);
+    for (int k = 1; k <= 3; ++k) {
+      const int p = latest_at_least(k, j - 1);
+      m.set_failure(seg[j], k, get_recovery(k, p));
+    }
+  }
+
+  return m.expected_time(seg[1]);
+}
+
+double moody_net2(const SystemProfile& sys, double w, int n1, int n2) {
+  const int n_total = (n1 + 1) * (n2 + 1);
+  return moody_period_time(sys, w, n1, n2) / (double(n_total) * w);
+}
+
+MoodyResult optimize_moody(const SystemProfile& sys,
+                           const std::vector<int>& counts) {
+  MoodyResult best;
+  best.net2 = std::numeric_limits<double>::infinity();
+  // Work spans from around the cheapest checkpoint latency up to several
+  // mean-time-between-failures.
+  const double lambda = sys.total_lambda();
+  const double lo = std::max(0.1, sys.c[0] * 0.1);
+  const double hi =
+      lambda > 0 ? std::max(10.0 / lambda, sys.c[2] * 50.0) : sys.c[2] * 1e4;
+  for (int n1 : counts) {
+    for (int n2 : counts) {
+      auto f = [&](double w) { return moody_net2(sys, w, n1, n2); };
+      OptResult r = minimize_scalar(f, lo, hi, 20, 40);
+      if (r.value < best.net2) {
+        best = MoodyResult{r.value, r.x, n1, n2};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace aic::model

@@ -1,0 +1,49 @@
+// The Moody et al. multi-level checkpointing baseline [11, 12].
+//
+// Moody checkpointing is sequential (blocking): every checkpoint suspends
+// the application for the full c_k. The schedule is hierarchical with
+// counts n_k: between consecutive L2 checkpoints there are n1 L1
+// checkpoints; between consecutive L3 checkpoints there are n2 L2
+// checkpoints. One L3 period therefore has N = (n1+1)(n2+1) segments of
+// work span w; segment j ends with a checkpoint of level
+//   3            if j == N,
+//   2            if j is a multiple of (n1+1),
+//   1            otherwise.
+//
+// A level-k failure in segment j restarts from the most recent checkpoint
+// position p < j whose level is >= k (p = 0 denotes the previous period's
+// L3 checkpoint) at recovery cost r_k, then re-executes segments p+1..j —
+// re-taking their checkpoints, exactly as the real system would. The whole
+// period is solved as one absorbing Markov chain; Moody's "efficiency" is
+// the inverse of our NET^2 = E[period] / (N*w).
+//
+// optimize_moody() searches (w, n1, n2) for the minimum NET^2, mirroring
+// how the released Moody code "explores its variables, searching for the
+// optimal one".
+#pragma once
+
+#include <vector>
+
+#include "model/system_profile.h"
+
+namespace aic::model {
+
+/// Expected wall time of one full L3 period. n1, n2 >= 0.
+double moody_period_time(const SystemProfile& sys, double w, int n1, int n2);
+
+/// NET^2 of the Moody schedule: E[period] / ((n1+1)(n2+1) w).
+double moody_net2(const SystemProfile& sys, double w, int n1, int n2);
+
+struct MoodyResult {
+  double net2 = 0.0;
+  double w = 0.0;
+  int n1 = 0;
+  int n2 = 0;
+};
+
+/// Searches n1, n2 over `counts` (default {0,1,2,4}) and w over a log
+/// grid with golden-section refinement; returns the best configuration.
+MoodyResult optimize_moody(const SystemProfile& sys,
+                           const std::vector<int>& counts = {0, 1, 2, 4});
+
+}  // namespace aic::model

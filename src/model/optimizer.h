@@ -1,0 +1,38 @@
+// Work-span optimization: offline (grid + golden section) and AIC's online
+// local search (Newton–Raphson stationary point + Extreme Value Theorem
+// boundary comparison, Section III.E).
+#pragma once
+
+#include <functional>
+
+namespace aic::model {
+
+using ScalarFn = std::function<double(double)>;
+
+struct OptResult {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Offline minimization of f over [lo, hi]: logarithmic coarse grid, then
+/// golden-section refinement around the best cell. Deterministic; used by
+/// the static models ("this can be done numerically, like in earlier
+/// work").
+OptResult minimize_scalar(const ScalarFn& f, double lo, double hi,
+                          int grid_points = 32, int refine_iters = 60);
+
+/// Newton–Raphson search for a stationary point of f (zero of f') starting
+/// from x0, with derivatives by central finite differences. Iterates until
+/// |f'| <= tol or `max_iters` (the paper bounds it at 200; it converges in
+/// a handful of steps in practice). The iterate is clamped to [lo, hi].
+double newton_raphson_stationary(const ScalarFn& f, double x0, double lo,
+                                 double hi, int max_iters = 200,
+                                 double tol = 1e-10);
+
+/// AIC's online selection of the local-optimal work span w_L*: by the
+/// Extreme Value Theorem the minimum over [lo, hi] is at a boundary or an
+/// interior stationary point; compare f at lo, hi, and the NR point.
+OptResult extreme_value_minimum(const ScalarFn& f, double lo, double hi,
+                                double x0);
+
+}  // namespace aic::model

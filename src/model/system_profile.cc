@@ -1,0 +1,55 @@
+#include "model/system_profile.h"
+
+#include "common/check.h"
+
+namespace aic::model {
+
+SystemProfile SystemProfile::coastal() {
+  SystemProfile p;
+  p.lambda = {2e-7, 1.8e-6, 4e-7};
+  p.c = {0.5, 4.5, 1052.0};
+  p.r = p.c;  // the paper sets r_k = c_k
+  p.sharing_factor = 1.0;
+  return p;
+}
+
+SystemProfile SystemProfile::scaled_mpi(double s) const {
+  AIC_CHECK(s > 0.0);
+  SystemProfile p = *this;
+  for (auto& l : p.lambda) l *= s;
+  p.c[2] *= s;
+  p.r[2] *= s;
+  return p;
+}
+
+SystemProfile SystemProfile::scaled_rms(double s) const {
+  AIC_CHECK(s > 0.0);
+  SystemProfile p = *this;
+  p.c[2] *= s;
+  p.r[2] *= s;
+  return p;
+}
+
+SystemProfile SystemProfile::with_sharing(double sf) const {
+  AIC_CHECK(sf >= 1.0);
+  SystemProfile p = *this;
+  p.sharing_factor = sf;
+  return p;
+}
+
+std::array<double, 3> coastal_rate_shares() {
+  // Derived from the Coastal rates (2e-7, 1.8e-6, 4e-7): 8.33%, 75%,
+  // 16.7%. (The paper's "1.67%" for lambda3 is a typo — the quoted Coastal
+  // rates themselves give 16.7%, and the three shares must sum to 1.)
+  const double total = 2e-7 + 1.8e-6 + 4e-7;
+  return {2e-7 / total, 1.8e-6 / total, 4e-7 / total};
+}
+
+std::array<double, 3> split_rate(double total_lambda) {
+  AIC_CHECK(total_lambda >= 0.0);
+  auto shares = coastal_rate_shares();
+  return {total_lambda * shares[0], total_lambda * shares[1],
+          total_lambda * shares[2]};
+}
+
+}  // namespace aic::model

@@ -1,0 +1,55 @@
+// System/application profiles for the checkpoint models.
+//
+// The baseline is LLNL's Coastal cluster as used by the paper (Section
+// III.D / V.A): lambda1 = 2e-7, lambda2 = 1.8e-6, lambda3 = 4e-7 per
+// second, c1 = 0.5 s (RAM-disk coordinated checkpoint), c2 = 4.5 s (RAID-5
+// partner-memory write), c3 = 1052 s (Lustre), r_k = c_k, B2 = 483 GB/s
+// aggregate, B3 = 2 MB/s per node with 1024 nodes writing.
+//
+// Scaling rules (Sections III.D and V.C):
+//   MPI  scaling s: lambda_k *= s (any process failure kills the job) and
+//                   c3 *= s (shared remote-storage bandwidth), c1/c2 fixed.
+//   RMS  scaling s: c3 *= s only (processes fail independently).
+//   Sharing factor SF: one checkpointing core serves SF processes; the
+//                   concurrent remote segments dilate by SF.
+#pragma once
+
+#include <array>
+
+namespace aic::model {
+
+struct SystemProfile {
+  /// Per-level failure rates, lambda[k-1] = lambda_k (1/s).
+  std::array<double, 3> lambda{0.0, 0.0, 0.0};
+  /// Checkpoint latencies c_k (s). c1 <= c2 <= c3 expected.
+  std::array<double, 3> c{0.0, 0.0, 0.0};
+  /// Recovery times r_k (s).
+  std::array<double, 3> r{0.0, 0.0, 0.0};
+  /// Sharing factor: computation cores per checkpointing core (>= 1).
+  double sharing_factor = 1.0;
+
+  double total_lambda() const { return lambda[0] + lambda[1] + lambda[2]; }
+
+  /// The Coastal cluster profile from [11] as quoted by the paper.
+  static SystemProfile coastal();
+
+  /// MPI scaling: failure rates and c3 grow with the system size.
+  SystemProfile scaled_mpi(double s) const;
+  /// RMS scaling: only c3 (per-node remote bandwidth) grows.
+  SystemProfile scaled_rms(double s) const;
+  /// Returns a copy with the given sharing factor.
+  SystemProfile with_sharing(double sf) const;
+
+  /// Effective duration of a concurrent remote segment of nominal length
+  /// `seconds` under the sharing factor (resources split evenly in the
+  /// worst case, Section III.D).
+  double shared(double seconds) const { return seconds * sharing_factor; }
+};
+
+/// Failure-rate split used in the testbed evaluation (Section V.C):
+/// lambda_k proportional to Coastal's 8.3% / 75% / 1.67% shares, rescaled
+/// to a given total rate.
+std::array<double, 3> coastal_rate_shares();
+std::array<double, 3> split_rate(double total_lambda);
+
+}  // namespace aic::model

@@ -1,0 +1,18 @@
+#include "predictor/features.h"
+
+namespace aic::predictor {
+
+std::array<double, kCandidateCount> expand_features(const BaseMetrics& m) {
+  const double dp = m.dirty_pages, t = m.elapsed, jd = m.jd, di = m.di;
+  return {dp,      t,       jd,      di,     dp * dp, t * t,  jd * jd,
+          di * di, dp * t,  dp * jd, dp * di, t * jd, t * di, jd * di};
+}
+
+const std::array<std::string, kCandidateCount>& feature_names() {
+  static const std::array<std::string, kCandidateCount> names = {
+      "DP",    "t",     "JD",    "DI",    "DP^2",  "t^2",  "JD^2",
+      "DI^2",  "DP*t",  "DP*JD", "DP*DI", "t*JD",  "t*DI", "JD*DI"};
+  return names;
+}
+
+}  // namespace aic::predictor

@@ -1,0 +1,39 @@
+// Candidate feature expansion for the AIC predictor (Section IV.D).
+//
+// The base metrics are Phi = {DP, t, JD, DI}:
+//   DP — dirty pages in the interval so far
+//   t  — elapsed time since the last local checkpoint
+//   JD — mean Jaccard distance of sampled hot pages
+//   DI — mean divergence index of sampled hot pages
+//
+// Stepwise regression considers the candidate set
+//   { C1^g * C2^z | C1, C2 in Phi, 1 <= g + z <= 2 }
+// i.e. the four raw metrics, their squares, and all pairwise products —
+// 14 distinct candidates.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace aic::predictor {
+
+/// Raw metrics of one observation.
+struct BaseMetrics {
+  double dirty_pages = 0.0;
+  double elapsed = 0.0;
+  double jd = 0.0;
+  double di = 0.0;
+};
+
+/// Number of expanded candidate features.
+inline constexpr std::size_t kCandidateCount = 14;
+
+/// Expands the base metrics into the candidate vector. Order: DP, t, JD,
+/// DI, DP^2, t^2, JD^2, DI^2, DP*t, DP*JD, DP*DI, t*JD, t*DI, JD*DI.
+std::array<double, kCandidateCount> expand_features(const BaseMetrics& m);
+
+/// Human-readable candidate names, index-aligned with expand_features.
+const std::array<std::string, kCandidateCount>& feature_names();
+
+}  // namespace aic::predictor

@@ -1,0 +1,89 @@
+#include "predictor/hot_page_sampler.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "predictor/metrics.h"
+
+namespace aic::predictor {
+
+HotPageSampler::HotPageSampler(SamplerConfig config)
+    : config_(config),
+      capacity_pages_(std::size_t(config.buffer_bytes / kPageSize)),
+      tg_(config.initial_tg) {
+  AIC_CHECK_MSG(capacity_pages_ >= 2, "sample buffer smaller than two pages");
+  AIC_CHECK(config.initial_tg > 0.0);
+}
+
+void HotPageSampler::on_fault(mem::PageId id, double now, ByteSpan pre_write) {
+  AIC_CHECK(pre_write.size() == kPageSize);
+  ++faults_;
+  // Same group as the previous arrival? Then this is not the group's first
+  // page — skip it.
+  if (now - last_arrival_ <= tg_) return;
+  last_arrival_ = now;
+  ++groups_;
+  if (samples_.size() >= capacity_pages_) {
+    // Buffer full: coarsen grouping and evict every other sample ("pages in
+    // SB are dropped accordingly") so newer groups still fit.
+    buffer_filled_ = true;
+    tg_ *= 2.0;
+    std::vector<Sample> kept;
+    kept.reserve(samples_.size() / 2 + 1);
+    for (std::size_t i = 0; i < samples_.size(); i += 2)
+      kept.push_back(std::move(samples_[i]));
+    samples_ = std::move(kept);
+  }
+  Sample s;
+  s.id = id;
+  s.arrival = now;
+  s.pre_write = std::make_unique<mem::PageData>();
+  std::memcpy(s.pre_write->bytes, pre_write.data(), kPageSize);
+  samples_.push_back(std::move(s));
+}
+
+HotPageSampler::Metrics HotPageSampler::compute(
+    const mem::AddressSpace& space) const {
+  Metrics m;
+  std::size_t used = 0;
+  const std::size_t stride =
+      std::max<std::size_t>(1, samples_.size() / config_.max_compute_pages);
+  for (std::size_t i = 0; i < samples_.size(); i += stride) {
+    const Sample& s = samples_[i];
+    if (!space.contains(s.id)) continue;  // freed since buffering
+    const ByteSpan current = space.page_bytes(s.id);
+    m.mean_jd +=
+        jaccard_distance(current, ByteSpan(s.pre_write->bytes, kPageSize));
+    m.mean_di += divergence_index(current);
+    ++used;
+  }
+  if (used == 0) return m;
+  m.mean_jd /= double(used);
+  m.mean_di /= double(used);
+  m.ok = true;
+  return m;
+}
+
+void HotPageSampler::adapt() {
+  if (buffer_filled_) {
+    // tg_ already doubled on overflow; just clear the flag.
+    buffer_filled_ = false;
+  } else if (samples_.size() * 2 < capacity_pages_) {
+    tg_ = std::max(tg_ / 2.0, 1e-6);
+  }
+}
+
+void HotPageSampler::reset_interval() {
+  samples_.clear();
+  last_arrival_ = -1e300;
+  groups_ = 0;
+  faults_ = 0;
+  buffer_filled_ = false;
+}
+
+SampleStats HotPageSampler::stats() const {
+  return SampleStats{samples_.size(), groups_, faults_, tg_};
+}
+
+}  // namespace aic::predictor

@@ -1,0 +1,95 @@
+// Hot-page sampling with arrival-time grouping (Section IV.E).
+//
+// A hot page's arrival time is its first write in the current interval.
+// Pages are grouped by arrival time: two pages land in different groups if
+// their arrivals are more than T_g apart. Only the *first* page of each
+// group is buffered in a fixed-size Sample Buffer (SB); this bounds both
+// space and the per-decision JD/DI cost.
+//
+// The buffered copy is the page's *pre-write* content — at the moment of
+// the first-write fault the page still holds exactly its value from the
+// last checkpoint, so the buffer doubles as the "previous version" P' for
+// JD without touching the checkpoint file on disk.
+//
+// T_g adapts at each decision point: if SB filled up, T_g doubles and every
+// other sample is dropped (coarser grouping); if SB is more than half
+// empty, T_g halves (finer grouping next interval).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "mem/address_space.h"
+
+namespace aic::predictor {
+
+struct SamplerConfig {
+  /// Sample buffer capacity in bytes (the paper uses 8 MiB).
+  std::uint64_t buffer_bytes = 8 * kMiB;
+  /// Initial arrival-grouping threshold in seconds.
+  double initial_tg = 0.01;
+  /// At most this many buffered samples enter each JD/DI evaluation
+  /// (evenly strided); bounds the per-decision cost when the buffer is
+  /// full, in the same spirit as the paper's group-based sampling.
+  std::size_t max_compute_pages = 128;
+};
+
+struct SampleStats {
+  std::size_t samples = 0;        // pages currently buffered
+  std::uint64_t groups = 0;       // groups formed this interval
+  std::uint64_t faults_seen = 0;  // hot pages observed this interval
+  double tg = 0.0;                // current grouping threshold
+};
+
+class HotPageSampler {
+ public:
+  explicit HotPageSampler(SamplerConfig config = SamplerConfig{});
+
+  /// Observer for the first write to `id` at time `now`; `pre_write` is the
+  /// page's content before the write (== its last-checkpoint value). Wire
+  /// this from mem::AddressSpace::set_fault_observer.
+  void on_fault(mem::PageId id, double now, ByteSpan pre_write);
+
+  /// Mean JD of the buffered samples against the space's *current* page
+  /// contents, and mean DI of those current contents. Pages freed since
+  /// buffering are skipped. Returns {0, 0} with ok=false if no usable
+  /// samples exist.
+  struct Metrics {
+    double mean_jd = 0.0;
+    double mean_di = 0.0;
+    bool ok = false;
+  };
+  Metrics compute(const mem::AddressSpace& space) const;
+
+  /// Decision-point bookkeeping: adapts T_g from the fill level, per the
+  /// paper's doubling/halving rule.
+  void adapt();
+
+  /// Interval rollover: clears the buffer and per-interval counters (a new
+  /// checkpoint was just taken; everything is clean again).
+  void reset_interval();
+
+  SampleStats stats() const;
+  std::size_t capacity_pages() const { return capacity_pages_; }
+
+ private:
+  struct Sample {
+    mem::PageId id;
+    double arrival;
+    std::unique_ptr<mem::PageData> pre_write;
+  };
+
+  SamplerConfig config_;
+  std::size_t capacity_pages_;
+  double tg_;
+  std::vector<Sample> samples_;
+  double last_arrival_ = -1e300;  // arrival time of the latest group
+  std::uint64_t groups_ = 0;
+  std::uint64_t faults_ = 0;
+  bool buffer_filled_ = false;  // SB hit capacity during this interval
+};
+
+}  // namespace aic::predictor

@@ -1,0 +1,29 @@
+#include "predictor/metrics.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+
+namespace aic::predictor {
+
+double jaccard_distance(ByteSpan current, ByteSpan previous) {
+  AIC_CHECK(!current.empty());
+  AIC_CHECK_MSG(current.size() == previous.size(),
+                "JD needs equal-sized pages");
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < current.size(); ++i)
+    same += (current[i] == previous[i]);
+  return 1.0 - double(same) / double(current.size());
+}
+
+double divergence_index(ByteSpan page) {
+  AIC_CHECK(!page.empty());
+  std::array<std::uint32_t, 256> histogram{};
+  for (std::uint8_t b : page) ++histogram[b];
+  const std::uint32_t most =
+      *std::max_element(histogram.begin(), histogram.end());
+  return 1.0 - double(most) / double(page.size());
+}
+
+}  // namespace aic::predictor

@@ -1,0 +1,26 @@
+// Lightweight page-similarity metrics for the AIC predictor (Section IV.D).
+//
+//   Jaccard Distance  JD(P, P') = 1 - m/p  — inter-page dissimilarity: m is
+//     the number of byte positions where the hot page P equals its previous
+//     checkpointed version P'.
+//   Divergence Index  DI(P)     = 1 - v/p  — intra-page dissimilarity: v is
+//     the count of the most frequent byte value in P.
+//
+// Both are normalized to [0, 1] (0 = identical/uniform, 1 = maximally
+// different) and cost one linear pass per page, which is what makes
+// per-second online prediction affordable (the paper reports < 100 us per
+// hot page; see bench/micro_predictor).
+#pragma once
+
+#include "common/bytes.h"
+
+namespace aic::predictor {
+
+/// JD between a page and its previous version. Spans must be equal-sized
+/// and non-empty.
+double jaccard_distance(ByteSpan current, ByteSpan previous);
+
+/// DI of a single page. Span must be non-empty.
+double divergence_index(ByteSpan page);
+
+}  // namespace aic::predictor

@@ -1,0 +1,68 @@
+#include "predictor/predictor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aic::predictor {
+
+const char* to_string(Target t) {
+  switch (t) {
+    case Target::kC1:
+      return "c1";
+    case Target::kDeltaLatency:
+      return "dl";
+    case Target::kDeltaSize:
+      return "ds";
+  }
+  return "?";
+}
+
+AicPredictor::AicPredictor(StepwiseConfig stepwise, double learning_rate)
+    : stepwise_(stepwise), learning_rate_(learning_rate) {}
+
+double AicPredictor::predict(Target target, const BaseMetrics& metrics) const {
+  const std::size_t t = std::size_t(target);
+  AIC_CHECK(t < kTargetCount);
+  double value;
+  if (models_[t].has_value()) {
+    const auto expanded = expand_features(metrics);
+    value = models_[t]->predict(
+        std::vector<double>(expanded.begin(), expanded.end()));
+  } else {
+    value = mean_[t];
+  }
+  // Latencies and sizes cannot be negative; a linear model can be.
+  return std::max(value, 0.0);
+}
+
+void AicPredictor::observe(const BaseMetrics& metrics, double c1,
+                           double delta_latency, double delta_size) {
+  const std::array<double, kTargetCount> targets = {c1, delta_latency,
+                                                    delta_size};
+  ++observations_;
+  for (std::size_t t = 0; t < kTargetCount; ++t)
+    mean_[t] += (targets[t] - mean_[t]) / double(observations_);
+
+  const auto expanded = expand_features(metrics);
+  const std::vector<double> x(expanded.begin(), expanded.end());
+
+  if (!models_[0].has_value()) {
+    warmup_xs_.push_back(x);
+    for (std::size_t t = 0; t < kTargetCount; ++t)
+      warmup_ys_[t].push_back(targets[t]);
+    if (warmup_xs_.size() >= kWarmupSamples) {
+      for (std::size_t t = 0; t < kTargetCount; ++t) {
+        LinearModel fit = stepwise_fit(warmup_xs_, warmup_ys_[t], stepwise_);
+        models_[t].emplace(std::move(fit), learning_rate_);
+      }
+      warmup_xs_.clear();
+      for (auto& ys : warmup_ys_) ys.clear();
+    }
+    return;
+  }
+  for (std::size_t t = 0; t < kTargetCount; ++t)
+    models_[t]->update(x, targets[t]);
+}
+
+}  // namespace aic::predictor

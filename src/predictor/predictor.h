@@ -1,0 +1,74 @@
+// The AIC lightweight predictor (Section IV.D).
+//
+// Predicts, from the lightweight metrics {DP, t, JD, DI} gathered during
+// the running interval, the three target variables needed by the
+// checkpoint decider:
+//   c1 — local (L1) incremental checkpoint latency,
+//   dl — delta-compression latency,
+//   ds — compressed delta size,
+// from which c2 = dl + ds/B2 and c3 = ds/B3 follow.
+//
+// Protocol: no offline profiling. The first kWarmupSamples observed
+// checkpoints seed a forward stepwise regression (<= 3 terms + intercept
+// over the 14 expanded candidates); afterwards, every observation refines
+// the selected weights by normalized gradient descent. Until the warm-up
+// completes, predictions fall back to the running mean of the observed
+// targets (and 0 before the first observation).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "predictor/features.h"
+#include "predictor/regression.h"
+
+namespace aic::predictor {
+
+enum class Target : std::size_t { kC1 = 0, kDeltaLatency = 1, kDeltaSize = 2 };
+inline constexpr std::size_t kTargetCount = 3;
+
+const char* to_string(Target t);
+
+class AicPredictor {
+ public:
+  /// Samples required before the stepwise fit (the paper uses four,
+  /// permitting up to three variables plus intercept).
+  static constexpr std::size_t kWarmupSamples = 4;
+
+  explicit AicPredictor(StepwiseConfig stepwise = StepwiseConfig{},
+                        double learning_rate = 0.5);
+
+  /// Predicts a target for the given current metrics. Never negative.
+  double predict(Target target, const BaseMetrics& metrics) const;
+
+  /// Feeds back the measured targets of a just-taken checkpoint together
+  /// with the metrics observed at its decision time.
+  void observe(const BaseMetrics& metrics, double c1, double delta_latency,
+               double delta_size);
+
+  bool warmed_up() const { return models_[0].has_value(); }
+  std::size_t observations() const { return observations_; }
+
+  /// The fitted model for a target (empty until warmed up) — diagnostics
+  /// and the feature-ablation bench use this.
+  const std::optional<OnlineGd>& model(Target t) const {
+    return models_[std::size_t(t)];
+  }
+
+ private:
+  StepwiseConfig stepwise_;
+  double learning_rate_;
+  std::size_t observations_ = 0;
+
+  // Warm-up storage.
+  std::vector<std::vector<double>> warmup_xs_;
+  std::array<std::vector<double>, kTargetCount> warmup_ys_;
+
+  // Running means (fallback before/while warming up).
+  std::array<double, kTargetCount> mean_{0.0, 0.0, 0.0};
+
+  std::array<std::optional<OnlineGd>, kTargetCount> models_;
+};
+
+}  // namespace aic::predictor

@@ -1,0 +1,109 @@
+#include "predictor/regression.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+#include "common/linalg.h"
+
+namespace aic::predictor {
+namespace {
+
+/// Builds the design matrix [1 | selected columns] for a candidate set.
+Matrix design(const std::vector<std::vector<double>>& xs,
+              const std::vector<std::size_t>& selected) {
+  Matrix m(xs.size(), selected.size() + 1);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    m(i, 0) = 1.0;
+    for (std::size_t j = 0; j < selected.size(); ++j)
+      m(i, j + 1) = xs[i][selected[j]];
+  }
+  return m;
+}
+
+}  // namespace
+
+double LinearModel::predict(const std::vector<double>& candidates) const {
+  double y = intercept;
+  for (std::size_t j = 0; j < selected.size(); ++j) {
+    AIC_CHECK(selected[j] < candidates.size());
+    y += weights[j] * candidates[selected[j]];
+  }
+  return y;
+}
+
+LinearModel stepwise_fit(const std::vector<std::vector<double>>& xs,
+                         const std::vector<double>& ys,
+                         StepwiseConfig config) {
+  AIC_CHECK(xs.size() == ys.size());
+  AIC_CHECK_MSG(xs.size() >= config.max_terms + 1,
+                "need more samples than terms");
+  const std::size_t n_candidates = xs.empty() ? 0 : xs.front().size();
+
+  LinearModel model;
+  // Intercept-only baseline.
+  double best_rss = 0.0;
+  {
+    double mean = 0.0;
+    for (double y : ys) mean += y;
+    mean /= double(ys.size());
+    model.intercept = mean;
+    for (double y : ys) best_rss += (y - mean) * (y - mean);
+  }
+
+  std::vector<double> beta;
+  while (model.selected.size() < config.max_terms) {
+    std::size_t best_candidate = n_candidates;
+    double best_candidate_rss = std::numeric_limits<double>::infinity();
+    std::vector<double> best_beta;
+    for (std::size_t c = 0; c < n_candidates; ++c) {
+      if (std::find(model.selected.begin(), model.selected.end(), c) !=
+          model.selected.end())
+        continue;
+      auto trial = model.selected;
+      trial.push_back(c);
+      const Matrix x = design(xs, trial);
+      if (!least_squares(x, ys, beta)) continue;
+      const double rss = residual_sum_squares(x, ys, beta);
+      if (rss < best_candidate_rss) {
+        best_candidate_rss = rss;
+        best_candidate = c;
+        best_beta = beta;
+      }
+    }
+    if (best_candidate == n_candidates) break;
+    const double improvement =
+        best_rss > 0.0 ? 1.0 - best_candidate_rss / best_rss : 0.0;
+    if (improvement < config.min_improvement) break;
+    model.selected.push_back(best_candidate);
+    model.intercept = best_beta[0];
+    model.weights.assign(best_beta.begin() + 1, best_beta.end());
+    best_rss = best_candidate_rss;
+  }
+  return model;
+}
+
+OnlineGd::OnlineGd(LinearModel initial, double learning_rate)
+    : model_(std::move(initial)), learning_rate_(learning_rate) {
+  AIC_CHECK(learning_rate > 0.0 && learning_rate <= 2.0);
+}
+
+double OnlineGd::update(const std::vector<double>& candidates, double target) {
+  const double pred = model_.predict(candidates);
+  const double error = target - pred;
+  // Normalized LMS over [1, x_selected].
+  double norm = 1.0;  // the intercept's pseudo-feature
+  for (std::size_t j = 0; j < model_.selected.size(); ++j) {
+    const double x = candidates[model_.selected[j]];
+    norm += x * x;
+  }
+  const double step = learning_rate_ * error / norm;
+  model_.intercept += step;
+  for (std::size_t j = 0; j < model_.selected.size(); ++j)
+    model_.weights[j] += step * candidates[model_.selected[j]];
+  ++updates_;
+  return error;
+}
+
+}  // namespace aic::predictor

@@ -1,0 +1,64 @@
+// Model fitting for the AIC predictor: forward stepwise regression to pick
+// up to three candidate features (Section IV.D: "stepwise regression
+// selects which of them to include in the linear model") and a normalized
+// gradient-descent online learner [Cesa-Bianchi et al. 1996] that keeps the
+// weights tracking as the application drifts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aic::predictor {
+
+/// A sparse linear model over the candidate feature vector: an intercept
+/// plus weights on `selected` feature indices.
+struct LinearModel {
+  std::vector<std::size_t> selected;  // candidate indices, <= max_terms
+  std::vector<double> weights;        // aligned with `selected`
+  double intercept = 0.0;
+
+  double predict(const std::vector<double>& candidates) const;
+};
+
+struct StepwiseConfig {
+  std::size_t max_terms = 3;
+  /// A term enters only if it reduces RSS by at least this factor
+  /// (1 - rss_new/rss_old >= min_improvement), a cheap stand-in for the
+  /// partial F-test.
+  double min_improvement = 0.01;
+};
+
+/// Forward stepwise selection: greedily adds the candidate that most
+/// reduces residual sum of squares, refitting jointly (with intercept) at
+/// each step, until max_terms or no candidate clears min_improvement.
+/// Requires xs.size() == ys.size() >= max_terms + 1 samples.
+LinearModel stepwise_fit(const std::vector<std::vector<double>>& xs,
+                         const std::vector<double>& ys,
+                         StepwiseConfig config = StepwiseConfig{});
+
+/// Normalized gradient-descent updater over a fixed selection. Each update
+/// steps the weights by  eta * error * x / (||x||^2 + eps), the normalized
+/// LMS rule with worst-case loss bounds per Cesa-Bianchi et al.
+class OnlineGd {
+ public:
+  explicit OnlineGd(LinearModel initial, double learning_rate = 0.5);
+
+  double predict(const std::vector<double>& candidates) const {
+    return model_.predict(candidates);
+  }
+
+  /// Observes the realized target for the given candidates and adjusts
+  /// weights + intercept. Returns the pre-update prediction error.
+  double update(const std::vector<double>& candidates, double target);
+
+  const LinearModel& model() const { return model_; }
+  std::uint64_t updates() const { return updates_; }
+
+ private:
+  LinearModel model_;
+  double learning_rate_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace aic::predictor

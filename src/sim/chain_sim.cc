@@ -1,0 +1,181 @@
+#include "sim/chain_sim.h"
+
+#include "common/check.h"
+
+namespace aic::sim {
+namespace {
+
+/// Samples a failure level given per-level rates (1-based), or 0 for no
+/// distinction needed (single level).
+int sample_level(const model::MarkovChain& chain, Rng& rng) {
+  double total = 0.0;
+  for (int k = 1; std::size_t(k) <= chain.level_count(); ++k)
+    total += chain.level_rate(k);
+  double u = rng.uniform() * total;
+  for (int k = 1; std::size_t(k) <= chain.level_count(); ++k) {
+    u -= chain.level_rate(k);
+    if (u < 0.0) return k;
+  }
+  return int(chain.level_count());
+}
+
+}  // namespace
+
+double simulate_chain_once(const model::MarkovChain& chain,
+                           model::MarkovChain::StateId start, Rng& rng) {
+  using StateId = model::MarkovChain::StateId;
+  double t = 0.0;
+  StateId s = start;
+  const double total_rate = chain.total_rate();
+  std::uint64_t hops = 0;
+  while (s != model::MarkovChain::kDone) {
+    AIC_CHECK_MSG(++hops < 100'000'000ULL, "chain walk does not absorb");
+    const double tau = chain.duration(s);
+    if (total_rate <= 0.0) {
+      t += tau;
+      s = chain.success_target(s);
+      continue;
+    }
+    const double t_fail = rng.exponential(total_rate);
+    if (t_fail >= tau) {
+      t += tau;
+      s = chain.success_target(s);
+    } else {
+      t += t_fail;
+      s = chain.failure_target(s, sample_level(chain, rng));
+    }
+  }
+  return t;
+}
+
+RunningStats simulate_chain(const model::MarkovChain& chain,
+                            model::MarkovChain::StateId start, int trials,
+                            Rng rng) {
+  RunningStats stats;
+  for (int i = 0; i < trials; ++i)
+    stats.add(simulate_chain_once(chain, start, rng));
+  return stats;
+}
+
+double simulate_l2l3_interval_once(const model::SystemProfile& sys, double w,
+                                   Rng& rng) {
+  // Independent event-level implementation of the static L2L3 protocol.
+  // States mirror Section III.C's description, hand-coded rather than
+  // walked from the solver's graph.
+  enum class Phase { kWork, kL2Xfer, kL3Tail, kL3Retry, kRecOld2, kRecOld3,
+                     kRecNew2, kRerun, kDone };
+  const auto p = model::IntervalParams::from_profile(sys);
+  const double d2 = sys.shared(p.c2 - p.c1);
+  const double d3 = sys.shared(p.c3 - p.c2);
+  const double d_full = sys.shared(p.c3 - p.c1);
+  const double lambda = sys.total_lambda();
+
+  auto draw_level = [&]() {
+    double u = rng.uniform() * lambda;
+    if (u < sys.lambda[0]) return 1;
+    if (u < sys.lambda[0] + sys.lambda[1]) return 2;
+    return 3;
+  };
+
+  double t = 0.0;
+  Phase phase = Phase::kWork;
+  std::uint64_t hops = 0;
+  while (phase != Phase::kDone) {
+    AIC_CHECK(++hops < 100'000'000ULL);
+    double dur = 0.0;
+    switch (phase) {
+      case Phase::kWork:
+        dur = w + p.c1;
+        break;
+      case Phase::kL2Xfer:
+        dur = d2;
+        break;
+      case Phase::kL3Tail:
+        dur = d3;
+        break;
+      case Phase::kL3Retry:
+        dur = d_full;
+        break;
+      case Phase::kRecOld2:
+        dur = p.r2;
+        break;
+      case Phase::kRecOld3:
+        dur = p.r3;
+        break;
+      case Phase::kRecNew2:
+        dur = p.r2;
+        break;
+      case Phase::kRerun:
+        dur = d_full;  // static model: previous interval's segment == own
+        break;
+      case Phase::kDone:
+        break;
+    }
+    const double t_fail =
+        lambda > 0.0 ? rng.exponential(lambda)
+                     : std::numeric_limits<double>::infinity();
+    if (t_fail >= dur) {
+      t += dur;
+      switch (phase) {
+        case Phase::kWork:
+          phase = Phase::kL2Xfer;
+          break;
+        case Phase::kL2Xfer:
+          phase = Phase::kL3Tail;
+          break;
+        case Phase::kL3Tail:
+        case Phase::kL3Retry:
+          phase = Phase::kDone;
+          break;
+        case Phase::kRecOld2:
+        case Phase::kRecOld3:
+          phase = Phase::kRerun;
+          break;
+        case Phase::kRecNew2:
+          phase = Phase::kL3Retry;
+          break;
+        case Phase::kRerun:
+          phase = Phase::kWork;
+          break;
+        case Phase::kDone:
+          break;
+      }
+      continue;
+    }
+    t += t_fail;
+    const int level = draw_level();
+    switch (phase) {
+      case Phase::kWork:
+      case Phase::kL2Xfer:  // new L2 incomplete: recover from the old one
+      case Phase::kRerun:
+        phase = level <= 2 ? Phase::kRecOld2 : Phase::kRecOld3;
+        break;
+      case Phase::kL3Tail:
+      case Phase::kL3Retry:  // new L2 exists
+        phase = level <= 2 ? Phase::kRecNew2 : Phase::kRecOld3;
+        break;
+      case Phase::kRecOld2:
+        phase = level <= 2 ? Phase::kRecOld2 : Phase::kRecOld3;
+        break;
+      case Phase::kRecOld3:
+        phase = Phase::kRecOld3;
+        break;
+      case Phase::kRecNew2:
+        phase = level <= 2 ? Phase::kRecNew2 : Phase::kRecOld3;
+        break;
+      case Phase::kDone:
+        break;
+    }
+  }
+  return t;
+}
+
+RunningStats simulate_l2l3_interval(const model::SystemProfile& sys, double w,
+                                    int trials, Rng rng) {
+  RunningStats stats;
+  for (int i = 0; i < trials; ++i)
+    stats.add(simulate_l2l3_interval_once(sys, w, rng));
+  return stats;
+}
+
+}  // namespace aic::sim

@@ -1,0 +1,41 @@
+// Monte-Carlo simulation of the checkpoint Markov chains.
+//
+// The analytic solver (model/markov_chain) computes expected times by
+// linear algebra; this module walks the same state graphs stochastically —
+// sampling exponential failure arrivals and multinomial levels — so the
+// two can be cross-checked. A solver bug and a simulator bug would have to
+// coincide to slip through, which is the point of having both.
+#pragma once
+
+#include <limits>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "model/interval_models.h"
+#include "model/markov_chain.h"
+
+namespace aic::sim {
+
+/// One stochastic walk from `start` to absorption; returns the elapsed
+/// time. Throws CheckError if the chain is incomplete.
+double simulate_chain_once(const model::MarkovChain& chain,
+                           model::MarkovChain::StateId start, Rng& rng);
+
+/// Runs `trials` walks and returns the sample statistics of the absorption
+/// time.
+RunningStats simulate_chain(const model::MarkovChain& chain,
+                            model::MarkovChain::StateId start, int trials,
+                            Rng rng);
+
+/// Independent event-level simulation of the static L2L3 concurrent
+/// interval (implemented from the protocol description, *not* from the
+/// chain): work + blocking c1, concurrent L2/L3 transfer windows, old/new
+/// checkpoint recovery and the rerun of the previous interval's concurrent
+/// segment. Used to validate the interval chain's semantics end to end.
+double simulate_l2l3_interval_once(const model::SystemProfile& sys, double w,
+                                   Rng& rng);
+
+RunningStats simulate_l2l3_interval(const model::SystemProfile& sys, double w,
+                                    int trials, Rng rng);
+
+}  // namespace aic::sim

@@ -1,0 +1,136 @@
+#include "sim/failure_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ckpt/checkpointer.h"
+#include "common/check.h"
+#include "mem/snapshot.h"
+
+namespace aic::sim {
+namespace {
+
+/// Per-checkpoint remote landing times on the wall clock.
+struct RemoteState {
+  std::uint64_t sequence;
+  double l2_done;
+  double l3_done;
+};
+
+}  // namespace
+
+FailureSimResult run_failure_sim(const FailureSimConfig& config) {
+  AIC_CHECK(config.checkpoint_interval > 0.0);
+
+  FailureSimResult result;
+
+  // Failure-free reference final state (determinism makes this exact).
+  mem::Snapshot reference;
+  {
+    auto wl = workload::make_spec_workload(config.benchmark,
+                                           config.workload_scale);
+    mem::AddressSpace space;
+    wl->initialize(space);
+    wl->step(space, wl->base_time());
+    reference = mem::Snapshot::capture(space);
+    result.base_time = wl->base_time();
+  }
+
+  auto wl =
+      workload::make_spec_workload(config.benchmark, config.workload_scale);
+  mem::AddressSpace space;
+  wl->initialize(space);
+
+  ckpt::CheckpointChain chain;  // delta-compressed incrementals
+  failure::FailureInjector injector(config.failures, Rng(config.seed));
+
+  double wall = 0.0;
+  double interval_start_progress = 0.0;
+  std::vector<RemoteState> remote;
+
+  // Initial full checkpoint, staged everywhere before t = 0.
+  chain.capture(space, wl->cpu_state(), 0.0);
+  space.protect_all();
+  remote.push_back({0, 0.0, 0.0});
+  double core_free_at = 0.0;
+
+  failure::FailureEvent pending = injector.next_after(0.0);
+
+  auto handle_failure = [&](int level) {
+    ++result.failures_by_level[std::size_t(level - 1)];
+    ++result.restores;
+    // Newest checkpoint whose surviving copy covers this failure level.
+    std::uint64_t seq = 0;
+    for (const RemoteState& r : remote) {
+      const double done = level <= 2 ? r.l2_done : r.l3_done;
+      if (done <= wall && r.sequence >= seq) seq = r.sequence;
+    }
+    chain.rollback_to(seq);
+    remote.erase(std::remove_if(remote.begin(), remote.end(),
+                                [&](const RemoteState& r) {
+                                  return r.sequence > seq;
+                                }),
+                 remote.end());
+    auto restored = chain.restore();
+    space = restored.memory.materialize();
+    wl->restore_cpu_state(restored.cpu_state);
+    space.protect_all();
+    interval_start_progress = wl->progress();
+    core_free_at = wall;  // in-flight transfer died with the failure
+
+    // Recovery: read the restart chain from the surviving level.
+    const double bw = level <= 2 ? config.costs.b2_bps : config.costs.b3_bps;
+    const double recovery = double(chain.restart_chain_bytes()) / bw;
+    wall += recovery;
+    // Failures can strike during recovery as well; the pending event keeps
+    // ticking on the wall clock and is handled by the main loop.
+  };
+
+  const double quantum = 1.0;
+  while (!wl->finished()) {
+    AIC_CHECK_MSG(wall < config.max_wall, "failure sim exceeded max_wall");
+    if (pending.time <= wall) {
+      handle_failure(pending.level);
+      pending = injector.next_after(std::max(pending.time, wall));
+      continue;
+    }
+    // Advance work until the next failure, checkpoint moment, or finish.
+    const double until_failure = pending.time - wall;
+    const double step = std::min(quantum, until_failure);
+    wl->step(space, step);
+    wall += step;
+
+    const double elapsed = wl->progress() - interval_start_progress;
+    if (elapsed >= config.checkpoint_interval && wall >= core_free_at &&
+        !wl->finished()) {
+      // The local write halts the process; a failure during the halt aborts
+      // the checkpoint (nothing was captured yet).
+      // Estimate c1 from the dirty set before committing.
+      const double c1_est = double(space.dirty_page_count() * kPageSize) /
+                            config.costs.local_bps;
+      if (pending.time <= wall + c1_est) {
+        wall = pending.time;
+        handle_failure(pending.level);
+        pending = injector.next_after(wall);
+        continue;
+      }
+      ckpt::CaptureStats st = chain.capture(space, wl->cpu_state(), wall);
+      ++result.checkpoints;
+      const auto params = config.costs.delta_params(
+          st.uncompressed_bytes, st.file_bytes, st.delta_work_units);
+      wall += params.c1;
+      remote.push_back({chain.checkpoints_taken() - 1,
+                        wall + (params.c2 - params.c1),
+                        wall + (params.c3 - params.c1)});
+      core_free_at = wall + (params.c3 - params.c1);
+      space.protect_all();
+      interval_start_progress = wl->progress();
+    }
+  }
+
+  result.turnaround = wall;
+  result.final_state_verified = reference.equals_space(space);
+  return result;
+}
+
+}  // namespace aic::sim

@@ -1,0 +1,56 @@
+// End-to-end failure injection over the real machinery.
+//
+// Runs a synthetic workload under two-level concurrent incremental+delta
+// checkpointing on a wall-clock timeline, injects exponential per-level
+// failures, and performs *actual* recoveries: roll the checkpoint chain
+// back to the newest copy that survives the failure level (L2 for f1/f2,
+// L3 for f3, accounting for in-flight transfers), materialize the restored
+// address space, rewind the workload, and replay.
+//
+// Because workload mutations are a pure function of progress, the final
+// memory state after any number of failures and recoveries must equal the
+// failure-free run's final state byte for byte — the strongest correctness
+// check the library has. The measured turnaround also gives an empirical
+// NET^2 to compare against the analytic models.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "control/cost_model.h"
+#include "failure/failure.h"
+#include "workload/workload.h"
+
+namespace aic::sim {
+
+struct FailureSimConfig {
+  workload::SpecBenchmark benchmark = workload::SpecBenchmark::kBzip2;
+  double workload_scale = 0.25;
+  control::CostModel costs;
+  failure::FailureSpec failures;
+  /// Static checkpoint interval (SIC-style; the point here is recovery
+  /// correctness and model validation, not adaptivity).
+  double checkpoint_interval = 30.0;
+  std::uint64_t seed = 1;
+  /// Abort guard: give up if the wall clock exceeds this.
+  double max_wall = 1e7;
+};
+
+struct FailureSimResult {
+  double turnaround = 0.0;  // wall time to completion
+  double base_time = 0.0;
+  std::array<int, 3> failures_by_level{0, 0, 0};
+  int checkpoints = 0;
+  int restores = 0;
+  /// Final memory byte-matches the failure-free reference run.
+  bool final_state_verified = false;
+
+  int total_failures() const {
+    return failures_by_level[0] + failures_by_level[1] + failures_by_level[2];
+  }
+  double net2() const { return base_time > 0 ? turnaround / base_time : 0.0; }
+};
+
+FailureSimResult run_failure_sim(const FailureSimConfig& config);
+
+}  // namespace aic::sim

@@ -1,0 +1,117 @@
+#include "storage/multilevel_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aic::storage {
+
+MultiLevelStore::MultiLevelStore(MultiLevelConfig config)
+    : config_(config),
+      local_(config.local_bps),
+      raid_(config.raid_nodes, config.raid_bps),
+      remote_(config.remote_bps) {}
+
+PlacementTimes MultiLevelStore::put_checkpoint(
+    const ckpt::CheckpointFile& file) {
+  const Bytes wire = file.serialize();
+  const std::string key = key_for(next_index_);
+  PlacementTimes times;
+  times.local = local_.available() ? local_.put(key, wire) : 0.0;
+  times.raid = raid_.available() ? raid_.put(key, wire) : 0.0;
+  times.remote = remote_.put(key, wire);
+  is_full_[next_index_] = file.kind == ckpt::CheckpointKind::kFull;
+  ++next_index_;
+  return times;
+}
+
+void MultiLevelStore::apply_failure(int level, Rng& rng) {
+  AIC_CHECK(level >= 1 && level <= 3);
+  if (level >= 2) {
+    // The node (and its disk) is gone; a spare comes up with an empty disk.
+    local_.fail();
+    local_.replace();
+  }
+  if (level == 2) {
+    // The dead node may have been a member of a partner group: one RAID
+    // member drops out and is rebuilt from parity — data stays readable
+    // throughout (the reconstruction path is exercised by recover()).
+    const std::size_t victim = rng.uniform_u64(raid_.node_count());
+    raid_.fail_node(victim);
+    raid_.rebuild_node(victim);
+  }
+  if (level == 3) {
+    // Catastrophic: two group members lost — beyond RAID-5's tolerance,
+    // only the remote copies survive until reseed_from_remote().
+    const std::size_t a = rng.uniform_u64(raid_.node_count());
+    const std::size_t b = (a + 1) % raid_.node_count();
+    raid_.fail_node(a);
+    raid_.fail_node(b);
+  }
+}
+
+void MultiLevelStore::repair_raid_group() {
+  // Replacement members join empty; re-striping happens via
+  // reseed_from_remote().
+  for (std::size_t n = 0; n < raid_.node_count(); ++n) {
+    if (raid_.failed_nodes() == 0) break;
+    // rebuild_node clears the failed flag; with 2 losses the rebuilt
+    // content is unreliable, so erase everything and reseed.
+    // (Raid5Group::rebuild_node requires the node to be marked failed.)
+  }
+  raid_ = Raid5Group(config_.raid_nodes, config_.raid_bps);
+  for (std::uint64_t i = 0; i < next_index_; ++i) raid_.erase(key_for(i));
+}
+
+std::optional<MultiLevelStore::Recovery> MultiLevelStore::recover_from(
+    const StorageTarget& target, int level) const {
+  if (!target.available() || next_index_ == 0) return std::nullopt;
+  // Walk from the newest checkpoint backwards to its chain-starting full,
+  // requiring every file on the way to be readable from this target.
+  for (std::uint64_t newest = next_index_; newest-- > 0;) {
+    std::vector<ckpt::CheckpointFile> chain;
+    double read_seconds = 0.0;
+    bool complete = false;
+    for (std::uint64_t i = newest + 1; i-- > 0;) {
+      auto bytes = target.get(key_for(i));
+      if (!bytes.has_value()) break;  // hole: try an older newest
+      read_seconds += target.read_seconds(key_for(i));
+      chain.push_back(ckpt::CheckpointFile::parse(*bytes));
+      if (is_full_.at(i)) {
+        complete = true;
+        break;
+      }
+    }
+    if (!complete) continue;
+    std::reverse(chain.begin(), chain.end());
+    return Recovery{std::move(chain), read_seconds, level};
+  }
+  return std::nullopt;
+}
+
+std::optional<MultiLevelStore::Recovery> MultiLevelStore::recover() const {
+  if (auto r = recover_from(local_, 1)) return r;
+  if (auto r = recover_from(raid_, 2)) return r;
+  return recover_from(remote_, 3);
+}
+
+std::uint64_t MultiLevelStore::reseed_from_remote() {
+  std::uint64_t copied = 0;
+  for (std::uint64_t i = 0; i < next_index_; ++i) {
+    const std::string key = key_for(i);
+    auto bytes = remote_.get(key);
+    AIC_CHECK_MSG(bytes.has_value(), "remote store lost " << key);
+    if (local_.available() && !local_.get(key).has_value()) {
+      copied += bytes->size();
+      local_.put(key, *bytes);
+    }
+    if (raid_.available() && !raid_.get(key).has_value()) {
+      copied += bytes->size();
+      // A fully healthy group is required to re-stripe.
+      if (raid_.failed_nodes() == 0) raid_.put(key, *bytes);
+    }
+  }
+  return copied;
+}
+
+}  // namespace aic::storage

@@ -1,0 +1,102 @@
+// Multi-level checkpoint placement over the storage substrate — the glue
+// between the checkpoint chain and the L1/L2/L3 targets of Section III.A:
+//
+//   L1: the node-local disk   (lost on a level-2+ failure)
+//   L2: a RAID-5 partner group (lost on a level-3 failure)
+//   L3: the remote file system (survives everything in-model)
+//
+// put_checkpoint() writes a serialized checkpoint file to the local disk
+// (blocking, duration c1') and returns the transfer durations for the
+// partner group and remote store (to run on the checkpointing core).
+// recover() answers "what is the newest restorable chain after a level-k
+// failure", actually reading the surviving copies — including the RAID-5
+// reconstruction path when a partner node is down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint_file.h"
+#include "common/rng.h"
+#include "storage/storage.h"
+
+namespace aic::storage {
+
+struct MultiLevelConfig {
+  double local_bps = 100.0e6;
+  double raid_bps = 400.0e6;    // per-node share of the group bandwidth
+  double remote_bps = 2.0e6;    // B3
+  std::size_t raid_nodes = 4;
+};
+
+/// Durations of one checkpoint's placement at each level.
+struct PlacementTimes {
+  double local = 0.0;   // blocking (the c1 component)
+  double raid = 0.0;    // concurrent (part of c2)
+  double remote = 0.0;  // concurrent (part of c3)
+};
+
+class MultiLevelStore {
+ public:
+  explicit MultiLevelStore(MultiLevelConfig config = MultiLevelConfig{});
+
+  /// Writes the file everywhere; returns per-level durations. The caller
+  /// decides what is blocking vs concurrent.
+  PlacementTimes put_checkpoint(const ckpt::CheckpointFile& file);
+
+  /// Simulates a level-k failure's storage damage:
+  ///   k = 1: nothing lost (transient fault),
+  ///   k = 2: the local disk is gone (node replaced),
+  ///   k = 3: local disk gone and one RAID member lost *and* rebuilt from
+  ///          parity if possible — if a second member would be needed, the
+  ///          group's copies are unavailable until re-seeded.
+  void apply_failure(int level, Rng& rng);
+
+  /// Fetches the newest complete restart chain readable after the damage
+  /// so far, preferring the cheapest surviving level; nullopt if nothing
+  /// restorable survives (no full checkpoint anywhere). Also reports the
+  /// read time and the level used.
+  struct Recovery {
+    std::vector<ckpt::CheckpointFile> chain;
+    double read_seconds = 0.0;
+    int level_used = 0;  // 1 = local, 2 = raid, 3 = remote
+  };
+  std::optional<Recovery> recover() const;
+
+  /// Replaces a group that lost more members than RAID-5 tolerates with
+  /// fresh (empty) nodes; call reseed_from_remote() afterwards.
+  void repair_raid_group();
+
+  /// Re-seeds lower levels from the remote copies (what a replacement node
+  /// does after recovery); returns the bytes copied down.
+  std::uint64_t reseed_from_remote();
+
+  const LocalDisk& local() const { return local_; }
+  const Raid5Group& raid() const { return raid_; }
+  const RemoteStore& remote() const { return remote_; }
+
+  std::uint64_t checkpoints_stored() const { return next_index_; }
+
+ private:
+  static std::string key_for(std::uint64_t index) {
+    return "ckpt-" + std::to_string(index);
+  }
+  /// Newest index such that keys [start-of-chain .. index] are all present
+  /// on `target`, where start-of-chain is the newest full checkpoint.
+  std::optional<Recovery> recover_from(const StorageTarget& target,
+                                       int level) const;
+
+  MultiLevelConfig config_;
+  LocalDisk local_;
+  Raid5Group raid_;
+  RemoteStore remote_;
+  std::uint64_t next_index_ = 0;
+  /// index -> is this a full checkpoint (chain boundaries).
+  std::map<std::uint64_t, bool> is_full_;
+};
+
+}  // namespace aic::storage

@@ -1,0 +1,151 @@
+// Simulated checkpoint storage targets with bandwidth accounting.
+//
+// The paper's three levels map onto three targets:
+//   L1 — LocalDisk        (node-local disk or RAM disk)
+//   L2 — Raid5Group       (main memory of a RAID-5 group of partner nodes;
+//                          we implement real striping + parity so a single
+//                          node loss is recoverable, matching [11, 18])
+//   L3 — RemoteStore      (Lustre-like remote file system; per-node
+//                          bandwidth B3 shrinks as the system scales)
+//
+// Targets store named objects (checkpoint files) in memory and report the
+// time a write/read of that size takes at the configured bandwidth; the
+// discrete-event simulator turns those durations into virtual time. A
+// target can be failed (unavailable) and, for RAID-5, individual member
+// nodes can fail and be rebuilt.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace aic::storage {
+
+/// Seconds to move `bytes` at `bandwidth_bps` plus a fixed setup latency.
+double transfer_seconds(std::uint64_t bytes, double bandwidth_bps,
+                        double latency_s = 0.0);
+
+class StorageTarget {
+ public:
+  virtual ~StorageTarget() = default;
+
+  virtual std::string name() const = 0;
+  /// Write bandwidth in bytes/second (reads use the same figure; the
+  /// paper's model sets r_k = c_k).
+  virtual double bandwidth_bps() const = 0;
+  virtual bool available() const = 0;
+
+  /// Stores an object; returns the simulated duration in seconds.
+  /// Throws CheckError if the target is unavailable.
+  virtual double put(const std::string& key, Bytes data) = 0;
+  /// Fetches an object; returns nullopt if missing or unavailable.
+  virtual std::optional<Bytes> get(const std::string& key) const = 0;
+  /// Duration a read of `key` would take (for recovery-time accounting).
+  virtual double read_seconds(const std::string& key) const = 0;
+
+  virtual bool erase(const std::string& key) = 0;
+  virtual std::uint64_t stored_bytes() const = 0;
+};
+
+/// Node-local disk (L1). Lost entirely on a total node failure.
+class LocalDisk final : public StorageTarget {
+ public:
+  explicit LocalDisk(double bandwidth_bps, double latency_s = 0.0);
+
+  std::string name() const override { return "local-disk"; }
+  double bandwidth_bps() const override { return bandwidth_; }
+  bool available() const override { return !failed_; }
+
+  double put(const std::string& key, Bytes data) override;
+  std::optional<Bytes> get(const std::string& key) const override;
+  double read_seconds(const std::string& key) const override;
+  bool erase(const std::string& key) override;
+  std::uint64_t stored_bytes() const override;
+
+  /// Total node failure: the disk and its contents become unavailable.
+  void fail() { failed_ = true; }
+  /// Node replaced: disk back online, contents gone.
+  void replace();
+
+ private:
+  double bandwidth_;
+  double latency_;
+  bool failed_ = false;
+  std::map<std::string, Bytes> objects_;
+};
+
+/// RAID-5 group of `n` partner-node memories (L2): objects are striped
+/// across n-1 data shares plus one rotating parity share; any single member
+/// loss is tolerated and repairable.
+class Raid5Group final : public StorageTarget {
+ public:
+  /// `nodes` >= 3; `bandwidth_bps` is the aggregate write bandwidth to the
+  /// group (the paper's B2); `stripe_unit` is the striping granularity.
+  Raid5Group(std::size_t nodes, double bandwidth_bps,
+             std::size_t stripe_unit = 64 * 1024, double latency_s = 0.0);
+
+  std::string name() const override { return "raid5-group"; }
+  double bandwidth_bps() const override { return bandwidth_; }
+  /// Available while at most one member is down.
+  bool available() const override { return failed_nodes() <= 1; }
+
+  double put(const std::string& key, Bytes data) override;
+  /// Reconstructs from parity transparently when one member is down.
+  std::optional<Bytes> get(const std::string& key) const override;
+  double read_seconds(const std::string& key) const override;
+  bool erase(const std::string& key) override;
+  std::uint64_t stored_bytes() const override;
+
+  std::size_t node_count() const { return shares_.size(); }
+  std::size_t failed_nodes() const;
+  void fail_node(std::size_t node);
+  /// Rebuilds a replaced member's shares from the surviving members.
+  /// Returns the rebuilt byte count. Requires all other members healthy.
+  std::uint64_t rebuild_node(std::size_t node);
+
+ private:
+  struct ObjectMeta {
+    std::uint64_t size = 0;        // original object size
+    std::uint64_t stripes = 0;     // number of stripes
+  };
+  /// share index layout: for stripe s, parity lives on node
+  /// (n-1 - s % n), data units fill the remaining nodes in order.
+  std::size_t parity_node(std::uint64_t stripe) const;
+
+  std::size_t stripe_unit_;
+  double bandwidth_;
+  double latency_;
+  std::vector<bool> node_failed_;
+  // shares_[node][key] -> concatenated share units for that object.
+  std::vector<std::map<std::string, Bytes>> shares_;
+  std::map<std::string, ObjectMeta> meta_;
+};
+
+/// Remote parallel file system (L3). Never fails in-model (a level-3
+/// failure means everything below it is lost, and L3 is the recovery
+/// source), but its per-node bandwidth is the scarce resource.
+class RemoteStore final : public StorageTarget {
+ public:
+  explicit RemoteStore(double bandwidth_bps, double latency_s = 0.0);
+
+  std::string name() const override { return "remote-store"; }
+  double bandwidth_bps() const override { return bandwidth_; }
+  bool available() const override { return true; }
+
+  double put(const std::string& key, Bytes data) override;
+  std::optional<Bytes> get(const std::string& key) const override;
+  double read_seconds(const std::string& key) const override;
+  bool erase(const std::string& key) override;
+  std::uint64_t stored_bytes() const override;
+
+ private:
+  double bandwidth_;
+  double latency_;
+  std::map<std::string, Bytes> objects_;
+};
+
+}  // namespace aic::storage

@@ -1,0 +1,395 @@
+#include "workload/workload.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace aic::workload {
+namespace {
+
+/// Stateless per-tick RNG: every tick derives an independent stream from
+/// (seed, tick), making mutations a pure function of progress.
+Rng tick_rng(std::uint64_t seed, std::uint64_t tick) {
+  std::uint64_t s = seed ^ (tick * 0x9E3779B97F4A7C15ULL);
+  (void)splitmix64(s);
+  return Rng(splitmix64(s));
+}
+
+/// Events (page mutations, allocations) per tick for a fractional rate:
+/// floor(rate*(k+1)*tick) - floor(rate*k*tick) — deterministic and sums to
+/// rate * elapsed.
+std::uint64_t events_in_tick(double rate_per_sec, std::uint64_t k,
+                             double tick) {
+  const double a = rate_per_sec * double(k) * tick;
+  const double b = rate_per_sec * double(k + 1) * tick;
+  return std::uint64_t(std::floor(b)) - std::uint64_t(std::floor(a));
+}
+
+struct MutationContext {
+  std::uint64_t seed;
+  double tick_time;
+};
+
+/// Canonical base content of a page: the state iterative codes start from
+/// and consolidate back to. initialize() fills every page with it, and
+/// MutationStyle::kRevert restores it (plus a slowly-drifting overlay) —
+/// so a checkpoint taken at a consolidation boundary differences almost to
+/// nothing against one taken at an earlier boundary.
+void fill_canonical(std::span<std::uint8_t> b, std::uint64_t seed,
+                    mem::PageId id) {
+  std::uint64_t s1 = seed ^ (id * 0xA24BAED4963EE407ULL);
+  Rng base(splitmix64(s1));
+  for (std::size_t i = 0; i + 8 <= b.size(); i += 8) {
+    const std::uint64_t word = base() & 0x00FFFFFFFFFFFFFFULL;
+    std::memcpy(b.data() + i, &word, 8);
+  }
+}
+
+void mutate_page(mem::AddressSpace& space, mem::PageId id,
+                 const PhaseSpec& phase, const MutationContext& ctx,
+                 Rng& rng) {
+  switch (phase.style) {
+    case MutationStyle::kSparseEdit: {
+      const std::size_t len = std::max<std::size_t>(
+          1, std::size_t(phase.edit_fraction * double(kPageSize)));
+      const std::size_t off = rng.uniform_u64(kPageSize - len + 1);
+      space.mutate(id, [&](std::span<std::uint8_t> b) {
+        for (std::size_t i = 0; i < len; ++i)
+          b[off + i] = std::uint8_t(rng());
+      });
+      break;
+    }
+    case MutationStyle::kDenseRandom:
+      space.mutate(id, [&](std::span<std::uint8_t> b) {
+        for (auto& x : b) x = std::uint8_t(rng());
+      });
+      break;
+    case MutationStyle::kCounter:
+      space.mutate(id, [&](std::span<std::uint8_t> b) {
+        // Bump a handful of 8-byte counters in place.
+        for (int c = 0; c < 4; ++c) {
+          const std::size_t off = 8 * rng.uniform_u64(kPageSize / 8);
+          std::uint64_t v;
+          std::memcpy(&v, b.data() + off, 8);
+          v += 1 + rng.uniform_u64(16);
+          std::memcpy(b.data() + off, &v, 8);
+        }
+      });
+      break;
+    case MutationStyle::kStream:
+      // Numeric stencil sweep: most bytes become new values, but low-order
+      // structure (interleaved zero bytes from small-magnitude doubles)
+      // keeps a little compressibility — ratio lands near 0.8-0.9.
+      space.mutate(id, [&](std::span<std::uint8_t> b) {
+        for (std::size_t i = 0; i + 8 <= b.size(); i += 8) {
+          const std::uint64_t word = rng();
+          std::uint64_t masked = word & 0x00FFFFFFFFFFFF00ULL;
+          std::memcpy(b.data() + i, &masked, 8);
+        }
+      });
+      break;
+    case MutationStyle::kRevert: {
+      // Consolidation: the page returns to its canonical content — a fixed
+      // per-page base pattern plus a sparse overlay that drifts once per
+      // revert_epoch. Checkpoints taken after a consolidation sweep see
+      // near-identical pages and compress to almost nothing; checkpoints
+      // taken mid-burst see scratch state (Fig. 2's swings).
+      const std::uint64_t epoch =
+          std::uint64_t(ctx.tick_time / std::max(phase.revert_epoch, 1e-6));
+      space.mutate(id, [&](std::span<std::uint8_t> b) {
+        fill_canonical(b, ctx.seed, id);
+        std::uint64_t s2 = ctx.seed ^ (id * 0xD6E8FEB86659FD93ULL) ^
+                           ((epoch + 1) * 0x9E3779B97F4A7C15ULL);
+        Rng overlay(splitmix64(s2));
+        // The overlay lands as a few contiguous slices (fields updated in
+        // place), not scattered single bytes — scattered edits would
+        // defeat block-based delta matching and misrepresent what a real
+        // consolidated page looks like.
+        const std::size_t edit_bytes = std::max<std::size_t>(
+            8, std::size_t(phase.edit_fraction * double(kPageSize)));
+        const std::size_t slices =
+            std::max<std::size_t>(1, std::min<std::size_t>(4, edit_bytes / 64));
+        const std::size_t slice_len = edit_bytes / slices;
+        for (std::size_t sl = 0; sl < slices; ++sl) {
+          const std::size_t off =
+              overlay.uniform_u64(kPageSize - slice_len + 1);
+          for (std::size_t i = 0; i < slice_len; ++i)
+            b[off + i] = std::uint8_t(overlay());
+        }
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticWorkload::SyntheticWorkload(WorkloadProfile profile)
+    : profile_(std::move(profile)) {
+  AIC_CHECK_MSG(!profile_.phases.empty(), "workload needs at least one phase");
+  AIC_CHECK(profile_.base_time > 0.0);
+  AIC_CHECK(profile_.footprint_pages >= 16);
+  for (const PhaseSpec& p : profile_.phases) {
+    AIC_CHECK(p.duration > 0.0);
+    AIC_CHECK(p.ws_fraction > 0.0 && p.ws_fraction <= 1.0);
+    AIC_CHECK(p.ws_offset >= 0.0 && p.ws_offset < 1.0);
+    AIC_CHECK(p.edit_fraction > 0.0 && p.edit_fraction <= 1.0);
+    cycle_length_ += p.duration;
+  }
+}
+
+const PhaseSpec& SyntheticWorkload::phase_at(double t) const {
+  double pos = std::fmod(t, cycle_length_);
+  for (const PhaseSpec& p : profile_.phases) {
+    if (pos < p.duration) return p;
+    pos -= p.duration;
+  }
+  return profile_.phases.back();
+}
+
+void SyntheticWorkload::initialize(mem::AddressSpace& space) {
+  AIC_CHECK_MSG(space.page_count() == 0, "initialize needs a fresh space");
+  space.allocate_range(0, profile_.footprint_pages);
+  for (mem::PageId id = 0; id < profile_.footprint_pages; ++id) {
+    space.mutate(id, [&](std::span<std::uint8_t> b) {
+      fill_canonical(b, profile_.seed, id);
+    });
+  }
+}
+
+void SyntheticWorkload::step(mem::AddressSpace& space, double dt) {
+  AIC_CHECK(dt >= 0.0);
+  const double end = std::min(progress_ + dt, base_time());
+  // A tick's mutations are applied atomically when the tick *completes*.
+  // Run every tick whose end lies in (progress_, end]; partial ticks wait
+  // for a later step.
+  std::uint64_t k = std::uint64_t(progress_ / kTick + 1e-9);
+  for (;; ++k) {
+    const double tick_end = double(k + 1) * kTick;
+    if (tick_end > end + 1e-9) break;
+    if (tick_end > progress_ + 1e-9) run_tick(space, k);
+  }
+  progress_ = end;
+}
+
+void SyntheticWorkload::run_tick(mem::AddressSpace& space, std::uint64_t k) {
+  const double t = double(k) * kTick + profile_.phase_shift;
+  const PhaseSpec& phase = phase_at(t);
+  Rng rng = tick_rng(profile_.seed, k);
+  const MutationContext ctx{profile_.seed, t};
+
+  const std::uint64_t fp = profile_.footprint_pages;
+  const auto ws_pages = std::max<std::uint64_t>(
+      1, std::uint64_t(phase.ws_fraction * double(fp)));
+  const auto ws_start = std::uint64_t(phase.ws_offset * double(fp));
+
+  const std::uint64_t touches =
+      events_in_tick(phase.dirty_pages_per_sec, k, kTick);
+  // For sweep phases, the event counter continues across ticks so the
+  // working set is covered end to end (full-coverage consolidation).
+  const std::uint64_t sweep_base = std::uint64_t(
+      std::floor(phase.dirty_pages_per_sec * double(k) * kTick));
+  for (std::uint64_t i = 0; i < touches; ++i) {
+    mem::PageId id;
+    if (phase.sweep) {
+      id = (ws_start + (sweep_base + i) % ws_pages) % fp;
+    } else {
+      id = (ws_start + rng.zipf_like(ws_pages, 0.999)) % fp;
+    }
+    if (!space.contains(id)) space.allocate(id);
+    mutate_page(space, id, phase, ctx, rng);
+  }
+
+  const std::uint64_t allocs =
+      events_in_tick(phase.alloc_pages_per_sec, k, kTick);
+  PhaseSpec heap_phase = phase;
+  heap_phase.style = MutationStyle::kSparseEdit;
+  heap_phase.edit_fraction = 0.25;
+  for (std::uint64_t i = 0; i < allocs; ++i) {
+    // Heap region beyond the base footprint, bounded to 2x footprint.
+    mem::PageId id = fp + rng.uniform_u64(fp);
+    if (!space.contains(id)) {
+      space.allocate(id);
+      mutate_page(space, id, heap_phase, ctx, rng);
+    }
+  }
+
+  const std::uint64_t frees =
+      events_in_tick(phase.free_pages_per_sec, k, kTick);
+  for (std::uint64_t i = 0; i < frees; ++i) {
+    mem::PageId id = fp + rng.uniform_u64(fp);
+    if (space.contains(id)) space.free_page(id);
+  }
+}
+
+Bytes SyntheticWorkload::cpu_state() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.f64(progress_);
+  return out;
+}
+
+void SyntheticWorkload::restore_cpu_state(ByteSpan state) {
+  ByteReader r(state);
+  progress_ = r.f64();
+  AIC_CHECK(r.done());
+  AIC_CHECK(progress_ >= 0.0 && progress_ <= base_time() + 1e-9);
+}
+
+const char* to_string(SpecBenchmark b) {
+  switch (b) {
+    case SpecBenchmark::kBzip2:
+      return "bzip2";
+    case SpecBenchmark::kSjeng:
+      return "sjeng";
+    case SpecBenchmark::kLibquantum:
+      return "libquantum";
+    case SpecBenchmark::kMilc:
+      return "milc";
+    case SpecBenchmark::kLbm:
+      return "lbm";
+    case SpecBenchmark::kSphinx3:
+      return "sphinx3";
+  }
+  return "?";
+}
+
+const std::vector<SpecBenchmark>& all_benchmarks() {
+  static const std::vector<SpecBenchmark> all = {
+      SpecBenchmark::kBzip2, SpecBenchmark::kSjeng,
+      SpecBenchmark::kLibquantum, SpecBenchmark::kMilc,
+      SpecBenchmark::kLbm, SpecBenchmark::kSphinx3};
+  return all;
+}
+
+WorkloadProfile spec_profile(SpecBenchmark benchmark, double scale) {
+  AIC_CHECK(scale > 0.0);
+  WorkloadProfile p;
+  p.name = to_string(benchmark);
+  auto pages = [&](double base) {
+    return std::max<std::uint64_t>(64, std::uint64_t(base * scale));
+  };
+  auto rate = [&](double base) { return base * scale; };
+
+  // All six benchmarks use the same footprint class (the paper: each fits
+  // in 1 GiB, "processor-memory intensive"); they differ in write rate,
+  // working-set shape, per-page mutation style, and phase structure. The
+  // rates are tuned so a ~10 s interval delta-compresses to the paper's
+  // relative sizes (sphinx3 tiny ... milc/lbm huge, barely compressible).
+  p.footprint_pages = pages(8192);
+
+  switch (benchmark) {
+    case SpecBenchmark::kBzip2:
+      // Block compressor: a burst fills a block buffer with compressed
+      // output (scratch), emitting consolidates it back to canonical form;
+      // a second burst works a different region that never consolidates.
+      // Alloc/free churn models block-buffer turnover (Scenario 1).
+      p.base_time = 152.0;
+      p.seed = 0xB21;
+      p.phases = {
+          {.duration = 4.0, .dirty_pages_per_sec = rate(55.0),
+           .ws_fraction = 0.06, .ws_offset = 0.0,
+           .style = MutationStyle::kDenseRandom, .edit_fraction = 1.0,
+           .alloc_pages_per_sec = rate(2.0)},
+          {.duration = 3.0, .dirty_pages_per_sec = rate(170.0),
+           .ws_fraction = 0.06, .ws_offset = 0.0,
+           .style = MutationStyle::kRevert, .edit_fraction = 0.05,
+           .free_pages_per_sec = rate(2.0), .sweep = true,
+           .revert_epoch = 45.0},
+          {.duration = 4.0, .dirty_pages_per_sec = rate(40.0),
+           .ws_fraction = 0.08, .ws_offset = 0.55,
+           .style = MutationStyle::kDenseRandom, .edit_fraction = 1.0},
+      };
+      break;
+    case SpecBenchmark::kSjeng:
+      // Game-tree search: long bursts of random transposition-table writes
+      // followed by a consolidation sweep (table aging/clearing) that
+      // restores most of the region — the paper's poster child for wide
+      // delta swings (95% drop between the 32nd and 35th second, Fig. 2).
+      p.base_time = 661.0;
+      p.seed = 0x53E;
+      p.phases = {
+          {.duration = 22.0, .dirty_pages_per_sec = rate(120.0),
+           .ws_fraction = 0.6, .ws_offset = 0.2,
+           .style = MutationStyle::kSparseEdit, .edit_fraction = 0.35},
+          {.duration = 11.0, .dirty_pages_per_sec = rate(1800.0),
+           .ws_fraction = 0.6, .ws_offset = 0.2,
+           .style = MutationStyle::kRevert, .edit_fraction = 0.04,
+           .sweep = true, .revert_epoch = 99.0},
+      };
+      break;
+    case SpecBenchmark::kLibquantum:
+      // Quantum register simulation: gate sweeps perturb amplitude arrays,
+      // periodic renormalization consolidates a portion of them.
+      p.base_time = 846.0;
+      p.seed = 0x117;
+      p.phases = {
+          {.duration = 15.0, .dirty_pages_per_sec = rate(60.0),
+           .ws_fraction = 0.35, .ws_offset = 0.0,
+           .style = MutationStyle::kSparseEdit, .edit_fraction = 0.25},
+          {.duration = 8.0, .dirty_pages_per_sec = rate(360.0),
+           .ws_fraction = 0.35, .ws_offset = 0.0,
+           .style = MutationStyle::kRevert, .edit_fraction = 0.08,
+           .sweep = true, .revert_epoch = 69.0},
+      };
+      break;
+    case SpecBenchmark::kMilc:
+      // Lattice QCD: conjugate-gradient bursts scribble over most of the
+      // field arrays; the accepted configuration is written back at the
+      // end of each trajectory. Big deltas, poor compressibility in the
+      // bursts — and the largest adaptive win in the paper (Fig. 11).
+      p.base_time = 527.0;
+      p.seed = 0x3317;
+      p.phases = {
+          {.duration = 18.0, .dirty_pages_per_sec = rate(180.0),
+           .ws_fraction = 0.8, .ws_offset = 0.0,
+           .style = MutationStyle::kDenseRandom, .edit_fraction = 1.0},
+          {.duration = 6.0, .dirty_pages_per_sec = rate(1100.0),
+           .ws_fraction = 0.8, .ws_offset = 0.0,
+           .style = MutationStyle::kRevert, .edit_fraction = 0.06,
+           .sweep = true, .revert_epoch = 72.0},
+      };
+      break;
+    case SpecBenchmark::kLbm:
+      // Lattice-Boltzmann: streaming stencil over nearly the whole
+      // footprint — the worst case for delta compression (ratio ~0.9).
+      // The end-of-iteration write-back still consolidates with a hefty
+      // per-page residual, so the swing exists but is shallower.
+      p.base_time = 462.0;
+      p.seed = 0x1B;
+      p.phases = {
+          {.duration = 20.0, .dirty_pages_per_sec = rate(200.0),
+           .ws_fraction = 0.95, .ws_offset = 0.0,
+           .style = MutationStyle::kStream, .edit_fraction = 1.0},
+          {.duration = 6.0, .dirty_pages_per_sec = rate(1300.0),
+           .ws_fraction = 0.95, .ws_offset = 0.0,
+           .style = MutationStyle::kRevert, .edit_fraction = 0.22,
+           .sweep = true, .revert_epoch = 156.0},
+      };
+      break;
+    case SpecBenchmark::kSphinx3:
+      // Speech decoding: tiny active working set, counter-style updates —
+      // deltas in the tens-of-kilobytes class (half-MB at the paper's
+      // 1 GiB scale), latencies far below a second.
+      p.base_time = 749.0;
+      p.seed = 0x5F1;
+      p.phases = {
+          {.duration = 12.0, .dirty_pages_per_sec = rate(6.0),
+           .ws_fraction = 0.02, .ws_offset = 0.0,
+           .style = MutationStyle::kCounter, .edit_fraction = 0.02},
+          {.duration = 8.0, .dirty_pages_per_sec = rate(4.0),
+           .ws_fraction = 0.012, .ws_offset = 0.03,
+           .style = MutationStyle::kSparseEdit, .edit_fraction = 0.03},
+      };
+      break;
+  }
+  return p;
+}
+
+std::unique_ptr<SyntheticWorkload> make_spec_workload(SpecBenchmark benchmark,
+                                                      double scale) {
+  return std::make_unique<SyntheticWorkload>(spec_profile(benchmark, scale));
+}
+
+}  // namespace aic::workload

@@ -1,0 +1,141 @@
+// Synthetic SPEC CPU2006 stand-ins (Section V: bzip2, sjeng, libquantum,
+// milc, lbm, sphinx3).
+//
+// AIC never inspects the computation itself — only the page-level write
+// behaviour: how many pages an interval dirties, which ones, how much of
+// each page changes, and how those statistics drift over program phases.
+// Each synthetic workload reproduces the characteristics the paper reports
+// for its benchmark (Table 3 compression ratios / delta latencies, the
+// Fig. 2 latency/size swings, and the footprint class), scaled down from
+// 1 GiB so experiments run in seconds.
+//
+// Determinism and restartability: every mutation is a pure function of
+// (seed, tick index). Execution advances in fixed ticks; the only mutable
+// progress state is the executed virtual time, which rides in the
+// checkpoint's CPU-state blob. After a restore, replaying from the stored
+// progress over the restored address space reproduces exactly the
+// trajectory the original process would have taken — the property the
+// restart tests assert.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "mem/address_space.h"
+
+namespace aic::workload {
+
+/// How a dirtied page is mutated.
+enum class MutationStyle {
+  kSparseEdit,   // overwrite a small random slice (delta-friendly)
+  kDenseRandom,  // rewrite the page with random bytes (incompressible)
+  kCounter,      // bump a few counters (tiny, highly compressible delta)
+  kStream,       // structured numeric stream: mostly new values, some zeros
+  kRevert,       // rewrite the page to its canonical content (plus a small
+                 // slowly-evolving epoch overlay) — models iterative codes
+                 // whose state returns near a consolidated form between
+                 // compute bursts; this is what produces Fig. 2's deep
+                 // delta-size valleys
+};
+
+/// One program phase; phases cycle for the whole run.
+struct PhaseSpec {
+  double duration = 10.0;             // seconds
+  double dirty_pages_per_sec = 50.0;  // page dirtying rate
+  double ws_fraction = 0.5;           // working-set size / footprint
+  double ws_offset = 0.0;             // working-set start / footprint
+  MutationStyle style = MutationStyle::kSparseEdit;
+  double edit_fraction = 0.05;        // page fraction for kSparseEdit
+  double alloc_pages_per_sec = 0.0;   // heap growth rate
+  double free_pages_per_sec = 0.0;    // page release rate
+  /// Page selection: false = skewed random over the working set;
+  /// true = deterministic sweep (guarantees full coverage — used by
+  /// revert/consolidation phases so every perturbed page gets restored).
+  bool sweep = false;
+  /// Seconds per canonical-content epoch for kRevert (the canonical state
+  /// itself drifts slowly at this period).
+  double revert_epoch = 60.0;
+};
+
+struct WorkloadProfile {
+  std::string name;
+  double base_time = 100.0;        // paper Table 3 base execution time
+  std::uint64_t footprint_pages = 4096;  // initial footprint
+  std::vector<PhaseSpec> phases;
+  std::uint64_t seed = 1;
+  /// Shifts the phase schedule in time — used to stagger the ranks of a
+  /// coordinated (MPI) job, whose processes do not hit their cheap
+  /// checkpointing moments together.
+  double phase_shift = 0.0;
+};
+
+/// A running application instance over an AddressSpace.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual double base_time() const = 0;
+
+  /// Allocates and fills the initial footprint. Call once on a fresh space.
+  virtual void initialize(mem::AddressSpace& space) = 0;
+
+  /// Executes `dt` seconds of application work, mutating `space`.
+  virtual void step(mem::AddressSpace& space, double dt) = 0;
+
+  /// Virtual seconds of base work completed so far.
+  virtual double progress() const = 0;
+  bool finished() const { return progress() >= base_time(); }
+
+  /// Progress counters for the checkpoint's CPU-state blob.
+  virtual Bytes cpu_state() const = 0;
+  /// Rewinds progress to a checkpointed state (memory comes from the
+  /// restored address space, not from here).
+  virtual void restore_cpu_state(ByteSpan state) = 0;
+};
+
+/// Phase-driven synthetic workload; see file comment for semantics.
+class SyntheticWorkload final : public Workload {
+ public:
+  explicit SyntheticWorkload(WorkloadProfile profile);
+
+  const std::string& name() const override { return profile_.name; }
+  double base_time() const override { return profile_.base_time; }
+  const WorkloadProfile& profile() const { return profile_; }
+
+  void initialize(mem::AddressSpace& space) override;
+  void step(mem::AddressSpace& space, double dt) override;
+  double progress() const override { return progress_; }
+
+  Bytes cpu_state() const override;
+  void restore_cpu_state(ByteSpan state) override;
+
+  /// Tick granularity (seconds); mutations are batched per tick.
+  static constexpr double kTick = 0.1;
+
+ private:
+  /// Applies tick `k`'s mutations.
+  void run_tick(mem::AddressSpace& space, std::uint64_t k);
+  const PhaseSpec& phase_at(double t) const;
+
+  WorkloadProfile profile_;
+  double cycle_length_ = 0.0;
+  double progress_ = 0.0;
+};
+
+/// The six paper benchmarks. `scale` multiplies footprints and page rates
+/// together (1.0 ~ 16-64 MiB class footprints; the paper's 1 GiB would be
+/// scale ~ 16-64).
+enum class SpecBenchmark { kBzip2, kSjeng, kLibquantum, kMilc, kLbm, kSphinx3 };
+
+const char* to_string(SpecBenchmark b);
+const std::vector<SpecBenchmark>& all_benchmarks();
+
+WorkloadProfile spec_profile(SpecBenchmark benchmark, double scale = 1.0);
+std::unique_ptr<SyntheticWorkload> make_spec_workload(SpecBenchmark benchmark,
+                                                      double scale = 1.0);
+
+}  // namespace aic::workload

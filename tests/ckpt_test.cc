@@ -1,0 +1,276 @@
+// Tests for ckpt/: file format round trips, full/incremental/delta capture,
+// restart replay, and the chain manager invariant — restoring after any
+// mutation history reproduces the address space exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ckpt/checkpoint_file.h"
+#include "ckpt/checkpointer.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "mem/address_space.h"
+
+namespace aic::ckpt {
+namespace {
+
+void randomize_page(mem::AddressSpace& space, mem::PageId id, Rng& rng) {
+  space.mutate(id, [&](std::span<std::uint8_t> b) {
+    for (auto& x : b) x = std::uint8_t(rng());
+  });
+}
+
+void small_edit(mem::AddressSpace& space, mem::PageId id, Rng& rng) {
+  Bytes data(16);
+  for (auto& x : data) x = std::uint8_t(rng());
+  space.write(id, rng.uniform_u64(kPageSize - data.size()), data);
+}
+
+TEST(CheckpointFile, SerializeParseRoundTrip) {
+  CheckpointFile f;
+  f.kind = CheckpointKind::kIncrementalDelta;
+  f.sequence = 42;
+  f.app_time = 123.456;
+  f.cpu_state = {1, 2, 3, 4};
+  f.freed_pages = {7, 9, 1000};
+  f.payload = {9, 8, 7, 6, 5};
+  Bytes wire = f.serialize();
+  EXPECT_EQ(wire.size(), f.serialized_size());
+  CheckpointFile g = CheckpointFile::parse(wire);
+  EXPECT_EQ(g.kind, f.kind);
+  EXPECT_EQ(g.sequence, 42u);
+  EXPECT_DOUBLE_EQ(g.app_time, 123.456);
+  EXPECT_EQ(g.cpu_state, f.cpu_state);
+  EXPECT_EQ(g.freed_pages, f.freed_pages);
+  EXPECT_EQ(g.payload, f.payload);
+}
+
+TEST(CheckpointFile, BadMagicRejected) {
+  CheckpointFile f;
+  Bytes wire = f.serialize();
+  wire[0] ^= 0xFF;
+  EXPECT_THROW((void)CheckpointFile::parse(wire), CheckError);
+}
+
+TEST(CheckpointFile, TruncationRejected) {
+  CheckpointFile f;
+  f.payload = {1, 2, 3};
+  Bytes wire = f.serialize();
+  wire.pop_back();
+  EXPECT_THROW((void)CheckpointFile::parse(wire), CheckError);
+}
+
+TEST(CheckpointFile, UnsortedFreedPagesRejected) {
+  CheckpointFile f;
+  f.freed_pages = {9, 3};
+  EXPECT_THROW((void)f.serialize(), CheckError);
+}
+
+TEST(CheckpointFile, RawPagesRoundTrip) {
+  Rng rng(1);
+  Bytes a(kPageSize), b(kPageSize);
+  for (auto& x : a) x = std::uint8_t(rng());
+  for (auto& x : b) x = std::uint8_t(rng());
+  Bytes payload = encode_raw_pages({{3, a}, {17, b}});
+  auto pages = decode_raw_pages(payload);
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[0].first, 3u);
+  EXPECT_EQ(pages[0].second, a);
+  EXPECT_EQ(pages[1].first, 17u);
+  EXPECT_EQ(pages[1].second, b);
+}
+
+TEST(Checkpointer, FullCaptureAndRestore) {
+  Rng rng(2);
+  mem::AddressSpace space;
+  space.allocate_range(0, 8);
+  for (mem::PageId id = 0; id < 8; ++id) randomize_page(space, id, rng);
+  Bytes cpu = {1, 2, 3};
+  CaptureStats stats;
+  CheckpointFile f = Checkpointer::take_full(space, cpu, 0, 10.0, &stats);
+  EXPECT_EQ(stats.pages_written, 8u);
+  EXPECT_EQ(stats.uncompressed_bytes, 8 * kPageSize + 3);
+
+  delta::PageAlignedCompressor pa;
+  auto restored = RestartEngine::restore({f}, pa);
+  EXPECT_TRUE(restored.memory.equals_space(space));
+  EXPECT_EQ(restored.cpu_state, cpu);
+  EXPECT_DOUBLE_EQ(restored.app_time, 10.0);
+}
+
+TEST(Checkpointer, IncrementalChainRestore) {
+  Rng rng(3);
+  mem::AddressSpace space;
+  space.allocate_range(0, 8);
+  for (mem::PageId id = 0; id < 8; ++id) randomize_page(space, id, rng);
+
+  delta::PageAlignedCompressor pa;
+  std::vector<CheckpointFile> chain;
+  chain.push_back(Checkpointer::take_full(space, {}, 0, 0.0, nullptr));
+  auto prev_live = space.live_pages();
+  auto prev = mem::Snapshot::capture(space);
+
+  // Interval 1: edit pages 1 and 4, free page 6, allocate page 9.
+  space.protect_all();
+  small_edit(space, 1, rng);
+  small_edit(space, 4, rng);
+  space.free_page(6);
+  space.allocate(9);
+  chain.push_back(Checkpointer::take_incremental_delta(
+      space, {}, 1, 1.0, prev_live, prev, pa, nullptr));
+
+  auto restored = RestartEngine::restore(chain, pa);
+  EXPECT_TRUE(restored.memory.equals_space(space));
+  EXPECT_FALSE(restored.memory.contains(6));
+  EXPECT_TRUE(restored.memory.contains(9));
+}
+
+TEST(RestartEngine, RejectsChainNotStartingWithFull) {
+  mem::AddressSpace space;
+  space.allocate(0);
+  CheckpointFile inc = Checkpointer::take_incremental(space, {}, 1, 0.0,
+                                                      {}, nullptr);
+  delta::PageAlignedCompressor pa;
+  EXPECT_THROW((void)RestartEngine::restore({inc}, pa), CheckError);
+}
+
+TEST(RestartEngine, RejectsNonMonotoneSequence) {
+  mem::AddressSpace space;
+  space.allocate(0);
+  auto full = Checkpointer::take_full(space, {}, 5, 0.0, nullptr);
+  auto inc = Checkpointer::take_incremental(space, {}, 5, 1.0,
+                                            space.live_pages(), nullptr);
+  delta::PageAlignedCompressor pa;
+  EXPECT_THROW((void)RestartEngine::restore({full, inc}, pa), CheckError);
+}
+
+class ChainFixture : public ::testing::Test {
+ protected:
+  void evolve(mem::AddressSpace& space, Rng& rng) {
+    space.protect_all();
+    const int edits = 1 + int(rng.uniform_u64(6));
+    for (int e = 0; e < edits; ++e) {
+      const mem::PageId id = rng.uniform_u64(24);
+      if (!space.contains(id)) {
+        space.allocate(id);
+      } else if (rng.bernoulli(0.1)) {
+        space.free_page(id);
+      } else if (rng.bernoulli(0.3)) {
+        randomize_page(space, id, rng);
+      } else {
+        small_edit(space, id, rng);
+      }
+    }
+  }
+};
+
+TEST_F(ChainFixture, DeltaChainRestoresAfterEveryInterval) {
+  Rng rng(4);
+  mem::AddressSpace space;
+  space.allocate_range(0, 12);
+  for (mem::PageId id = 0; id < 12; ++id) randomize_page(space, id, rng);
+
+  ckpt::CheckpointChain chain;
+  for (int interval = 0; interval < 10; ++interval) {
+    Bytes cpu = {std::uint8_t(interval)};
+    chain.capture(space, cpu, double(interval));
+    auto restored = chain.restore();
+    ASSERT_TRUE(restored.memory.equals_space(space))
+        << "divergence at interval " << interval;
+    EXPECT_EQ(restored.cpu_state, cpu);
+    evolve(space, rng);
+  }
+}
+
+TEST_F(ChainFixture, PeriodicFullBoundsChainAndStillRestores) {
+  Rng rng(5);
+  mem::AddressSpace space;
+  space.allocate_range(0, 12);
+  CheckpointChain::Config cfg;
+  cfg.full_period = 3;
+  CheckpointChain chain(cfg);
+  for (int interval = 0; interval < 12; ++interval) {
+    if (interval > 0) evolve(space, rng);
+    chain.capture(space, {}, double(interval));
+    ASSERT_TRUE(chain.restore().memory.equals_space(space));
+  }
+  // Expect fulls at 0, 4, 8 (every 3 incrementals).
+  int fulls = 0;
+  for (const auto& f : chain.files())
+    fulls += (f.kind == CheckpointKind::kFull);
+  EXPECT_EQ(fulls, 3);
+
+  const std::uint64_t reclaimed = chain.truncate_before_last_full();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_TRUE(chain.restore().memory.equals_space(space));
+}
+
+TEST_F(ChainFixture, RawIncrementalModeMatchesDeltaModeContent) {
+  Rng rng(6);
+  mem::AddressSpace s1, s2;
+  s1.allocate_range(0, 8);
+  s2.allocate_range(0, 8);
+  for (mem::PageId id = 0; id < 8; ++id) {
+    Rng r1(100 + id);
+    s1.mutate(id, [&](std::span<std::uint8_t> b) {
+      for (auto& x : b) x = std::uint8_t(r1());
+    });
+    Rng r2(100 + id);
+    s2.mutate(id, [&](std::span<std::uint8_t> b) {
+      for (auto& x : b) x = std::uint8_t(r2());
+    });
+  }
+  CheckpointChain::Config raw_cfg;
+  raw_cfg.delta_compress = false;
+  CheckpointChain delta_chain;  // default: delta on
+  CheckpointChain raw_chain(raw_cfg);
+
+  for (int interval = 0; interval < 5; ++interval) {
+    CaptureStats ds = delta_chain.capture(s1, {}, double(interval));
+    CaptureStats rs = raw_chain.capture(s2, {}, double(interval));
+    if (interval > 0) {
+      EXPECT_LE(ds.file_bytes, rs.file_bytes)
+          << "delta must not exceed raw incremental";
+    }
+    ASSERT_TRUE(delta_chain.restore().memory.equals_space(s1));
+    ASSERT_TRUE(raw_chain.restore().memory.equals_space(s2));
+    Rng step(7 + interval);
+    s1.protect_all();
+    s2.protect_all();
+    for (int e = 0; e < 3; ++e) {
+      const mem::PageId id = step.uniform_u64(8);
+      Bytes data(32);
+      Rng content(interval * 10 + e);
+      for (auto& x : data) x = std::uint8_t(content());
+      const std::size_t off = step.uniform_u64(kPageSize - data.size());
+      s1.write(id, off, data);
+      s2.write(id, off, data);
+    }
+  }
+}
+
+TEST_F(ChainFixture, CaptureStatsReflectDirtyPages) {
+  Rng rng(8);
+  mem::AddressSpace space;
+  space.allocate_range(0, 10);
+  CheckpointChain chain;
+  chain.capture(space, {}, 0.0);
+  space.protect_all();
+  small_edit(space, 2, rng);
+  small_edit(space, 5, rng);
+  CaptureStats st = chain.capture(space, {}, 1.0);
+  EXPECT_EQ(st.kind, CheckpointKind::kIncrementalDelta);
+  EXPECT_EQ(st.pages_written, 2u);
+  EXPECT_EQ(st.pages_delta, 2u);
+  EXPECT_EQ(st.uncompressed_bytes, 2 * kPageSize);
+  EXPECT_LT(st.file_bytes, st.uncompressed_bytes / 4);
+  EXPECT_GT(st.delta_work_units, 0u);
+}
+
+TEST_F(ChainFixture, RestoreOnEmptyChainThrows) {
+  CheckpointChain chain;
+  EXPECT_THROW((void)chain.restore(), CheckError);
+}
+
+}  // namespace
+}  // namespace aic::ckpt

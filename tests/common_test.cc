@@ -1,0 +1,296 @@
+// Unit tests for the common/ utilities: rng distributions, byte streams,
+// statistics, and the dense linear solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/linalg.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace aic {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(AIC_CHECK(1 == 2), CheckError);
+  try {
+    AIC_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(9);
+  const std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int trials = 70000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.uniform_u64(n)];
+  for (auto c : counts) {
+    EXPECT_NEAR(double(c), trials / double(n), 5.0 * std::sqrt(trials / 7.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  const double lambda = 0.25;
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(lambda));
+  EXPECT_NEAR(s.mean(), 1.0 / lambda, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(17);
+  RunningStats small, large;
+  for (int i = 0; i < 20000; ++i) small.add(double(rng.poisson(3.0)));
+  for (int i = 0; i < 20000; ++i) large.add(double(rng.poisson(100.0)));
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 100.0, 1.0);
+}
+
+TEST(Rng, ZipfLikePrefersLowIndices) {
+  Rng rng(19);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    auto k = rng.zipf_like(100, 0.9);
+    if (k < 10) ++low;
+    if (k >= 90) ++high;
+  }
+  EXPECT_GT(low, high * 5);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // Child stream should not replicate the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent() == child());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(3.14159);
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,    1,    127,        128,
+                                  129,  255,  16383,      16384,
+                                  1u << 21,   (1ull << 35) + 7,
+                                  ~0ull};
+  Bytes buf;
+  ByteWriter w(buf);
+  for (auto v : values) w.varint(v);
+  ByteReader r(buf);
+  for (auto v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, VarintSizes) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.varint(127);
+  EXPECT_EQ(buf.size(), 1u);
+  w.varint(128);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(Bytes, ReaderUnderrunThrows) {
+  Bytes buf = {0x01};
+  ByteReader r(buf);
+  r.u8();
+  EXPECT_THROW(r.u8(), CheckError);
+}
+
+TEST(Bytes, RawSpans) {
+  Bytes buf;
+  ByteWriter w(buf);
+  Bytes payload = {1, 2, 3, 4, 5};
+  w.raw(payload);
+  ByteReader r(buf);
+  auto s = r.raw(5);
+  EXPECT_EQ(Bytes(s.begin(), s.end()), payload);
+}
+
+TEST(Stats, RunningMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  Rng rng(29);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.normal();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.25), 2.0);
+}
+
+TEST(Stats, Correlation) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(correlation_of(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(correlation_of(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Linalg, SolveKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear(a, {5, 10}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, SolveSingularFails) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  std::vector<double> x;
+  EXPECT_FALSE(solve_linear(a, {1, 2}, x));
+}
+
+TEST(Linalg, SolveRandomSystemsRoundTrip) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_u64(8);
+    Matrix a(n, n);
+    std::vector<double> truth(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      truth[i] = rng.normal();
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+      a(i, i) += double(n);  // diagonally dominant => well conditioned
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * truth[j];
+    std::vector<double> x;
+    ASSERT_TRUE(solve_linear(a, b, x));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-8);
+  }
+}
+
+TEST(Linalg, LeastSquaresRecoversPlantedModel) {
+  Rng rng(37);
+  const std::size_t n = 200, p = 3;
+  Matrix x(n, p);
+  std::vector<double> beta_true = {2.0, -1.5, 0.5};
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      x(i, j) = rng.normal();
+      acc += x(i, j) * beta_true[j];
+    }
+    y[i] = acc + 0.01 * rng.normal();
+  }
+  std::vector<double> beta;
+  ASSERT_TRUE(least_squares(x, y, beta));
+  for (std::size_t j = 0; j < p; ++j) EXPECT_NEAR(beta[j], beta_true[j], 0.02);
+  EXPECT_LT(residual_sum_squares(x, y, beta), 0.05 * double(n));
+}
+
+TEST(Linalg, MatrixMultiplyIdentity) {
+  Rng rng(41);
+  Matrix m(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = rng.normal();
+  Matrix p = m * Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(p(i, j), m(i, j));
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", TextTable::num(1.5, 1)});
+  t.add_row({"beta", TextTable::pct(0.25, 0)});
+  std::ostringstream os;
+  t.print(os);
+  t.print_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("25%"), std::string::npos);
+  EXPECT_NE(s.find("alpha,1.5"), std::string::npos);
+}
+
+TEST(Table, MismatchedRowThrows) {
+  TextTable t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+}  // namespace
+}  // namespace aic

@@ -1,0 +1,172 @@
+// Tests for control/: the cost model's latency algebra, profiling, and the
+// three experiment runners — including the paper's headline orderings
+// (AIC <= SIC << Moody) on representative benchmarks.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "control/experiment.h"
+
+namespace aic::control {
+namespace {
+
+using workload::SpecBenchmark;
+
+TEST(CostModel, DeltaParamsAlgebra) {
+  CostModel costs;
+  costs.local_bps = 100.0 * kMB;
+  costs.compress_bps = 50.0 * kMB;
+  costs.b2_bps = 10.0 * kGB;
+  costs.b3_bps = 2.0 * kMB;
+  const auto p = costs.delta_params(/*uncompressed=*/100'000'000,
+                                    /*delta=*/10'000'000,
+                                    /*work=*/200'000'000);
+  EXPECT_DOUBLE_EQ(p.c1, 1.0);
+  const double dl = 4.0;
+  EXPECT_DOUBLE_EQ(p.c2, 1.0 + dl + 0.001);
+  EXPECT_DOUBLE_EQ(p.c3, 1.0 + dl + 5.0);
+  EXPECT_DOUBLE_EQ(p.r3, p.c3);
+  EXPECT_LE(p.c1, p.c2);
+  EXPECT_LE(p.c2, p.c3);
+}
+
+TEST(CostModel, RawParamsMonotone) {
+  CostModel costs;
+  const auto small = costs.raw_params(1'000'000);
+  const auto large = costs.raw_params(100'000'000);
+  EXPECT_LT(small.c1, large.c1);
+  EXPECT_LT(small.c3, large.c3);
+}
+
+TEST(CostModel, PaperScaledPreservesTimeConstants) {
+  // A full-footprint transfer at B3 should take the same ~537 s regardless
+  // of the absolute footprint.
+  for (std::uint64_t footprint : {64 * kMiB, 512 * kMiB, kGiB}) {
+    const auto costs = CostModel::paper_scaled(footprint);
+    const double c3_full = double(footprint) / costs.b3_bps;
+    EXPECT_NEAR(c3_full, double(kGiB) / (2.0 * kMB), 1e-6);
+  }
+}
+
+TEST(CostModel, RmsScalingShrinksB3Only) {
+  CostModel base;
+  const auto scaled = base.scaled_rms(4.0);
+  EXPECT_DOUBLE_EQ(scaled.b3_bps, base.b3_bps / 4.0);
+  EXPECT_DOUBLE_EQ(scaled.b2_bps, base.b2_bps);
+  EXPECT_DOUBLE_EQ(scaled.local_bps, base.local_bps);
+}
+
+class ExperimentFixture : public ::testing::Test {
+ protected:
+  static ExperimentConfig config_for(SpecBenchmark b) {
+    ExperimentConfig cfg;
+    auto split = model::split_rate(1e-3);
+    cfg.system.lambda = {split[0], split[1], split[2]};
+    cfg.workload_scale = 0.125;  // small & fast for unit tests
+    const auto prof = workload::spec_profile(b, cfg.workload_scale);
+    cfg.costs = CostModel::paper_scaled(prof.footprint_pages * kPageSize);
+    return cfg;
+  }
+};
+
+TEST_F(ExperimentFixture, AicRunsAndRecordsIntervals) {
+  auto cfg = config_for(SpecBenchmark::kBzip2);
+  auto res = run_experiment(Scheme::kAic, SpecBenchmark::kBzip2, cfg);
+  EXPECT_EQ(res.scheme, Scheme::kAic);
+  EXPECT_EQ(res.workload, "bzip2");
+  EXPECT_GT(res.intervals.size(), 0u);
+  EXPECT_GT(res.net2, 1.0);
+  EXPECT_LT(res.net2, 10.0);
+  for (const auto& iv : res.intervals) {
+    EXPECT_GT(iv.w, 0.0);
+    EXPECT_LE(iv.params.c1, iv.params.c2);
+    EXPECT_LE(iv.params.c2, iv.params.c3);
+  }
+}
+
+TEST_F(ExperimentFixture, AicOverheadIsSmall) {
+  // Table 3's claim: failure-free execution-time increase of a few percent.
+  auto cfg = config_for(SpecBenchmark::kSjeng);
+  auto res = run_experiment(Scheme::kAic, SpecBenchmark::kSjeng, cfg);
+  EXPECT_GT(res.overhead_fraction(), 0.0);
+  EXPECT_LT(res.overhead_fraction(), 0.06);
+}
+
+TEST_F(ExperimentFixture, SicUsesRoughlyFixedIntervals) {
+  auto cfg = config_for(SpecBenchmark::kLibquantum);
+  auto res = run_experiment(Scheme::kSic, SpecBenchmark::kLibquantum, cfg);
+  ASSERT_GT(res.intervals.size(), 2u);
+  // All spans except possibly the first should be within a couple of
+  // decision periods + core-busy stretch of each other.
+  std::vector<double> spans;
+  for (const auto& iv : res.intervals) spans.push_back(iv.w);
+  const double median = aic::percentile_of(spans, 0.5);
+  int close = 0;
+  for (double w : spans) close += (std::abs(w - median) < 0.5 * median);
+  EXPECT_GE(close * 2, int(spans.size()));
+}
+
+TEST_F(ExperimentFixture, MoodyBlocksAndIsWorse) {
+  auto cfg = config_for(SpecBenchmark::kMilc);
+  auto aic = run_experiment(Scheme::kAic, SpecBenchmark::kMilc, cfg);
+  auto moody = run_experiment(Scheme::kMoody, SpecBenchmark::kMilc, cfg);
+  EXPECT_GT(moody.net2, aic.net2)
+      << "concurrent checkpointing must beat blocking Moody";
+  // (exec_time is not compared: with a wide Moody schedule the failure-free
+  // run may block rarely — the expected-turnaround metric is what orders
+  // the schemes.)
+}
+
+TEST_F(ExperimentFixture, AicBeatsOrMatchesSicOnSwingingBenchmarks) {
+  for (auto b : {SpecBenchmark::kSjeng, SpecBenchmark::kMilc}) {
+    auto cfg = config_for(b);
+    auto aic = run_experiment(Scheme::kAic, b, cfg);
+    auto sic = run_experiment(Scheme::kSic, b, cfg);
+    EXPECT_LE(aic.net2, sic.net2 * 1.02)
+        << to_string(b) << ": adaptive checkpointing lost to static";
+  }
+}
+
+TEST_F(ExperimentFixture, ProfilingProducesOrderedCosts) {
+  auto cfg = config_for(SpecBenchmark::kBzip2);
+  auto prof = profile_workload(SpecBenchmark::kBzip2, cfg);
+  EXPECT_GT(prof.incremental.c1, 0.0);
+  EXPECT_LT(prof.incremental.c1, prof.incremental.c2);
+  EXPECT_LT(prof.incremental.c2, prof.incremental.c3);
+  // A full checkpoint moves the whole footprint; incrementals move less.
+  EXPECT_GT(prof.full.c1, prof.incremental.c1);
+  EXPECT_GT(prof.full.c3, prof.incremental.c3);
+}
+
+TEST_F(ExperimentFixture, DecisionHookFires) {
+  auto cfg = config_for(SpecBenchmark::kSphinx3);
+  int decisions = 0;
+  int takes = 0;
+  cfg.decision_hook = [&](const DecisionTrace& d) {
+    ++decisions;
+    takes += d.take;
+    EXPECT_GE(d.elapsed, 0.0);
+    EXPECT_GT(d.w_star, 0.0);
+  };
+  auto res = run_experiment(Scheme::kAic, SpecBenchmark::kSphinx3, cfg);
+  EXPECT_GT(decisions, int(res.base_time / cfg.decision_period) / 2);
+  EXPECT_GT(takes, 0);
+}
+
+TEST_F(ExperimentFixture, MeanAggregatesConsistent) {
+  auto cfg = config_for(SpecBenchmark::kLbm);
+  auto res = run_experiment(Scheme::kSic, SpecBenchmark::kLbm, cfg);
+  EXPECT_GT(res.mean_delta_bytes(), 0.0);
+  EXPECT_GT(res.mean_delta_latency(), 0.0);
+  EXPECT_GT(res.mean_compression_ratio(), 0.0);
+  EXPECT_LE(res.mean_compression_ratio(), 1.05);
+}
+
+TEST(Scheme, Names) {
+  EXPECT_STREQ(to_string(Scheme::kAic), "AIC");
+  EXPECT_STREQ(to_string(Scheme::kSic), "SIC");
+  EXPECT_STREQ(to_string(Scheme::kMoody), "Moody");
+}
+
+}  // namespace
+}  // namespace aic::control

@@ -1,0 +1,353 @@
+// Tests for model/: exponential-failure identities, the generic Markov
+// solver against closed-form cases, the concurrent interval models, the
+// Moody baseline, and the optimizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "model/exp_math.h"
+#include "model/interval_models.h"
+#include "model/markov_chain.h"
+#include "model/moody.h"
+#include "model/optimizer.h"
+#include "model/system_profile.h"
+
+namespace aic::model {
+namespace {
+
+TEST(ExpMath, NoFailureProbability) {
+  EXPECT_DOUBLE_EQ(p_no_failure(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(p_no_failure(0.1, 0.0), 1.0);
+  EXPECT_NEAR(p_no_failure(0.01, 100.0), std::exp(-1.0), 1e-12);
+}
+
+TEST(ExpMath, ConditionalFailureTimeLimits) {
+  // Small lambda*tau: tends to tau/2 (failure uniform over the interval).
+  EXPECT_NEAR(expected_failure_time(1e-9, 100.0), 50.0, 1e-3);
+  // Large lambda*tau: tends to 1/lambda (failure early).
+  EXPECT_NEAR(expected_failure_time(10.0, 1000.0), 0.1, 1e-6);
+  EXPECT_DOUBLE_EQ(expected_failure_time(1.0, 0.0), 0.0);
+}
+
+TEST(ExpMath, ConditionalFailureTimeSeriesMatchesExactForm) {
+  // The series fallback must agree with the exact expm1 expression where
+  // both are numerically trustworthy (just below the branch threshold).
+  const double tau = 1.0;
+  for (double lambda : {1e-7, 5e-7, 0.99e-6}) {
+    const double exact = 1.0 / lambda - tau / std::expm1(lambda * tau);
+    // The exact form itself suffers ~1/lambda * eps cancellation here —
+    // precisely why the implementation branches; compare loosely.
+    EXPECT_NEAR(expected_failure_time(lambda, tau), exact, 1e-7);
+  }
+}
+
+TEST(ExpMath, ConditionalFailureTimeBelowTau) {
+  for (double lt : {0.01, 0.1, 1.0, 5.0}) {
+    const double tau = 7.0;
+    const double t = expected_failure_time(lt / tau, tau);
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, tau / 2.0 + 1e-9);
+  }
+}
+
+// Closed form for the simplest checkpoint chain: one state of duration tau,
+// failure (single level) leads to a recovery state of duration rho, then
+// retry. Known result:
+//   E = (e^(lambda*(tau)) - 1) * (1/lambda + rho_effective)... — rather than
+// quote a formula, validate against direct fixed-point iteration.
+TEST(MarkovChain, MatchesFixedPointIteration) {
+  const double lambda = 0.02, tau = 10.0, rho = 3.0;
+  MarkovChain m({lambda});
+  auto work = m.add_state(tau, "work");
+  auto rec = m.add_state(rho, "rec");
+  m.set_success(work, MarkovChain::kDone);
+  m.set_failure(work, 1, rec);
+  m.set_success(rec, work);
+  m.set_failure(rec, 1, rec);
+  const double solved = m.expected_time(work);
+
+  // Fixed point: E_w = ps*tau + pf*(tf + E_r + E_w'),
+  //              E_r = ps_r*rho + pf_r*(tf_r + E_r)  ... iterate.
+  double ew = 0, er = 0;
+  const double ps = p_no_failure(lambda, tau);
+  const double tf = expected_failure_time(lambda, tau);
+  const double psr = p_no_failure(lambda, rho);
+  const double tfr = expected_failure_time(lambda, rho);
+  for (int it = 0; it < 10000; ++it) {
+    er = psr * rho + (1 - psr) * (tfr + er);
+    ew = ps * tau + (1 - ps) * (tf + er + ew);
+  }
+  EXPECT_NEAR(solved, ew, 1e-6 * ew);
+}
+
+TEST(MarkovChain, ZeroFailureRateGivesPlainSum) {
+  MarkovChain m({0.0, 0.0, 0.0});
+  auto a = m.add_state(5.0);
+  auto b = m.add_state(7.0);
+  m.set_success(a, b);
+  m.set_success(b, MarkovChain::kDone);
+  // Failure edges may stay unset when the rate is zero.
+  EXPECT_DOUBLE_EQ(m.expected_time(a), 12.0);
+}
+
+TEST(MarkovChain, MissingEdgeThrows) {
+  MarkovChain m({0.1});
+  auto a = m.add_state(1.0);
+  m.set_success(a, MarkovChain::kDone);
+  EXPECT_THROW((void)m.expected_time(a), CheckError);
+}
+
+TEST(MarkovChain, NonAbsorbingThrows) {
+  MarkovChain m({0.0});
+  auto a = m.add_state(1.0);
+  auto b = m.add_state(1.0);
+  m.set_success(a, b);
+  m.set_success(b, a);  // loops forever
+  EXPECT_THROW((void)m.expected_time(a), CheckError);
+}
+
+TEST(MarkovChain, ExpectedVisitsGeometric) {
+  // One state retried on failure: visits = 1/p_success.
+  const double lambda = 0.05, tau = 10.0;
+  MarkovChain m({lambda});
+  auto w = m.add_state(tau);
+  m.set_success(w, MarkovChain::kDone);
+  m.set_failure(w, 1, w);
+  auto visits = m.expected_visits(w);
+  EXPECT_NEAR(visits[0], 1.0 / p_no_failure(lambda, tau), 1e-9);
+}
+
+TEST(MarkovChain, HigherRateMeansLongerTime) {
+  auto chain_time = [](double lambda) {
+    MarkovChain m({lambda});
+    auto w = m.add_state(100.0);
+    auto r = m.add_state(5.0);
+    m.set_success(w, MarkovChain::kDone);
+    m.set_failure(w, 1, r);
+    m.set_success(r, w);
+    m.set_failure(r, 1, r);
+    return m.expected_time(w);
+  };
+  EXPECT_LT(chain_time(1e-6), chain_time(1e-4));
+  EXPECT_LT(chain_time(1e-4), chain_time(1e-2));
+}
+
+// ---- system profile ----
+
+TEST(SystemProfile, CoastalValues) {
+  auto p = SystemProfile::coastal();
+  EXPECT_DOUBLE_EQ(p.lambda[1], 1.8e-6);
+  EXPECT_DOUBLE_EQ(p.c[2], 1052.0);
+  EXPECT_DOUBLE_EQ(p.r[0], p.c[0]);
+  EXPECT_NEAR(p.total_lambda(), 2.4e-6, 1e-12);
+}
+
+TEST(SystemProfile, MpiScaling) {
+  auto p = SystemProfile::coastal().scaled_mpi(4.0);
+  EXPECT_NEAR(p.lambda[1], 7.2e-6, 1e-15);
+  EXPECT_DOUBLE_EQ(p.c[2], 4208.0);
+  EXPECT_DOUBLE_EQ(p.c[0], 0.5);  // c1 unchanged
+  EXPECT_DOUBLE_EQ(p.c[1], 4.5);  // c2 unchanged
+}
+
+TEST(SystemProfile, RmsScalingKeepsRates) {
+  auto p = SystemProfile::coastal().scaled_rms(4.0);
+  EXPECT_DOUBLE_EQ(p.lambda[1], 1.8e-6);
+  EXPECT_DOUBLE_EQ(p.c[2], 4208.0);
+}
+
+TEST(SystemProfile, RateSharesSumToOne) {
+  auto s = coastal_rate_shares();
+  EXPECT_NEAR(s[0] + s[1] + s[2], 1.0, 1e-12);
+  auto split = split_rate(1e-3);
+  EXPECT_NEAR(split[0] + split[1] + split[2], 1e-3, 1e-15);
+  EXPECT_NEAR(split[1] / 1e-3, 0.75, 1e-12);
+}
+
+// ---- concurrent interval models ----
+
+TEST(IntervalModels, FailureFreeLimitIsNearOne) {
+  // With lambda -> 0, concurrent checkpointing hides the remote transfer:
+  // NET^2 -> (w + c3) / (w + c3 - c1) which is ~1 for small c1.
+  auto sys = SystemProfile::coastal();
+  sys.lambda = {0.0, 0.0, 0.0};
+  // w must cover the concurrent transfer (c3 - c1 ~ 1051.5 s) to be
+  // feasible under the paper's pipelining constraint.
+  const double w = 2000.0;
+  for (auto combo :
+       {LevelCombo::kL1L3, LevelCombo::kL2L3, LevelCombo::kL1L2L3}) {
+    const double n = net2_static(combo, sys, w);
+    const double expected = (w + sys.c[2]) / (w + sys.c[2] - sys.c[0]);
+    EXPECT_NEAR(n, expected, 1e-9) << to_string(combo);
+    EXPECT_LT(n, 1.001);
+  }
+}
+
+TEST(IntervalModels, Net2AboveOneWithFailures) {
+  auto sys = SystemProfile::coastal();
+  for (auto combo :
+       {LevelCombo::kL1L3, LevelCombo::kL2L3, LevelCombo::kL1L2L3}) {
+    EXPECT_GT(net2_static(combo, sys, 2000.0), 1.0) << to_string(combo);
+  }
+}
+
+TEST(IntervalModels, MonotoneInFailureRate) {
+  auto base = SystemProfile::coastal();
+  double prev = 0.0;
+  for (double mult : {1.0, 5.0, 25.0, 125.0}) {
+    auto sys = base;
+    for (auto& l : sys.lambda) l *= mult;
+    const double n = net2_static(LevelCombo::kL2L3, sys, 3000.0);
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+}
+
+TEST(IntervalModels, L2L3CloseToL1L2L3AndBetterThanL1L3AtScale) {
+  // Section III.D: L2L3 and L1L2L3 nearly coincide; L1L3 suffers because
+  // frequent f2 failures must recover from expensive L3 checkpoints.
+  auto sys = SystemProfile::coastal().scaled_mpi(10.0);
+  auto best = [&](LevelCombo combo) {
+    return minimize_scalar(
+               [&](double w) { return net2_static(combo, sys, w); }, 10.0,
+               5e5, 24, 40)
+        .value;
+  };
+  const double l1l3 = best(LevelCombo::kL1L3);
+  const double l2l3 = best(LevelCombo::kL2L3);
+  const double l1l2l3 = best(LevelCombo::kL1L2L3);
+  EXPECT_NEAR(l2l3, l1l2l3, 0.05 * l2l3);
+  EXPECT_GT(l1l3, l2l3 * 1.2);
+}
+
+TEST(IntervalModels, SharingFactorDegradesNet2) {
+  // w = 9000 stays feasible even at SF = 8 (8 * 1051.5 = 8412).
+  auto sys = SystemProfile::coastal();
+  const double base = net2_static(LevelCombo::kL2L3, sys, 9000.0);
+  const double shared =
+      net2_static(LevelCombo::kL2L3, sys.with_sharing(8.0), 9000.0);
+  EXPECT_GT(shared, base);
+}
+
+TEST(IntervalModels, InfeasibleSpanHeavilyPenalized) {
+  // Work spans shorter than the previous transfer would require starting
+  // an L1 while the checkpointing core is still busy.
+  auto sys = SystemProfile::coastal();
+  EXPECT_GT(net2_static(LevelCombo::kL2L3, sys, 500.0), 1e5);
+  EXPECT_LT(net2_static(LevelCombo::kL2L3, sys, 1100.0), 10.0);
+}
+
+TEST(IntervalModels, AdaptiveMatchesStaticWhenParamsEqual) {
+  auto sys = SystemProfile::coastal();
+  const auto p = IntervalParams::from_profile(sys);
+  const double w = 2500.0;
+  EXPECT_NEAR(net2_adaptive(sys, w, p, p),
+              net2_static(LevelCombo::kL2L3, sys, w), 1e-12);
+}
+
+TEST(IntervalModels, AdaptivePrefersCheapCheckpoint) {
+  // A cheaper current checkpoint (smaller delta) must not increase NET^2.
+  auto sys = SystemProfile::coastal();
+  auto cheap = IntervalParams::from_profile(sys);
+  cheap.c2 = 1.0;
+  cheap.c3 = 200.0;
+  cheap.r2 = 1.0;
+  cheap.r3 = 200.0;
+  const auto normal = IntervalParams::from_profile(sys);
+  const double w = 2500.0;
+  EXPECT_LT(expected_interval_time_adaptive(sys, w, cheap, normal),
+            expected_interval_time_adaptive(sys, w, normal, normal));
+}
+
+TEST(IntervalModels, BadParamsThrow) {
+  auto sys = SystemProfile::coastal();
+  sys.c = {10.0, 5.0, 1052.0};  // c2 < c1
+  EXPECT_THROW((void)net2_static(LevelCombo::kL2L3, sys, 100.0), CheckError);
+}
+
+// ---- Moody baseline ----
+
+TEST(Moody, FailureFreeNet2IsCheckpointOverhead) {
+  auto sys = SystemProfile::coastal();
+  sys.lambda = {0.0, 0.0, 0.0};
+  // n1=0, n2=0: every segment ends with a blocking L3 checkpoint.
+  const double w = 5000.0;
+  EXPECT_NEAR(moody_net2(sys, w, 0, 0), (w + sys.c[2]) / w, 1e-9);
+  // With hierarchy: period = 4 segments, 3x c1 + 1x c3.
+  const double n = moody_net2(sys, w, 2, 0);  // wait: n1=2 -> 3 segs
+  EXPECT_NEAR(n, (3 * w + 2 * sys.c[0] + sys.c[2]) / (3 * w), 1e-9);
+}
+
+TEST(Moody, BlockingWorseThanConcurrentAtSameW) {
+  auto sys = SystemProfile::coastal();
+  const double w = 3000.0;
+  EXPECT_GT(moody_net2(sys, w, 0, 2),
+            net2_static(LevelCombo::kL2L3, sys, w));
+}
+
+TEST(Moody, OptimizerFindsFiniteOptimum) {
+  auto sys = SystemProfile::coastal();
+  MoodyResult r = optimize_moody(sys);
+  EXPECT_GT(r.net2, 1.0);
+  EXPECT_LT(r.net2, 3.0);
+  EXPECT_GT(r.w, 0.0);
+}
+
+TEST(Moody, HigherRatesRaiseOptimalNet2) {
+  auto sys1 = SystemProfile::coastal();
+  auto sys4 = sys1.scaled_mpi(4.0);
+  EXPECT_GT(optimize_moody(sys4, {0, 1, 2}).net2,
+            optimize_moody(sys1, {0, 1, 2}).net2);
+}
+
+// ---- optimizer primitives ----
+
+TEST(Optimizer, MinimizeQuadratic) {
+  auto f = [](double x) { return (x - 3.0) * (x - 3.0) + 1.0; };
+  OptResult r = minimize_scalar(f, 0.1, 100.0);
+  EXPECT_NEAR(r.x, 3.0, 1e-4);
+  EXPECT_NEAR(r.value, 1.0, 1e-8);
+}
+
+TEST(Optimizer, MinimizeBoundaryMinimum) {
+  auto f = [](double x) { return x; };  // minimum at lo
+  OptResult r = minimize_scalar(f, 2.0, 50.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-6);
+}
+
+TEST(Optimizer, NewtonRaphsonFindsStationaryPoint) {
+  auto f = [](double x) { return (x - 7.0) * (x - 7.0); };
+  const double x = newton_raphson_stationary(f, 2.0, 0.1, 100.0);
+  EXPECT_NEAR(x, 7.0, 1e-4);
+}
+
+TEST(Optimizer, ExtremeValuePicksBoundaryWhenBetter) {
+  // Monotone decreasing: minimum at hi.
+  auto f = [](double x) { return 100.0 / x; };
+  OptResult r = extreme_value_minimum(f, 1.0, 50.0, 10.0);
+  EXPECT_NEAR(r.x, 50.0, 1e-6);
+}
+
+TEST(Optimizer, ExtremeValueMatchesGlobalForDalyLikeCurve) {
+  // A checkpointing-overhead-like curve: c/w + lambda*w/2 (Young's
+  // tradeoff) has a unique interior optimum w* = sqrt(2c/lambda).
+  const double c = 10.0, lambda = 1e-4;
+  auto f = [&](double w) { return c / w + lambda * w / 2.0; };
+  OptResult nr = extreme_value_minimum(f, 1.0, 1e6, 500.0);
+  EXPECT_NEAR(nr.x, std::sqrt(2.0 * c / lambda), 1.0);
+}
+
+TEST(Optimizer, Net2CurveOptimizable) {
+  // End-to-end: NET^2(w) for L2L3 on Coastal has an interior optimum that
+  // both search styles agree on. Search inside the feasible region
+  // (w >= c3 - c1) where the curve is smooth.
+  auto sys = SystemProfile::coastal();
+  auto f = [&](double w) { return net2_static(LevelCombo::kL2L3, sys, w); };
+  OptResult grid = minimize_scalar(f, 1100.0, 1e6, 32, 60);
+  OptResult evt = extreme_value_minimum(f, 1100.0, 1e6, grid.x * 2.0);
+  EXPECT_NEAR(evt.value, grid.value, 0.01 * grid.value);
+}
+
+}  // namespace
+}  // namespace aic::model

@@ -1,0 +1,352 @@
+// Tests for predictor/: JD/DI metric identities, hot-page sampling with
+// adaptive T_g, feature expansion, stepwise selection of planted models,
+// online GD tracking, and the end-to-end AicPredictor protocol.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mem/address_space.h"
+#include "predictor/hot_page_sampler.h"
+#include "predictor/metrics.h"
+#include "predictor/predictor.h"
+
+namespace aic::predictor {
+namespace {
+
+TEST(Metrics, JaccardIdenticalIsZero) {
+  Bytes a(256, 7);
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, a), 0.0);
+}
+
+TEST(Metrics, JaccardDisjointIsOne) {
+  Bytes a(256, 1), b(256, 2);
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, b), 1.0);
+}
+
+TEST(Metrics, JaccardFractional) {
+  Bytes a(100, 0), b(100, 0);
+  for (int i = 0; i < 25; ++i) b[i] = 1;
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, b), 0.25);
+  EXPECT_DOUBLE_EQ(jaccard_distance(b, a), 0.25);  // symmetric
+}
+
+TEST(Metrics, JaccardSizeMismatchThrows) {
+  Bytes a(10), b(11);
+  EXPECT_THROW((void)jaccard_distance(a, b), CheckError);
+}
+
+TEST(Metrics, DivergenceUniformPageIsZero) {
+  Bytes a(512, 42);
+  EXPECT_DOUBLE_EQ(divergence_index(a), 0.0);
+}
+
+TEST(Metrics, DivergenceAllDistinctNearOne) {
+  Bytes a(256);
+  for (int i = 0; i < 256; ++i) a[i] = std::uint8_t(i);
+  EXPECT_DOUBLE_EQ(divergence_index(a), 1.0 - 1.0 / 256.0);
+}
+
+TEST(Metrics, BothBoundedZeroOne) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes a(kPageSize), b(kPageSize);
+    for (auto& x : a) x = std::uint8_t(rng());
+    for (auto& x : b) x = std::uint8_t(rng());
+    const double jd = jaccard_distance(a, b);
+    const double di = divergence_index(a);
+    EXPECT_GE(jd, 0.0);
+    EXPECT_LE(jd, 1.0);
+    EXPECT_GE(di, 0.0);
+    EXPECT_LE(di, 1.0);
+  }
+}
+
+// ---- hot page sampler ----
+
+class SamplerFixture : public ::testing::Test {
+ protected:
+  SamplerFixture() {
+    space_.allocate_range(0, 64);
+    Rng rng(2);
+    for (mem::PageId id = 0; id < 64; ++id) {
+      space_.mutate(id, [&](std::span<std::uint8_t> b) {
+        for (auto& x : b) x = std::uint8_t(rng());
+      });
+    }
+    space_.protect_all();
+  }
+
+  /// Wires the sampler like a controller would, with `now` under test
+  /// control.
+  void wire(HotPageSampler& sampler) {
+    space_.set_fault_observer([this, &sampler](mem::PageId id) {
+      sampler.on_fault(id, now_, space_.page_bytes(id));
+    });
+  }
+
+  void touch(mem::PageId id) {
+    Bytes d = {0xFF, 0xEE};
+    space_.write(id, 8, d);
+  }
+
+  mem::AddressSpace space_;
+  double now_ = 0.0;
+};
+
+TEST_F(SamplerFixture, BuffersFirstPageOfEachGroup) {
+  HotPageSampler sampler({.buffer_bytes = 64 * kPageSize, .initial_tg = 1.0});
+  wire(sampler);
+  // Three pages within one T_g window: one group, one sample.
+  now_ = 0.0;
+  touch(0);
+  now_ = 0.4;
+  touch(1);
+  now_ = 0.8;
+  touch(2);
+  // A fourth page beyond T_g: a new group.
+  now_ = 2.5;
+  touch(3);
+  auto st = sampler.stats();
+  EXPECT_EQ(st.samples, 2u);
+  EXPECT_EQ(st.groups, 2u);
+  EXPECT_EQ(st.faults_seen, 4u);
+}
+
+TEST_F(SamplerFixture, SecondWriteSamePageNoFault) {
+  HotPageSampler sampler({.buffer_bytes = 64 * kPageSize, .initial_tg = 0.1});
+  wire(sampler);
+  touch(5);
+  now_ = 10.0;
+  touch(5);  // same page: already unprotected, no fault
+  EXPECT_EQ(sampler.stats().faults_seen, 1u);
+}
+
+TEST_F(SamplerFixture, JdReflectsPostBufferMutation) {
+  HotPageSampler sampler({.buffer_bytes = 64 * kPageSize, .initial_tg = 0.1});
+  wire(sampler);
+  touch(7);  // buffers pre-write content of page 7
+  // Rewrite half the page afterwards.
+  Bytes half(kPageSize / 2, 0xAB);
+  space_.write(7, 0, half);
+  auto m = sampler.compute(space_);
+  ASSERT_TRUE(m.ok);
+  // Roughly half the bytes differ from the pre-write copy (the two small
+  // earlier writes overlap the rewritten half).
+  EXPECT_NEAR(m.mean_jd, 0.5, 0.05);
+  EXPECT_GT(m.mean_di, 0.3);  // random-ish content is internally diverse
+}
+
+TEST_F(SamplerFixture, OverflowDoublesTgAndEvicts) {
+  // Capacity of 4 pages; 6 groups arrive.
+  HotPageSampler sampler({.buffer_bytes = 4 * kPageSize, .initial_tg = 0.1});
+  wire(sampler);
+  for (int g = 0; g < 6; ++g) {
+    now_ = double(g);
+    touch(mem::PageId(g));
+  }
+  auto st = sampler.stats();
+  EXPECT_GT(st.tg, 0.1);  // doubled at least once
+  EXPECT_LE(st.samples, 4u);
+  EXPECT_EQ(st.faults_seen, 6u);
+}
+
+TEST_F(SamplerFixture, AdaptHalvesTgWhenSparse) {
+  HotPageSampler sampler({.buffer_bytes = 64 * kPageSize, .initial_tg = 1.0});
+  wire(sampler);
+  touch(0);  // 1 sample << capacity/2
+  sampler.adapt();
+  EXPECT_NEAR(sampler.stats().tg, 0.5, 1e-12);
+}
+
+TEST_F(SamplerFixture, ResetClearsState) {
+  HotPageSampler sampler({.buffer_bytes = 64 * kPageSize, .initial_tg = 1.0});
+  wire(sampler);
+  touch(0);
+  sampler.reset_interval();
+  auto st = sampler.stats();
+  EXPECT_EQ(st.samples, 0u);
+  EXPECT_EQ(st.faults_seen, 0u);
+  EXPECT_FALSE(sampler.compute(space_).ok);
+}
+
+TEST_F(SamplerFixture, FreedPageSkippedInCompute) {
+  HotPageSampler sampler({.buffer_bytes = 64 * kPageSize, .initial_tg = 0.1});
+  wire(sampler);
+  touch(9);
+  space_.free_page(9);
+  EXPECT_FALSE(sampler.compute(space_).ok);
+}
+
+// ---- features ----
+
+TEST(Features, ExpansionValuesAndOrder) {
+  BaseMetrics m{2.0, 3.0, 0.5, 0.25};
+  auto x = expand_features(m);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);    // DP
+  EXPECT_DOUBLE_EQ(x[1], 3.0);    // t
+  EXPECT_DOUBLE_EQ(x[2], 0.5);    // JD
+  EXPECT_DOUBLE_EQ(x[3], 0.25);   // DI
+  EXPECT_DOUBLE_EQ(x[4], 4.0);    // DP^2
+  EXPECT_DOUBLE_EQ(x[5], 9.0);    // t^2
+  EXPECT_DOUBLE_EQ(x[8], 6.0);    // DP*t
+  EXPECT_DOUBLE_EQ(x[13], 0.125); // JD*DI
+  EXPECT_EQ(feature_names().size(), kCandidateCount);
+  EXPECT_EQ(feature_names()[8], "DP*t");
+}
+
+// ---- stepwise + online GD ----
+
+std::vector<double> to_vec(const std::array<double, kCandidateCount>& a) {
+  return {a.begin(), a.end()};
+}
+
+TEST(Stepwise, RecoversPlantedSparseModel) {
+  Rng rng(3);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 60; ++i) {
+    BaseMetrics m{rng.uniform(0, 100), rng.uniform(0, 10), rng.uniform(),
+                  rng.uniform()};
+    auto x = expand_features(m);
+    // y = 5 + 2*DP + 30*JD (+ small noise)
+    ys.push_back(5.0 + 2.0 * x[0] + 30.0 * x[2] + 0.01 * rng.normal());
+    xs.push_back(to_vec(x));
+  }
+  LinearModel fit = stepwise_fit(xs, ys);
+  ASSERT_LE(fit.selected.size(), 3u);
+  // DP and JD must be among the selected features.
+  auto has = [&](std::size_t idx) {
+    return std::find(fit.selected.begin(), fit.selected.end(), idx) !=
+           fit.selected.end();
+  };
+  EXPECT_TRUE(has(0)) << "DP not selected";
+  EXPECT_TRUE(has(2)) << "JD not selected";
+  // Prediction quality on a fresh point.
+  BaseMetrics probe{50.0, 5.0, 0.5, 0.5};
+  const double truth = 5.0 + 2.0 * 50.0 + 30.0 * 0.5;
+  EXPECT_NEAR(fit.predict(to_vec(expand_features(probe))), truth,
+              0.02 * truth);
+}
+
+TEST(Stepwise, StopsWhenNoImprovement) {
+  // Pure-noise target: nothing should clear the improvement threshold by
+  // a large margin; at most a couple of spurious terms get in.
+  Rng rng(4);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    BaseMetrics m{rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()};
+    xs.push_back(to_vec(expand_features(m)));
+    ys.push_back(100.0 + 0.001 * rng.normal());
+  }
+  LinearModel fit = stepwise_fit(xs, ys, {.max_terms = 3,
+                                          .min_improvement = 0.2});
+  EXPECT_LE(fit.selected.size(), 1u);
+  EXPECT_NEAR(fit.intercept, 100.0, 0.5);
+}
+
+TEST(Stepwise, TooFewSamplesThrows) {
+  std::vector<std::vector<double>> xs(3, std::vector<double>(14, 1.0));
+  std::vector<double> ys(3, 1.0);
+  EXPECT_THROW((void)stepwise_fit(xs, ys), CheckError);
+}
+
+TEST(OnlineGd, ConvergesToStaticTarget) {
+  LinearModel m;
+  m.selected = {0};
+  m.weights = {0.0};
+  m.intercept = 0.0;
+  OnlineGd gd(m, 0.5);
+  Rng rng(5);
+  // y = 3 + 4*x0
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> x(14, 0.0);
+    x[0] = rng.uniform(0, 2);
+    gd.update(x, 3.0 + 4.0 * x[0]);
+  }
+  std::vector<double> probe(14, 0.0);
+  probe[0] = 1.5;
+  EXPECT_NEAR(gd.predict(probe), 3.0 + 4.0 * 1.5, 0.1);
+}
+
+TEST(OnlineGd, TracksDriftingTarget) {
+  LinearModel m;
+  m.selected = {0};
+  m.weights = {4.0};
+  m.intercept = 3.0;
+  OnlineGd gd(m, 0.5);
+  Rng rng(6);
+  // The true slope drifts from 4 to 8; the learner must follow.
+  for (int i = 0; i < 4000; ++i) {
+    const double slope = 4.0 + 4.0 * double(i) / 4000.0;
+    std::vector<double> x(14, 0.0);
+    x[0] = rng.uniform(0, 2);
+    gd.update(x, 3.0 + slope * x[0]);
+  }
+  std::vector<double> probe(14, 0.0);
+  probe[0] = 1.0;
+  EXPECT_NEAR(gd.predict(probe), 3.0 + 8.0, 0.5);
+}
+
+// ---- AicPredictor service ----
+
+TEST(AicPredictor, WarmupUsesRunningMean) {
+  AicPredictor p;
+  BaseMetrics m{10, 1, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(p.predict(Target::kC1, m), 0.0);
+  p.observe(m, 2.0, 8.0, 1000.0);
+  EXPECT_FALSE(p.warmed_up());
+  EXPECT_DOUBLE_EQ(p.predict(Target::kC1, m), 2.0);
+  EXPECT_DOUBLE_EQ(p.predict(Target::kDeltaLatency, m), 8.0);
+  p.observe(m, 4.0, 8.0, 3000.0);
+  EXPECT_DOUBLE_EQ(p.predict(Target::kC1, m), 3.0);
+  EXPECT_DOUBLE_EQ(p.predict(Target::kDeltaSize, m), 2000.0);
+}
+
+TEST(AicPredictor, WarmsUpAfterFourObservations) {
+  AicPredictor p;
+  Rng rng(7);
+  for (int i = 0; i < 4; ++i) {
+    BaseMetrics m{rng.uniform(0, 100), rng.uniform(0, 10), rng.uniform(),
+                  rng.uniform()};
+    p.observe(m, 1.0 + m.dirty_pages, 2.0 * m.jd, 100.0 * m.dirty_pages);
+  }
+  EXPECT_TRUE(p.warmed_up());
+  EXPECT_EQ(p.observations(), 4u);
+}
+
+TEST(AicPredictor, LearnsDirtyPageDrivenTargets) {
+  AicPredictor p;
+  Rng rng(8);
+  // c1 = 0.001*DP, dl = 0.01*DP*JD, ds = 400*DP*JD — the page-aligned
+  // cost structure AIC exploits.
+  for (int i = 0; i < 300; ++i) {
+    BaseMetrics m{rng.uniform(100, 2000), rng.uniform(0.5, 10),
+                  rng.uniform(), rng.uniform()};
+    p.observe(m, 0.001 * m.dirty_pages, 0.01 * m.dirty_pages * m.jd,
+              400.0 * m.dirty_pages * m.jd);
+  }
+  BaseMetrics probe{1000, 5, 0.5, 0.5};
+  EXPECT_NEAR(p.predict(Target::kC1, probe), 1.0, 0.1);
+  EXPECT_NEAR(p.predict(Target::kDeltaLatency, probe), 5.0, 1.0);
+  EXPECT_NEAR(p.predict(Target::kDeltaSize, probe), 200000.0, 30000.0);
+}
+
+TEST(AicPredictor, PredictionsNeverNegative) {
+  AicPredictor p;
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    BaseMetrics m{rng.uniform(0, 10), rng.uniform(0, 1), rng.uniform(),
+                  rng.uniform()};
+    p.observe(m, 0.01, 0.01, 10.0);
+  }
+  BaseMetrics wild{1e6, 1e4, 1.0, 1.0};
+  for (auto t : {Target::kC1, Target::kDeltaLatency, Target::kDeltaSize}) {
+    EXPECT_GE(p.predict(t, wild), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace aic::predictor

@@ -1,0 +1,236 @@
+// Validation tests for sim/: Monte-Carlo walks of the Markov chains agree
+// with the analytic solver, the independent L2L3 event simulation agrees
+// with the chain built from the paper's description, and the full-stack
+// failure simulator recovers byte-exact state under injected failures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "failure/failure.h"
+#include "model/interval_models.h"
+#include "model/moody.h"
+#include "sim/chain_sim.h"
+#include "sim/failure_sim.h"
+
+namespace aic::sim {
+namespace {
+
+using model::IntervalParams;
+using model::MarkovChain;
+using model::SystemProfile;
+
+TEST(ChainSim, WalkMatchesSolverOnToyChain) {
+  MarkovChain m({0.01, 0.02});
+  auto work = m.add_state(20.0, "work");
+  auto rec1 = m.add_state(2.0, "rec1");
+  auto rec2 = m.add_state(8.0, "rec2");
+  m.set_success(work, MarkovChain::kDone);
+  m.set_failure(work, 1, rec1);
+  m.set_failure(work, 2, rec2);
+  m.set_success(rec1, work);
+  m.set_failure(rec1, 1, rec1);
+  m.set_failure(rec1, 2, rec2);
+  m.set_success(rec2, work);
+  m.set_failure(rec2, 1, rec2);
+  m.set_failure(rec2, 2, rec2);
+
+  const double analytic = m.expected_time(work);
+  RunningStats mc = simulate_chain(m, work, 20000, Rng(1));
+  EXPECT_NEAR(mc.mean(), analytic, 4.0 * mc.ci95_halfwidth());
+}
+
+TEST(ChainSim, WalkMatchesSolverOnL2L3Chain) {
+  auto sys = SystemProfile::coastal();
+  // High rates so failures actually occur within the Monte-Carlo budget.
+  sys.lambda = {5e-5, 4.5e-4, 1e-4};
+  const double w = 2000.0;
+  const auto p = IntervalParams::from_profile(sys);
+  MarkovChain::StateId start;
+  MarkovChain chain = model::make_l2l3_chain(sys, w, p, p, &start);
+
+  const double analytic = chain.expected_time(start);
+  RunningStats mc = simulate_chain(chain, start, 20000, Rng(2));
+  EXPECT_NEAR(mc.mean(), analytic, 4.0 * mc.ci95_halfwidth());
+}
+
+TEST(ChainSim, IndependentEventSimMatchesChain) {
+  // The hand-coded protocol simulation and the solver were written from
+  // the same paper text but independently; they must agree.
+  auto sys = SystemProfile::coastal();
+  sys.lambda = {5e-5, 4.5e-4, 1e-4};
+  for (double w : {1500.0, 3000.0, 8000.0}) {
+    const double analytic =
+        model::expected_interval_time(model::LevelCombo::kL2L3, sys, w);
+    RunningStats mc = simulate_l2l3_interval(sys, w, 20000, Rng(3));
+    EXPECT_NEAR(mc.mean(), analytic, 4.0 * mc.ci95_halfwidth())
+        << "w = " << w;
+  }
+}
+
+TEST(ChainSim, ZeroRateWalkIsDeterministic) {
+  MarkovChain m({0.0});
+  auto a = m.add_state(5.0);
+  auto b = m.add_state(7.0);
+  m.set_success(a, b);
+  m.set_success(b, MarkovChain::kDone);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(simulate_chain_once(m, a, rng), 12.0);
+}
+
+TEST(ChainSim, MoodyChainSimulatesToo) {
+  auto sys = SystemProfile::coastal();
+  sys.lambda = {5e-5, 4.5e-4, 1e-4};
+  // Validate the Moody period expectation via a direct interval check:
+  // n1 = n2 = 0 degenerates to one blocking L3 segment with retry — build
+  // that chain by hand and compare against moody_period_time.
+  const double w = 3000.0;
+  const double analytic = model::moody_period_time(sys, w, 0, 0);
+  // Moody recovers a level-k failure from the level-k facility of the
+  // previous period's L3 checkpoint at cost r_k.
+  MarkovChain m({sys.lambda[0], sys.lambda[1], sys.lambda[2]});
+  auto seg = m.add_state(w + sys.c[2]);
+  auto rec1 = m.add_state(sys.r[0]);
+  auto rec2 = m.add_state(sys.r[1]);
+  auto rec3 = m.add_state(sys.r[2]);
+  m.set_success(seg, MarkovChain::kDone);
+  m.set_failure(seg, 1, rec1);
+  m.set_failure(seg, 2, rec2);
+  m.set_failure(seg, 3, rec3);
+  for (auto rec : {rec1, rec2, rec3}) {
+    m.set_success(rec, seg);
+    m.set_failure(rec, 1, rec1);
+    m.set_failure(rec, 2, rec2);
+    m.set_failure(rec, 3, rec3);
+  }
+  EXPECT_NEAR(m.expected_time(seg), analytic, 1e-9 * analytic);
+  RunningStats mc = simulate_chain(m, seg, 20000, Rng(5));
+  EXPECT_NEAR(mc.mean(), analytic, 4.0 * mc.ci95_halfwidth());
+}
+
+// ---- failure module ----
+
+TEST(Failure, SpecFromTotalSplitsLikeCoastal) {
+  auto spec = failure::FailureSpec::from_total(1e-3);
+  EXPECT_NEAR(spec.total(), 1e-3, 1e-15);
+  EXPECT_NEAR(spec.lambda[1] / spec.total(), 0.75, 1e-12);
+}
+
+TEST(Failure, InterArrivalMeanMatchesRate) {
+  failure::FailureInjector injector(failure::FailureSpec::from_total(0.01),
+                                    Rng(6));
+  RunningStats gaps;
+  double prev = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    auto ev = injector.next_after(prev);
+    gaps.add(ev.time - prev);
+    prev = ev.time;
+  }
+  EXPECT_NEAR(gaps.mean(), 100.0, 3.0);
+}
+
+TEST(Failure, LevelFrequenciesMatchShares) {
+  failure::FailureInjector injector(failure::FailureSpec::from_total(0.01),
+                                    Rng(7));
+  std::array<int, 3> counts{0, 0, 0};
+  double t = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    auto ev = injector.next_after(t);
+    t = ev.time;
+    ++counts[std::size_t(ev.level - 1)];
+  }
+  EXPECT_NEAR(double(counts[1]) / n, 0.75, 0.01);
+  EXPECT_NEAR(double(counts[0]) / n, 2.0 / 24.0, 0.01);
+}
+
+TEST(Failure, ZeroRateNeverFires) {
+  failure::FailureInjector injector(failure::FailureSpec{}, Rng(8));
+  auto ev = injector.next_after(10.0);
+  EXPECT_TRUE(std::isinf(ev.time));
+}
+
+// ---- full-stack failure simulation ----
+
+class FailureSimFixture : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailureSimFixture, RecoversByteExactUnderFailures) {
+  FailureSimConfig cfg;
+  cfg.benchmark = workload::SpecBenchmark::kBzip2;
+  cfg.workload_scale = 0.125;
+  cfg.costs = control::CostModel();  // fast default bandwidths
+  // Aggressive rates so several failures hit within the short run.
+  cfg.failures = failure::FailureSpec::from_total(0.04);
+  cfg.checkpoint_interval = 10.0;
+  cfg.seed = GetParam();
+  FailureSimResult res = run_failure_sim(cfg);
+  EXPECT_TRUE(res.final_state_verified)
+      << "memory diverged after " << res.restores << " restores";
+  EXPECT_GT(res.total_failures(), 0)
+      << "P(no failure) < 0.3% at this rate — check the injector";
+  EXPECT_GT(res.turnaround, res.base_time);
+  EXPECT_GT(res.checkpoints, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureSimFixture,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(FailureSim, NoFailuresMeansMinimalOverheadAndVerifies) {
+  FailureSimConfig cfg;
+  cfg.benchmark = workload::SpecBenchmark::kSphinx3;
+  cfg.workload_scale = 0.125;
+  cfg.failures = failure::FailureSpec{};  // none
+  cfg.checkpoint_interval = 20.0;
+  FailureSimResult res = run_failure_sim(cfg);
+  EXPECT_TRUE(res.final_state_verified);
+  EXPECT_EQ(res.total_failures(), 0);
+  EXPECT_EQ(res.restores, 0);
+  // Only the c1 halts separate turnaround from base time.
+  EXPECT_LT(res.net2(), 1.05);
+  EXPECT_GE(res.net2(), 1.0);
+}
+
+TEST(FailureSim, HigherRateMeansLongerTurnaround) {
+  auto run_with = [](double rate) {
+    FailureSimConfig cfg;
+    cfg.benchmark = workload::SpecBenchmark::kBzip2;
+    cfg.workload_scale = 0.125;
+    cfg.failures = failure::FailureSpec::from_total(rate);
+    cfg.checkpoint_interval = 10.0;
+    cfg.seed = 99;
+    return run_failure_sim(cfg);
+  };
+  RunningStats low, high;
+  for (int s = 0; s < 3; ++s) {
+    auto cfg_seed = [&](double rate, std::uint64_t seed) {
+      FailureSimConfig cfg;
+      cfg.benchmark = workload::SpecBenchmark::kBzip2;
+      cfg.workload_scale = 0.125;
+      cfg.failures = failure::FailureSpec::from_total(rate);
+      cfg.checkpoint_interval = 10.0;
+      cfg.seed = seed;
+      return run_failure_sim(cfg);
+    };
+    low.add(cfg_seed(0.002, 100 + s).turnaround);
+    high.add(cfg_seed(0.05, 100 + s).turnaround);
+  }
+  (void)run_with;
+  EXPECT_LT(low.mean(), high.mean());
+}
+
+TEST(FailureSim, Level3FailureForcesOlderRestorePoint) {
+  // With only level-3 failures and slow L3 transfers, restores must come
+  // from checkpoints whose remote copy had landed — the run still verifies.
+  FailureSimConfig cfg;
+  cfg.benchmark = workload::SpecBenchmark::kBzip2;
+  cfg.workload_scale = 0.125;
+  cfg.failures.lambda = {0.0, 0.0, 0.01};
+  cfg.costs.b3_bps = 200.0 * kKB;  // sluggish remote: transfers lag
+  cfg.checkpoint_interval = 10.0;
+  cfg.seed = 7;
+  FailureSimResult res = run_failure_sim(cfg);
+  EXPECT_TRUE(res.final_state_verified);
+  EXPECT_GT(res.failures_by_level[2], 0);
+}
+
+}  // namespace
+}  // namespace aic::sim

@@ -1,0 +1,154 @@
+// Tests for storage/: bandwidth accounting, local disk failure semantics,
+// RAID-5 striping + parity reconstruction + rebuild, remote store.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "storage/storage.h"
+
+namespace aic::storage {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes b(n);
+  for (auto& x : b) x = std::uint8_t(rng());
+  return b;
+}
+
+TEST(TransferSeconds, LinearInSize) {
+  EXPECT_DOUBLE_EQ(transfer_seconds(1000, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(transfer_seconds(1000, 100.0, 2.0), 12.0);
+  EXPECT_DOUBLE_EQ(transfer_seconds(0, 100.0), 0.0);
+}
+
+TEST(LocalDisk, PutGetEraseAccounting) {
+  LocalDisk disk(100.0);
+  Rng rng(1);
+  Bytes data = random_bytes(rng, 500);
+  const double t = disk.put("ckpt0", data);
+  EXPECT_DOUBLE_EQ(t, 5.0);
+  EXPECT_EQ(disk.stored_bytes(), 500u);
+  auto back = disk.get("ckpt0");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+  EXPECT_DOUBLE_EQ(disk.read_seconds("ckpt0"), 5.0);
+  EXPECT_TRUE(disk.erase("ckpt0"));
+  EXPECT_FALSE(disk.erase("ckpt0"));
+  EXPECT_FALSE(disk.get("ckpt0").has_value());
+}
+
+TEST(LocalDisk, FailureMakesContentUnavailable) {
+  LocalDisk disk(100.0);
+  disk.put("a", {1, 2, 3});
+  disk.fail();
+  EXPECT_FALSE(disk.available());
+  EXPECT_FALSE(disk.get("a").has_value());
+  EXPECT_THROW((void)disk.put("b", {4}), CheckError);
+  disk.replace();
+  EXPECT_TRUE(disk.available());
+  EXPECT_FALSE(disk.get("a").has_value()) << "replacement disk is empty";
+}
+
+class Raid5Fixture : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static constexpr std::size_t kUnit = 64;  // small stripes exercise layout
+};
+
+TEST_P(Raid5Fixture, RoundTripAllSizes) {
+  Raid5Group g(GetParam(), 1000.0, kUnit);
+  Rng rng(2);
+  for (std::size_t size :
+       {std::size_t(1), kUnit - 1, kUnit, kUnit + 1, 3 * kUnit,
+        (GetParam() - 1) * kUnit, (GetParam() - 1) * kUnit + 7,
+        10 * GetParam() * kUnit}) {
+    Bytes data = random_bytes(rng, size);
+    g.put("obj" + std::to_string(size), data);
+    auto back = g.get("obj" + std::to_string(size));
+    ASSERT_TRUE(back.has_value()) << "size " << size;
+    EXPECT_EQ(*back, data) << "size " << size;
+  }
+}
+
+TEST_P(Raid5Fixture, SurvivesAnySingleNodeLoss) {
+  Rng rng(3);
+  Bytes data = random_bytes(rng, 1000);
+  for (std::size_t victim = 0; victim < GetParam(); ++victim) {
+    Raid5Group g(GetParam(), 1000.0, kUnit);
+    g.put("x", data);
+    g.fail_node(victim);
+    EXPECT_TRUE(g.available());
+    auto back = g.get("x");
+    ASSERT_TRUE(back.has_value()) << "victim " << victim;
+    EXPECT_EQ(*back, data) << "victim " << victim;
+  }
+}
+
+TEST_P(Raid5Fixture, RebuildRestoresRedundancy) {
+  Rng rng(4);
+  Bytes data = random_bytes(rng, 2000);
+  Raid5Group g(GetParam(), 1000.0, kUnit);
+  g.put("x", data);
+  g.fail_node(1);
+  EXPECT_GT(g.rebuild_node(1), 0u);
+  // Redundancy is back: lose a different node and still read.
+  g.fail_node(0);
+  auto back = g.get("x");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, Raid5Fixture,
+                         ::testing::Values(3, 4, 5, 8));
+
+TEST(Raid5, TwoNodeLossUnavailable) {
+  Raid5Group g(4, 1000.0, 64);
+  g.put("x", {1, 2, 3});
+  g.fail_node(0);
+  g.fail_node(2);
+  EXPECT_FALSE(g.available());
+  EXPECT_FALSE(g.get("x").has_value());
+}
+
+TEST(Raid5, DegradedWriteThenRecoverOtherNode) {
+  // Write while node 2 is down: the object has no redundancy for stripes
+  // whose parity or data lived there, but reading with only node 2 down
+  // must still work (reconstruction path).
+  Rng rng(5);
+  Bytes data = random_bytes(rng, 777);
+  Raid5Group g(4, 1000.0, 64);
+  g.fail_node(2);
+  g.put("x", data);
+  auto back = g.get("x");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Raid5, MinimumGroupSizeEnforced) {
+  EXPECT_THROW(Raid5Group(2, 100.0), CheckError);
+}
+
+TEST(Raid5, WriteTimeCoversParityOverhead) {
+  Raid5Group g(5, 1000.0, 100);
+  // 400 data bytes = 1 stripe of 4x100 + 100 parity => 500 bytes written.
+  const double t = g.put("x", Bytes(400, 7));
+  EXPECT_DOUBLE_EQ(t, 0.5);
+}
+
+TEST(RemoteStore, PutGet) {
+  RemoteStore store(2.0 * kMB);
+  Rng rng(6);
+  Bytes data = random_bytes(rng, 1 * kMiB);
+  const double t = store.put("ckpt", data);
+  EXPECT_NEAR(t, double(kMiB) / (2.0 * kMB), 1e-12);
+  EXPECT_EQ(*store.get("ckpt"), data);
+  EXPECT_TRUE(store.available());
+}
+
+TEST(RemoteStore, ReadSecondsMissingThrows) {
+  RemoteStore store(1000.0);
+  EXPECT_THROW((void)store.read_seconds("nope"), CheckError);
+}
+
+}  // namespace
+}  // namespace aic::storage

@@ -1,0 +1,158 @@
+// Tests for trace/: log synthesis invariants (capacity, FIFO, placement
+// shapes), the candidate-job analysis, and Table 1's qualitative facts.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "trace/lanl_trace.h"
+
+namespace aic::trace {
+namespace {
+
+TEST(Trace, FiveSystemsConfigured) {
+  auto systems = table1_systems();
+  ASSERT_EQ(systems.size(), 5u);
+  EXPECT_EQ(system_by_id(15).cores_per_node, 256);
+  EXPECT_EQ(system_by_id(20).nodes, 256);
+  EXPECT_EQ(system_by_id(8).cores_per_node, 2);
+  EXPECT_THROW((void)system_by_id(99), CheckError);
+}
+
+TEST(Trace, GeneratedLogRespectsCapacityAndOrdering) {
+  auto sys = system_by_id(16);
+  TraceConfig cfg;
+  cfg.days = 20;
+  auto log = generate_log(sys, cfg);
+  ASSERT_GT(log.size(), 100u);
+  for (const auto& job : log) {
+    EXPECT_GE(job.dispatch_time, job.submit_time);
+    EXPECT_GT(job.end_time, job.dispatch_time);
+    EXPECT_GT(job.process_count(), 0);
+    for (const auto& [node, count] : job.placement) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, sys.nodes);
+      EXPECT_GE(count, 1);
+      EXPECT_LE(count, sys.cores_per_node);
+    }
+  }
+  // At no instant may a node exceed its core count. Verify via the
+  // analyzer's own sweep: max usage <= cores (candidate analysis against a
+  // virtual 1-more-core system counts nobody as over-capacity).
+  SystemConfig bigger = sys;
+  bigger.cores_per_node += 1;
+  auto stats = analyze_candidates(log, bigger);
+  EXPECT_EQ(stats.candidates, stats.jobs)
+      << "some node exceeded its true core capacity";
+}
+
+TEST(Trace, DeterministicForSeed) {
+  auto sys = system_by_id(20);
+  TraceConfig cfg;
+  cfg.days = 10;
+  auto a = generate_log(sys, cfg);
+  auto b = generate_log(sys, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job_id, b[i].job_id);
+    EXPECT_DOUBLE_EQ(a[i].dispatch_time, b[i].dispatch_time);
+    EXPECT_EQ(a[i].placement, b[i].placement);
+  }
+  cfg.seed = 777;
+  auto c = generate_log(sys, cfg);
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(Trace, CandidateAnalysisManualCase) {
+  // Two jobs overlapping on node 0 of a 2-core system: together they fill
+  // the node, so neither is a candidate while both run.
+  SystemConfig sys;
+  sys.system_id = 1;
+  sys.nodes = 2;
+  sys.cores_per_node = 2;
+  JobRecord a;
+  a.job_id = 1;
+  a.dispatch_time = 0.0;
+  a.end_time = 100.0;
+  a.placement = {{0, 1}};
+  JobRecord b;
+  b.job_id = 2;
+  b.dispatch_time = 50.0;
+  b.end_time = 150.0;
+  b.placement = {{0, 1}};
+  JobRecord c;
+  c.job_id = 3;
+  c.dispatch_time = 0.0;
+  c.end_time = 100.0;
+  c.placement = {{1, 1}};  // alone on node 1: candidate
+  auto stats = analyze_candidates({a, b, c}, sys);
+  EXPECT_EQ(stats.jobs, 3u);
+  EXPECT_EQ(stats.candidates, 1u);
+}
+
+TEST(Trace, FullNodePlacementIsNeverCandidate) {
+  SystemConfig sys;
+  sys.system_id = 2;
+  sys.nodes = 1;
+  sys.cores_per_node = 4;
+  JobRecord a;
+  a.job_id = 1;
+  a.dispatch_time = 0.0;
+  a.end_time = 10.0;
+  a.placement = {{0, 4}};
+  auto stats = analyze_candidates({a}, sys);
+  EXPECT_EQ(stats.candidates, 0u);
+}
+
+class Table1Fixture : public ::testing::Test {
+ protected:
+  static CandidateStats run(int system_id, SchedulerPolicy policy) {
+    auto sys = system_by_id(system_id);
+    TraceConfig cfg;
+    cfg.days = 45;
+    cfg.policy = policy;
+    return analyze_candidates(generate_log(sys, cfg), sys);
+  }
+};
+
+TEST_F(Table1Fixture, RectifiedNeverHurts) {
+  for (int id : {15, 20, 23, 8, 16}) {
+    const double packed = run(id, SchedulerPolicy::kPacked).fraction();
+    const double rect = run(id, SchedulerPolicy::kRectified).fraction();
+    EXPECT_GE(rect, packed - 0.03) << "system " << id;
+  }
+}
+
+TEST_F(Table1Fixture, System20HasFewestCandidatesPacked) {
+  const double s20 = run(20, SchedulerPolicy::kPacked).fraction();
+  for (int id : {15, 23, 8, 16}) {
+    EXPECT_LT(s20, run(id, SchedulerPolicy::kPacked).fraction())
+        << "vs system " << id;
+  }
+}
+
+TEST_F(Table1Fixture, RectificationHelpsSmallCoreClustersMost) {
+  auto gain = [&](int id) {
+    return run(id, SchedulerPolicy::kRectified).fraction() -
+           run(id, SchedulerPolicy::kPacked).fraction();
+  };
+  // Systems 20 (4 cores) and 8 (2 cores) gain a lot; fat-node systems and
+  // the single-node NUMA barely move (Table 1's last column).
+  EXPECT_GT(gain(20), 0.10);
+  EXPECT_GT(gain(8), 0.15);
+  EXPECT_LT(gain(15), 0.02);
+  EXPECT_LT(gain(23), 0.05);
+  EXPECT_LT(gain(16), 0.08);
+}
+
+TEST_F(Table1Fixture, FractionsInPaperBallpark) {
+  // Loose bands around Table 1's values — shape, not digits.
+  EXPECT_NEAR(run(15, SchedulerPolicy::kPacked).fraction(), 0.50, 0.12);
+  EXPECT_NEAR(run(20, SchedulerPolicy::kPacked).fraction(), 0.17, 0.10);
+  EXPECT_NEAR(run(23, SchedulerPolicy::kPacked).fraction(), 0.77, 0.12);
+  EXPECT_NEAR(run(8, SchedulerPolicy::kPacked).fraction(), 0.47, 0.15);
+  EXPECT_NEAR(run(16, SchedulerPolicy::kPacked).fraction(), 0.41, 0.10);
+  EXPECT_NEAR(run(20, SchedulerPolicy::kRectified).fraction(), 0.32, 0.12);
+  EXPECT_NEAR(run(8, SchedulerPolicy::kRectified).fraction(), 0.75, 0.15);
+}
+
+}  // namespace
+}  // namespace aic::trace

@@ -1,0 +1,204 @@
+// Tests for workload/: determinism, restart-replay consistency (the
+// property AIC's recovery correctness rests on), phase behaviour, and the
+// per-benchmark compression characteristics that drive the paper's
+// evaluation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ckpt/checkpointer.h"
+#include "common/check.h"
+#include "delta/page_delta.h"
+#include "mem/snapshot.h"
+#include "workload/workload.h"
+
+namespace aic::workload {
+namespace {
+
+TEST(Workload, InitializeBuildsFootprint) {
+  auto w = make_spec_workload(SpecBenchmark::kBzip2, 0.25);
+  mem::AddressSpace space;
+  w->initialize(space);
+  EXPECT_EQ(space.page_count(), w->profile().footprint_pages);
+  EXPECT_DOUBLE_EQ(w->progress(), 0.0);
+  EXPECT_FALSE(w->finished());
+}
+
+TEST(Workload, InitializeTwiceThrows) {
+  auto w = make_spec_workload(SpecBenchmark::kBzip2, 0.25);
+  mem::AddressSpace space;
+  w->initialize(space);
+  EXPECT_THROW(w->initialize(space), CheckError);
+}
+
+TEST(Workload, StepAdvancesProgressAndDirtiesPages) {
+  auto w = make_spec_workload(SpecBenchmark::kSjeng, 0.25);
+  mem::AddressSpace space;
+  w->initialize(space);
+  space.protect_all();
+  w->step(space, 5.0);
+  EXPECT_DOUBLE_EQ(w->progress(), 5.0);
+  EXPECT_GT(space.dirty_page_count(), 0u);
+}
+
+TEST(Workload, DeterministicAcrossInstances) {
+  mem::AddressSpace s1, s2;
+  auto w1 = make_spec_workload(SpecBenchmark::kMilc, 0.125);
+  auto w2 = make_spec_workload(SpecBenchmark::kMilc, 0.125);
+  w1->initialize(s1);
+  w2->initialize(s2);
+  w1->step(s1, 7.3);
+  w2->step(s2, 7.3);
+  EXPECT_TRUE(mem::Snapshot::capture(s1).equals_space(s2));
+}
+
+TEST(Workload, StepGranularityIrrelevant) {
+  // Many small steps == one big step (tick atomicity).
+  mem::AddressSpace s1, s2;
+  auto w1 = make_spec_workload(SpecBenchmark::kLibquantum, 0.125);
+  auto w2 = make_spec_workload(SpecBenchmark::kLibquantum, 0.125);
+  w1->initialize(s1);
+  w2->initialize(s2);
+  w1->step(s1, 6.0);
+  for (int i = 0; i < 60; ++i) w2->step(s2, 0.1);
+  EXPECT_NEAR(w1->progress(), w2->progress(), 1e-9);
+  EXPECT_TRUE(mem::Snapshot::capture(s1).equals_space(s2));
+}
+
+TEST(Workload, SubTickStepsAccumulate) {
+  mem::AddressSpace s1, s2;
+  auto w1 = make_spec_workload(SpecBenchmark::kBzip2, 0.125);
+  auto w2 = make_spec_workload(SpecBenchmark::kBzip2, 0.125);
+  w1->initialize(s1);
+  w2->initialize(s2);
+  w1->step(s1, 1.0);
+  for (int i = 0; i < 100; ++i) w2->step(s2, 0.01);  // sub-tick steps
+  EXPECT_NEAR(w2->progress(), 1.0, 1e-9);
+  EXPECT_TRUE(mem::Snapshot::capture(s1).equals_space(s2));
+}
+
+TEST(Workload, CpuStateRoundTrip) {
+  auto w = make_spec_workload(SpecBenchmark::kSphinx3, 0.25);
+  mem::AddressSpace space;
+  w->initialize(space);
+  w->step(space, 12.5);
+  Bytes state = w->cpu_state();
+
+  auto w2 = make_spec_workload(SpecBenchmark::kSphinx3, 0.25);
+  w2->restore_cpu_state(state);
+  EXPECT_DOUBLE_EQ(w2->progress(), 12.5);
+}
+
+TEST(Workload, FinishesAtBaseTime) {
+  auto profile = spec_profile(SpecBenchmark::kBzip2, 0.125);
+  profile.base_time = 3.0;
+  SyntheticWorkload w(std::move(profile));
+  mem::AddressSpace space;
+  w.initialize(space);
+  w.step(space, 100.0);
+  EXPECT_DOUBLE_EQ(w.progress(), 3.0);
+  EXPECT_TRUE(w.finished());
+}
+
+// The core recovery property: checkpoint at time T, keep running, crash,
+// restore, replay — the replayed trajectory must byte-for-byte match the
+// original (same memory at any later common point).
+TEST(Workload, RestartReplayMatchesOriginal) {
+  for (auto b : {SpecBenchmark::kBzip2, SpecBenchmark::kSjeng,
+                 SpecBenchmark::kLbm}) {
+    auto w = make_spec_workload(b, 0.125);
+    mem::AddressSpace space;
+    w->initialize(space);
+    w->step(space, 4.0);
+
+    // Checkpoint (full) at T=4.
+    ckpt::CheckpointChain chain;
+    chain.capture(space, w->cpu_state(), 4.0);
+
+    // Run on to T=9: this is the "original" trajectory.
+    w->step(space, 5.0);
+    mem::Snapshot original = mem::Snapshot::capture(space);
+
+    // Crash & restore: fresh space from the checkpoint, fresh workload
+    // rewound via cpu state, replay to T=9.
+    auto restored = chain.restore();
+    mem::AddressSpace replay_space = restored.memory.materialize();
+    auto w2 = make_spec_workload(b, 0.125);
+    w2->restore_cpu_state(restored.cpu_state);
+    EXPECT_DOUBLE_EQ(w2->progress(), 4.0);
+    w2->step(replay_space, 5.0);
+
+    EXPECT_TRUE(original.equals_space(replay_space))
+        << "replay diverged for " << to_string(b);
+  }
+}
+
+TEST(Workload, AllBenchmarksListed) {
+  EXPECT_EQ(all_benchmarks().size(), 6u);
+  for (auto b : all_benchmarks()) {
+    auto p = spec_profile(b, 0.125);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.base_time, 100.0);
+    EXPECT_GE(p.footprint_pages, 64u);
+    EXPECT_FALSE(p.phases.empty());
+  }
+}
+
+TEST(Workload, BaseTimesMatchPaperTable3) {
+  EXPECT_DOUBLE_EQ(spec_profile(SpecBenchmark::kBzip2).base_time, 152.0);
+  EXPECT_DOUBLE_EQ(spec_profile(SpecBenchmark::kSjeng).base_time, 661.0);
+  EXPECT_DOUBLE_EQ(spec_profile(SpecBenchmark::kLibquantum).base_time, 846.0);
+  EXPECT_DOUBLE_EQ(spec_profile(SpecBenchmark::kMilc).base_time, 527.0);
+  EXPECT_DOUBLE_EQ(spec_profile(SpecBenchmark::kLbm).base_time, 462.0);
+  EXPECT_DOUBLE_EQ(spec_profile(SpecBenchmark::kSphinx3).base_time, 749.0);
+}
+
+/// Helper: run one incremental-delta checkpoint after `interval` seconds
+/// and report (dirty pages, compression ratio).
+struct IntervalProbe {
+  std::size_t dirty = 0;
+  double ratio = 1.0;
+  std::uint64_t delta_bytes = 0;
+};
+IntervalProbe probe_interval(SpecBenchmark b, double warm, double interval,
+                             double scale) {
+  auto w = make_spec_workload(b, scale);
+  mem::AddressSpace space;
+  w->initialize(space);
+  w->step(space, warm);
+  mem::Snapshot prev = mem::Snapshot::capture(space);
+  space.protect_all();
+  w->step(space, interval);
+
+  delta::PageAlignedCompressor pa;
+  std::vector<delta::DirtyPage> dirty;
+  for (auto id : space.dirty_pages()) dirty.push_back({id, space.page_bytes(id)});
+  auto res = pa.compress(dirty, prev);
+  return {dirty.size(), res.stats.ratio(), res.stats.output_bytes};
+}
+
+TEST(WorkloadCharacteristics, SphinxDeltasAreTiny) {
+  auto sphinx = probe_interval(SpecBenchmark::kSphinx3, 5.0, 10.0, 0.25);
+  auto milc = probe_interval(SpecBenchmark::kMilc, 5.0, 10.0, 0.25);
+  EXPECT_LT(sphinx.delta_bytes * 20, milc.delta_bytes)
+      << "sphinx3 deltas must be far smaller than milc's";
+  EXPECT_LT(sphinx.ratio, 0.5) << "counter updates compress well";
+}
+
+TEST(WorkloadCharacteristics, LbmBarelyCompressible) {
+  auto lbm = probe_interval(SpecBenchmark::kLbm, 5.0, 10.0, 0.25);
+  EXPECT_GT(lbm.ratio, 0.7) << "streaming rewrites defeat delta compression";
+}
+
+TEST(WorkloadCharacteristics, SjengSwingsAcrossPhases) {
+  // Fig. 2's swing: with the previous checkpoint at a cycle boundary
+  // (post-consolidation, t = 33), a second checkpoint taken mid-burst
+  // (t = 52) sees scratch state everywhere, while one taken at the next
+  // boundary (t = 66) sees pages reverted to near-canonical content.
+  auto mid_burst = probe_interval(SpecBenchmark::kSjeng, 33.0, 19.0, 0.25);
+  auto boundary = probe_interval(SpecBenchmark::kSjeng, 33.0, 33.0, 0.25);
+  EXPECT_GT(mid_burst.delta_bytes, 5 * boundary.delta_bytes);
+}
+
+}  // namespace
+}  // namespace aic::workload
