@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_decider"
+  "../bench/ablation_decider.pdb"
+  "CMakeFiles/ablation_decider.dir/ablation_decider.cc.o"
+  "CMakeFiles/ablation_decider.dir/ablation_decider.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

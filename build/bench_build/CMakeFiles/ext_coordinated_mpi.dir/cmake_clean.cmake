@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_coordinated_mpi"
+  "../bench/ext_coordinated_mpi.pdb"
+  "CMakeFiles/ext_coordinated_mpi.dir/ext_coordinated_mpi.cc.o"
+  "CMakeFiles/ext_coordinated_mpi.dir/ext_coordinated_mpi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_coordinated_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_delta_swings"
+  "../bench/fig02_delta_swings.pdb"
+  "CMakeFiles/fig02_delta_swings.dir/fig02_delta_swings.cc.o"
+  "CMakeFiles/fig02_delta_swings.dir/fig02_delta_swings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_delta_swings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_pf3d_netsq"
+  "../bench/fig05_pf3d_netsq.pdb"
+  "CMakeFiles/fig05_pf3d_netsq.dir/fig05_pf3d_netsq.cc.o"
+  "CMakeFiles/fig05_pf3d_netsq.dir/fig05_pf3d_netsq.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_pf3d_netsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

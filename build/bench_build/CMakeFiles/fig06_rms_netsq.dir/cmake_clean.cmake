@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_rms_netsq"
+  "../bench/fig06_rms_netsq.pdb"
+  "CMakeFiles/fig06_rms_netsq.dir/fig06_rms_netsq.cc.o"
+  "CMakeFiles/fig06_rms_netsq.dir/fig06_rms_netsq.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_rms_netsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_sharing_factor"
+  "../bench/fig07_sharing_factor.pdb"
+  "CMakeFiles/fig07_sharing_factor.dir/fig07_sharing_factor.cc.o"
+  "CMakeFiles/fig07_sharing_factor.dir/fig07_sharing_factor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sharing_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_sharing_factor.
+# This may be replaced when dependencies are built.

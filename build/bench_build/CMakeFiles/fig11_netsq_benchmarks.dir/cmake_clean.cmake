@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_netsq_benchmarks"
+  "../bench/fig11_netsq_benchmarks.pdb"
+  "CMakeFiles/fig11_netsq_benchmarks.dir/fig11_netsq_benchmarks.cc.o"
+  "CMakeFiles/fig11_netsq_benchmarks.dir/fig11_netsq_benchmarks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_netsq_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_milc_scaling"
+  "../bench/fig12_milc_scaling.pdb"
+  "CMakeFiles/fig12_milc_scaling.dir/fig12_milc_scaling.cc.o"
+  "CMakeFiles/fig12_milc_scaling.dir/fig12_milc_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_milc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

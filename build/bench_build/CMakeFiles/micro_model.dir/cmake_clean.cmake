@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_model"
+  "../bench/micro_model.pdb"
+  "CMakeFiles/micro_model.dir/micro_model.cc.o"
+  "CMakeFiles/micro_model.dir/micro_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/model_vs_simulation"
+  "../bench/model_vs_simulation.pdb"
+  "CMakeFiles/model_vs_simulation.dir/model_vs_simulation.cc.o"
+  "CMakeFiles/model_vs_simulation.dir/model_vs_simulation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_vs_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

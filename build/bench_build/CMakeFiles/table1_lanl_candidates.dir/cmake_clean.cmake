@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_lanl_candidates"
+  "../bench/table1_lanl_candidates.pdb"
+  "CMakeFiles/table1_lanl_candidates.dir/table1_lanl_candidates.cc.o"
+  "CMakeFiles/table1_lanl_candidates.dir/table1_lanl_candidates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lanl_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

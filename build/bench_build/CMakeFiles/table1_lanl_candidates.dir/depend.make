@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_lanl_candidates.
+# This may be replaced when dependencies are built.

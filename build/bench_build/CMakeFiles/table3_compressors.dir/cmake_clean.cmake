@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_compressors"
+  "../bench/table3_compressors.pdb"
+  "CMakeFiles/table3_compressors.dir/table3_compressors.cc.o"
+  "CMakeFiles/table3_compressors.dir/table3_compressors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_compressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

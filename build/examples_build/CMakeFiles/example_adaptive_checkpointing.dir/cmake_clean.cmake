@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_adaptive_checkpointing"
+  "../examples/example_adaptive_checkpointing.pdb"
+  "CMakeFiles/example_adaptive_checkpointing.dir/adaptive_checkpointing.cc.o"
+  "CMakeFiles/example_adaptive_checkpointing.dir/adaptive_checkpointing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_delta_compress_tool"
+  "../examples/example_delta_compress_tool.pdb"
+  "CMakeFiles/example_delta_compress_tool.dir/delta_compress_tool.cc.o"
+  "CMakeFiles/example_delta_compress_tool.dir/delta_compress_tool.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_delta_compress_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_failure_injection"
+  "../examples/example_failure_injection.pdb"
+  "CMakeFiles/example_failure_injection.dir/failure_injection.cc.o"
+  "CMakeFiles/example_failure_injection.dir/failure_injection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failure_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

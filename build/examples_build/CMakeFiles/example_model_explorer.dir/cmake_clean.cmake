@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_model_explorer"
+  "../examples/example_model_explorer.pdb"
+  "CMakeFiles/example_model_explorer.dir/model_explorer.cc.o"
+  "CMakeFiles/example_model_explorer.dir/model_explorer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

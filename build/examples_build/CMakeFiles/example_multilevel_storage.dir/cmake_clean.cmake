@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_multilevel_storage"
+  "../examples/example_multilevel_storage.pdb"
+  "CMakeFiles/example_multilevel_storage.dir/multilevel_storage.cc.o"
+  "CMakeFiles/example_multilevel_storage.dir/multilevel_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multilevel_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/async_checkpointer.cc" "src/CMakeFiles/aic.dir/ckpt/async_checkpointer.cc.o" "gcc" "src/CMakeFiles/aic.dir/ckpt/async_checkpointer.cc.o.d"
+  "/root/repo/src/ckpt/checkpoint_file.cc" "src/CMakeFiles/aic.dir/ckpt/checkpoint_file.cc.o" "gcc" "src/CMakeFiles/aic.dir/ckpt/checkpoint_file.cc.o.d"
+  "/root/repo/src/ckpt/checkpointer.cc" "src/CMakeFiles/aic.dir/ckpt/checkpointer.cc.o" "gcc" "src/CMakeFiles/aic.dir/ckpt/checkpointer.cc.o.d"
+  "/root/repo/src/common/linalg.cc" "src/CMakeFiles/aic.dir/common/linalg.cc.o" "gcc" "src/CMakeFiles/aic.dir/common/linalg.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/aic.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/aic.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/aic.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/aic.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/aic.dir/common/table.cc.o" "gcc" "src/CMakeFiles/aic.dir/common/table.cc.o.d"
+  "/root/repo/src/control/coordinated.cc" "src/CMakeFiles/aic.dir/control/coordinated.cc.o" "gcc" "src/CMakeFiles/aic.dir/control/coordinated.cc.o.d"
+  "/root/repo/src/control/experiment.cc" "src/CMakeFiles/aic.dir/control/experiment.cc.o" "gcc" "src/CMakeFiles/aic.dir/control/experiment.cc.o.d"
+  "/root/repo/src/delta/page_delta.cc" "src/CMakeFiles/aic.dir/delta/page_delta.cc.o" "gcc" "src/CMakeFiles/aic.dir/delta/page_delta.cc.o.d"
+  "/root/repo/src/delta/rolling_hash.cc" "src/CMakeFiles/aic.dir/delta/rolling_hash.cc.o" "gcc" "src/CMakeFiles/aic.dir/delta/rolling_hash.cc.o.d"
+  "/root/repo/src/delta/xdelta3.cc" "src/CMakeFiles/aic.dir/delta/xdelta3.cc.o" "gcc" "src/CMakeFiles/aic.dir/delta/xdelta3.cc.o.d"
+  "/root/repo/src/delta/xor_delta.cc" "src/CMakeFiles/aic.dir/delta/xor_delta.cc.o" "gcc" "src/CMakeFiles/aic.dir/delta/xor_delta.cc.o.d"
+  "/root/repo/src/failure/failure.cc" "src/CMakeFiles/aic.dir/failure/failure.cc.o" "gcc" "src/CMakeFiles/aic.dir/failure/failure.cc.o.d"
+  "/root/repo/src/mem/address_space.cc" "src/CMakeFiles/aic.dir/mem/address_space.cc.o" "gcc" "src/CMakeFiles/aic.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/mem/snapshot.cc" "src/CMakeFiles/aic.dir/mem/snapshot.cc.o" "gcc" "src/CMakeFiles/aic.dir/mem/snapshot.cc.o.d"
+  "/root/repo/src/model/exp_math.cc" "src/CMakeFiles/aic.dir/model/exp_math.cc.o" "gcc" "src/CMakeFiles/aic.dir/model/exp_math.cc.o.d"
+  "/root/repo/src/model/interval_models.cc" "src/CMakeFiles/aic.dir/model/interval_models.cc.o" "gcc" "src/CMakeFiles/aic.dir/model/interval_models.cc.o.d"
+  "/root/repo/src/model/markov_chain.cc" "src/CMakeFiles/aic.dir/model/markov_chain.cc.o" "gcc" "src/CMakeFiles/aic.dir/model/markov_chain.cc.o.d"
+  "/root/repo/src/model/moody.cc" "src/CMakeFiles/aic.dir/model/moody.cc.o" "gcc" "src/CMakeFiles/aic.dir/model/moody.cc.o.d"
+  "/root/repo/src/model/optimizer.cc" "src/CMakeFiles/aic.dir/model/optimizer.cc.o" "gcc" "src/CMakeFiles/aic.dir/model/optimizer.cc.o.d"
+  "/root/repo/src/model/system_profile.cc" "src/CMakeFiles/aic.dir/model/system_profile.cc.o" "gcc" "src/CMakeFiles/aic.dir/model/system_profile.cc.o.d"
+  "/root/repo/src/predictor/features.cc" "src/CMakeFiles/aic.dir/predictor/features.cc.o" "gcc" "src/CMakeFiles/aic.dir/predictor/features.cc.o.d"
+  "/root/repo/src/predictor/hot_page_sampler.cc" "src/CMakeFiles/aic.dir/predictor/hot_page_sampler.cc.o" "gcc" "src/CMakeFiles/aic.dir/predictor/hot_page_sampler.cc.o.d"
+  "/root/repo/src/predictor/metrics.cc" "src/CMakeFiles/aic.dir/predictor/metrics.cc.o" "gcc" "src/CMakeFiles/aic.dir/predictor/metrics.cc.o.d"
+  "/root/repo/src/predictor/predictor.cc" "src/CMakeFiles/aic.dir/predictor/predictor.cc.o" "gcc" "src/CMakeFiles/aic.dir/predictor/predictor.cc.o.d"
+  "/root/repo/src/predictor/regression.cc" "src/CMakeFiles/aic.dir/predictor/regression.cc.o" "gcc" "src/CMakeFiles/aic.dir/predictor/regression.cc.o.d"
+  "/root/repo/src/sim/chain_sim.cc" "src/CMakeFiles/aic.dir/sim/chain_sim.cc.o" "gcc" "src/CMakeFiles/aic.dir/sim/chain_sim.cc.o.d"
+  "/root/repo/src/sim/failure_sim.cc" "src/CMakeFiles/aic.dir/sim/failure_sim.cc.o" "gcc" "src/CMakeFiles/aic.dir/sim/failure_sim.cc.o.d"
+  "/root/repo/src/storage/multilevel_store.cc" "src/CMakeFiles/aic.dir/storage/multilevel_store.cc.o" "gcc" "src/CMakeFiles/aic.dir/storage/multilevel_store.cc.o.d"
+  "/root/repo/src/storage/storage.cc" "src/CMakeFiles/aic.dir/storage/storage.cc.o" "gcc" "src/CMakeFiles/aic.dir/storage/storage.cc.o.d"
+  "/root/repo/src/trace/lanl_trace.cc" "src/CMakeFiles/aic.dir/trace/lanl_trace.cc.o" "gcc" "src/CMakeFiles/aic.dir/trace/lanl_trace.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/aic.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/aic.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

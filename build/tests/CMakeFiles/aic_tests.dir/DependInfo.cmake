@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/async_test.cc" "tests/CMakeFiles/aic_tests.dir/async_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/async_test.cc.o.d"
+  "/root/repo/tests/ckpt_test.cc" "tests/CMakeFiles/aic_tests.dir/ckpt_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/ckpt_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/aic_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/control_test.cc" "tests/CMakeFiles/aic_tests.dir/control_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/control_test.cc.o.d"
+  "/root/repo/tests/coordinated_test.cc" "tests/CMakeFiles/aic_tests.dir/coordinated_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/coordinated_test.cc.o.d"
+  "/root/repo/tests/delta_test.cc" "tests/CMakeFiles/aic_tests.dir/delta_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/delta_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/aic_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/aic_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/multilevel_store_test.cc" "tests/CMakeFiles/aic_tests.dir/multilevel_store_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/multilevel_store_test.cc.o.d"
+  "/root/repo/tests/predictor_test.cc" "tests/CMakeFiles/aic_tests.dir/predictor_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/predictor_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/aic_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/aic_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/aic_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/aic_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/aic_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/aic_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
