@@ -2,11 +2,15 @@
 // the paper's widest-swinging benchmark) under the full AIC controller and
 // watch the decider place checkpoints into the cheap moments.
 //
-//   build/examples/example_adaptive_checkpointing [benchmark]
+//   build/examples/example_adaptive_checkpointing [benchmark] [workers]
 //   benchmark in {bzip2, sjeng, libquantum, milc, lbm, sphinx3}
+//   workers: delta-compression threads on the checkpointing cores
+//            (0 = auto, hardware_concurrency() - 1; 1 = serial)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "aic/aic.h"
 
@@ -28,6 +32,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  unsigned workers = 0;  // auto
+  if (argc > 2) workers = unsigned(std::strtoul(argv[2], nullptr, 10));
 
   // Section-V testbed: failure rate 1e-3 split with Coastal shares,
   // bandwidths scaled to the synthetic footprint.
@@ -35,6 +41,7 @@ int main(int argc, char** argv) {
   const auto split = model::split_rate(1e-3);
   cfg.system.lambda = {split[0], split[1], split[2]};
   cfg.workload_scale = 0.25;
+  cfg.compress_workers = workers;
   const auto prof = workload::spec_profile(benchmark, cfg.workload_scale);
   cfg.costs =
       control::CostModel::paper_scaled(prof.footprint_pages * kPageSize);
@@ -49,8 +56,12 @@ int main(int argc, char** argv) {
     }
   };
 
-  std::printf("running %s (base time %.0f s) under AIC...\n",
-              to_string(benchmark), prof.base_time);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "running %s (base time %.0f s) under AIC, delta pipeline: %u "
+      "worker(s) (host has %u cores)...\n",
+      to_string(benchmark), prof.base_time,
+      workers == 0 ? (hw > 1 ? hw - 1 : 1) : workers, hw);
   const auto res =
       control::run_experiment(control::Scheme::kAic, benchmark, cfg);
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# PR-time verification:
+#   1. tier-1: configure, build, full ctest suite (ROADMAP.md contract);
+#   2. ThreadSanitizer pass over the concurrency surface (thread pool,
+#      parallel delta pipeline, async checkpointer) via AIC_SANITIZE=thread.
+#
+# Usage: scripts/verify.sh [--tier1-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc)"
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$jobs"
+ctest --test-dir build --output-on-failure -j"$jobs"
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  exit 0
+fi
+
+echo "== tsan: concurrency tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DAIC_SANITIZE=thread >/dev/null
+# Only the test binary: benchmarks/examples don't add TSan coverage.
+cmake --build build-tsan -j"$jobs" --target aic_tests
+ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
+  -R 'ThreadPool|Parallel|Async|UnchangedFastPath'
+echo "verify: OK"

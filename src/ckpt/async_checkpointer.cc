@@ -22,34 +22,36 @@ AsyncCheckpointer::~AsyncCheckpointer() {
 
 std::uint64_t AsyncCheckpointer::submit(mem::AddressSpace& space,
                                         ByteSpan cpu_state, double app_time) {
-  // The blocking L1 step: copy the pages the checkpoint needs. Reading the
-  // chain's full-or-incremental decision is safe here: the schedule state
-  // only changes inside process(), and submit callers serialize with the
-  // worker through the queue (the decision for THIS job depends only on
-  // how many jobs precede it, which we know).
-  Job job;
-  job.app_time = app_time;
-  job.cpu_state.assign(cpu_state.begin(), cpu_state.end());
-  job.live = space.live_pages();
-
+  // Reading the chain's full-or-incremental decision is safe here: the
+  // schedule state only changes inside process(), and submit callers
+  // serialize with the worker through the queue (the decision for THIS job
+  // depends only on how many jobs precede it, which we know).
   std::unique_lock<std::mutex> lock(mutex_);
-  job.sequence = next_sequence_++;
+  const std::uint64_t sequence = next_sequence_++;
   // Full-vs-incremental is a pure function of the sequence number under
   // the chain's schedule (fulls at multiples of full_period + 1), so the
   // submitter can decide what to snapshot without racing the worker.
   const std::uint32_t period = config_.chain.full_period;
-  job.full = period == 0 ? job.sequence == 0
-                         : job.sequence % (period + 1) == 0;
+  const bool full =
+      period == 0 ? sequence == 0 : sequence % (period + 1) == 0;
   lock.unlock();
 
-  if (job.full) {
-    job.pages = mem::Snapshot::capture(space);
-  } else {
-    job.pages = mem::Snapshot::capture_pages(space, space.dirty_pages());
-  }
+  // The blocking L1 step: this page-image capture is the one data copy the
+  // paper charges as c1 — everything after it (compression, shipping) runs
+  // on the checkpointing core. The snapshot and live-set are then MOVED
+  // into the job; only the caller-owned cpu_state span must be copied.
+  mem::Snapshot pages =
+      full ? mem::Snapshot::capture(space)
+           : mem::Snapshot::capture_pages(space, space.dirty_pages());
+  std::vector<mem::PageId> live = space.live_pages();
   space.protect_all();  // next interval's dirty tracking starts now
 
-  const std::uint64_t sequence = job.sequence;
+  Job job{.sequence = sequence,
+          .app_time = app_time,
+          .cpu_state = Bytes(cpu_state.begin(), cpu_state.end()),
+          .pages = std::move(pages),
+          .live = std::move(live),
+          .full = full};
   lock.lock();
   queue_.push_back(std::move(job));
   lock.unlock();

@@ -12,10 +12,14 @@
 //      invokes the completion callback with the capture accounting.
 //
 // The application thread never touches pages the worker is reading: the
-// submit step copies dirty pages (that copy is exactly the local L1 write
-// the paper charges as c1). Jobs are processed FIFO; one in flight at a
-// time mirrors the single checkpointing core ("no L1 until the last L3 has
-// finished" is the caller's policy via busy()).
+// submit step's Snapshot::capture of the dirty pages is the ONE data copy
+// charged as the paper's c1 halt; the snapshot is then moved (not
+// re-copied) into the job, so nothing else in submit scales with the dirty
+// set. Jobs are processed FIFO; one job in flight at a time mirrors the
+// paper's protocol ("no L1 until the last L3 has finished" is the caller's
+// policy via busy()), but within a job the chain's compressor shards the
+// dirty pages across Config::chain.compress_workers threads — the
+// dedicated checkpointing cores of Section II.C.
 //
 // Thread-safety: submit/busy/drain/restore may be called from the
 // application thread; the completion callback runs on the worker thread.

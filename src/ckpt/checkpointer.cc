@@ -73,11 +73,16 @@ CheckpointFile Checkpointer::take_incremental(
   return f;
 }
 
-CheckpointFile Checkpointer::take_incremental_delta(
+namespace {
+
+/// Shared body of the two take_incremental_delta overloads: `compressor` is
+/// either the serial PageAlignedCompressor or the sharded pipeline — their
+/// outputs are byte-identical, so the checkpoint file is too.
+template <typename Compressor>
+CheckpointFile take_incremental_delta_with(
     const mem::AddressSpace& space, ByteSpan cpu_state, std::uint64_t sequence,
     double app_time, const std::vector<PageId>& prev_live,
-    const mem::Snapshot& prev, const delta::PageAlignedCompressor& compressor,
-    CaptureStats* stats) {
+    const mem::Snapshot& prev, Compressor& compressor, CaptureStats* stats) {
   CheckpointFile f;
   f.kind = CheckpointKind::kIncrementalDelta;
   f.sequence = sequence;
@@ -102,8 +107,29 @@ CheckpointFile Checkpointer::take_incremental_delta(
     stats->delta_work_units = res.stats.work_units;
     stats->pages_delta = res.pages_delta;
     stats->pages_raw = res.pages_raw;
+    stats->pages_same = res.pages_same;
   }
   return f;
+}
+
+}  // namespace
+
+CheckpointFile Checkpointer::take_incremental_delta(
+    const mem::AddressSpace& space, ByteSpan cpu_state, std::uint64_t sequence,
+    double app_time, const std::vector<PageId>& prev_live,
+    const mem::Snapshot& prev, const delta::PageAlignedCompressor& compressor,
+    CaptureStats* stats) {
+  return take_incremental_delta_with(space, cpu_state, sequence, app_time,
+                                     prev_live, prev, compressor, stats);
+}
+
+CheckpointFile Checkpointer::take_incremental_delta(
+    const mem::AddressSpace& space, ByteSpan cpu_state, std::uint64_t sequence,
+    double app_time, const std::vector<PageId>& prev_live,
+    const mem::Snapshot& prev, delta::ParallelPageCompressor& compressor,
+    CaptureStats* stats) {
+  return take_incremental_delta_with(space, cpu_state, sequence, app_time,
+                                     prev_live, prev, compressor, stats);
 }
 
 RestartEngine::Restored RestartEngine::restore(
@@ -152,7 +178,10 @@ RestartEngine::Restored RestartEngine::restore(
 }
 
 CheckpointChain::CheckpointChain(Config config)
-    : config_(config), compressor_(config.page_codec) {}
+    : config_(config),
+      compressor_(delta::ParallelPageCompressor::Config{
+          .page_codec = config.page_codec,
+          .workers = config.compress_workers}) {}
 
 bool CheckpointChain::next_capture_is_full() const {
   return files_.empty() || (config_.full_period > 0 &&
@@ -204,6 +233,7 @@ CaptureStats CheckpointChain::capture_pages(const mem::Snapshot& pages,
     stats.delta_work_units = res.stats.work_units;
     stats.pages_delta = res.pages_delta;
     stats.pages_raw = res.pages_raw;
+    stats.pages_same = res.pages_same;
     ++incrementals_since_full_;
   } else {
     file.kind = CheckpointKind::kIncremental;
@@ -281,7 +311,7 @@ RestartEngine::Restored CheckpointChain::restore() const {
   AIC_CHECK_MSG(start > 0, "chain has no full checkpoint");
   std::vector<CheckpointFile> chain(files_.begin() + (start - 1),
                                     files_.end());
-  return RestartEngine::restore(chain, compressor_);
+  return RestartEngine::restore(chain, compressor_.serial());
 }
 
 void CheckpointChain::rollback_to(std::uint64_t sequence) {

@@ -16,6 +16,7 @@
 
 #include "ckpt/checkpoint_file.h"
 #include "delta/page_delta.h"
+#include "delta/parallel_page_delta.h"
 #include "mem/address_space.h"
 #include "mem/snapshot.h"
 
@@ -37,6 +38,9 @@ struct CaptureStats {
   std::uint64_t delta_work_units = 0;
   std::uint64_t pages_delta = 0;
   std::uint64_t pages_raw = 0;
+  /// Dirty pages bit-identical to their previous version, skipped by the
+  /// compressor's memcmp fast path (zero payload bytes).
+  std::uint64_t pages_same = 0;
 };
 
 /// Stateless capture primitives.
@@ -63,6 +67,14 @@ class Checkpointer {
       std::uint64_t sequence, double app_time,
       const std::vector<PageId>& prev_live, const mem::Snapshot& prev,
       const delta::PageAlignedCompressor& compressor, CaptureStats* stats);
+
+  /// Same, through the sharded multi-threaded pipeline (byte-identical
+  /// output; non-const because the compressor reuses its shard buffers).
+  static CheckpointFile take_incremental_delta(
+      const mem::AddressSpace& space, ByteSpan cpu_state,
+      std::uint64_t sequence, double app_time,
+      const std::vector<PageId>& prev_live, const mem::Snapshot& prev,
+      delta::ParallelPageCompressor& compressor, CaptureStats* stats);
 };
 
 /// Replays a restart chain: one full checkpoint followed by its incremental
@@ -96,6 +108,10 @@ class CheckpointChain {
     /// compression" ablation point.
     bool delta_compress = true;
     delta::XDelta3Config page_codec = delta::PageAlignedCompressor::page_config();
+    /// Delta-compression worker threads (the paper's dedicated
+    /// checkpointing cores). 0 = auto (hardware_concurrency() - 1);
+    /// 1 = serial. Output is byte-identical at any setting.
+    unsigned compress_workers = 0;
   };
 
   CheckpointChain() : CheckpointChain(Config{}) {}
@@ -149,7 +165,7 @@ class CheckpointChain {
 
  private:
   Config config_;
-  delta::PageAlignedCompressor compressor_;
+  delta::ParallelPageCompressor compressor_;
   std::vector<CheckpointFile> files_;
   mem::Snapshot accumulated_;
   std::vector<PageId> last_live_;

@@ -1,0 +1,61 @@
+// Minimal fixed-size thread pool for the concurrent checkpointing core.
+//
+// The paper dedicates spare cores to checkpointing work (Section II.C's
+// idle-core study); this pool is the repo's stand-in for those cores. It is
+// built for the delta-compression pipeline's usage pattern: a long-lived
+// pool owned by one compressor, fed a burst of shard-encode tasks per
+// checkpoint, then drained with wait_idle() before the merged payload is
+// assembled. Threads are created once and reused across checkpoints so the
+// per-checkpoint cost is task dispatch, not thread spawn.
+//
+// Thread-safety: run() and wait_idle() may be called from any thread, but
+// the intended protocol is a single producer enqueueing a batch and then
+// waiting; wait_idle() returns once *all* queued tasks (from any producer)
+// have finished. Tasks must not throw — wrap fallible work and carry
+// errors out via captured state (see ParallelPageCompressor).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aic::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some pool thread.
+  void run(std::function<void()> task);
+
+  /// Blocks until every task enqueued so far has completed.
+  void wait_idle();
+
+  unsigned size() const { return unsigned(threads_.size()); }
+
+  /// Worker count modeling "all cores but the application's":
+  /// hardware_concurrency() - 1, clamped to at least 1.
+  static unsigned default_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals workers: task ready / stop
+  std::condition_variable idle_cv_;  // signals wait_idle: pending_ hit zero
+  std::deque<std::function<void()>> queue_;
+  std::size_t pending_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace aic::common

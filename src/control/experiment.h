@@ -57,6 +57,11 @@ struct ExperimentConfig {
   /// the footprint/B3 transfer time.
   std::uint32_t full_period = 0;
   predictor::SamplerConfig sampler;
+  /// Delta-compression worker threads for the concurrent schemes' chains
+  /// (ckpt::CheckpointChain::Config::compress_workers): 0 = auto
+  /// (hardware_concurrency() - 1), 1 = serial. Results are byte-identical
+  /// at any setting; only host wall-clock changes.
+  unsigned compress_workers = 0;
   /// Work-span search range for the deciders.
   double min_w = 1.0;
   double max_w = 1e5;

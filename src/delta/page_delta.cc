@@ -1,5 +1,7 @@
 #include "delta/page_delta.h"
 
+#include <cstring>
+
 #include "common/check.h"
 #include "common/units.h"
 
@@ -8,44 +10,65 @@ namespace {
 
 constexpr std::uint8_t kKindRaw = 0;
 constexpr std::uint8_t kKindDelta = 1;
+constexpr std::uint8_t kKindSame = 2;
 
 }  // namespace
 
 PageAlignedCompressor::PageAlignedCompressor(XDelta3Config per_page)
     : codec_(per_page) {}
 
+void PageAlignedCompressor::encode_page(const DirtyPage& page,
+                                        const mem::Snapshot& prev,
+                                        ByteWriter& w,
+                                        DeltaResult& acc) const {
+  AIC_CHECK(page.bytes.size() == kPageSize);
+  w.varint(page.id);
+  acc.stats.input_bytes += kPageSize;
+  if (prev.contains(page.id)) {
+    ByteSpan prev_bytes = prev.page_bytes(page.id);
+    acc.stats.source_bytes += kPageSize;
+    // Fast path: conservatively write-protected pages are often rewritten
+    // with identical content; one memcmp replaces the whole codec pass and
+    // the record is just id + kind. Charged as one page of work (the
+    // compare scan); a failed compare's partial scan is folded into the
+    // encode cost below.
+    if (std::memcmp(prev_bytes.data(), page.bytes.data(), kPageSize) == 0) {
+      w.u8(kKindSame);
+      acc.stats.work_units += kPageSize;
+      ++acc.pages_same;
+      return;
+    }
+    CodecStats st;
+    Bytes delta = codec_.encode(prev_bytes, page.bytes, &st);
+    acc.stats.work_units += st.work_units;
+    acc.stats.copy_ops += st.copy_ops;
+    acc.stats.add_ops += st.add_ops;
+    if (delta.size() < kPageSize) {
+      w.u8(kKindDelta);
+      w.varint(delta.size());
+      w.raw(delta);
+      ++acc.pages_delta;
+      return;
+    }
+    // Delta expanded (dissimilar page): fall through to raw.
+  }
+  w.u8(kKindRaw);
+  w.varint(kPageSize);
+  w.raw(page.bytes);
+  acc.stats.work_units += kPageSize;
+  ++acc.pages_raw;
+}
+
 DeltaResult PageAlignedCompressor::compress(
     const std::vector<DirtyPage>& dirty, const mem::Snapshot& prev) const {
   DeltaResult result;
   result.pages_total = dirty.size();
+  // Worst case is every page raw plus small headers; reserving the dirty-set
+  // size up front kills the repeated ByteWriter reallocation on big sets.
+  result.payload.reserve(dirty.size() * (kPageSize + 16) + 10);
   ByteWriter w(result.payload);
   w.varint(dirty.size());
-  for (const DirtyPage& page : dirty) {
-    AIC_CHECK(page.bytes.size() == kPageSize);
-    w.varint(page.id);
-    result.stats.input_bytes += kPageSize;
-    if (prev.contains(page.id)) {
-      CodecStats st;
-      Bytes delta = codec_.encode(prev.page_bytes(page.id), page.bytes, &st);
-      result.stats.work_units += st.work_units;
-      result.stats.copy_ops += st.copy_ops;
-      result.stats.add_ops += st.add_ops;
-      result.stats.source_bytes += kPageSize;
-      if (delta.size() < kPageSize) {
-        w.u8(kKindDelta);
-        w.varint(delta.size());
-        w.raw(delta);
-        ++result.pages_delta;
-        continue;
-      }
-      // Delta expanded (dissimilar page): fall through to raw.
-    }
-    w.u8(kKindRaw);
-    w.varint(kPageSize);
-    w.raw(page.bytes);
-    result.stats.work_units += kPageSize;
-    ++result.pages_raw;
-  }
+  for (const DirtyPage& page : dirty) encode_page(page, prev, w, result);
   result.stats.output_bytes = result.payload.size();
   return result;
 }
@@ -58,6 +81,12 @@ mem::Snapshot PageAlignedCompressor::decompress(
   for (std::uint64_t i = 0; i < count; ++i) {
     const PageId id = r.varint();
     const std::uint8_t kind = r.u8();
+    if (kind == kKindSame) {
+      AIC_CHECK_MSG(prev.contains(id),
+                    "same page " << id << " missing from previous snapshot");
+      out.put_page(id, prev.page_bytes(id));
+      continue;
+    }
     const std::uint64_t len = r.varint();
     ByteSpan body = r.raw(len);
     if (kind == kKindRaw) {
@@ -87,6 +116,7 @@ DeltaResult WholeFileCompressor::compress(const std::vector<DirtyPage>& dirty,
 
   // Source: all pages of the previous checkpoint, concatenated in id order.
   Bytes source;
+  source.reserve(prev.page_count() * kPageSize);
   for (PageId id : prev.page_ids()) {
     ByteSpan b = prev.page_bytes(id);
     source.insert(source.end(), b.begin(), b.end());
@@ -133,6 +163,7 @@ mem::Snapshot WholeFileCompressor::decompress(ByteSpan payload,
   AIC_CHECK_MSG(r.done(), "trailing bytes in whole-file payload");
 
   Bytes source;
+  source.reserve(prev.page_count() * kPageSize);
   for (PageId id : prev.page_ids()) {
     ByteSpan b = prev.page_bytes(id);
     source.insert(source.end(), b.begin(), b.end());

@@ -10,7 +10,11 @@
 //
 // Payload formats (both varint-based, see common/bytes.h):
 //   page-aligned: varint page_count, then per page:
-//       varint page_id, u8 kind (0 raw | 1 delta), varint len, bytes
+//       varint page_id, u8 kind (0 raw | 1 delta | 2 same),
+//       then for raw/delta: varint len, bytes (a "same" record is just the
+//       id + kind — the page is bit-identical to its previous version, the
+//       common case for conservatively write-protected pages, detected by a
+//       memcmp fast path that skips the codec entirely)
 //   whole-file:   varint page_count, varint page_id deltas (ascending),
 //       varint delta_len, delta bytes (XDelta3 over the concatenation of
 //       the dirty pages against the concatenation of *all* pages of the
@@ -41,6 +45,7 @@ struct DeltaResult {
   std::uint64_t pages_total = 0;
   std::uint64_t pages_delta = 0;  // pages encoded as a delta (hot pages)
   std::uint64_t pages_raw = 0;    // new pages stored verbatim
+  std::uint64_t pages_same = 0;   // unchanged pages (memcmp fast path)
 };
 
 /// Page-aligned delta compressor (Xdelta3-PA).
@@ -59,6 +64,15 @@ class PageAlignedCompressor {
 
   /// Inverse: reconstructs the dirty pages' images given the same `prev`.
   mem::Snapshot decompress(ByteSpan payload, const mem::Snapshot& prev) const;
+
+  /// Encodes one dirty page (same/delta/raw record) into `w`, merging its
+  /// accounting into `acc` — everything except `stats.output_bytes`, which
+  /// the caller sets from the finished payload. This is the single per-page
+  /// encoder shared with ParallelPageCompressor: both compressors emit the
+  /// exact same record stream, which is what makes parallel output
+  /// byte-identical to serial output (a tested invariant).
+  void encode_page(const DirtyPage& page, const mem::Snapshot& prev,
+                   ByteWriter& w, DeltaResult& acc) const;
 
  private:
   XDelta3Codec codec_;

@@ -1,0 +1,77 @@
+// Sharded multi-threaded page-delta compression pipeline.
+//
+// The paper's decider can only pick short work spans when the delta latency
+// dl is small (Section III: dl enters c2/c3 directly), and on a multicore
+// node the serial PageAlignedCompressor leaves every core but one idle in
+// that exact hot path. ParallelPageCompressor partitions the dirty-page
+// list into contiguous shards, encodes each shard on its own thread into a
+// reusable per-shard scratch buffer, merges the per-thread CodecStats, and
+// stitches the shard streams back in page-id order.
+//
+// Determinism invariant: the merged payload is byte-identical to
+// PageAlignedCompressor::compress on the same input, for any worker count
+// (the shards reuse PageAlignedCompressor::encode_page, and contiguous
+// shards concatenated in order reproduce the serial record stream). Stats
+// totals are likewise identical — per-page contributions are summed, and
+// uint64 addition is associative. Tests assert both.
+//
+// Buffer reuse: the per-shard scratch buffers and the thread pool live for
+// the compressor's lifetime, so steady-state checkpoints allocate only
+// codec-internal scratch, not per-page payload buffers. Consequently
+// compress() is NOT const and a single instance must not be used from two
+// threads at once (the checkpointing core owns its compressor).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "delta/page_delta.h"
+
+namespace aic::delta {
+
+class ParallelPageCompressor {
+ public:
+  struct Config {
+    XDelta3Config page_codec = PageAlignedCompressor::page_config();
+    /// Encoding threads (including the calling thread); 0 = auto
+    /// (ThreadPool::default_workers(), i.e. hardware_concurrency() - 1 —
+    /// the paper's "all cores but the application's" checkpointing cores).
+    /// 1 encodes inline with no pool at all.
+    unsigned workers = 0;
+    /// Dirty sets smaller than workers * this encode inline: shard dispatch
+    /// overhead would dominate a handful of 4 KiB pages.
+    std::size_t min_shard_pages = 8;
+  };
+
+  ParallelPageCompressor() : ParallelPageCompressor(Config{}) {}
+  explicit ParallelPageCompressor(Config config);
+
+  /// Same contract as PageAlignedCompressor::compress; output is
+  /// byte-identical to it. Not thread-safe per instance (reuses the shard
+  /// scratch buffers).
+  DeltaResult compress(const std::vector<DirtyPage>& dirty,
+                       const mem::Snapshot& prev);
+
+  /// Decoding is cheap and stays serial.
+  mem::Snapshot decompress(ByteSpan payload, const mem::Snapshot& prev) const {
+    return serial_.decompress(payload, prev);
+  }
+
+  /// The underlying serial compressor (shared per-page encoder + decoder);
+  /// what RestartEngine replays with.
+  const PageAlignedCompressor& serial() const { return serial_; }
+
+  unsigned workers() const { return workers_; }
+
+ private:
+  Config config_;
+  unsigned workers_;  // resolved (config 0 -> default_workers())
+  PageAlignedCompressor serial_;
+  /// Created on the first compress() that actually shards, then reused for
+  /// every later checkpoint; small simulations never pay the thread spawn.
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::vector<Bytes> shard_buffers_;  // scratch, capacity kept across calls
+};
+
+}  // namespace aic::delta
