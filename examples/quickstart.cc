@@ -53,7 +53,14 @@ int main() {
       double(inc.file_bytes) / 1024.0,
       double(inc.file_bytes) / double(inc.uncompressed_bytes));
 
-  // 5. Crash! All live state is gone; restore from the chain.
+  // 5. Before trusting the chain, fsck it: structural invariants plus a
+  //    full payload replay (what `tools/aic_fsck` runs against disk).
+  verify::ChainVerifier fsck;
+  const verify::Report report = fsck.verify(chain.files());
+  std::printf("chain integrity: %s\n", report.summary().c_str());
+  if (!report.ok()) return 1;
+
+  // 6. Crash! All live state is gone; restore from the chain.
   const mem::Snapshot before_crash = mem::Snapshot::capture(space);
   {
     mem::AddressSpace lost = std::move(space);  // simulate the loss

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy (when installed) plus cheap greps for
+# repo conventions that compilers don't enforce:
+#
+#   L1  no raw `new`/`delete` outside src/common/ — ownership is
+#       unique_ptr/containers everywhere else;
+#   L2  no `#include <iostream>` in src/ library code — the library reports
+#       through return values and CheckError, never by printing (tools/,
+#       examples/, bench/ are front-ends and may print);
+#   L3  no `printf`-family calls in src/ for the same reason;
+#   L4  library code never calls `abort`/`exit` — invariants throw
+#       CheckError so callers and tests can observe them.
+#
+# Usage: scripts/lint.sh
+# Exit: 0 clean, 1 findings.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+fail() {
+  echo "lint: $1"
+  shift
+  printf '  %s\n' "$@"
+  status=1
+}
+
+# Greps code with `//` comments stripped (line numbers preserved), so
+# prose like "// new pages stored verbatim" never trips the checks.
+scan_code() { # scan_code <pattern> <file>...
+  local pattern=$1
+  shift
+  local f
+  for f in "$@"; do
+    sed 's|//.*||' "$f" | grep -nE "$pattern" | sed "s|^|$f:|"
+  done
+  return 0
+}
+
+mapfile -t lib_files < <(find src -name '*.cc' -o -name '*.h' | sort)
+mapfile -t noncommon_files < <(printf '%s\n' "${lib_files[@]}" \
+  | grep -v '^src/common/')
+
+# --- L1: raw new/delete outside common/ -------------------------------------
+# Allocation expressions only: `new Type`/`new (`, `delete x`/`delete[] x`.
+mapfile -t hits < <(scan_code \
+  '(^|[^[:alnum:]_])(new +[A-Za-z_(]|delete( *\[\])? +[A-Za-z_*])' \
+  "${noncommon_files[@]}")
+if ((${#hits[@]})); then
+  fail "raw new/delete outside src/common/:" "${hits[@]}"
+fi
+
+# --- L2: iostream in library code --------------------------------------------
+mapfile -t hits < <(grep -rn '#include <iostream>' src || true)
+if ((${#hits[@]})); then
+  fail "#include <iostream> in src/ library code:" "${hits[@]}"
+fi
+
+# --- L3: printf-family in library code ---------------------------------------
+mapfile -t hits < <(scan_code \
+  '(^|[^[:alnum:]_])(printf|fprintf|puts) *\(' "${lib_files[@]}")
+if ((${#hits[@]})); then
+  fail "printf-family call in src/ library code:" "${hits[@]}"
+fi
+
+# --- L4: abort/exit in library code ------------------------------------------
+mapfile -t hits < <(scan_code \
+  '(^|[^[:alnum:]_])(std::)?(abort|exit) *\(' "${lib_files[@]}")
+if ((${#hits[@]})); then
+  fail "abort/exit in src/ library code:" "${hits[@]}"
+fi
+
+# --- clang-tidy (optional: profile in .clang-tidy) ---------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  build_dir=build
+  if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  echo "lint: running clang-tidy over src/ (profile: .clang-tidy)"
+  if ! find src -name '*.cc' -print0 \
+    | xargs -0 -n8 clang-tidy -p "$build_dir" --quiet; then
+    status=1
+  fi
+else
+  echo "lint: clang-tidy not installed; skipping (greps still enforced)"
+fi
+
+if ((status == 0)); then
+  echo "lint: OK"
+fi
+exit "$status"

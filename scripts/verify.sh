@@ -1,28 +1,115 @@
 #!/usr/bin/env bash
-# PR-time verification:
-#   1. tier-1: configure, build, full ctest suite (ROADMAP.md contract);
-#   2. ThreadSanitizer pass over the concurrency surface (thread pool,
-#      parallel delta pipeline, async checkpointer) via AIC_SANITIZE=thread.
+# PR-time verification matrix (the gate recorded in ROADMAP.md):
 #
-# Usage: scripts/verify.sh [--tier1-only]
-set -euo pipefail
+#   tier1        configure + build with AIC_WERROR=ON (warnings are
+#                errors across src/tests/bench/examples/tools) + full
+#                ctest suite                                  [build/]
+#   lint         scripts/lint.sh — clang-tidy when installed, plus the
+#                repo-convention greps
+#   tsan         concurrency tests under ThreadSanitizer      [build-tsan/]
+#   asan+ubsan   the FULL test suite under AddressSanitizer +
+#                UndefinedBehaviorSanitizer                   [build-asan/]
+#
+# Usage:
+#   scripts/verify.sh               # full matrix (identical to --matrix)
+#   scripts/verify.sh --matrix      # full matrix + per-leg summary table
+#   scripts/verify.sh --tier1-only  # just tier1 + lint (fast local loop)
+#
+# Every leg runs even if an earlier one fails; the summary prints one line
+# per leg and the exit status is nonzero iff any leg failed.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc)"
+mode="${1:-}"
 
-echo "== tier-1: build + full test suite =="
-cmake -B build -S . >/dev/null
-cmake --build build -j"$jobs"
-ctest --test-dir build --output-on-failure -j"$jobs"
+declare -a leg_names=() leg_results=()
+record() { # record <leg> <status> <detail>
+  leg_names+=("$1")
+  leg_results+=("$2	$3")
+}
 
-if [[ "${1:-}" == "--tier1-only" ]]; then
-  exit 0
-fi
+ctest_passed() { # parses "100% tests passed, 0 tests failed out of 302"
+  grep -oE '[0-9]+% tests passed.*out of [0-9]+' "$1" | tail -1
+}
 
-echo "== tsan: concurrency tests under ThreadSanitizer =="
-cmake -B build-tsan -S . -DAIC_SANITIZE=thread >/dev/null
-# Only the test binary: benchmarks/examples don't add TSan coverage.
-cmake --build build-tsan -j"$jobs" --target aic_tests
-ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
-  -R 'ThreadPool|Parallel|Async|UnchangedFastPath'
-echo "verify: OK"
+run_tier1() {
+  echo "== tier1: -Werror build + full test suite =="
+  local log
+  log=$(mktemp)
+  if cmake -B build -S . -DAIC_WERROR=ON >/dev/null &&
+    cmake --build build -j"$jobs" &&
+    ctest --test-dir build --output-on-failure -j"$jobs" | tee "$log"; then
+    record tier1 OK "$(ctest_passed "$log"), -Werror clean"
+  else
+    record tier1 FAIL "see output above"
+  fi
+  rm -f "$log"
+}
+
+run_lint() {
+  echo "== lint: clang-tidy + convention greps =="
+  if scripts/lint.sh; then
+    record lint OK "clean"
+  else
+    record lint FAIL "see output above"
+  fi
+}
+
+run_tsan() {
+  echo "== tsan: concurrency tests under ThreadSanitizer =="
+  local log
+  log=$(mktemp)
+  # Only the test binary: benchmarks/examples don't add TSan coverage.
+  if cmake -B build-tsan -S . -DAIC_SANITIZE=thread >/dev/null &&
+    cmake --build build-tsan -j"$jobs" --target aic_tests &&
+    ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
+      -R 'ThreadPool|Parallel|Async|UnchangedFastPath' | tee "$log"; then
+    record tsan OK "$(ctest_passed "$log")"
+  else
+    record tsan FAIL "see output above"
+  fi
+  rm -f "$log"
+}
+
+run_asan_ubsan() {
+  echo "== asan+ubsan: full test suite under ASan + UBSan =="
+  local log
+  log=$(mktemp)
+  if cmake -B build-asan -S . -DAIC_SANITIZE=address,undefined >/dev/null &&
+    cmake --build build-asan -j"$jobs" --target aic_tests &&
+    ctest --test-dir build-asan --output-on-failure -j"$jobs" | tee "$log"; then
+    record "asan+ubsan" OK "$(ctest_passed "$log")"
+  else
+    record "asan+ubsan" FAIL "see output above"
+  fi
+  rm -f "$log"
+}
+
+case "$mode" in
+"" | --matrix)
+  run_tier1
+  run_lint
+  run_tsan
+  run_asan_ubsan
+  ;;
+--tier1-only)
+  run_tier1
+  run_lint
+  ;;
+*)
+  echo "usage: scripts/verify.sh [--matrix|--tier1-only]" >&2
+  exit 2
+  ;;
+esac
+
+echo
+echo "== verify matrix summary =="
+status=0
+for i in "${!leg_names[@]}"; do
+  IFS=$'\t' read -r result detail <<<"${leg_results[$i]}"
+  printf '%-12s %-5s %s\n' "${leg_names[$i]}" "$result" "$detail"
+  [[ "$result" == OK ]] || status=1
+done
+[[ "$status" == 0 ]] && echo "verify: OK" || echo "verify: FAILED"
+exit "$status"

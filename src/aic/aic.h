@@ -21,6 +21,9 @@
 //   sim/        Monte-Carlo chain validation and full-stack failure
 //               injection with byte-exact recovery verification
 //   trace/      LANL-style usage logs and the idle-core candidate study
+//   verify/     checkpoint-chain integrity verification (the aic_fsck
+//               engine): typed diagnostics over structural + replay
+//               invariants
 #pragma once
 
 #include "ckpt/async_checkpointer.h"
@@ -28,6 +31,7 @@
 #include "ckpt/checkpointer.h"
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/crc32c.h"
 #include "common/linalg.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -60,4 +64,5 @@
 #include "storage/multilevel_store.h"
 #include "storage/storage.h"
 #include "trace/lanl_trace.h"
+#include "verify/chain_verifier.h"
 #include "workload/workload.h"

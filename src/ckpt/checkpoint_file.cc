@@ -1,13 +1,33 @@
 #include "ckpt/checkpoint_file.h"
 
 #include "common/check.h"
+#include "common/crc32c.h"
 #include "common/units.h"
 
 namespace aic::ckpt {
 namespace {
 
-// "AICCKPT1" little-endian.
-constexpr std::uint64_t kMagic = 0x31544B4343494141ULL;
+// "AICCKPT1" / "AICCKPT2" little-endian.
+constexpr std::uint64_t kMagicV1 = 0x31544B4343494141ULL;
+constexpr std::uint64_t kMagicV2 = 0x32544B4343494141ULL;
+
+// v2 prefix: u64 magic + u32 body checksum.
+constexpr std::size_t kV2HeaderSize = 12;
+
+/// Reads a length/count field and proves it can be backed by the bytes
+/// still in the stream (`per_item` ≥ serialized bytes per counted item)
+/// before the caller allocates or reads anything — a hostile 2^60 length
+/// must die here, not in an allocator or a span overrun.
+std::uint64_t bounded_varint(ByteReader& r, const char* field,
+                             std::uint64_t per_item = 1) {
+  const std::size_t at = r.pos();
+  const std::uint64_t v = r.varint();
+  AIC_CHECK_MSG(per_item == 0 || v <= r.remaining() / per_item,
+                "checkpoint " << field << " = " << v << " at offset " << at
+                              << " exceeds the " << r.remaining()
+                              << " bytes remaining");
+  return v;
+}
 
 }  // namespace
 
@@ -27,7 +47,8 @@ Bytes CheckpointFile::serialize() const {
   Bytes out;
   out.reserve(payload.size() + cpu_state.size() + 64);
   ByteWriter w(out);
-  w.u64(kMagic);
+  w.u64(kMagicV2);
+  w.u32(0);  // checksum placeholder, patched below
   w.u8(std::uint8_t(kind));
   w.varint(sequence);
   w.f64(app_time);
@@ -42,33 +63,69 @@ Bytes CheckpointFile::serialize() const {
   }
   w.varint(payload.size());
   w.raw(payload);
+
+  const std::uint32_t crc =
+      crc32c(ByteSpan(out).subspan(kV2HeaderSize));
+  for (int i = 0; i < 4; ++i) out[8 + i] = std::uint8_t(crc >> (8 * i));
   return out;
 }
 
 CheckpointFile CheckpointFile::parse(ByteSpan data) {
   ByteReader r(data);
-  AIC_CHECK_MSG(r.u64() == kMagic, "bad checkpoint magic");
+  const std::uint64_t magic = r.u64();
   CheckpointFile f;
+  if (magic == kMagicV2) {
+    f.version = kVersionV2;
+    const std::uint32_t stored = r.u32();
+    const std::uint32_t computed = crc32c(data.subspan(kV2HeaderSize));
+    if (stored != computed) {
+      // Best-effort peek at the (untrusted) sequence so the diagnostic can
+      // say which chain position is corrupt; every read is bounds-checked.
+      std::string claimed;
+      try {
+        ByteReader peek(data.subspan(kV2HeaderSize));
+        (void)peek.u8();  // kind
+        claimed = " (record claims sequence " +
+                  std::to_string(peek.varint()) + ")";
+      } catch (const CheckError&) {
+      }
+      AIC_CHECK_MSG(stored == computed,
+                    "checkpoint body checksum mismatch at offset 8: stored "
+                    "crc32c="
+                        << stored << ", computed " << computed
+                        << " over bytes [" << kV2HeaderSize << ", "
+                        << data.size() << ")" << claimed);
+    }
+  } else {
+    AIC_CHECK_MSG(magic == kMagicV1, "bad checkpoint magic at offset 0");
+    f.version = kVersionV1;
+  }
+  std::size_t at = r.pos();
   const std::uint8_t kind = r.u8();
   AIC_CHECK_MSG(kind <= std::uint8_t(CheckpointKind::kIncrementalDelta),
-                "bad checkpoint kind " << int(kind));
+                "bad checkpoint kind " << int(kind) << " at offset " << at);
   f.kind = CheckpointKind(kind);
   f.sequence = r.varint();
   f.app_time = r.f64();
-  const std::uint64_t cpu_len = r.varint();
+  const std::uint64_t cpu_len = bounded_varint(r, "cpu_state length");
   ByteSpan cpu = r.raw(cpu_len);
   f.cpu_state.assign(cpu.begin(), cpu.end());
-  const std::uint64_t freed = r.varint();
+  const std::uint64_t freed = bounded_varint(r, "freed-page count");
   PageId last = 0;
   f.freed_pages.reserve(freed);
   for (std::uint64_t i = 0; i < freed; ++i) {
-    last += r.varint();
+    at = r.pos();
+    const std::uint64_t step = r.varint();
+    AIC_CHECK_MSG(step <= ~PageId{0} - last,
+                  "freed-page id overflow at offset " << at);
+    last += step;
     f.freed_pages.push_back(last);
   }
-  const std::uint64_t payload_len = r.varint();
+  const std::uint64_t payload_len = bounded_varint(r, "payload length");
   ByteSpan payload = r.raw(payload_len);
   f.payload.assign(payload.begin(), payload.end());
-  AIC_CHECK_MSG(r.done(), "trailing bytes after checkpoint");
+  AIC_CHECK_MSG(r.done(), "trailing bytes after checkpoint at offset "
+                              << r.pos() << " (record claims to end there)");
   return f;
 }
 
@@ -79,7 +136,8 @@ std::uint64_t CheckpointFile::serialized_size() const {
   // for the header and add payload sizes.
   Bytes scratch;
   ByteWriter w(scratch);
-  w.u64(kMagic);
+  w.u64(kMagicV2);
+  w.u32(0);
   w.u8(std::uint8_t(kind));
   w.varint(sequence);
   w.f64(app_time);
@@ -110,6 +168,8 @@ Bytes encode_raw_pages(const std::vector<std::pair<PageId, ByteSpan>>& pages) {
 std::vector<std::pair<PageId, Bytes>> decode_raw_pages(ByteSpan payload) {
   ByteReader r(payload);
   const std::uint64_t count = r.varint();
+  AIC_CHECK_MSG(count <= r.remaining() / kPageSize,
+                "raw-page count " << count << " exceeds payload size");
   std::vector<std::pair<PageId, Bytes>> out;
   out.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {

@@ -13,13 +13,36 @@
 //                       state).
 //
 // Restart needs the last full checkpoint plus *all* incremental checkpoints
-// after it (Section II.A); RestartEngine replays exactly that.
+// after it (Section II.A); RestartEngine replays exactly that. One silently
+// corrupted record therefore poisons every restore that replays through it,
+// which is why v2 carries integrity metadata and verify/ChainVerifier
+// exists.
 //
-// Serialized layout (little-endian, varints per common/bytes.h):
-//   u64 magic "AICCKPT1" | u8 kind | varint sequence | f64 app_time
-//   varint cpu_state_len | cpu_state bytes
-//   varint freed_count | freed page ids (ascending, delta-coded)
-//   varint payload_len | payload bytes
+// Serialized layout v2 (little-endian, varints per common/bytes.h):
+//   u64 magic "AICCKPT2"
+//   u32 crc32c over the body (everything after this field)
+//   body:
+//     u8 kind | varint sequence | f64 app_time
+//     varint cpu_state_len | cpu_state bytes
+//     varint freed_count | freed page ids (ascending, delta-coded varints)
+//     varint payload_len | payload bytes
+//
+// v1 ("AICCKPT1") is the same body with no checksum field; parse() still
+// accepts it (reading old checkpoint stores) but serialize() always emits
+// v2. The CRC-32C (common/crc32c.h) covers every body byte, so any bit
+// flip, truncation inside the body, or torn write is detected before the
+// record's contents are believed; parse() reports the byte offset at which
+// corruption was detected in the CheckError message.
+//
+// parse() is hardened against hostile input: every length/count field is
+// bounds-checked against the bytes actually remaining before any
+// allocation or read, so truncated or oversized-length records throw
+// CheckError instead of over-reading or over-allocating.
+//
+// Invariants fsck (verify/chain_verifier.h) enforces across a *chain* of
+// these records — beyond the per-record checks parse() does — are listed in
+// that header: chain starts full, sequences contiguous, freed pages
+// resolvable, payloads decodable by replay.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +64,12 @@ enum class CheckpointKind : std::uint8_t {
 const char* to_string(CheckpointKind kind);
 
 struct CheckpointFile {
+  /// On-disk format version this record was parsed from (or will be
+  /// written as — serialize() always emits the current version).
+  static constexpr std::uint8_t kVersionV1 = 1;  // no checksum
+  static constexpr std::uint8_t kVersionV2 = 2;  // CRC-32C over the body
+  static constexpr std::uint8_t kCurrentVersion = kVersionV2;
+
   CheckpointKind kind = CheckpointKind::kFull;
   /// Monotone sequence number within a chain; full checkpoints restart
   /// nothing — the sequence keeps increasing across the whole job.
@@ -53,10 +82,14 @@ struct CheckpointFile {
   std::vector<PageId> freed_pages;
   /// Page payload; interpretation depends on `kind` (see header comment).
   Bytes payload;
+  /// Format version observed by parse(); kCurrentVersion for records built
+  /// in memory.
+  std::uint8_t version = kCurrentVersion;
 
-  /// Serializes to the on-disk byte layout.
+  /// Serializes to the on-disk byte layout (always v2, checksummed).
   Bytes serialize() const;
-  /// Parses a serialized checkpoint; throws CheckError on corruption.
+  /// Parses a serialized checkpoint (v1 or v2); throws CheckError naming
+  /// the offending byte offset on any corruption or hostile length field.
   static CheckpointFile parse(ByteSpan data);
 
   /// Total serialized size without building the buffer (used for bandwidth

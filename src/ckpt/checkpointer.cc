@@ -137,38 +137,52 @@ RestartEngine::Restored RestartEngine::restore(
     const delta::PageAlignedCompressor& compressor) {
   AIC_CHECK_MSG(!chain.empty(), "empty restart chain");
   AIC_CHECK_MSG(chain.front().kind == CheckpointKind::kFull,
-                "restart chain must begin with a full checkpoint");
+                "restart chain must begin with a full checkpoint, got "
+                    << to_string(chain.front().kind) << " sequence "
+                    << chain.front().sequence);
   Restored out;
   std::uint64_t prev_seq = 0;
   bool first = true;
   for (const CheckpointFile& f : chain) {
     AIC_CHECK_MSG(first || f.sequence > prev_seq,
-                  "restart chain sequences must increase");
+                  "restart chain sequences must increase: sequence "
+                      << f.sequence << " follows " << prev_seq);
+    // Captures number checkpoints consecutively, so a sequence jump inside
+    // a chain means an incremental is missing — the delta after the gap
+    // would silently decode against the wrong accumulated state.
+    AIC_CHECK_MSG(first || f.sequence == prev_seq + 1,
+                  "restart chain is missing checkpoint(s): sequence "
+                      << f.sequence << " follows " << prev_seq);
     first = false;
     prev_seq = f.sequence;
 
-    switch (f.kind) {
-      case CheckpointKind::kFull: {
-        out.memory = mem::Snapshot();
-        for (auto& [id, bytes] : decode_raw_pages(f.payload))
-          out.memory.put_page(id, bytes);
-        break;
+    try {
+      switch (f.kind) {
+        case CheckpointKind::kFull: {
+          out.memory = mem::Snapshot();
+          for (auto& [id, bytes] : decode_raw_pages(f.payload))
+            out.memory.put_page(id, bytes);
+          break;
+        }
+        case CheckpointKind::kIncremental: {
+          for (PageId id : f.freed_pages) out.memory.erase_page(id);
+          for (auto& [id, bytes] : decode_raw_pages(f.payload))
+            out.memory.put_page(id, bytes);
+          break;
+        }
+        case CheckpointKind::kIncrementalDelta: {
+          // Deltas reference page versions as of the previous checkpoint,
+          // which is exactly the accumulated state before this file — decode
+          // first, then apply frees and overlay.
+          mem::Snapshot pages = compressor.decompress(f.payload, out.memory);
+          for (PageId id : f.freed_pages) out.memory.erase_page(id);
+          pages.overlay_onto(out.memory);
+          break;
+        }
       }
-      case CheckpointKind::kIncremental: {
-        for (PageId id : f.freed_pages) out.memory.erase_page(id);
-        for (auto& [id, bytes] : decode_raw_pages(f.payload))
-          out.memory.put_page(id, bytes);
-        break;
-      }
-      case CheckpointKind::kIncrementalDelta: {
-        // Deltas reference page versions as of the previous checkpoint,
-        // which is exactly the accumulated state before this file — decode
-        // first, then apply frees and overlay.
-        mem::Snapshot pages = compressor.decompress(f.payload, out.memory);
-        for (PageId id : f.freed_pages) out.memory.erase_page(id);
-        pages.overlay_onto(out.memory);
-        break;
-      }
+    } catch (const CheckError& e) {
+      throw CheckError("restoring sequence " + std::to_string(f.sequence) +
+                       " (" + to_string(f.kind) + "): " + e.what());
     }
     out.cpu_state = f.cpu_state;
     out.app_time = f.app_time;

@@ -1,0 +1,29 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) over
+// byte spans — the checksum guarding checkpoint record bodies on disk
+// (ckpt/checkpoint_file.h, format v2).
+//
+// CRC-32C is the conventional storage-integrity polynomial (iSCSI, ext4,
+// Btrfs): its error-detection properties on short-to-medium records are
+// well characterized, and every single-bit, double-bit, and burst error up
+// to 32 bits in a checkpoint record is guaranteed to change the checksum.
+// The implementation is a portable slice-by-8 table walk — no SSE4.2
+// dependency, so the on-disk format verifies identically on any host.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace aic {
+
+/// CRC-32C of `data`, with the standard init/xor-out (0xFFFFFFFF both).
+std::uint32_t crc32c(ByteSpan data);
+
+/// Streaming form: feed `crc32c_update` successive chunks starting from
+/// `kCrc32cInit`, then finalize. crc32c(x) == crc32c_finalize(
+/// crc32c_update(kCrc32cInit, x)).
+inline constexpr std::uint32_t kCrc32cInit = 0xFFFFFFFFu;
+std::uint32_t crc32c_update(std::uint32_t state, ByteSpan data);
+inline std::uint32_t crc32c_finalize(std::uint32_t state) { return ~state; }
+
+}  // namespace aic

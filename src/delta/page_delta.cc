@@ -90,6 +90,9 @@ mem::Snapshot PageAlignedCompressor::decompress(
     const std::uint64_t len = r.varint();
     ByteSpan body = r.raw(len);
     if (kind == kKindRaw) {
+      AIC_CHECK_MSG(body.size() == kPageSize,
+                    "raw page " << id << " body is " << body.size()
+                                << " bytes, expected " << kPageSize);
       out.put_page(id, body);
     } else if (kind == kKindDelta) {
       AIC_CHECK_MSG(prev.contains(id),
@@ -152,6 +155,10 @@ mem::Snapshot WholeFileCompressor::decompress(ByteSpan payload,
                                               const mem::Snapshot& prev) const {
   ByteReader r(payload);
   const std::uint64_t count = r.varint();
+  // Each id costs at least one varint byte; a hostile count must die here,
+  // not in the allocator below.
+  AIC_CHECK_MSG(count <= r.remaining(),
+                "whole-file page count " << count << " exceeds payload size");
   std::vector<PageId> ids(count);
   PageId last = 0;
   for (std::uint64_t i = 0; i < count; ++i) {

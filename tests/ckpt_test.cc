@@ -8,6 +8,7 @@
 #include "ckpt/checkpoint_file.h"
 #include "ckpt/checkpointer.h"
 #include "common/check.h"
+#include "common/crc32c.h"
 #include "common/rng.h"
 #include "mem/address_space.h"
 
@@ -270,6 +271,286 @@ TEST_F(ChainFixture, CaptureStatsReflectDirtyPages) {
 TEST_F(ChainFixture, RestoreOnEmptyChainThrows) {
   CheckpointChain chain;
   EXPECT_THROW((void)chain.restore(), CheckError);
+}
+
+// ---------- on-disk format v2 (AICCKPT2, CRC-32C) ----------
+
+namespace format {
+constexpr std::uint64_t kMagicV1 = 0x31544B4343494141ULL;  // "AICCKPT1"
+constexpr std::uint64_t kMagicV2 = 0x32544B4343494141ULL;  // "AICCKPT2"
+}  // namespace format
+
+/// Wraps a hand-built body in the v1 framing (no checksum) — the easiest
+/// way to feed parse() a hostile body without forging a CRC.
+Bytes v1_wrap(const Bytes& body) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u64(format::kMagicV1);
+  w.raw(body);
+  return out;
+}
+
+/// Wraps a hand-built body in the v2 framing with a *valid* CRC, proving
+/// the field bounds checks run even when the checksum passes.
+Bytes v2_wrap(const Bytes& body) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u64(format::kMagicV2);
+  w.u32(crc32c(body));
+  w.raw(body);
+  return out;
+}
+
+/// A minimal valid body up to (not including) the cpu_state length field.
+void write_preamble(ByteWriter& w, std::uint64_t sequence = 1) {
+  w.u8(std::uint8_t(CheckpointKind::kIncremental));
+  w.varint(sequence);
+  w.f64(1.0);
+}
+
+TEST(CheckpointFileV2, SerializeEmitsChecksummedV2) {
+  CheckpointFile f;
+  f.kind = CheckpointKind::kIncremental;
+  f.sequence = 3;
+  f.payload = {1, 2, 3};
+  Bytes wire = f.serialize();
+  ByteReader r(wire);
+  EXPECT_EQ(r.u64(), format::kMagicV2);
+  const std::uint32_t stored = r.u32();
+  EXPECT_EQ(stored, crc32c(ByteSpan(wire).subspan(12)));
+  EXPECT_EQ(wire.size(), f.serialized_size());
+  EXPECT_EQ(CheckpointFile::parse(wire).version, CheckpointFile::kVersionV2);
+}
+
+TEST(CheckpointFileV2, ParsesV1Records) {
+  // A v1 record as the seed wrote them: body with no checksum field.
+  Bytes body;
+  ByteWriter w(body);
+  w.u8(std::uint8_t(CheckpointKind::kIncrementalDelta));
+  w.varint(9);
+  w.f64(2.5);
+  w.varint(2);  // cpu_state
+  w.raw(Bytes{0xAA, 0xBB});
+  w.varint(2);  // freed pages 4, 7 (delta-coded)
+  w.varint(4);
+  w.varint(3);
+  w.varint(3);  // payload
+  w.raw(Bytes{9, 9, 9});
+  CheckpointFile f = CheckpointFile::parse(v1_wrap(body));
+  EXPECT_EQ(f.version, CheckpointFile::kVersionV1);
+  EXPECT_EQ(f.kind, CheckpointKind::kIncrementalDelta);
+  EXPECT_EQ(f.sequence, 9u);
+  EXPECT_DOUBLE_EQ(f.app_time, 2.5);
+  EXPECT_EQ(f.cpu_state, (Bytes{0xAA, 0xBB}));
+  EXPECT_EQ(f.freed_pages, (std::vector<mem::PageId>{4, 7}));
+  EXPECT_EQ(f.payload, (Bytes{9, 9, 9}));
+}
+
+TEST(CheckpointFileV2, EveryBodyBitFlipFailsTheChecksum) {
+  CheckpointFile f;
+  f.kind = CheckpointKind::kIncrementalDelta;
+  f.sequence = 42;
+  f.cpu_state = {1, 2, 3};
+  f.freed_pages = {5, 6};
+  f.payload = {7, 8, 9, 10};
+  const Bytes wire = f.serialize();
+  for (std::size_t off = 12; off < wire.size(); ++off) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes bad = wire;
+      bad[off] ^= std::uint8_t(1u << bit);
+      EXPECT_THROW((void)CheckpointFile::parse(bad), CheckError)
+          << "offset " << off << " bit " << bit;
+    }
+  }
+}
+
+TEST(CheckpointFileV2, ChecksumErrorNamesOffsetAndSequence) {
+  CheckpointFile f;
+  f.sequence = 42;
+  f.payload = {1, 2, 3};
+  Bytes wire = f.serialize();
+  wire.back() ^= 0x01;
+  try {
+    (void)CheckpointFile::parse(wire);
+    FAIL() << "corrupt record parsed";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checksum mismatch at offset 8"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("claims sequence 42"), std::string::npos) << what;
+  }
+}
+
+// ---------- hostile-input hardening: every length field bounds-checked ----
+
+TEST(CheckpointFileHostile, OversizedCpuStateLengthRejected) {
+  Bytes body;
+  ByteWriter w(body);
+  write_preamble(w);
+  w.varint(std::uint64_t(1) << 60);  // cpu_state "length"
+  try {
+    (void)CheckpointFile::parse(v1_wrap(body));
+    FAIL() << "hostile cpu length parsed";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("cpu_state length"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckpointFileHostile, OversizedFreedCountRejected) {
+  Bytes body;
+  ByteWriter w(body);
+  write_preamble(w);
+  w.varint(0);                       // cpu_state empty
+  w.varint(std::uint64_t(1) << 61);  // freed-page "count"
+  EXPECT_THROW((void)CheckpointFile::parse(v1_wrap(body)), CheckError);
+}
+
+TEST(CheckpointFileHostile, OversizedPayloadLengthRejected) {
+  Bytes body;
+  ByteWriter w(body);
+  write_preamble(w);
+  w.varint(0);                       // cpu_state empty
+  w.varint(0);                       // no freed pages
+  w.varint(std::uint64_t(1) << 62);  // payload "length"
+  try {
+    (void)CheckpointFile::parse(v1_wrap(body));
+    FAIL() << "hostile payload length parsed";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("payload length"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckpointFileHostile, FreedPageIdOverflowRejected) {
+  Bytes body;
+  ByteWriter w(body);
+  write_preamble(w);
+  w.varint(0);               // cpu_state empty
+  w.varint(2);               // two freed pages...
+  w.varint(~std::uint64_t{0});  // first lands on the max id
+  w.varint(2);               // second wraps around
+  w.varint(0);               // payload empty
+  try {
+    (void)CheckpointFile::parse(v1_wrap(body));
+    FAIL() << "freed-page id overflow parsed";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("freed-page id overflow"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckpointFileHostile, BoundsCheckedEvenBehindAValidChecksum) {
+  Bytes body;
+  ByteWriter w(body);
+  write_preamble(w);
+  w.varint(std::uint64_t(1) << 60);  // hostile cpu length, valid CRC
+  EXPECT_THROW((void)CheckpointFile::parse(v2_wrap(body)), CheckError);
+}
+
+TEST(CheckpointFileHostile, TruncatedAtEveryPrefixRejected) {
+  CheckpointFile f;
+  f.kind = CheckpointKind::kIncremental;
+  f.sequence = 5;
+  f.cpu_state = {1};
+  f.freed_pages = {2};
+  f.payload = {3, 4};
+  const Bytes wire = f.serialize();
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    Bytes bad(wire.begin(), wire.begin() + keep);
+    EXPECT_THROW((void)CheckpointFile::parse(bad), CheckError)
+        << "prefix " << keep;
+  }
+}
+
+TEST(CheckpointFileHostile, HostileRawPageCountRejected) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.varint(std::uint64_t(1) << 55);  // "page count"
+  EXPECT_THROW((void)decode_raw_pages(payload), CheckError);
+}
+
+// ---------- chain-restore error paths name the bad sequence ----------
+
+class RestoreErrorPaths : public ::testing::Test {
+ protected:
+  /// full(0) + two delta incrementals (1, 2) over real edits.
+  std::vector<CheckpointFile> make_chain() {
+    Rng rng(77);
+    space_.allocate_range(0, 6);
+    for (mem::PageId id = 0; id < 6; ++id) randomize_page(space_, id, rng);
+    std::vector<CheckpointFile> chain;
+    chain.push_back(Checkpointer::take_full(space_, {}, 0, 0.0, nullptr));
+    auto prev_live = space_.live_pages();
+    auto prev = mem::Snapshot::capture(space_);
+    for (std::uint64_t seq = 1; seq <= 2; ++seq) {
+      space_.protect_all();
+      small_edit(space_, seq, rng);
+      small_edit(space_, seq + 2, rng);
+      chain.push_back(Checkpointer::take_incremental_delta(
+          space_, {}, seq, double(seq), prev_live, prev, pa_, nullptr));
+      prev_live = space_.live_pages();
+      prev = mem::Snapshot::capture(space_);
+    }
+    return chain;
+  }
+
+  static std::string restore_error(const std::vector<CheckpointFile>& chain) {
+    delta::PageAlignedCompressor pa;
+    try {
+      (void)RestartEngine::restore(chain, pa);
+    } catch (const CheckError& e) {
+      return e.what();
+    }
+    return {};
+  }
+
+  mem::AddressSpace space_;
+  delta::PageAlignedCompressor pa_;
+};
+
+TEST_F(RestoreErrorPaths, MissingMiddleIncrementalNamesTheGap) {
+  auto chain = make_chain();
+  chain.erase(chain.begin() + 1);  // drop sequence 1
+  const std::string what = restore_error(chain);
+  ASSERT_FALSE(what.empty()) << "restore accepted a gapped chain";
+  EXPECT_NE(what.find("missing checkpoint"), std::string::npos) << what;
+  EXPECT_NE(what.find("sequence 2 follows 0"), std::string::npos) << what;
+}
+
+TEST_F(RestoreErrorPaths, WrongSequenceRecordNamesBothSequences) {
+  auto chain = make_chain();
+  chain[2].sequence = 1;  // duplicates its predecessor
+  const std::string what = restore_error(chain);
+  ASSERT_FALSE(what.empty()) << "restore accepted a non-monotone chain";
+  EXPECT_NE(what.find("sequence 1 follows 1"), std::string::npos) << what;
+}
+
+TEST_F(RestoreErrorPaths, BadCrcRecordFailsNamingTheSequence) {
+  const auto chain = make_chain();
+  // Store and re-load the chain the way a restart from disk would.
+  std::vector<Bytes> stored;
+  for (const CheckpointFile& f : chain) stored.push_back(f.serialize());
+  stored[1][stored[1].size() - 1] ^= 0x10;  // corrupt sequence 1's body
+  try {
+    std::vector<CheckpointFile> reloaded;
+    for (const Bytes& b : stored) reloaded.push_back(CheckpointFile::parse(b));
+    FAIL() << "corrupt record parsed";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("claims sequence 1"), std::string::npos) << what;
+  }
+}
+
+TEST_F(RestoreErrorPaths, UndecodableDeltaNamesTheSequence) {
+  auto chain = make_chain();
+  chain[2].payload.assign(48, 0xC3);  // garbage delta body
+  const std::string what = restore_error(chain);
+  ASSERT_FALSE(what.empty()) << "restore accepted a garbage delta";
+  EXPECT_NE(what.find("restoring sequence 2"), std::string::npos) << what;
 }
 
 }  // namespace

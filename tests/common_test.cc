@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/crc32c.h"
 #include "common/linalg.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -290,6 +291,48 @@ TEST(Table, MismatchedRowThrows) {
   TextTable t("demo");
   t.set_header({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Crc32c, MatchesKnownVectors) {
+  // RFC 3720 / published CRC-32C check values.
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32c(ByteSpan(reinterpret_cast<const std::uint8_t*>(
+                                check.data()),
+                            check.size())),
+            0xE3069283u);
+  EXPECT_EQ(crc32c({}), 0x00000000u);
+  const Bytes zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  const Bytes ffs(32, 0xFF);
+  EXPECT_EQ(crc32c(ffs), 0x62A8AB43u);
+}
+
+TEST(Crc32c, StreamingMatchesOneShot) {
+  Rng rng(11);
+  Bytes data(1000);
+  for (auto& b : data) b = std::uint8_t(rng());
+  const std::uint32_t oneshot = crc32c(data);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{500}, data.size()}) {
+    std::uint32_t st = kCrc32cInit;
+    st = crc32c_update(st, ByteSpan(data).subspan(0, split));
+    st = crc32c_update(st, ByteSpan(data).subspan(split));
+    EXPECT_EQ(crc32c_finalize(st), oneshot) << "split " << split;
+  }
+}
+
+TEST(Crc32c, SensitiveToEverySingleBitFlip) {
+  Rng rng(12);
+  Bytes data(64);
+  for (auto& b : data) b = std::uint8_t(rng());
+  const std::uint32_t base = crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = data;
+      flipped[i] ^= std::uint8_t(1u << bit);
+      EXPECT_NE(crc32c(flipped), base) << "byte " << i << " bit " << bit;
+    }
+  }
 }
 
 }  // namespace
