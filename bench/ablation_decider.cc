@@ -19,7 +19,7 @@ using control::Scheme;
 
 int main() {
   bench::Checker check;
-  const double kScale = 0.25;
+  const double kScale = bench::smoke_pick(0.25, 0.0625);
 
   TextTable table("Ablation — decider variants (NET^2; lower is better)");
   table.set_header({"benchmark", "SIC", "AIC (1s)", "AIC (2s)", "AIC (5s)"});

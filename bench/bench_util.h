@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -12,6 +13,23 @@
 #include "workload/workload.h"
 
 namespace aic::bench {
+
+/// True when AIC_BENCH_SMOKE is set to a non-empty value: CI's
+/// `verify.sh --bench-smoke` leg runs every bench this way. Benches should
+/// shrink their parameters to a seconds-scale run, and reproduction CHECK
+/// failures become informational — tiny runs exercise the machinery for
+/// crashes and bit-rot, they cannot reproduce the paper's shapes.
+inline bool smoke_mode() {
+  const char* v = std::getenv("AIC_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0';
+}
+
+/// Picks a bench parameter by mode: the full-fidelity value normally, the
+/// tiny value under --bench-smoke.
+template <typename T>
+inline T smoke_pick(T full, T tiny) {
+  return smoke_mode() ? tiny : full;
+}
 
 /// The Section V testbed configuration: failure rate 1e-3 split with the
 /// Coastal shares, Coastal bandwidths rescaled to the synthetic footprint
@@ -38,7 +56,17 @@ class Checker {
     std::printf("CHECK %-4s %s\n", ok ? "ok" : "FAIL", claim.c_str());
     if (!ok) ++failures_;
   }
-  int exit_code() const { return failures_ == 0 ? 0 : 1; }
+  /// Nonzero iff a reproduction check failed — except under smoke mode,
+  /// where parameters are deliberately too tiny for the paper's shapes and
+  /// the leg only gates on crashes.
+  int exit_code() const {
+    if (failures_ != 0 && smoke_mode()) {
+      std::printf("CHECK note %d failure(s) ignored in smoke mode\n",
+                  failures_);
+      return 0;
+    }
+    return failures_ == 0 ? 0 : 1;
+  }
   int failures() const { return failures_; }
 
  private:

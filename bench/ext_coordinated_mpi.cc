@@ -24,8 +24,9 @@ int main() {
     control::CoordinatedConfig cfg;
     const auto split = model::split_rate(2e-4);  // per-process rate
     cfg.base.system.lambda = {split[0], split[1], split[2]};
-    cfg.base.workload_scale = 0.125;
-    const auto prof = workload::spec_profile(benchmark, 0.125);
+    const double scale = bench::smoke_pick(0.125, 0.03125);
+    cfg.base.workload_scale = scale;
+    const auto prof = workload::spec_profile(benchmark, scale);
     cfg.base.costs =
         control::CostModel::paper_scaled(prof.footprint_pages * kPageSize);
     cfg.processes = procs;

@@ -53,8 +53,8 @@ Series sweep(workload::SpecBenchmark b, double scale, int seconds) {
 
 int main() {
   bench::Checker check;
-  const int kSeconds = 60;
-  const double kScale = 0.25;
+  const int kSeconds = bench::smoke_pick(60, 12);
+  const double kScale = bench::smoke_pick(0.25, 0.0625);
   const std::vector<workload::SpecBenchmark> benches = {
       workload::SpecBenchmark::kSjeng, workload::SpecBenchmark::kLbm,
       workload::SpecBenchmark::kBzip2};

@@ -17,7 +17,7 @@ using control::Scheme;
 
 int main() {
   bench::Checker check;
-  const double kScale = 0.25;
+  const double kScale = bench::smoke_pick(0.25, 0.0625);
 
   TextTable table("Fig. 11 — NET^2 of six benchmarks under AIC / SIC / Moody");
   table.set_header({"benchmark", "AIC", "SIC", "Moody", "AIC ckpts",

@@ -17,7 +17,7 @@ using control::Scheme;
 
 int main() {
   bench::Checker check;
-  const double kScale = 0.25;
+  const double kScale = bench::smoke_pick(0.25, 0.0625);
   const std::vector<double> sizes = {0.25, 0.5, 1.0, 2.0, 4.0};
 
   TextTable table("Fig. 12 — NET^2 of Milc, AIC vs SIC, across system size");

@@ -90,7 +90,7 @@ CompressorResult compare_compressors(workload::SpecBenchmark b, double scale,
 
 int main() {
   bench::Checker check;
-  const double kScale = 0.25;
+  const double kScale = bench::smoke_pick(0.25, 0.0625);
 
   TextTable table(
       "Table 3 — compressors (ratio = compressed/uncompressed, latency = "

@@ -3,12 +3,92 @@
 // watch recovery come from the cheapest surviving copy — including a RAID
 // parity reconstruction and a full reseed after a catastrophic loss.
 //
+// Act two kills a node *mid-drain*: an L3 transfer is interrupted between
+// two chunks, the staged partial stays invisible to recover(), and the
+// resumed drain finishes from the last acked chunk, byte-identical.
+//
 //   build/examples/example_multilevel_storage
 #include <cstdio>
 
 #include "aic/aic.h"
 
 using namespace aic;
+
+namespace {
+
+// A node dies while its checkpoint is still draining to remote storage.
+// Demonstrates the transfer-engine guarantees: staging is invisible until
+// the atomic commit, an interrupt keeps the acked-byte watermark, and the
+// resumed drain produces the identical object.
+bool mid_transfer_failure_walkthrough() {
+  storage::MultiLevelConfig cfg;
+  cfg.remote_bps = 64.0 * 1024;        // slow L3 uplink: the drain lingers
+  cfg.xfer.chunk_bytes = 64 * 1024;    // 1 chunk/s on the wire
+  storage::MultiLevelStore store(cfg);
+  Rng rng(7);
+
+  mem::AddressSpace space;
+  space.allocate_range(0, 128);
+  for (mem::PageId id = 0; id < 128; ++id) {
+    space.mutate(id, [&](std::span<std::uint8_t> b) {
+      for (auto& x : b) x = std::uint8_t(rng());
+    });
+  }
+  ckpt::CheckpointChain chain;
+  chain.capture(space, {}, 0.0);
+  store.put_checkpoint(chain.files().back());  // full: committed everywhere
+  space.protect_all();
+
+  // Dirty enough incompressible pages that the incremental spans several
+  // chunks — the interrupt must land between two of them.
+  for (mem::PageId id = 0; id < 80; ++id) {
+    space.mutate(id, [&](std::span<std::uint8_t> b) {
+      for (auto& x : b) x = std::uint8_t(rng());
+    });
+  }
+  chain.capture(space, {}, 1.0);
+  const Bytes expected = chain.files().back().serialize();
+
+  // Queue the incremental's drains and stop the clock mid-way through the
+  // remote transfer: some chunks acked, the rest still to come.
+  const auto ticket = store.put_checkpoint_async(chain.files().back());
+  store.xfer().run_until(store.xfer().now() +
+                         0.5 * double(expected.size()) / cfg.remote_bps);
+  const auto& rec = store.xfer().record(*ticket.remote);
+  std::printf("mid-drain:      remote acked %llu/%llu bytes; "
+              "%zu staged partial(s); visible remote copy: %s\n",
+              (unsigned long long)rec.acked_bytes,
+              (unsigned long long)rec.total_bytes,
+              store.remote_staging().partial_count(),
+              store.remote().get("ckpt-1") ? "YES (torn!)" : "none");
+
+  // The node dies. The local disk is lost and the in-flight drain is
+  // interrupted at its current chunk — but recover() sees only committed
+  // objects, so the restart chain is intact (here from the RAID group,
+  // whose faster drain already committed).
+  store.apply_failure(2, rng);
+  auto rec2 = store.recover();
+  std::printf("node death:     drain %s at %llu bytes; recover from L%d "
+              "still yields %zu checkpoint(s)\n",
+              xfer::to_string(rec.state),
+              (unsigned long long)rec.acked_bytes, rec2->level_used,
+              rec2->chain.size());
+
+  // The replacement node resumes the partial from the last acked chunk.
+  const std::size_t resumed = store.resume_drains();
+  store.xfer().run_until_idle();
+  const auto remote_copy = store.remote().get("ckpt-1");
+  const bool identical = remote_copy && *remote_copy == expected;
+  std::printf("resumed:        %zu drain(s) picked up; remote copy %s "
+              "(%llu bytes, %llu interrupt(s) total)\n",
+              resumed, identical ? "byte-identical" : "CORRUPT",
+              (unsigned long long)(remote_copy ? remote_copy->size() : 0),
+              (unsigned long long)store.xfer().stats().transfers_interrupted);
+  return rec2.has_value() && rec2->chain.size() == 2 && resumed > 0 &&
+         identical && store.remote_staging().partial_count() == 0;
+}
+
+}  // namespace
 
 int main() {
   storage::MultiLevelStore store;
@@ -70,5 +150,11 @@ int main() {
               double(copied) / 1024.0, r4->level_used,
               verify(*r4) ? "byte-exact" : "CORRUPT");
 
-  return (verify(*r1) && verify(*r2) && verify(*r3) && verify(*r4)) ? 0 : 1;
+  std::printf("\n-- act two: failure mid-drain, staged partial resumed --\n");
+  const bool xfer_ok = mid_transfer_failure_walkthrough();
+
+  return (verify(*r1) && verify(*r2) && verify(*r3) && verify(*r4) &&
+          xfer_ok)
+             ? 0
+             : 1;
 }

@@ -10,10 +10,16 @@
 #   asan+ubsan   the FULL test suite under AddressSanitizer +
 #                UndefinedBehaviorSanitizer                   [build-asan/]
 #
+# A separate bench-smoke leg builds every bench target and runs each with
+# AIC_BENCH_SMOKE=1 (tiny parameters, reproduction CHECKs informational):
+# it gates on crashes and bit-rot in the bench mains, not on reproducing
+# the paper's shapes at toy sizes.
+#
 # Usage:
 #   scripts/verify.sh               # full matrix (identical to --matrix)
 #   scripts/verify.sh --matrix      # full matrix + per-leg summary table
 #   scripts/verify.sh --tier1-only  # just tier1 + lint (fast local loop)
+#   scripts/verify.sh --bench-smoke # bench targets only, tiny parameters
 #
 # Every leg runs even if an earlier one fails; the summary prints one line
 # per leg and the exit status is nonzero iff any leg failed.
@@ -64,7 +70,7 @@ run_tsan() {
   if cmake -B build-tsan -S . -DAIC_SANITIZE=thread >/dev/null &&
     cmake --build build-tsan -j"$jobs" --target aic_tests &&
     ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
-      -R 'ThreadPool|Parallel|Async|UnchangedFastPath' | tee "$log"; then
+      -R 'ThreadPool|Parallel|Async|UnchangedFastPath|Xfer' | tee "$log"; then
     record tsan OK "$(ctest_passed "$log")"
   else
     record tsan FAIL "see output above"
@@ -77,7 +83,7 @@ run_asan_ubsan() {
   local log
   log=$(mktemp)
   if cmake -B build-asan -S . -DAIC_SANITIZE=address,undefined >/dev/null &&
-    cmake --build build-asan -j"$jobs" --target aic_tests &&
+    cmake --build build-asan -j"$jobs" --target aic_tests aic_fsck &&
     ctest --test-dir build-asan --output-on-failure -j"$jobs" | tee "$log"; then
     record "asan+ubsan" OK "$(ctest_passed "$log")"
   else
@@ -86,19 +92,50 @@ run_asan_ubsan() {
   rm -f "$log"
 }
 
+run_bench_smoke() {
+  echo "== bench-smoke: all bench targets at tiny parameters =="
+  if ! cmake -B build -S . >/dev/null || ! cmake --build build -j"$jobs"; then
+    record bench-smoke FAIL "build failed"
+    return
+  fi
+  local failed=() ran=0
+  for b in build/bench/*; do
+    [[ -x "$b" ]] || continue
+    local name
+    name="$(basename "$b")"
+    echo "-- bench-smoke: $name"
+    if [[ "$name" == micro_* ]]; then
+      AIC_BENCH_SMOKE=1 "$b" --benchmark_min_time=0.01 >/dev/null ||
+        failed+=("$name")
+    else
+      AIC_BENCH_SMOKE=1 "$b" >/dev/null || failed+=("$name")
+    fi
+    ran=$((ran + 1))
+  done
+  if [[ ${#failed[@]} -eq 0 ]]; then
+    record bench-smoke OK "$ran bench target(s) ran clean"
+  else
+    record bench-smoke FAIL "crashed/nonzero: ${failed[*]}"
+  fi
+}
+
 case "$mode" in
 "" | --matrix)
   run_tier1
   run_lint
   run_tsan
   run_asan_ubsan
+  run_bench_smoke
   ;;
 --tier1-only)
   run_tier1
   run_lint
   ;;
+--bench-smoke)
+  run_bench_smoke
+  ;;
 *)
-  echo "usage: scripts/verify.sh [--matrix|--tier1-only]" >&2
+  echo "usage: scripts/verify.sh [--matrix|--tier1-only|--bench-smoke]" >&2
   exit 2
   ;;
 esac

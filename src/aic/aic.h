@@ -10,7 +10,11 @@
 //               Xdelta3-PA, XOR+RLE baseline
 //   ckpt/       checkpoint file format, full/incremental capture, restart
 //               replay, chain management with failure rollback
-//   storage/    local disk / RAID-5 partner group / remote store models
+//   xfer/       chunked transfer engine: simulated channels (bandwidth
+//               sharing, injectable faults), retry/backoff state machine,
+//               staged atomic commits, interrupt/resume of drains
+//   storage/    local disk / RAID-5 partner group / remote store models,
+//               glued to the transfer engine by MultiLevelStore
 //   failure/    per-level exponential failure processes
 //   model/      Markov interval models (L1L3, L2L3, L1L2L3), the Moody
 //               baseline, NET^2, optimizers (grid + Newton–Raphson)
@@ -66,3 +70,8 @@
 #include "trace/lanl_trace.h"
 #include "verify/chain_verifier.h"
 #include "workload/workload.h"
+#include "xfer/channel.h"
+#include "xfer/scheduler.h"
+#include "xfer/staged_sink.h"
+#include "xfer/stats.h"
+#include "xfer/transfer.h"

@@ -104,21 +104,28 @@ void AsyncCheckpointer::worker_loop() {
 void AsyncCheckpointer::process(Job job) {
   const auto t0 = std::chrono::steady_clock::now();
   CaptureStats stats;
+  CheckpointFile file;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats = chain_.capture_pages(job.pages, job.live, job.cpu_state,
                                  job.app_time);
+    if (config_.store != nullptr) file = chain_.files().back();
   }
   const auto t1 = std::chrono::steady_clock::now();
-  if (config_.on_complete) {
-    AsyncResult result;
-    result.sequence = job.sequence;
-    result.app_time = job.app_time;
-    result.stats = stats;
-    result.compress_ns = std::uint64_t(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-            .count());
-    config_.on_complete(result);
+  AsyncResult result;
+  result.sequence = job.sequence;
+  result.app_time = job.app_time;
+  result.stats = stats;
+  result.compress_ns = std::uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  if (config_.on_complete) config_.on_complete(result);
+  if (config_.store != nullptr) {
+    // The "remote checkpointer" half of the core: drain the file to L2/L3
+    // through the store's transfer engine. Runs outside the lock so the
+    // application thread can keep submitting while chunks are in flight.
+    result.placement = config_.store->put_checkpoint(file);
+    result.landed = true;
+    if (config_.on_landed) config_.on_landed(result);
   }
 }
 

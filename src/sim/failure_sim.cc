@@ -6,6 +6,7 @@
 #include "ckpt/checkpointer.h"
 #include "common/check.h"
 #include "mem/snapshot.h"
+#include "storage/multilevel_store.h"
 
 namespace aic::sim {
 namespace {
@@ -17,10 +18,144 @@ struct RemoteState {
   double l3_done;
 };
 
+/// The transfer-engine variant: L2/L3 placements are real chunked drains
+/// through a MultiLevelStore, advanced in lockstep with the wall clock, so
+/// a failure interrupts whatever chunk happens to be in flight and recovery
+/// sees exactly the committed objects. Recovery provenance comes from
+/// store.recover() (it reads surviving copies, RAID reconstruction
+/// included) instead of the analytic landing-time bookkeeping.
+FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
+  FailureSimResult result;
+
+  // Failure-free reference final state (determinism makes this exact).
+  mem::Snapshot reference;
+  {
+    auto wl = workload::make_spec_workload(config.benchmark,
+                                           config.workload_scale);
+    mem::AddressSpace space;
+    wl->initialize(space);
+    wl->step(space, wl->base_time());
+    reference = mem::Snapshot::capture(space);
+    result.base_time = wl->base_time();
+  }
+
+  auto wl =
+      workload::make_spec_workload(config.benchmark, config.workload_scale);
+  mem::AddressSpace space;
+  wl->initialize(space);
+
+  ckpt::CheckpointChain chain;
+  failure::FailureInjector injector(config.failures, Rng(config.seed));
+  Rng storage_rng(config.seed ^ 0x9e3779b97f4a7c15ull);
+
+  storage::MultiLevelConfig mc;
+  mc.local_bps = config.costs.local_bps;
+  mc.raid_bps = config.costs.b2_bps;
+  mc.remote_bps = config.costs.b3_bps;
+  storage::MultiLevelStore store(mc);
+
+  double wall = 0.0;
+  double interval_start_progress = 0.0;
+
+  // Initial full checkpoint, staged everywhere before t = 0 (drained to
+  // completion off the clock); the store's virtual clock is then pinned to
+  // the wall clock through the `sync` offset.
+  chain.capture(space, wl->cpu_state(), 0.0);
+  space.protect_all();
+  (void)store.put_checkpoint(chain.files().back());
+  const double clock0 = store.xfer().now();
+  auto sync = [&]() { store.xfer().run_until(clock0 + wall); };
+
+  failure::FailureEvent pending = injector.next_after(0.0);
+
+  auto handle_failure = [&](int level) {
+    ++result.failures_by_level[std::size_t(level - 1)];
+    ++result.restores;
+    sync();  // bring every drain to the failure instant
+    store.apply_failure(level, storage_rng);
+
+    auto rec = store.recover();
+    AIC_CHECK_MSG(rec.has_value(),
+                  "level-" << level << " failure left nothing restorable");
+    const std::uint64_t seq = rec->chain.back().sequence;
+    chain.rollback_to(seq);
+    store.truncate_to(seq + 1);
+    if (!store.raid().available()) {
+      // Two RAID members gone (level-3 damage): replace the group and
+      // re-seed it from the remote copies before new drains target it.
+      store.repair_raid_group();
+      (void)store.reseed_from_remote();
+    }
+    result.drains_resumed += int(store.resume_drains());
+
+    auto restored = chain.restore();
+    space = restored.memory.materialize();
+    wl->restore_cpu_state(restored.cpu_state);
+    space.protect_all();
+    interval_start_progress = wl->progress();
+
+    // Recovery: the measured read time of the surviving chain; interrupted
+    // drains resume concurrently with the re-read.
+    wall += rec->read_seconds;
+    sync();
+  };
+
+  const double quantum = 1.0;
+  while (!wl->finished()) {
+    AIC_CHECK_MSG(wall < config.max_wall, "failure sim exceeded max_wall");
+    if (pending.time <= wall) {
+      wall = std::max(wall, pending.time);
+      handle_failure(pending.level);
+      pending = injector.next_after(std::max(pending.time, wall));
+      continue;
+    }
+    const double until_failure = pending.time - wall;
+    const double step = std::min(quantum, until_failure);
+    wl->step(space, step);
+    wall += step;
+    sync();  // drains progress while the application computes
+
+    const double elapsed = wl->progress() - interval_start_progress;
+    if (elapsed >= config.checkpoint_interval &&
+        store.unfinished_drains() == 0 && !wl->finished()) {
+      // "No L1 until the last L3 has finished": the core is free only once
+      // every queued drain has committed. A failure during the blocking
+      // local write aborts the checkpoint (nothing was captured yet).
+      const double c1_est = double(space.dirty_page_count() * kPageSize) /
+                            config.costs.local_bps;
+      if (pending.time <= wall + c1_est) {
+        wall = pending.time;
+        handle_failure(pending.level);
+        pending = injector.next_after(wall);
+        continue;
+      }
+      ckpt::CaptureStats st = chain.capture(space, wl->cpu_state(), wall);
+      ++result.checkpoints;
+      storage::DrainTicket ticket =
+          store.put_checkpoint_async(chain.files().back());
+      // Blocking halt: the local write plus the delta-compression latency
+      // (the drains themselves overlap with computation from here on).
+      wall += ticket.local_seconds +
+              config.costs.delta_latency(st.delta_work_units);
+      sync();
+      space.protect_all();
+      interval_start_progress = wl->progress();
+    }
+  }
+
+  // Let the tail drains land so the committed story is complete.
+  store.xfer().run_until_idle();
+  result.xfer_stats = store.xfer().stats();
+  result.turnaround = wall;
+  result.final_state_verified = reference.equals_space(space);
+  return result;
+}
+
 }  // namespace
 
 FailureSimResult run_failure_sim(const FailureSimConfig& config) {
   AIC_CHECK(config.checkpoint_interval > 0.0);
+  if (config.use_transfer_engine) return run_failure_sim_xfer(config);
 
   FailureSimResult result;
 

@@ -20,6 +20,7 @@
 #include "control/cost_model.h"
 #include "failure/failure.h"
 #include "workload/workload.h"
+#include "xfer/stats.h"
 
 namespace aic::sim {
 
@@ -34,6 +35,14 @@ struct FailureSimConfig {
   std::uint64_t seed = 1;
   /// Abort guard: give up if the wall clock exceeds this.
   double max_wall = 1e7;
+  /// Run the L2/L3 placements through a real MultiLevelStore drain engine
+  /// (chunked transfers in virtual time) instead of the analytic
+  /// c2/c3 landing-time formulas. Failures then strike *during* drains:
+  /// in-flight transfers are interrupted at a chunk boundary, recovery
+  /// sees only committed objects, and interrupted drains resume from the
+  /// last acked chunk after the restart — the Markov model's
+  /// interrupted-transfer states, exercised end to end.
+  bool use_transfer_engine = false;
 };
 
 struct FailureSimResult {
@@ -44,6 +53,11 @@ struct FailureSimResult {
   int restores = 0;
   /// Final memory byte-matches the failure-free reference run.
   bool final_state_verified = false;
+  /// Transfer-engine counters (use_transfer_engine only): chunks, retries,
+  /// interruptions, goodput inputs.
+  xfer::Stats xfer_stats;
+  /// Drains resumed from a mid-flight interruption (use_transfer_engine).
+  int drains_resumed = 0;
 
   int total_failures() const {
     return failures_by_level[0] + failures_by_level[1] + failures_by_level[2];

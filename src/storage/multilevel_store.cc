@@ -10,25 +10,55 @@ MultiLevelStore::MultiLevelStore(MultiLevelConfig config)
     : config_(config),
       local_(config.local_bps),
       raid_(config.raid_nodes, config.raid_bps),
-      remote_(config.remote_bps) {}
+      remote_(config.remote_bps),
+      raid_sink_(raid_),
+      remote_sink_(remote_),
+      xfer_(config.xfer) {
+  xfer_.add_level(2, {config.raid_bps, config.raid_latency_s}, &raid_sink_);
+  xfer_.add_level(3, {config.remote_bps, config.remote_latency_s},
+                  &remote_sink_);
+}
+
+DrainTicket MultiLevelStore::put_checkpoint_async(
+    const ckpt::CheckpointFile& file) {
+  Bytes wire = file.serialize();
+  const std::string key = key_for(next_index_);
+  DrainTicket ticket;
+  ticket.index = next_index_;
+  ticket.local_seconds = local_.available() ? local_.put(key, wire) : 0.0;
+  if (raid_.available()) ticket.raid = xfer_.submit(2, key, wire);
+  ticket.remote = xfer_.submit(3, key, std::move(wire));
+  is_full_[next_index_] = file.kind == ckpt::CheckpointKind::kFull;
+  drains_[next_index_] = ticket;
+  ++next_index_;
+  return ticket;
+}
 
 PlacementTimes MultiLevelStore::put_checkpoint(
     const ckpt::CheckpointFile& file) {
-  const Bytes wire = file.serialize();
-  const std::string key = key_for(next_index_);
+  const DrainTicket ticket = put_checkpoint_async(file);
+  xfer_.run_until_idle();
   PlacementTimes times;
-  times.local = local_.available() ? local_.put(key, wire) : 0.0;
-  times.raid = raid_.available() ? raid_.put(key, wire) : 0.0;
-  times.remote = remote_.put(key, wire);
-  is_full_[next_index_] = file.kind == ckpt::CheckpointKind::kFull;
-  ++next_index_;
+  times.local = ticket.local_seconds;
+  if (ticket.raid.has_value()) {
+    xfer_.rethrow_if_aborted(*ticket.raid);
+    const xfer::TransferRecord& r = xfer_.record(*ticket.raid);
+    times.raid = r.commit_time - r.submit_time;
+  }
+  xfer_.rethrow_if_aborted(*ticket.remote);
+  const xfer::TransferRecord& r3 = xfer_.record(*ticket.remote);
+  times.remote = r3.commit_time - r3.submit_time;
   return times;
 }
 
 void MultiLevelStore::apply_failure(int level, Rng& rng) {
   AIC_CHECK(level >= 1 && level <= 3);
   if (level >= 2) {
-    // The node (and its disk) is gone; a spare comes up with an empty disk.
+    // The node (and its checkpointing core) is gone: every in-flight drain
+    // dies at its current chunk and becomes a resumable partial.
+    xfer_.interrupt_level(2);
+    xfer_.interrupt_level(3);
+    // The node's disk is gone; a spare comes up with an empty disk.
     local_.fail();
     local_.replace();
   }
@@ -36,29 +66,60 @@ void MultiLevelStore::apply_failure(int level, Rng& rng) {
     // The dead node may have been a member of a partner group: one RAID
     // member drops out and is rebuilt from parity — data stays readable
     // throughout (the reconstruction path is exercised by recover()).
-    const std::size_t victim = rng.uniform_u64(raid_.node_count());
-    raid_.fail_node(victim);
-    raid_.rebuild_node(victim);
+    // With a member already down the group has no parity slack to give.
+    if (raid_.failed_nodes() == 0) {
+      const std::size_t victim = rng.uniform_u64(raid_.node_count());
+      raid_.fail_node(victim);
+      raid_.rebuild_node(victim);
+    }
   }
   if (level == 3) {
     // Catastrophic: two group members lost — beyond RAID-5's tolerance,
     // only the remote copies survive until reseed_from_remote().
     const std::size_t a = rng.uniform_u64(raid_.node_count());
     const std::size_t b = (a + 1) % raid_.node_count();
-    raid_.fail_node(a);
-    raid_.fail_node(b);
+    if (!raid_.is_node_failed(a)) raid_.fail_node(a);
+    if (!raid_.is_node_failed(b)) raid_.fail_node(b);
   }
+}
+
+std::size_t MultiLevelStore::resume_drains() {
+  std::size_t resumed = xfer_.resume_level(3);
+  // Resuming an L2 drain needs a group that can accept the commit.
+  if (raid_.available()) resumed += xfer_.resume_level(2);
+  return resumed;
+}
+
+std::size_t MultiLevelStore::unfinished_drains() const {
+  return xfer_.runnable_count() + xfer_.interrupted_count();
+}
+
+void MultiLevelStore::truncate_to(std::uint64_t count) {
+  AIC_CHECK_MSG(count <= next_index_,
+                "truncate_to(" << count << ") beyond " << next_index_);
+  for (std::uint64_t i = count; i < next_index_; ++i) {
+    const std::string key = key_for(i);
+    local_.erase(key);
+    raid_.erase(key);
+    remote_.erase(key);
+    auto it = drains_.find(i);
+    if (it != drains_.end()) {
+      if (it->second.raid.has_value() && xfer_.known(*it->second.raid)) {
+        xfer_.discard(*it->second.raid);
+      }
+      if (it->second.remote.has_value() && xfer_.known(*it->second.remote)) {
+        xfer_.discard(*it->second.remote);
+      }
+      drains_.erase(it);
+    }
+    is_full_.erase(i);
+  }
+  next_index_ = count;
 }
 
 void MultiLevelStore::repair_raid_group() {
   // Replacement members join empty; re-striping happens via
   // reseed_from_remote().
-  for (std::size_t n = 0; n < raid_.node_count(); ++n) {
-    if (raid_.failed_nodes() == 0) break;
-    // rebuild_node clears the failed flag; with 2 losses the rebuilt
-    // content is unreliable, so erase everything and reseed.
-    // (Raid5Group::rebuild_node requires the node to be marked failed.)
-  }
   raid_ = Raid5Group(config_.raid_nodes, config_.raid_bps);
   for (std::uint64_t i = 0; i < next_index_; ++i) raid_.erase(key_for(i));
 }
@@ -95,12 +156,25 @@ std::optional<MultiLevelStore::Recovery> MultiLevelStore::recover() const {
   return recover_from(remote_, 3);
 }
 
+bool MultiLevelStore::remote_drain_unfinished(std::uint64_t index) const {
+  auto it = drains_.find(index);
+  if (it == drains_.end() || !it->second.remote.has_value()) return false;
+  const xfer::TransferId id = *it->second.remote;
+  if (!xfer_.known(id)) return false;
+  return xfer_.record(id).state != xfer::TransferState::kCommitted;
+}
+
 std::uint64_t MultiLevelStore::reseed_from_remote() {
   std::uint64_t copied = 0;
   for (std::uint64_t i = 0; i < next_index_; ++i) {
     const std::string key = key_for(i);
     auto bytes = remote_.get(key);
-    AIC_CHECK_MSG(bytes.has_value(), "remote store lost " << key);
+    if (!bytes.has_value()) {
+      // Legitimately absent only while its drain is still in progress (or
+      // died mid-flight); anything else means the remote store lost data.
+      AIC_CHECK_MSG(remote_drain_unfinished(i), "remote store lost " << key);
+      continue;
+    }
     if (local_.available() && !local_.get(key).has_value()) {
       copied += bytes->size();
       local_.put(key, *bytes);

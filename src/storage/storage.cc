@@ -1,6 +1,7 @@
 #include "storage/storage.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -8,7 +9,11 @@ namespace aic::storage {
 
 double transfer_seconds(std::uint64_t bytes, double bandwidth_bps,
                         double latency_s) {
-  AIC_CHECK(bandwidth_bps > 0.0);
+  AIC_CHECK_MSG(std::isfinite(bandwidth_bps) && bandwidth_bps > 0.0,
+                "bandwidth must be positive and finite, got "
+                    << bandwidth_bps);
+  AIC_CHECK_MSG(std::isfinite(latency_s) && latency_s >= 0.0,
+                "latency must be non-negative and finite, got " << latency_s);
   return latency_s + double(bytes) / bandwidth_bps;
 }
 
@@ -221,9 +226,17 @@ void Raid5Group::fail_node(std::size_t node) {
   shares_[node].clear();
 }
 
+bool Raid5Group::is_node_failed(std::size_t node) const {
+  AIC_CHECK(node < shares_.size());
+  return node_failed_[node];
+}
+
 std::uint64_t Raid5Group::rebuild_node(std::size_t node) {
   AIC_CHECK(node < shares_.size());
   AIC_CHECK_MSG(node_failed_[node], "rebuilding a healthy node");
+  AIC_CHECK_MSG(failed_nodes() == 1,
+                "rebuild_node(" << node << ") with another member down — "
+                "parity reconstruction needs every other member healthy");
   node_failed_[node] = false;
   std::uint64_t rebuilt = 0;
   const std::size_t n = shares_.size();

@@ -26,6 +26,9 @@
 namespace aic::storage {
 
 /// Seconds to move `bytes` at `bandwidth_bps` plus a fixed setup latency.
+/// Throws CheckError for non-positive or non-finite bandwidth and for
+/// negative or non-finite latency (the inputs that would otherwise turn
+/// every downstream duration into inf/NaN).
 double transfer_seconds(std::uint64_t bytes, double bandwidth_bps,
                         double latency_s = 0.0);
 
@@ -102,9 +105,12 @@ class Raid5Group final : public StorageTarget {
 
   std::size_t node_count() const { return shares_.size(); }
   std::size_t failed_nodes() const;
+  bool is_node_failed(std::size_t node) const;
   void fail_node(std::size_t node);
   /// Rebuilds a replaced member's shares from the surviving members.
-  /// Returns the rebuilt byte count. Requires all other members healthy.
+  /// Returns the rebuilt byte count. Requires all other members healthy:
+  /// throws CheckError if a second member is down (XOR reconstruction
+  /// would silently produce garbage shares).
   std::uint64_t rebuild_node(std::size_t node);
 
  private:

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "xfer/transfer.h"
 
 namespace aic::verify {
 namespace {
@@ -166,6 +167,12 @@ class Walker {
 };
 
 }  // namespace
+
+bool is_partial_transfer_name(std::string_view filename) {
+  const std::string_view suffix = xfer::kPartialSuffix;
+  return filename.size() > suffix.size() &&
+         filename.substr(filename.size() - suffix.size()) == suffix;
+}
 
 const char* to_string(CheckCode code) {
   switch (code) {

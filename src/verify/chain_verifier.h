@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ckpt/checkpoint_file.h"
@@ -58,6 +59,13 @@ enum class CheckCode : std::uint8_t {
 };
 
 const char* to_string(CheckCode code);
+
+/// True when `filename` names a staged transfer partial (an in-progress
+/// xfer drain: "<key>" + xfer::kPartialSuffix). Such files in a chain
+/// directory are NOT corruption — they are the resumable leftovers of a
+/// drain interrupted mid-chunk and must be excluded from chain
+/// verification (fsck reports them as a distinct diagnostic instead).
+bool is_partial_transfer_name(std::string_view filename);
 
 struct Diagnostic {
   Severity severity = Severity::kError;

@@ -1,0 +1,68 @@
+#include "xfer/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aic::xfer {
+
+Channel::Channel(Config config) : config_(config) {
+  AIC_CHECK_MSG(std::isfinite(config.bandwidth_bps) &&
+                    config.bandwidth_bps > 0.0,
+                "channel bandwidth must be positive and finite, got "
+                    << config.bandwidth_bps);
+  AIC_CHECK_MSG(std::isfinite(config.latency_s) && config.latency_s >= 0.0,
+                "channel latency must be non-negative and finite, got "
+                    << config.latency_s);
+}
+
+void Channel::inject_drops(int count) {
+  AIC_CHECK(count >= 0);
+  for (int i = 0; i < count; ++i) inject(Fault{FaultKind::kDrop, 0.0, 0.0});
+}
+
+void Channel::set_drop_probability(double p, std::uint64_t seed) {
+  AIC_CHECK_MSG(p >= 0.0 && p < 1.0,
+                "drop probability must be in [0, 1), got " << p);
+  drop_probability_ = p;
+  rng_ = Rng(seed);
+}
+
+void Channel::close_stream() {
+  AIC_CHECK_MSG(active_streams_ > 0, "close_stream with no open stream");
+  --active_streams_;
+}
+
+Channel::SendOutcome Channel::send(std::uint64_t bytes) {
+  const std::size_t share = std::max<std::size_t>(active_streams_, 1);
+  const double per_stream_bps = config_.bandwidth_bps / double(share);
+  const double base = config_.latency_s + double(bytes) / per_stream_bps;
+
+  if (!scripted_.empty()) {
+    const Fault fault = scripted_.front();
+    scripted_.pop_front();
+    if (fault.kind == FaultKind::kStall) {
+      AIC_CHECK(fault.stall_seconds >= 0.0);
+      // Delivery eventually succeeds, late; the scheduler's chunk timeout
+      // decides whether the sender was still listening.
+      return SendOutcome{true, base + fault.stall_seconds, bytes};
+    }
+    if (fault.kind == FaultKind::kPartialWrite) {
+      AIC_CHECK(fault.deliver_fraction >= 0.0 && fault.deliver_fraction < 1.0);
+      const auto delivered =
+          std::uint64_t(double(bytes) * fault.deliver_fraction);
+      const double frac = bytes > 0 ? double(delivered) / double(bytes) : 0.0;
+      return SendOutcome{
+          false, config_.latency_s + frac * (base - config_.latency_s),
+          delivered};
+    }
+    // kDrop: the chunk is lost in flight — full wire time wasted, nothing
+    // lands.
+    return SendOutcome{false, base, 0};
+  }
+  if (drop_probability_ > 0.0 && rng_.bernoulli(drop_probability_)) {
+    return SendOutcome{false, base, 0};
+  }
+  return SendOutcome{true, base, bytes};
+}
+
+}  // namespace aic::xfer

@@ -1,0 +1,304 @@
+#include "xfer/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace aic::xfer {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+const char* to_string(TransferState state) {
+  switch (state) {
+    case TransferState::kPending:
+      return "pending";
+    case TransferState::kInFlight:
+      return "in-flight";
+    case TransferState::kInterrupted:
+      return "interrupted";
+    case TransferState::kCommitted:
+      return "committed";
+    case TransferState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+TransferScheduler::TransferScheduler() : TransferScheduler(Config{}) {}
+
+TransferScheduler::TransferScheduler(Config config) : config_(config) {
+  AIC_CHECK_MSG(config.chunk_bytes >= 1, "chunk size must be >= 1 byte");
+  AIC_CHECK(config.retry.max_attempts_per_chunk >= 1);
+  AIC_CHECK(config.retry.initial_backoff_s >= 0.0);
+  AIC_CHECK(config.retry.backoff_multiplier >= 1.0);
+  AIC_CHECK(config.retry.max_backoff_s >= config.retry.initial_backoff_s);
+  AIC_CHECK(config.retry.chunk_timeout_s >= 0.0);
+}
+
+void TransferScheduler::add_level(int level, Channel::Config channel,
+                                  ChunkSink* sink) {
+  AIC_CHECK_MSG(sink != nullptr, "level " << level << " needs a sink");
+  AIC_CHECK_MSG(levels_.count(level) == 0,
+                "level " << level << " already registered");
+  levels_[level] = Level{std::make_unique<Channel>(channel), sink};
+}
+
+Channel& TransferScheduler::channel(int level) {
+  auto it = levels_.find(level);
+  AIC_CHECK_MSG(it != levels_.end(), "unknown transfer level " << level);
+  return *it->second.channel;
+}
+
+TransferScheduler::Level& TransferScheduler::level_of(const Entry& e) {
+  auto it = levels_.find(e.rec.level);
+  AIC_CHECK(it != levels_.end());
+  return it->second;
+}
+
+TransferId TransferScheduler::submit(int level, std::string key, Bytes data) {
+  AIC_CHECK_MSG(levels_.count(level) > 0,
+                "submit to unregistered level " << level);
+  for (const auto& [id, e] : entries_) {
+    AIC_CHECK_MSG(e.rec.level != level || e.rec.key != key,
+                  "duplicate live transfer of " << key << " to level "
+                                                << level);
+  }
+  Entry e;
+  e.rec.id = next_id_++;
+  e.rec.key = std::move(key);
+  e.rec.level = level;
+  e.rec.total_bytes = data.size();
+  e.rec.submit_time = now_;
+  e.data = std::move(data);
+  e.ready_at = now_;
+  const TransferId id = e.rec.id;
+  entries_.emplace(id, std::move(e));
+  return id;
+}
+
+bool TransferScheduler::idle() const { return runnable_count() == 0; }
+
+std::size_t TransferScheduler::runnable_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : entries_) {
+    n += (e.rec.state == TransferState::kPending ||
+          e.rec.state == TransferState::kInFlight);
+  }
+  return n;
+}
+
+std::size_t TransferScheduler::interrupted_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : entries_) {
+    n += e.rec.state == TransferState::kInterrupted;
+  }
+  return n;
+}
+
+void TransferScheduler::commit(Entry& e) {
+  level_of(e).sink->commit(e.rec.key);
+  e.rec.state = TransferState::kCommitted;
+  e.rec.commit_time = now_;
+  ++e.rec.stats.transfers_committed;
+}
+
+void TransferScheduler::start_ready_attempts() {
+  // Two passes so every attempt starting at this instant sees the full
+  // concurrent stream count: open all streams first, then price the sends.
+  std::vector<Entry*> starting;
+  for (auto& [id, e] : entries_) {
+    if (e.rec.state != TransferState::kPending || e.attempt_active ||
+        e.ready_at > now_) {
+      continue;
+    }
+    if (e.rec.acked_bytes >= e.rec.total_bytes) {
+      // Zero-byte object (or nothing left): publish without touching the
+      // wire. Ensure a staged (possibly empty) entry exists to commit.
+      level_of(e).sink->stage(e.rec.key, e.rec.acked_bytes, ByteSpan{});
+      commit(e);
+      continue;
+    }
+    starting.push_back(&e);
+  }
+  for (Entry* e : starting) level_of(*e).channel->open_stream();
+  for (Entry* e : starting) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(
+        config_.chunk_bytes, e->rec.total_bytes - e->rec.acked_bytes);
+    Channel::SendOutcome out = level_of(*e).channel->send(chunk);
+    // A stalled delivery outlasting the chunk timeout is a failed attempt
+    // that costs exactly the timeout (the sender stops listening).
+    const double timeout = config_.retry.chunk_timeout_s;
+    if (timeout > 0.0 && out.seconds > timeout) {
+      out.acked = false;
+      out.seconds = timeout;
+      out.bytes_delivered = 0;
+    }
+    e->rec.state = TransferState::kInFlight;
+    ++e->rec.chunk_attempts;
+    e->attempt_active = true;
+    e->attempt_start = now_;
+    e->attempt_end = now_ + out.seconds;
+    e->attempt_acked = out.acked;
+    e->attempt_bytes = chunk;
+    e->attempt_delivered = out.bytes_delivered;
+  }
+}
+
+void TransferScheduler::finish_attempt(Entry& e) {
+  Level& level = level_of(e);
+  level.channel->close_stream();
+  e.attempt_active = false;
+  e.rec.stats.wire_seconds += e.attempt_end - e.attempt_start;
+
+  if (e.attempt_delivered > 0) {
+    // Bytes that physically arrived are staged even when the attempt
+    // failed (partial write): the retry overwrites them at the same
+    // offset, which is what keeps staging idempotent.
+    level.sink->stage(
+        e.rec.key, e.rec.acked_bytes,
+        ByteSpan(e.data.data() + e.rec.acked_bytes, e.attempt_delivered));
+  }
+
+  if (e.attempt_acked) {
+    e.rec.acked_bytes += e.attempt_bytes;
+    ++e.rec.stats.chunks_sent;
+    e.rec.stats.bytes_acked += e.attempt_bytes;
+    e.rec.chunk_attempts = 0;
+    e.ready_at = now_;
+    if (e.rec.acked_bytes >= e.rec.total_bytes) {
+      commit(e);
+    } else {
+      e.rec.state = TransferState::kPending;
+    }
+    return;
+  }
+
+  // Failed attempt: retry with capped exponential backoff, or abort once
+  // the per-chunk budget is exhausted.
+  ++e.rec.stats.chunks_failed;
+  e.rec.stats.bytes_wasted += e.attempt_bytes;
+  if (e.rec.chunk_attempts >= config_.retry.max_attempts_per_chunk) {
+    std::ostringstream os;
+    os << "transfer of " << e.rec.key << " to level " << e.rec.level
+       << " aborted at chunk offset " << e.rec.acked_bytes << " after "
+       << e.rec.chunk_attempts << " attempts";
+    e.rec.error = os.str();
+    e.rec.state = TransferState::kAborted;
+    ++e.rec.stats.transfers_aborted;
+    level.sink->discard(e.rec.key);
+    return;
+  }
+  const int retry_index = e.rec.chunk_attempts - 1;  // 0 for first retry
+  const double backoff = std::min(
+      config_.retry.initial_backoff_s *
+          std::pow(config_.retry.backoff_multiplier, double(retry_index)),
+      config_.retry.max_backoff_s);
+  e.rec.backoff_history.push_back(backoff);
+  ++e.rec.stats.retries;
+  e.rec.stats.backoff_seconds += backoff;
+  e.ready_at = now_ + backoff;
+  e.rec.state = TransferState::kPending;
+}
+
+void TransferScheduler::run_events(double limit) {
+  for (;;) {
+    start_ready_attempts();
+    double next = kInf;
+    for (const auto& [id, e] : entries_) {
+      if (e.attempt_active) {
+        next = std::min(next, e.attempt_end);
+      } else if (e.rec.state == TransferState::kPending) {
+        next = std::min(next, std::max(e.ready_at, now_));
+      }
+    }
+    if (next == kInf || next > limit) break;
+    now_ = std::max(now_, next);
+    for (auto& [id, e] : entries_) {
+      if (e.attempt_active && e.attempt_end <= now_) finish_attempt(e);
+    }
+  }
+}
+
+void TransferScheduler::run_until_idle() { run_events(kInf); }
+
+void TransferScheduler::run_until(double t) {
+  AIC_CHECK_MSG(t >= now_, "virtual clock cannot run backwards (now "
+                               << now_ << ", asked " << t << ")");
+  run_events(t);
+  now_ = t;
+}
+
+std::size_t TransferScheduler::interrupt_level(int level) {
+  std::size_t interrupted = 0;
+  for (auto& [id, e] : entries_) {
+    if (e.rec.level != level) continue;
+    if (e.rec.state != TransferState::kPending &&
+        e.rec.state != TransferState::kInFlight) {
+      continue;
+    }
+    if (e.attempt_active) {
+      // The in-flight chunk dies with the failure; charge the wire time
+      // actually elapsed, nothing is acked.
+      level_of(e).channel->close_stream();
+      e.rec.stats.wire_seconds += std::max(0.0, now_ - e.attempt_start);
+      e.attempt_active = false;
+    }
+    e.rec.state = TransferState::kInterrupted;
+    ++e.rec.stats.transfers_interrupted;
+    ++interrupted;
+  }
+  return interrupted;
+}
+
+std::size_t TransferScheduler::resume_level(int level) {
+  std::size_t resumed = 0;
+  for (auto& [id, e] : entries_) {
+    if (e.rec.level != level ||
+        e.rec.state != TransferState::kInterrupted) {
+      continue;
+    }
+    e.rec.state = TransferState::kPending;
+    e.rec.chunk_attempts = 0;  // fresh budget for the resumed drain
+    e.ready_at = now_;
+    ++resumed;
+  }
+  return resumed;
+}
+
+void TransferScheduler::discard(TransferId id) {
+  auto it = entries_.find(id);
+  AIC_CHECK_MSG(it != entries_.end(), "discard of unknown transfer " << id);
+  Entry& e = it->second;
+  if (e.attempt_active) {
+    level_of(e).channel->close_stream();
+    e.attempt_active = false;
+  }
+  if (!e.rec.terminal()) level_of(e).sink->discard(e.rec.key);
+  discarded_stats_ += e.rec.stats;
+  entries_.erase(it);
+}
+
+const TransferRecord& TransferScheduler::record(TransferId id) const {
+  auto it = entries_.find(id);
+  AIC_CHECK_MSG(it != entries_.end(), "unknown transfer " << id);
+  return it->second.rec;
+}
+
+void TransferScheduler::rethrow_if_aborted(TransferId id) const {
+  const TransferRecord& rec = record(id);
+  if (rec.state == TransferState::kAborted) {
+    throw TransferError(rec.level, rec.acked_bytes, rec.error);
+  }
+}
+
+Stats TransferScheduler::stats() const {
+  Stats total = discarded_stats_;
+  for (const auto& [id, e] : entries_) total += e.rec.stats;
+  return total;
+}
+
+}  // namespace aic::xfer

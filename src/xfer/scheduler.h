@@ -1,0 +1,128 @@
+// TransferScheduler — the checkpointing core's drain engine.
+//
+// Owns one simulated Channel per destination level and drives every
+// submitted transfer through the chunked state machine of transfer.h under
+// a single discrete-event virtual clock:
+//
+//   * each chunk is one send attempt on the level's channel, charged at
+//     the channel's current per-stream bandwidth share (concurrent drains
+//     split capacity — the emergent Fig. 7 sharing factor);
+//   * a failed attempt (drop, partial write, or timeout on a stall)
+//     retries after capped exponential backoff; exhausting the per-chunk
+//     attempt budget aborts the transfer with a TransferError naming the
+//     level and chunk offset;
+//   * delivered bytes land in the level's ChunkSink staging area and the
+//     object is atomically committed only after the last chunk acks;
+//   * interrupt_level() models a failure striking mid-drain: in-flight
+//     and queued transfers to that level become kInterrupted resumable
+//     partials, and resume_level() re-drains from the last acked chunk.
+//
+// The clock never runs backwards: run_until(t) processes every event up to
+// virtual time t (attempt completions, backoff expiries, commits) and
+// leaves attempts that end later than t in flight for the next call, so a
+// failure simulator can interleave failures with a drain at any instant.
+// Everything is deterministic — no host clocks, no host randomness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "xfer/channel.h"
+#include "xfer/stats.h"
+#include "xfer/transfer.h"
+
+namespace aic::xfer {
+
+class TransferScheduler {
+ public:
+  struct Config {
+    std::size_t chunk_bytes = 64 * 1024;
+    RetryPolicy retry;
+  };
+
+  TransferScheduler();
+  explicit TransferScheduler(Config config);
+
+  /// Registers a destination level with its channel parameters and staging
+  /// sink. The sink must outlive the scheduler.
+  void add_level(int level, Channel::Config channel, ChunkSink* sink);
+  bool has_level(int level) const { return levels_.count(level) > 0; }
+  /// The level's channel, for fault injection and inspection.
+  Channel& channel(int level);
+
+  /// Queues a drain of `data` to `level` under object name `key`; the
+  /// transfer starts at the next run_*() call. Keys must be unique among
+  /// live (non-discarded) transfers to the same level.
+  TransferId submit(int level, std::string key, Bytes data);
+
+  double now() const { return now_; }
+  /// True when no transfer is pending or in flight (interrupted and
+  /// terminal transfers don't count).
+  bool idle() const;
+
+  /// Runs the event loop until idle (commits, aborts, and interrupted
+  /// partials only remain).
+  void run_until_idle();
+  /// Runs the event loop up to virtual time t, then sets now() = t.
+  void run_until(double t);
+
+  /// Failure at `level` mid-drain: every pending/in-flight transfer to
+  /// that level becomes a resumable kInterrupted partial (the current
+  /// chunk attempt is lost; acked bytes are kept). Returns the number of
+  /// transfers interrupted.
+  std::size_t interrupt_level(int level);
+  /// Re-queues interrupted transfers to `level` (fresh per-chunk retry
+  /// budget, resuming at the last acked chunk). Returns the count resumed.
+  std::size_t resume_level(int level);
+
+  /// Drops a transfer and its staged partial entirely (rollback of a
+  /// checkpoint that no longer exists). Terminal records are erased too.
+  void discard(TransferId id);
+
+  const TransferRecord& record(TransferId id) const;
+  bool known(TransferId id) const { return entries_.count(id) > 0; }
+  /// Throws the transfer's TransferError if it aborted; no-op otherwise.
+  void rethrow_if_aborted(TransferId id) const;
+
+  std::size_t runnable_count() const;     // pending + in-flight
+  std::size_t interrupted_count() const;
+  /// Aggregate counters over every transfer this scheduler has seen
+  /// (including discarded ones).
+  Stats stats() const;
+
+ private:
+  struct Level {
+    std::unique_ptr<Channel> channel;
+    ChunkSink* sink = nullptr;
+  };
+  struct Entry {
+    TransferRecord rec;
+    Bytes data;
+    double ready_at = 0.0;  // earliest start of the next chunk attempt
+    // One in-flight chunk attempt (outcome fixed at start time).
+    bool attempt_active = false;
+    double attempt_start = 0.0;
+    double attempt_end = 0.0;
+    bool attempt_acked = false;
+    std::uint64_t attempt_bytes = 0;
+    std::uint64_t attempt_delivered = 0;
+  };
+
+  Level& level_of(const Entry& e);
+  void start_ready_attempts();
+  void finish_attempt(Entry& e);
+  void commit(Entry& e);
+  void run_events(double limit);
+
+  Config config_;
+  double now_ = 0.0;
+  TransferId next_id_ = 1;
+  std::map<int, Level> levels_;
+  std::map<TransferId, Entry> entries_;
+  /// Counters of discarded transfers, folded into stats().
+  Stats discarded_stats_;
+};
+
+}  // namespace aic::xfer

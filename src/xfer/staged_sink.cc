@@ -1,0 +1,37 @@
+#include "xfer/staged_sink.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aic::xfer {
+
+void StagedTargetSink::stage(const std::string& key, std::uint64_t offset,
+                             ByteSpan chunk) {
+  Bytes& buf = staging_[key];
+  const std::size_t end = std::size_t(offset) + chunk.size();
+  if (buf.size() < end) buf.resize(end, 0);
+  std::copy(chunk.begin(), chunk.end(), buf.begin() + std::ptrdiff_t(offset));
+}
+
+std::uint64_t StagedTargetSink::staged_bytes(const std::string& key) const {
+  auto it = staging_.find(key);
+  return it == staging_.end() ? 0 : it->second.size();
+}
+
+void StagedTargetSink::commit(const std::string& key) {
+  auto it = staging_.find(key);
+  AIC_CHECK_MSG(it != staging_.end(), "commit of unstaged object " << key);
+  AIC_CHECK_MSG(target_->available(),
+                "commit to unavailable target " << target_->name()
+                                                << " for " << key);
+  // Publication, not transfer: wire time was charged chunk by chunk.
+  (void)target_->put(key, std::move(it->second));
+  staging_.erase(it);
+}
+
+void StagedTargetSink::discard(const std::string& key) {
+  staging_.erase(key);
+}
+
+}  // namespace aic::xfer

@@ -1,0 +1,120 @@
+// Transfer state machine types shared by the scheduler and its clients.
+//
+// One Transfer moves one serialized checkpoint object to one destination
+// level as a sequence of fixed-size chunks. Lifecycle:
+//
+//   kPending ──start chunk──▶ kInFlight @ acked_bytes
+//      ▲                          │
+//      │   interrupt_level()      ├── all chunks acked ──▶ kCommitted
+//      └───── resume ──── kInterrupted (resumable partial)
+//                                 └── retry cap exhausted ─▶ kAborted
+//
+// While pending/in-flight/interrupted the object exists only in the level's
+// staging area (a ChunkSink), never in the visible store: commit is atomic,
+// so a failure between any two chunks can leave at most a resumable
+// partial, never a torn visible object. An interrupted transfer keeps its
+// acked byte count; resuming re-drains from the last acked chunk with a
+// fresh per-chunk retry budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "xfer/stats.h"
+
+namespace aic::xfer {
+
+using TransferId = std::uint64_t;
+
+enum class TransferState : std::uint8_t {
+  kPending = 0,     // queued or between chunks, runnable
+  kInFlight,        // a chunk attempt is on the wire
+  kInterrupted,     // failure mid-drain; resumable at acked_bytes
+  kCommitted,       // atomically published to the destination
+  kAborted,         // retry cap exhausted; see TransferRecord::error
+};
+
+const char* to_string(TransferState state);
+
+/// Naming convention for staged partials that land on a filesystem (used
+/// by aic_fsck to tell an in-progress drain from a corrupt record).
+inline constexpr const char kPartialSuffix[] = ".partial";
+
+struct RetryPolicy {
+  /// Max send attempts per chunk (1 original + max_attempts-1 retries).
+  int max_attempts_per_chunk = 8;
+  double initial_backoff_s = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 2.0;
+  /// An attempt taking longer than this counts as failed at the timeout
+  /// (covers stalled channels); 0 disables the timeout.
+  double chunk_timeout_s = 0.0;
+};
+
+/// Typed abort error: names the destination level and the chunk offset the
+/// drain could not push past.
+class TransferError : public CheckError {
+ public:
+  TransferError(int level, std::uint64_t chunk_offset,
+                const std::string& what)
+      : CheckError(what), level_(level), chunk_offset_(chunk_offset) {}
+
+  int level() const { return level_; }
+  std::uint64_t chunk_offset() const { return chunk_offset_; }
+
+ private:
+  int level_;
+  std::uint64_t chunk_offset_;
+};
+
+/// Staging destination for one level: chunks land at explicit offsets
+/// (idempotent — a retry after a partial write overwrites the garbage),
+/// and the object becomes visible only on commit.
+class ChunkSink {
+ public:
+  virtual ~ChunkSink() = default;
+
+  /// Writes `chunk` at `offset` of the staged object `key`, growing the
+  /// staging buffer as needed. May be called repeatedly for the same
+  /// offset (retry after partial delivery).
+  virtual void stage(const std::string& key, std::uint64_t offset,
+                     ByteSpan chunk) = 0;
+  /// Bytes currently staged for `key` (0 if no partial exists).
+  virtual std::uint64_t staged_bytes(const std::string& key) const = 0;
+  /// Atomically publishes the staged object and clears the partial.
+  virtual void commit(const std::string& key) = 0;
+  /// Drops the staged partial without publishing.
+  virtual void discard(const std::string& key) = 0;
+};
+
+/// Observable state of one transfer (scheduler-owned).
+struct TransferRecord {
+  TransferId id = 0;
+  std::string key;
+  int level = 0;
+  TransferState state = TransferState::kPending;
+  std::uint64_t total_bytes = 0;
+  /// Resume point: bytes confirmed at the sink (whole chunks only).
+  std::uint64_t acked_bytes = 0;
+  /// Attempts spent on the chunk currently at acked_bytes.
+  int chunk_attempts = 0;
+  /// Virtual time the transfer was submitted / committed.
+  double submit_time = 0.0;
+  double commit_time = 0.0;
+  /// Backoff delay applied before each retry, in order (monotonically
+  /// non-decreasing up to RetryPolicy::max_backoff_s).
+  std::vector<double> backoff_history;
+  Stats stats;
+  /// Abort reason (empty unless kAborted).
+  std::string error;
+
+  bool terminal() const {
+    return state == TransferState::kCommitted ||
+           state == TransferState::kAborted;
+  }
+};
+
+}  // namespace aic::xfer

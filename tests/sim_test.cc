@@ -217,6 +217,49 @@ TEST(FailureSim, HigherRateMeansLongerTurnaround) {
   EXPECT_LT(low.mean(), high.mean());
 }
 
+TEST(FailureSim, XferEngineRecoversByteExactUnderFailures) {
+  // The transfer-engine mode: L2/L3 placements are real chunked drains, so
+  // failures strike mid-chunk and recovery runs against what actually
+  // committed. The byte-exactness bar is unchanged.
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    FailureSimConfig cfg;
+    cfg.benchmark = workload::SpecBenchmark::kBzip2;
+    cfg.workload_scale = 0.125;
+    cfg.failures = failure::FailureSpec::from_total(0.04);
+    cfg.checkpoint_interval = 10.0;
+    cfg.seed = seed;
+    cfg.use_transfer_engine = true;
+    FailureSimResult res = run_failure_sim(cfg);
+    EXPECT_TRUE(res.final_state_verified)
+        << "seed " << seed << ": memory diverged after " << res.restores
+        << " restores";
+    EXPECT_GT(res.total_failures(), 0);
+    EXPECT_GT(res.checkpoints, 3);
+    EXPECT_GT(res.xfer_stats.chunks_sent, 0u);
+    EXPECT_GT(res.xfer_stats.transfers_committed, 0u);
+  }
+}
+
+TEST(FailureSim, XferEngineInterruptsDrainsOnSlowRemote) {
+  // Slow L3 + frequent level-2 failures: some failure lands while a remote
+  // drain is mid-flight, the drain is interrupted and later resumed, and
+  // the run still verifies byte-exact.
+  FailureSimConfig cfg;
+  cfg.benchmark = workload::SpecBenchmark::kBzip2;
+  cfg.workload_scale = 0.125;
+  cfg.failures.lambda = {0.0, 0.02, 0.0};
+  cfg.costs.b3_bps = 50.0 * kKB;  // sluggish remote: drains lag failures
+  cfg.checkpoint_interval = 10.0;
+  cfg.seed = 1;
+  cfg.use_transfer_engine = true;
+  FailureSimResult res = run_failure_sim(cfg);
+  EXPECT_TRUE(res.final_state_verified);
+  EXPECT_GT(res.failures_by_level[1], 0);
+  EXPECT_GT(res.xfer_stats.transfers_interrupted, 0u)
+      << "a failure should have caught a drain mid-flight";
+  EXPECT_GT(res.drains_resumed, 0);
+}
+
 TEST(FailureSim, Level3FailureForcesOlderRestorePoint) {
   // With only level-3 failures and slow L3 transfers, restores must come
   // from checkpoints whose remote copy had landed — the run still verifies.

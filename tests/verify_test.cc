@@ -361,5 +361,16 @@ TEST(ChainVerifier, InjectionMatrixNeverCrashesNeverFalseAccepts) {
   }
 }
 
+TEST(PartialTransferName, RecognizesStagingSuffix) {
+  EXPECT_TRUE(is_partial_transfer_name("ckpt-3.partial"));
+  EXPECT_TRUE(is_partial_transfer_name("x.partial"));
+  EXPECT_FALSE(is_partial_transfer_name("ckpt-3"));
+  EXPECT_FALSE(is_partial_transfer_name(".partial"))
+      << "a bare suffix names no object";
+  EXPECT_FALSE(is_partial_transfer_name("ckpt-3.partial.bak"));
+  EXPECT_FALSE(is_partial_transfer_name("partial"));
+  EXPECT_FALSE(is_partial_transfer_name(""));
+}
+
 }  // namespace
 }  // namespace aic::verify

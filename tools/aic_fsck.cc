@@ -70,8 +70,12 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) return usage(argv[0]);
 
-  // Expand directories, keep explicit files as given.
+  // Expand directories, keep explicit files as given. Staged transfer
+  // partials ("<key>.partial" — an interrupted drain's resumable leftover)
+  // are never chain records: they are reported as their own diagnostic and
+  // excluded from verification rather than flagged as corruption.
   std::vector<fs::path> record_paths;
+  std::vector<fs::path> partial_paths;
   for (const fs::path& input : inputs) {
     std::error_code ec;
     if (fs::is_directory(input, ec)) {
@@ -85,12 +89,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       std::sort(entries.begin(), entries.end());
-      record_paths.insert(record_paths.end(), entries.begin(), entries.end());
+      for (const fs::path& p : entries) {
+        if (aic::verify::is_partial_transfer_name(p.filename().string())) {
+          partial_paths.push_back(p);
+        } else {
+          record_paths.push_back(p);
+        }
+      }
     } else {
       record_paths.push_back(input);
     }
   }
-  if (record_paths.empty()) {
+  if (record_paths.empty() && partial_paths.empty()) {
     std::cerr << "aic_fsck: no checkpoint records found\n";
     return 2;
   }
@@ -110,6 +120,12 @@ int main(int argc, char** argv) {
   const aic::verify::Report report = verifier.verify_serialized(records);
 
   if (!quiet) {
+    for (const fs::path& p : partial_paths) {
+      std::cout << p.string()
+                << ": NOTE [staged-partial] in-progress transfer staging "
+                   "file — resumable drain leftover, not part of the "
+                   "committed chain\n";
+    }
     for (const auto& d : report.diagnostics) {
       std::cout << record_paths[std::min(d.chain_index,
                                          record_paths.size() - 1)]
@@ -117,7 +133,10 @@ int main(int argc, char** argv) {
                 << ": " << d.render() << "\n";
     }
   }
-  std::cout << "aic_fsck: " << report.summary()
-            << (report.ok() ? " — clean" : " — CORRUPT") << "\n";
+  std::cout << "aic_fsck: " << report.summary();
+  if (!partial_paths.empty()) {
+    std::cout << ", " << partial_paths.size() << " staged partial(s)";
+  }
+  std::cout << (report.ok() ? " — clean" : " — CORRUPT") << "\n";
   return report.ok() ? 0 : 1;
 }
