@@ -9,7 +9,10 @@
 #       examples/, bench/ are front-ends and may print);
 #   L3  no `printf`-family calls in src/ for the same reason;
 #   L4  library code never calls `abort`/`exit` — invariants throw
-#       CheckError so callers and tests can observe them.
+#       CheckError so callers and tests can observe them;
+#   L5  no chrono clock ::now() in src/ outside src/obs/ — obs::wall_now_ns
+#       is the library's single host-clock gateway, so wall time stays
+#       mockable and the virtual-time components stay deterministic.
 #
 # Usage: scripts/lint.sh
 # Exit: 0 clean, 1 findings.
@@ -67,6 +70,17 @@ mapfile -t hits < <(scan_code \
   '(^|[^[:alnum:]_])(std::)?(abort|exit) *\(' "${lib_files[@]}")
 if ((${#hits[@]})); then
   fail "abort/exit in src/ library code:" "${hits[@]}"
+fi
+
+# --- L5: host-clock reads outside src/obs/ -----------------------------------
+mapfile -t nonobs_files < <(printf '%s\n' "${lib_files[@]}" \
+  | grep -v '^src/obs/')
+mapfile -t hits < <(scan_code \
+  '(system_clock|steady_clock|high_resolution_clock) *:: *now *\(' \
+  "${nonobs_files[@]}")
+if ((${#hits[@]})); then
+  fail "chrono clock ::now() outside src/obs/ (use obs::wall_now_ns):" \
+    "${hits[@]}"
 fi
 
 # --- clang-tidy (optional: profile in .clang-tidy) ---------------------------

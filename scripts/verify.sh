@@ -70,7 +70,7 @@ run_tsan() {
   if cmake -B build-tsan -S . -DAIC_SANITIZE=thread >/dev/null &&
     cmake --build build-tsan -j"$jobs" --target aic_tests &&
     ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
-      -R 'ThreadPool|Parallel|Async|UnchangedFastPath|Xfer' | tee "$log"; then
+      -R 'ThreadPool|Parallel|Async|UnchangedFastPath|Xfer|Obs' | tee "$log"; then
     record tsan OK "$(ctest_passed "$log")"
   else
     record tsan FAIL "see output above"
@@ -83,7 +83,7 @@ run_asan_ubsan() {
   local log
   log=$(mktemp)
   if cmake -B build-asan -S . -DAIC_SANITIZE=address,undefined >/dev/null &&
-    cmake --build build-asan -j"$jobs" --target aic_tests aic_fsck &&
+    cmake --build build-asan -j"$jobs" --target aic_tests aic_fsck aic_report &&
     ctest --test-dir build-asan --output-on-failure -j"$jobs" | tee "$log"; then
     record "asan+ubsan" OK "$(ctest_passed "$log")"
   else

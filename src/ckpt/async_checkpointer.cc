@@ -1,15 +1,32 @@
 #include "ckpt/async_checkpointer.h"
 
-#include <chrono>
-
 #include "common/check.h"
+#include "obs/clock.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace aic::ckpt {
+
+namespace {
+namespace on = obs::names;
+}  // namespace
 
 AsyncCheckpointer::AsyncCheckpointer(Config config)
     : config_(std::move(config)),
       chain_(config_.chain),
-      worker_([this] { worker_loop(); }) {}
+      worker_([this] { worker_loop(); }) {
+  // Safe to resolve after worker_ starts: the worker only reads these
+  // inside process(), which a submit() (sequenced after this constructor)
+  // must release through the queue mutex first.
+  if (obs::Hub* hub = config_.chain.obs) {
+    m_capture_s_ = hub->metrics.histogram(
+        on::kCkptCaptureSeconds,
+        obs::Histogram::exponential_buckets(1e-6, 4.0, 16));
+    m_compress_s_ = hub->metrics.histogram(
+        on::kCkptCompressSeconds,
+        obs::Histogram::exponential_buckets(1e-6, 4.0, 16));
+  }
+}
 
 AsyncCheckpointer::~AsyncCheckpointer() {
   {
@@ -40,11 +57,20 @@ std::uint64_t AsyncCheckpointer::submit(mem::AddressSpace& space,
   // paper charges as c1 — everything after it (compression, shipping) runs
   // on the checkpointing core. The snapshot and live-set are then MOVED
   // into the job; only the caller-owned cpu_state span must be copied.
+  obs::Hub* hub = config_.chain.obs;
+  const double cap0 = hub ? hub->trace.wall_seconds() : 0.0;
   mem::Snapshot pages =
       full ? mem::Snapshot::capture(space)
            : mem::Snapshot::capture_pages(space, space.dirty_pages());
   std::vector<mem::PageId> live = space.live_pages();
   space.protect_all();  // next interval's dirty tracking starts now
+  if (hub != nullptr) {
+    const double cap1 = hub->trace.wall_seconds();
+    hub->trace.span(obs::TimeDomain::kWall, on::kCatCkpt, on::kEvCapture,
+                    cap0, cap1, 0,
+                    {{"seq", double(sequence)}, {"full", full ? 1.0 : 0.0}});
+    m_capture_s_->observe(cap1 - cap0);
+  }
 
   Job job{.sequence = sequence,
           .app_time = app_time,
@@ -102,7 +128,9 @@ void AsyncCheckpointer::worker_loop() {
 }
 
 void AsyncCheckpointer::process(Job job) {
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::Hub* hub = config_.chain.obs;
+  const std::uint64_t t0 = obs::wall_now_ns();
+  const double c0 = hub ? hub->trace.wall_seconds() : 0.0;
   CaptureStats stats;
   CheckpointFile file;
   {
@@ -111,20 +139,34 @@ void AsyncCheckpointer::process(Job job) {
                                  job.app_time);
     if (config_.store != nullptr) file = chain_.files().back();
   }
-  const auto t1 = std::chrono::steady_clock::now();
   AsyncResult result;
   result.sequence = job.sequence;
   result.app_time = job.app_time;
   result.stats = stats;
-  result.compress_ns = std::uint64_t(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  result.compress_ns = obs::wall_now_ns() - t0;
+  if (hub != nullptr) {
+    const double c1 = hub->trace.wall_seconds();
+    hub->trace.span(obs::TimeDomain::kWall, on::kCatCkpt, on::kEvCompress,
+                    c0, c1, 0,
+                    {{"seq", double(job.sequence)},
+                     {"file_bytes", double(stats.file_bytes)}});
+    m_compress_s_->observe(c1 - c0);
+  }
   if (config_.on_complete) config_.on_complete(result);
   if (config_.store != nullptr) {
     // The "remote checkpointer" half of the core: drain the file to L2/L3
     // through the store's transfer engine. Runs outside the lock so the
     // application thread can keep submitting while chunks are in flight.
+    const double v0 = config_.store->xfer().now();
     result.placement = config_.store->put_checkpoint(file);
     result.landed = true;
+    if (hub != nullptr) {
+      hub->trace.span(obs::TimeDomain::kVirtual, on::kCatCkpt, on::kEvLand,
+                      v0, config_.store->xfer().now(), 0,
+                      {{"seq", double(job.sequence)},
+                       {"raid_s", result.placement.raid},
+                       {"remote_s", result.placement.remote}});
+    }
     if (config_.on_landed) config_.on_landed(result);
   }
 }

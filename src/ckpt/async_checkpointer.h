@@ -132,6 +132,12 @@ class AsyncCheckpointer {
   CheckpointChain chain_;
   std::vector<mem::PageId> last_live_;
 
+  // Observability handles (config_.chain.obs; null when disabled). The
+  // capture histogram is touched from the application thread, the compress
+  // one from the worker — both are lock-free atomics.
+  obs::Histogram* m_capture_s_ = nullptr;
+  obs::Histogram* m_compress_s_ = nullptr;
+
   std::thread worker_;
 };
 

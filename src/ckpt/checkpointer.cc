@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace aic::ckpt {
 namespace {
@@ -195,7 +197,20 @@ CheckpointChain::CheckpointChain(Config config)
     : config_(config),
       compressor_(delta::ParallelPageCompressor::Config{
           .page_codec = config.page_codec,
-          .workers = config.compress_workers}) {}
+          .workers = config.compress_workers,
+          .obs = config.obs}) {}
+
+void CheckpointChain::record_capture(const CaptureStats& stats) {
+  obs::Hub* hub = config_.obs;
+  if (hub == nullptr) return;
+  namespace on = obs::names;
+  obs::MetricsRegistry& m = hub->metrics;
+  m.counter(on::kCkptCheckpoints)->add();
+  if (stats.kind == CheckpointKind::kFull) m.counter(on::kCkptFulls)->add();
+  m.counter(on::kCkptPagesWritten)->add(stats.pages_written);
+  m.counter(on::kCkptUncompressedBytes)->add(stats.uncompressed_bytes);
+  m.counter(on::kCkptFileBytes)->add(stats.file_bytes);
+}
 
 bool CheckpointChain::next_capture_is_full() const {
   return files_.empty() || (config_.full_period > 0 &&
@@ -273,6 +288,7 @@ CaptureStats CheckpointChain::capture_pages(const mem::Snapshot& pages,
   pages.overlay_onto(accumulated_);
   last_live_ = live_now;
   files_.push_back(std::move(file));
+  record_capture(stats);
   return stats;
 }
 
@@ -314,6 +330,7 @@ CaptureStats CheckpointChain::capture(const mem::AddressSpace& space,
   }
   last_live_ = space.live_pages();
   files_.push_back(std::move(file));
+  record_capture(stats);
   return stats;
 }
 

@@ -112,6 +112,9 @@ class CheckpointChain {
     /// checkpointing cores). 0 = auto (hardware_concurrency() - 1);
     /// 1 = serial. Output is byte-identical at any setting.
     unsigned compress_workers = 0;
+    /// Optional observability hub, shared with the compression pipeline:
+    /// per-checkpoint counters plus per-shard spans. nullptr = disabled.
+    obs::Hub* obs = nullptr;
   };
 
   CheckpointChain() : CheckpointChain(Config{}) {}
@@ -164,6 +167,10 @@ class CheckpointChain {
   std::uint64_t restart_chain_bytes() const;
 
  private:
+  /// Bumps the ckpt.* counters for one captured checkpoint (no-op when
+  /// obs is off).
+  void record_capture(const CaptureStats& stats);
+
   Config config_;
   delta::ParallelPageCompressor compressor_;
   std::vector<CheckpointFile> files_;

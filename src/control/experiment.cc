@@ -7,11 +7,14 @@
 #include "common/check.h"
 #include "model/moody.h"
 #include "model/optimizer.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace aic::control {
 namespace {
 
 using model::IntervalParams;
+namespace on = obs::names;
 
 /// Sub-steps the workload in tick-sized chunks so the fault observer sees
 /// sub-second arrival times (the hot-page grouping threshold T_g starts at
@@ -42,6 +45,7 @@ class ConcurrentRun {
     chain_cfg.full_period = config.full_period;
     chain_cfg.delta_compress = true;
     chain_cfg.compress_workers = config.compress_workers;
+    chain_cfg.obs = config.obs;
     chain_ = std::make_unique<ckpt::CheckpointChain>(chain_cfg);
 
     workload_->initialize(space_);
@@ -111,6 +115,15 @@ class ConcurrentRun {
     rec.dirty_pages = st.pages_written;
     rec.metrics = metrics;
     intervals_.push_back(rec);
+    if (config_.obs != nullptr) {
+      config_.obs->trace.span(
+          obs::TimeDomain::kVirtual, on::kCatCkpt, on::kEvInterval,
+          interval_start_, now_, 0,
+          {{"w", rec.w},
+           {"c1", rec.params.c1},
+           {"c3", rec.params.c3},
+           {"dirty_pages", double(rec.dirty_pages)}});
+    }
 
     halt_time_ += rec.params.c1;  // the local write blocks the process
     // The checkpointing core is now occupied for the concurrent transfer
@@ -215,6 +228,23 @@ ExperimentResult run_aic(workload::SpecBenchmark benchmark,
   ConcurrentRun run(benchmark, config);
   run.remember_initial_prev();
   predictor::AicPredictor predictor;
+  predictor.set_obs(config.obs);
+
+  obs::Counter* m_evals = nullptr;
+  obs::Counter* m_takes = nullptr;
+  obs::Counter* m_boundary = nullptr;
+  obs::Histogram* m_newton_iters = nullptr;
+  obs::Histogram* m_w_star = nullptr;
+  if (obs::Hub* hub = config.obs) {
+    obs::MetricsRegistry& m = hub->metrics;
+    m_evals = m.counter(on::kDeciderEvaluations);
+    m_takes = m.counter(on::kDeciderTakes);
+    m_boundary = m.counter(on::kDeciderBoundaryPicks);
+    m_newton_iters = m.histogram(
+        on::kDeciderNewtonIters, obs::Histogram::linear_buckets(0, 200, 20));
+    m_w_star = m.histogram(on::kDeciderWStar,
+                           obs::Histogram::exponential_buckets(1.0, 2.0, 18));
+  }
 
   // Trailing window of predicted c3 values for dip gating: once the span
   // condition w_L* <= elapsed holds, AIC still waits for a *locally cheap*
@@ -267,10 +297,17 @@ ExperimentResult run_aic(workload::SpecBenchmark benchmark,
       auto objective = [&](double w) {
         return model::net2_adaptive(config.system, w, cur, prev);
       };
+      model::EvtDiag diag;
       const auto best = model::extreme_value_minimum(
           objective, config.min_w, config.max_w,
-          std::max(run.interval_elapsed(), config.min_w));
+          std::max(run.interval_elapsed(), config.min_w), &diag);
       run.add_decision_overhead(config.costs.decision_seconds);
+      if (config.obs != nullptr) {
+        m_evals->add();
+        m_newton_iters->observe(double(diag.newton_iters));
+        m_w_star->observe(best.x);
+        if (diag.used_boundary) m_boundary->add();
+      }
 
       c3_window.push_back(cur.c3);
       if (c3_window.size() > kWindow)
@@ -303,11 +340,21 @@ ExperimentResult run_aic(workload::SpecBenchmark benchmark,
             run.now(), run.interval_elapsed(), best.x, cur.c3, span_reached,
             at_dip, starved, run.core_free(), take && run.core_free()});
       }
+      if (config.obs != nullptr) {
+        config.obs->trace.instant(
+            obs::TimeDomain::kVirtual, on::kCatDecider, on::kEvDecision,
+            run.now(), 0,
+            {{"w_star", best.x},
+             {"c3", cur.c3},
+             {"take", take && run.core_free() ? 1.0 : 0.0},
+             {"newton_iters", double(diag.newton_iters)}});
+      }
     }
     take = take && run.core_free();
     // No checkpoint is forced at job completion: the job is done and the
     // tail segment simply runs out.
     if (take && !run.finished()) {
+      if (m_takes != nullptr) m_takes->add();
       const IntervalRecord rec = run.checkpoint(metrics);
       run.set_last_predicted_c3(predicted_c3);
       if (predictor.warmed_up() && rec.delta_bytes > 0) {

@@ -25,6 +25,10 @@
 #include "predictor/predictor.h"
 #include "workload/workload.h"
 
+namespace aic::obs {
+struct Hub;
+}  // namespace aic::obs
+
 namespace aic::control {
 
 enum class Scheme { kAic, kSic, kMoody };
@@ -69,6 +73,10 @@ struct ExperimentConfig {
   double workload_scale = 1.0;
   /// Optional per-decision diagnostics callback (AIC runs only).
   std::function<void(const DecisionTrace&)> decision_hook;
+  /// Optional observability hub: interval spans, decider metrics and
+  /// decision instants, predictor residuals, plus everything the
+  /// checkpoint chain and compression pipeline emit. nullptr = disabled.
+  obs::Hub* obs = nullptr;
 };
 
 /// One checkpoint interval as executed.

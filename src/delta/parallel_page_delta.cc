@@ -5,14 +5,43 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace aic::delta {
+
+namespace {
+namespace on = obs::names;
+}  // namespace
 
 ParallelPageCompressor::ParallelPageCompressor(Config config)
     : config_(config),
       workers_(config.workers == 0 ? common::ThreadPool::default_workers()
                                    : config.workers),
-      serial_(config.page_codec) {}
+      serial_(config.page_codec) {
+  if (obs::Hub* hub = config_.obs) {
+    obs::MetricsRegistry& m = hub->metrics;
+    m_bytes_in_ = m.counter(on::kDeltaBytesIn);
+    m_bytes_out_ = m.counter(on::kDeltaBytesOut);
+    m_pages_delta_ = m.counter(on::kDeltaPagesDelta);
+    m_pages_raw_ = m.counter(on::kDeltaPagesRaw);
+    m_pages_same_ = m.counter(on::kDeltaPagesSame);
+    m_shards_ = m.counter(on::kDeltaShards);
+    m_shard_pages_ = m.histogram(
+        on::kDeltaShardPages, obs::Histogram::exponential_buckets(1, 4.0, 12));
+  }
+}
+
+void ParallelPageCompressor::record_compress(const DeltaResult& result,
+                                             std::size_t shards) {
+  if (config_.obs == nullptr) return;
+  m_bytes_in_->add(result.stats.input_bytes);
+  m_bytes_out_->add(result.payload.size());
+  m_pages_delta_->add(result.pages_delta);
+  m_pages_raw_->add(result.pages_raw);
+  m_pages_same_->add(result.pages_same);
+  m_shards_->add(shards);
+}
 
 DeltaResult ParallelPageCompressor::compress(
     const std::vector<DirtyPage>& dirty, const mem::Snapshot& prev) {
@@ -21,7 +50,22 @@ DeltaResult ParallelPageCompressor::compress(
   // One shard per worker unless the set is too small to feed them all.
   const std::size_t shards =
       std::min<std::size_t>(workers_, std::max<std::size_t>(n / min_pages, 1));
-  if (shards <= 1) return serial_.compress(dirty, prev);
+  if (shards <= 1) {
+    // Serial fast path — still one (track 0) shard span, so a trace of a
+    // single-core run shows its compression work like any other.
+    if (obs::Hub* hub = config_.obs) {
+      const double t0 = hub->trace.wall_seconds();
+      DeltaResult result = serial_.compress(dirty, prev);
+      hub->trace.span(obs::TimeDomain::kWall, on::kCatDelta, on::kEvShard, t0,
+                      hub->trace.wall_seconds(), 0,
+                      {{"pages", double(n)},
+                       {"bytes_out", double(result.payload.size())}});
+      m_shard_pages_->observe(double(n));
+      record_compress(result, 1);
+      return result;
+    }
+    return serial_.compress(dirty, prev);
+  }
 
   if (!pool_) pool_ = std::make_unique<common::ThreadPool>(workers_ - 1);
   if (shard_buffers_.size() < shards) shard_buffers_.resize(shards);
@@ -40,11 +84,20 @@ DeltaResult ParallelPageCompressor::compress(
     const std::size_t lo = begin_of(s), hi = begin_of(s + 1);
     buf.reserve((hi - lo) * (kPageSize + 16));
     ByteWriter w(buf);
+    obs::Hub* hub = config_.obs;
+    const double t0 = hub ? hub->trace.wall_seconds() : 0.0;
     try {
       for (std::size_t i = lo; i < hi; ++i)
         serial_.encode_page(dirty[i], prev, w, accs[s]);
     } catch (...) {
       errors[s] = std::current_exception();
+    }
+    if (hub != nullptr) {
+      hub->trace.span(obs::TimeDomain::kWall, on::kCatDelta, on::kEvShard, t0,
+                      hub->trace.wall_seconds(), std::uint32_t(s),
+                      {{"pages", double(hi - lo)},
+                       {"bytes_out", double(buf.size())}});
+      m_shard_pages_->observe(double(hi - lo));
     }
   };
 
@@ -79,6 +132,7 @@ DeltaResult ParallelPageCompressor::compress(
     result.pages_same += a.pages_same;
   }
   result.stats.output_bytes = result.payload.size();
+  record_compress(result, shards);
   return result;
 }
 

@@ -28,6 +28,12 @@
 #include "common/thread_pool.h"
 #include "delta/page_delta.h"
 
+namespace aic::obs {
+class Counter;
+class Histogram;
+struct Hub;
+}  // namespace aic::obs
+
 namespace aic::delta {
 
 class ParallelPageCompressor {
@@ -42,6 +48,9 @@ class ParallelPageCompressor {
     /// Dirty sets smaller than workers * this encode inline: shard dispatch
     /// overhead would dominate a handful of 4 KiB pages.
     std::size_t min_shard_pages = 8;
+    /// Optional observability hub: per-shard wall-clock spans and
+    /// bytes-in/out counters. nullptr = disabled.
+    obs::Hub* obs = nullptr;
   };
 
   ParallelPageCompressor() : ParallelPageCompressor(Config{}) {}
@@ -65,8 +74,20 @@ class ParallelPageCompressor {
   unsigned workers() const { return workers_; }
 
  private:
+  /// Folds one compress() outcome into the metrics (no-op when obs is
+  /// off); `shards` is how many shard spans the call emitted.
+  void record_compress(const DeltaResult& result, std::size_t shards);
+
   Config config_;
   unsigned workers_;  // resolved (config 0 -> default_workers())
+  // Metric handles resolved at construction; null when obs is off.
+  obs::Counter* m_bytes_in_ = nullptr;
+  obs::Counter* m_bytes_out_ = nullptr;
+  obs::Counter* m_pages_delta_ = nullptr;
+  obs::Counter* m_pages_raw_ = nullptr;
+  obs::Counter* m_pages_same_ = nullptr;
+  obs::Counter* m_shards_ = nullptr;
+  obs::Histogram* m_shard_pages_ = nullptr;
   PageAlignedCompressor serial_;
   /// Created on the first compress() that actually shards, then reused for
   /// every later checkpoint; small simulations never pay the thread spawn.

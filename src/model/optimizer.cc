@@ -57,9 +57,11 @@ OptResult minimize_scalar(const ScalarFn& f, double lo, double hi,
 }
 
 double newton_raphson_stationary(const ScalarFn& f, double x0, double lo,
-                                 double hi, int max_iters, double tol) {
+                                 double hi, int max_iters, double tol,
+                                 int* iters_out) {
   AIC_CHECK(lo > 0.0 && hi > lo);
   double x = std::clamp(x0, lo, hi);
+  int used = max_iters;
   for (int it = 0; it < max_iters; ++it) {
     const double h = std::max(1e-6 * x, 1e-9);
     const double f_plus = f(x + h);
@@ -67,7 +69,10 @@ double newton_raphson_stationary(const ScalarFn& f, double x0, double lo,
     const double f_mid = f(x);
     const double d1 = (f_plus - f_minus) / (2.0 * h);
     const double d2 = (f_plus - 2.0 * f_mid + f_minus) / (h * h);
-    if (std::abs(d1) <= tol) return x;
+    if (std::abs(d1) <= tol) {
+      used = it;
+      break;
+    }
     if (d2 <= 0.0 || !std::isfinite(d2)) {
       // Non-convex locally: take a damped gradient step instead of an NR
       // step, which would head to a maximum.
@@ -75,16 +80,29 @@ double newton_raphson_stationary(const ScalarFn& f, double x0, double lo,
       continue;
     }
     double next = x - d1 / d2;
-    if (!std::isfinite(next)) return x;
+    if (!std::isfinite(next)) {
+      used = it + 1;
+      break;
+    }
     next = std::clamp(next, lo, hi);
-    if (std::abs(next - x) <= 1e-9 * std::max(1.0, x)) return next;
+    if (std::abs(next - x) <= 1e-9 * std::max(1.0, x)) {
+      x = next;
+      used = it + 1;
+      break;
+    }
     x = next;
   }
+  if (iters_out != nullptr) *iters_out = used;
   return x;
 }
 
 OptResult extreme_value_minimum(const ScalarFn& f, double lo, double hi,
                                 double x0) {
+  return extreme_value_minimum(f, lo, hi, x0, nullptr);
+}
+
+OptResult extreme_value_minimum(const ScalarFn& f, double lo, double hi,
+                                double x0, EvtDiag* diag) {
   // Boundaries first (the Extreme Value Theorem's frame).
   OptResult best{lo, f(lo)};
   const double f_hi = f(hi);
@@ -111,9 +129,32 @@ OptResult extreme_value_minimum(const ScalarFn& f, double lo, double hi,
     }
   }
 
-  const double x_stat = newton_raphson_stationary(f, seed, lo, hi);
+  int iters = 0;
+  const double x_stat = newton_raphson_stationary(f, seed, lo, hi, 200,
+                                                  1e-10, &iters);
   const double f_stat = f(x_stat);
   if (f_stat < best.value) best = {x_stat, f_stat};
+
+  // Bounded polish around the winner. Finite-difference NR can stall on
+  // derivative noise a grid cell away from the true minimum (the decider
+  // ground-truth test measured up to ~8% NET^2 left on the table), and the
+  // bracketing cells may be non-unimodal (the infeasibility cliff, NR
+  // stall points), so refine with a dense log grid + golden section over
+  // the one-cell neighbourhood. O(100) more chain solves — small next to
+  // the NR search itself, preserving the online-cost argument.
+  {
+    const double a = std::max(lo, best.x / ratio);
+    const double b = std::min(hi, best.x * ratio);
+    if (b > a) {
+      const OptResult polished = minimize_scalar(f, a, b, 24, 48);
+      if (polished.value < best.value) best = polished;
+    }
+  }
+
+  if (diag != nullptr) {
+    diag->newton_iters = iters;
+    diag->used_boundary = best.x <= lo || best.x >= hi;
+  }
   return best;
 }
 

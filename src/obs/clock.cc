@@ -1,0 +1,17 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace aic::obs {
+
+std::uint64_t wall_now_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+double wall_seconds_since(std::uint64_t origin_ns) {
+  return double(wall_now_ns() - origin_ns) * 1e-9;
+}
+
+}  // namespace aic::obs

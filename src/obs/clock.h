@@ -1,0 +1,28 @@
+// The library's single gateway to host clocks.
+//
+// Everything in src/ that wants a wall-clock reading goes through
+// wall_now_ns(); scripts/lint.sh forbids direct std::chrono::*_clock::now()
+// calls outside src/obs/. Two reasons:
+//
+//   * determinism discipline — virtual-time results (simulators, models,
+//     transfer engine) must never silently depend on a host clock, and a
+//     single choke point makes that auditable;
+//   * tracing — the TraceLog records both wall-clock spans (real compression
+//     work on the checkpointing core) and virtual-time spans (simulated
+//     drains, intervals), and both need a well-defined origin.
+//
+// The clock is monotonic (steady_clock): observability timestamps must
+// never run backwards even if the host's civil time is adjusted.
+#pragma once
+
+#include <cstdint>
+
+namespace aic::obs {
+
+/// Monotonic host time in nanoseconds since an unspecified epoch.
+std::uint64_t wall_now_ns();
+
+/// Seconds elapsed since `origin_ns` (a prior wall_now_ns() reading).
+double wall_seconds_since(std::uint64_t origin_ns);
+
+}  // namespace aic::obs

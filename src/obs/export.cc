@@ -1,0 +1,150 @@
+#include "obs/export.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace aic::obs {
+namespace {
+
+void append_counter_map(std::ostringstream& os,
+                        const std::map<std::string, std::uint64_t>& m) {
+  bool first = true;
+  for (const auto& [name, v] : m) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << v;
+  }
+}
+
+void append_number_array(std::ostringstream& os,
+                         const std::vector<double>& xs) {
+  os << "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ",";
+    os << json_number(xs[i]);
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  append_counter_map(os, snap.counters);
+  os << "},\"gauges\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << json_number(v);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"bounds\":";
+    append_number_array(os, h.bounds);
+    os << ",\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) os << ",";
+      os << h.counts[i];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+       << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string metrics_to_csv(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "kind,name,field,value\n";
+  for (const auto& [name, v] : snap.counters)
+    os << "counter," << name << ",value," << v << "\n";
+  for (const auto& [name, v] : snap.gauges)
+    os << "gauge," << name << ",value," << json_number(v) << "\n";
+  for (const auto& [name, h] : snap.histograms) {
+    os << "histogram," << name << ",count," << h.count << "\n";
+    os << "histogram," << name << ",sum," << json_number(h.sum) << "\n";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << "histogram," << name << ",le_";
+      if (i < h.bounds.size()) {
+        os << json_number(h.bounds[i]);
+      } else {
+        os << "inf";
+      }
+      os << "," << h.counts[i] << "\n";
+    }
+  }
+  return os.str();
+}
+
+MetricsSnapshot metrics_from_json(std::string_view json) {
+  const JsonValue doc = json_parse(json);
+  AIC_CHECK_MSG(doc.is(JsonValue::Kind::kObject),
+                "metrics JSON root must be an object");
+  MetricsSnapshot snap;
+  for (const auto& [name, v] : doc.at("counters").object) {
+    snap.counters[name] = std::uint64_t(v.as_number());
+  }
+  for (const auto& [name, v] : doc.at("gauges").object) {
+    snap.gauges[name] = v.as_number();
+  }
+  for (const auto& [name, v] : doc.at("histograms").object) {
+    HistogramSnapshot h;
+    for (const JsonValue& b : v.at("bounds").array)
+      h.bounds.push_back(b.as_number());
+    for (const JsonValue& c : v.at("counts").array)
+      h.counts.push_back(std::uint64_t(c.as_number()));
+    AIC_CHECK_MSG(h.counts.size() == h.bounds.size() + 1,
+                  "histogram '" << name << "' counts/bounds mismatch");
+    h.count = std::uint64_t(v.at("count").as_number());
+    h.sum = v.at("sum").as_number();
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+std::string trace_to_chrome_json(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  os << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"virtual time (simulated)\"}},";
+  os << "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"wall clock (host)\"}}";
+  for (const TraceEvent& e : events) {
+    const int pid = e.domain == TimeDomain::kVirtual ? 1 : 2;
+    os << ",{\"ph\":\""
+       << (e.phase == TraceEvent::Phase::kSpan ? "X" : "i") << "\",\"pid\":"
+       << pid << ",\"tid\":" << e.track << ",\"cat\":\""
+       << json_escape(e.category) << "\",\"name\":\"" << json_escape(e.name)
+       << "\",\"ts\":" << json_number(e.start * 1e6);
+    if (e.phase == TraceEvent::Phase::kSpan) {
+      os << ",\"dur\":" << json_number(e.duration * 1e6);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    if (e.arg_count > 0) {
+      os << ",\"args\":{";
+      for (std::uint8_t i = 0; i < e.arg_count; ++i) {
+        if (i) os << ",";
+        os << "\"" << json_escape(e.args[i].key)
+           << "\":" << json_number(e.args[i].value);
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string trace_to_chrome_json(const TraceLog& log) {
+  return trace_to_chrome_json(log.snapshot());
+}
+
+}  // namespace aic::obs

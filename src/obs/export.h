@@ -1,0 +1,43 @@
+// Serialization of observability state: metrics snapshots to JSON/CSV and
+// trace logs to Chrome's trace-event format.
+//
+// The JSON metrics schema is the contract between a run and tools/aic_report
+// (metrics_from_json re-reads exactly what metrics_to_json writes):
+//
+//   { "counters":   { "<name>": <integer>, ... },
+//     "gauges":     { "<name>": <number>, ... },
+//     "histograms": { "<name>": { "bounds": [..], "counts": [..],
+//                                 "count": <n>, "sum": <s> }, ... } }
+//
+// The CSV flattening is one `kind,name,field,value` row per datum, for
+// spreadsheet/plot ingestion without a JSON step.
+//
+// trace_to_chrome_json emits the Chrome trace-event JSON object format
+// ({"traceEvents": [...]}): spans as "X" (complete) events, instants as
+// "i", timestamps in microseconds. The two time domains export as two
+// "processes" (pid 1 = virtual time, pid 2 = wall clock, named via "M"
+// metadata events) so chrome://tracing / Perfetto renders a simulated run
+// and its real compression work side by side; an event's track becomes the
+// tid lane within its domain.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aic::obs {
+
+std::string metrics_to_json(const MetricsSnapshot& snap);
+std::string metrics_to_csv(const MetricsSnapshot& snap);
+
+/// Inverse of metrics_to_json; throws aic::CheckError on malformed or
+/// schema-violating input.
+MetricsSnapshot metrics_from_json(std::string_view json);
+
+std::string trace_to_chrome_json(const std::vector<TraceEvent>& events);
+std::string trace_to_chrome_json(const TraceLog& log);
+
+}  // namespace aic::obs

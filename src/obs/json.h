@@ -1,0 +1,61 @@
+// Minimal JSON value model, writer helpers, and recursive-descent parser.
+//
+// The observability exporters emit JSON (metrics snapshots, Chrome-trace
+// event streams) and tools/aic_report reads those same files back; the
+// container bakes in no JSON dependency, so this module implements the
+// subset the exporters need end to end: objects, arrays, strings (with
+// \uXXXX escapes), finite numbers, booleans, and null. Parse errors throw
+// aic::CheckError naming the byte offset, mirroring the checkpoint-format
+// parsers' hostile-input discipline — aic_report must fail loudly on a
+// truncated or hand-edited file, never misreport a run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aic::obs {
+
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered key/value pairs (duplicate keys: first wins in
+  /// find()).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is(Kind k) const { return kind == k; }
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Member lookup that throws CheckError when absent (for required
+  /// schema fields).
+  const JsonValue& at(std::string_view key) const;
+  /// number for kNumber, else the CheckError path (strict schema reads).
+  double as_number() const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws aic::CheckError on malformed input.
+JsonValue json_parse(std::string_view text);
+
+/// Escapes a string for embedding between double quotes in JSON output.
+std::string json_escape(std::string_view s);
+
+/// Formats a double as JSON: shortest round-trip representation; non-finite
+/// values are rejected with CheckError (JSON has no Inf/NaN).
+std::string json_number(double v);
+
+}  // namespace aic::obs

@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aic::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  AIC_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  AIC_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket bounds must ascend");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t idx = std::size_t(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  AIC_CHECK(i <= bounds_.size());
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::linear_buckets(double lo, double hi, int n) {
+  AIC_CHECK(n >= 1 && hi > lo);
+  std::vector<double> bounds(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    bounds[std::size_t(i)] = lo + (hi - lo) * double(i + 1) / double(n);
+  return bounds;
+}
+
+std::vector<double> Histogram::exponential_buckets(double start, double factor,
+                                                   int n) {
+  AIC_CHECK(n >= 1 && start > 0.0 && factor > 1.0);
+  std::vector<double> bounds(static_cast<std::size_t>(n));
+  double b = start;
+  for (int i = 0; i < n; ++i) {
+    bounds[std::size_t(i)] = b;
+    b *= factor;
+  }
+  return bounds;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * double(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double c = double(counts[i]);
+    if (cum + c >= target && c > 0.0) {
+      if (i >= bounds.size()) return bounds.back();  // overflow bucket
+      const double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = c > 0.0 ? (target - cum) / c : 0.0;
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += c;
+  }
+  return bounds.back();
+}
+
+std::uint64_t MetricsSnapshot::counter_or_zero(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge_or(std::string_view name, double fallback) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? fallback : it->second;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts.resize(hs.bounds.size() + 1);
+    for (std::size_t i = 0; i < hs.counts.size(); ++i)
+      hs.counts[i] = h->bucket_count(i);
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+bool MetricsRegistry::empty() const { return size() == 0; }
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace aic::obs

@@ -1,0 +1,134 @@
+// Lock-cheap metrics for the AIC pipeline: counters, gauges, and
+// fixed-bucket histograms behind a snapshot-able registry.
+//
+// Contract (the overhead-guard test and bench/micro_obs hold the library to
+// it):
+//
+//   * the hot path — Counter::add, Gauge::set, Histogram::observe — is a
+//     handful of relaxed atomic operations: no locks, no allocation, no
+//     system calls. Instruments resolve their handles once (registry
+//     lookup under a mutex, off the hot path) and then only touch atomics;
+//   * disabled observability is near-free: every instrumented component
+//     takes an obs::Hub* that defaults to nullptr, and a null hub means
+//     one branch per site — no handles are resolved, the registry stays
+//     empty, and nothing allocates;
+//   * snapshot() is safe against concurrent writers (relaxed reads of the
+//     atomics; counters are monotone so a snapshot is a consistent-enough
+//     cut for reporting).
+//
+// Handles returned by the registry are stable for the registry's lifetime
+// (node-based map ownership), so instruments may cache raw pointers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aic::obs {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value-wins instantaneous reading.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations x <= bounds[i]
+/// (bounds ascending), plus one overflow bucket. Bucket layout is frozen at
+/// creation so observe() is an index computation plus relaxed increments.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Count of bucket i (i in [0, bounds().size()]; last = overflow).
+  std::uint64_t bucket_count(std::size_t i) const;
+
+  /// `n` equal-width buckets spanning [lo, hi].
+  static std::vector<double> linear_buckets(double lo, double hi, int n);
+  /// `n` buckets with upper bounds start, start*factor, start*factor^2, ...
+  static std::vector<double> exponential_buckets(double start, double factor,
+                                                 int n);
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of one histogram, with bucket-interpolated quantiles
+/// for reports.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count ? sum / double(count) : 0.0; }
+  /// Linear interpolation inside the bucket containing quantile q in [0,1];
+  /// overflow-bucket mass reports the last finite bound.
+  double quantile(double q) const;
+};
+
+/// Point-in-time copy of every instrument in a registry. Field names are
+/// the exporters' schema (export.h) — treat them as a stable format.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// Counter value by name; 0 when absent (reports tolerate partial runs).
+  std::uint64_t counter_or_zero(std::string_view name) const;
+  /// Gauge value by name; fallback when absent.
+  double gauge_or(std::string_view name, double fallback) const;
+};
+
+/// Named instrument registry. get-or-create methods are mutex-protected
+/// (instruments resolve handles once, at attach time); the instruments
+/// themselves are wait-free afterwards.
+class MetricsRegistry {
+ public:
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  /// Returns the existing histogram when `name` is already registered (the
+  /// first creator's bucket layout wins).
+  Histogram* histogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+  bool empty() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace aic::obs

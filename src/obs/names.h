@@ -1,0 +1,99 @@
+// The observability schema: every metric and trace-event name the AIC
+// pipeline emits, in one place.
+//
+// Instrumentation sites and consumers (RunReport, tools/aic_report, tests)
+// both compile against these constants, so the schema cannot silently
+// drift between the writer and the reader. Naming convention:
+// `<subsystem>.<noun>` for metrics, with `.seconds`/`.bytes`/`.bps`
+// suffixes for units; trace events are (category, name) pairs.
+#pragma once
+
+namespace aic::obs::names {
+
+// --- ckpt: the checkpointing core (AsyncCheckpointer / CheckpointChain) ---
+inline constexpr const char* kCkptCheckpoints = "ckpt.checkpoints";
+inline constexpr const char* kCkptFulls = "ckpt.full_checkpoints";
+inline constexpr const char* kCkptPagesWritten = "ckpt.pages_written";
+inline constexpr const char* kCkptUncompressedBytes =
+    "ckpt.uncompressed_bytes";
+inline constexpr const char* kCkptFileBytes = "ckpt.file_bytes";
+inline constexpr const char* kCkptCaptureSeconds = "ckpt.capture_wall_seconds";
+inline constexpr const char* kCkptCompressSeconds =
+    "ckpt.compress_wall_seconds";
+
+// --- delta: the parallel page-delta compression pipeline ---
+inline constexpr const char* kDeltaBytesIn = "delta.bytes_in";
+inline constexpr const char* kDeltaBytesOut = "delta.bytes_out";
+inline constexpr const char* kDeltaPagesDelta = "delta.pages_delta";
+inline constexpr const char* kDeltaPagesRaw = "delta.pages_raw";
+inline constexpr const char* kDeltaPagesSame = "delta.pages_same";
+inline constexpr const char* kDeltaShards = "delta.shards";
+inline constexpr const char* kDeltaShardPages = "delta.shard_pages";
+
+// --- xfer: the chunked L2/L3 drain engine ---
+inline constexpr const char* kXferChunksSent = "xfer.chunks_sent";
+inline constexpr const char* kXferChunksFailed = "xfer.chunks_failed";
+inline constexpr const char* kXferRetries = "xfer.retries";
+inline constexpr const char* kXferBytesAcked = "xfer.bytes_acked";
+inline constexpr const char* kXferBytesWasted = "xfer.bytes_wasted";
+inline constexpr const char* kXferCommits = "xfer.commits";
+inline constexpr const char* kXferAborts = "xfer.aborts";
+inline constexpr const char* kXferInterrupts = "xfer.interrupts";
+inline constexpr const char* kXferResumes = "xfer.resumes";
+inline constexpr const char* kXferChunkSeconds = "xfer.chunk_seconds";
+inline constexpr const char* kXferBackoffSeconds = "xfer.backoff_wait_seconds";
+/// Goodput of the most recently committed drain (bytes acked / virtual
+/// seconds from submit to commit).
+inline constexpr const char* kXferDrainGoodputBps = "xfer.drain_goodput_bps";
+
+// --- predictor: predicted-vs-observed residuals (relative error) ---
+inline constexpr const char* kPredictorObservations =
+    "predictor.observations";
+inline constexpr const char* kPredictorC1RelErr = "predictor.c1.rel_err";
+inline constexpr const char* kPredictorDlRelErr = "predictor.dl.rel_err";
+inline constexpr const char* kPredictorDsRelErr = "predictor.ds.rel_err";
+
+// --- decider: the Newton–Raphson / EVT work-span search ---
+inline constexpr const char* kDeciderEvaluations = "decider.evaluations";
+inline constexpr const char* kDeciderNewtonIters = "decider.newton_iters";
+/// Searches where a boundary or grid point beat the NR stationary point
+/// (the EVT fallback path).
+inline constexpr const char* kDeciderBoundaryPicks = "decider.boundary_picks";
+inline constexpr const char* kDeciderWStar = "decider.w_star";
+inline constexpr const char* kDeciderTakes = "decider.takes";
+
+// --- sim: the end-to-end failure simulator ---
+inline constexpr const char* kSimFailuresL1 = "sim.failures.l1";
+inline constexpr const char* kSimFailuresL2 = "sim.failures.l2";
+inline constexpr const char* kSimFailuresL3 = "sim.failures.l3";
+inline constexpr const char* kSimRestores = "sim.restores";
+inline constexpr const char* kSimDrainsResumed = "sim.drains_resumed";
+inline constexpr const char* kSimCheckpoints = "sim.checkpoints";
+inline constexpr const char* kSimNet2 = "sim.net2";
+inline constexpr const char* kSimTurnaroundSeconds = "sim.turnaround_seconds";
+inline constexpr const char* kSimBaseSeconds = "sim.base_seconds";
+
+// --- trace categories ---
+inline constexpr const char* kCatCkpt = "ckpt";
+inline constexpr const char* kCatDelta = "delta";
+inline constexpr const char* kCatXfer = "xfer";
+inline constexpr const char* kCatDecider = "decider";
+inline constexpr const char* kCatSim = "sim";
+
+// --- trace event names ---
+inline constexpr const char* kEvInterval = "interval";   // ckpt, span
+inline constexpr const char* kEvCapture = "capture";     // ckpt, span (wall)
+inline constexpr const char* kEvCompress = "compress";   // ckpt, span (wall)
+inline constexpr const char* kEvLand = "land";           // ckpt, span
+inline constexpr const char* kEvShard = "shard";         // delta, span (wall)
+inline constexpr const char* kEvChunk = "chunk";         // xfer, span
+inline constexpr const char* kEvBackoff = "backoff";     // xfer, span
+inline constexpr const char* kEvCommit = "commit";       // xfer, instant
+inline constexpr const char* kEvAbort = "abort";         // xfer, instant
+inline constexpr const char* kEvInterrupt = "interrupt"; // xfer, instant
+inline constexpr const char* kEvResume = "resume";       // xfer, instant
+inline constexpr const char* kEvDecision = "decision";   // decider, instant
+inline constexpr const char* kEvFailure = "failure";     // sim, instant
+inline constexpr const char* kEvRestore = "restore";     // sim, span
+
+}  // namespace aic::obs::names

@@ -1,0 +1,257 @@
+#include "obs/report.h"
+
+#include <cstring>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/names.h"
+
+namespace aic::obs {
+namespace {
+
+namespace n = names;
+
+/// Formatting + consumed-name bookkeeping for one render pass. Every
+/// metric a section prints is marked consumed; whatever remains is dumped
+/// at the end so an instrumentation site can never emit data the report
+/// silently hides.
+class Renderer {
+ public:
+  explicit Renderer(const MetricsSnapshot& snap) : snap_(snap) {}
+
+  void section(const char* title) {
+    os_ << "\n== " << title << " ==\n";
+  }
+
+  void line(const char* label, const std::string& value) {
+    os_ << "  " << std::left << std::setw(28) << label << " " << value << "\n";
+  }
+
+  void counter(const char* label, const char* name) {
+    consumed_.insert(name);
+    if (snap_.counters.count(name))
+      line(label, std::to_string(snap_.counter_or_zero(name)));
+  }
+
+  void gauge(const char* label, const char* name, const char* unit = "") {
+    consumed_.insert(name);
+    auto it = snap_.gauges.find(name);
+    if (it != snap_.gauges.end()) line(label, num(it->second) + unit);
+  }
+
+  void histogram(const char* label, const char* name) {
+    consumed_.insert(name);
+    auto it = snap_.histograms.find(name);
+    if (it == snap_.histograms.end()) return;
+    const HistogramSnapshot& h = it->second;
+    std::ostringstream v;
+    v << "n=" << h.count;
+    if (h.count > 0) {
+      v << "  mean=" << num(h.mean()) << "  p50=" << num(h.quantile(0.5))
+        << "  p95=" << num(h.quantile(0.95));
+    }
+    line(label, v.str());
+  }
+
+  bool consumed(const std::string& name) const {
+    return consumed_.count(name) > 0;
+  }
+
+  std::ostringstream& os() { return os_; }
+  const MetricsSnapshot& snap() const { return snap_; }
+
+  static std::string num(double v) {
+    std::ostringstream os;
+    os << std::setprecision(6) << v;
+    return os.str();
+  }
+
+ private:
+  const MetricsSnapshot& snap_;
+  std::set<std::string> consumed_;
+  std::ostringstream os_;
+};
+
+std::vector<double> w_star_from_events(const std::vector<TraceEvent>& events) {
+  std::vector<double> history;
+  for (const TraceEvent& e : events) {
+    if (std::strcmp(e.category, n::kCatDecider) != 0 ||
+        std::strcmp(e.name, n::kEvDecision) != 0) {
+      continue;
+    }
+    for (std::uint8_t i = 0; i < e.arg_count; ++i) {
+      if (std::strcmp(e.args[i].key, "w_star") == 0) {
+        history.push_back(e.args[i].value);
+        break;
+      }
+    }
+  }
+  return history;
+}
+
+}  // namespace
+
+RunReport RunReport::from_metrics(MetricsSnapshot snap) {
+  RunReport r;
+  r.metrics = std::move(snap);
+  return r;
+}
+
+RunReport RunReport::from_hub(const Hub& hub) {
+  RunReport r;
+  r.metrics = hub.metrics.snapshot();
+  const std::vector<TraceEvent> events = hub.trace.snapshot();
+  r.w_star_history = w_star_from_events(events);
+  r.trace_event_count = events.size();
+  r.trace_dropped = hub.trace.dropped();
+  return r;
+}
+
+RunReport RunReport::from_json(std::string_view metrics_json,
+                               std::string_view chrome_trace_json) {
+  RunReport r;
+  r.metrics = metrics_from_json(metrics_json);
+  if (chrome_trace_json.empty()) return r;
+
+  const JsonValue doc = json_parse(chrome_trace_json);
+  const JsonValue& events = doc.at("traceEvents");
+  AIC_CHECK_MSG(events.is(JsonValue::Kind::kArray),
+                "traceEvents must be an array");
+  for (const JsonValue& e : events.array) {
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || ph->str == "M") continue;  // metadata, not a sample
+    ++r.trace_event_count;
+    const JsonValue* cat = e.find("cat");
+    const JsonValue* name = e.find("name");
+    if (cat == nullptr || name == nullptr) continue;
+    if (cat->str != n::kCatDecider || name->str != n::kEvDecision) continue;
+    const JsonValue* args = e.find("args");
+    if (args == nullptr) continue;
+    if (const JsonValue* w = args->find("w_star")) {
+      r.w_star_history.push_back(w->as_number());
+    }
+  }
+  return r;
+}
+
+std::string RunReport::render() const {
+  Renderer r(metrics);
+  r.os() << "AIC run report\n";
+  r.os() << "  trace events: " << trace_event_count;
+  if (trace_dropped > 0) r.os() << " (+" << trace_dropped << " dropped)";
+  r.os() << "\n";
+  if (metrics.empty()) {
+    r.os() << "  (metrics registry is empty — observability was disabled)\n";
+    return r.os().str();
+  }
+
+  r.section("simulator");
+  r.gauge("turnaround", n::kSimTurnaroundSeconds, " s");
+  r.gauge("base time", n::kSimBaseSeconds, " s");
+  r.gauge("NET^2", n::kSimNet2);
+  r.counter("checkpoints", n::kSimCheckpoints);
+  r.counter("failures L1", n::kSimFailuresL1);
+  r.counter("failures L2", n::kSimFailuresL2);
+  r.counter("failures L3", n::kSimFailuresL3);
+  r.counter("restores", n::kSimRestores);
+  r.counter("drains resumed", n::kSimDrainsResumed);
+
+  r.section("decider");
+  r.counter("evaluations", n::kDeciderEvaluations);
+  r.counter("takes", n::kDeciderTakes);
+  r.counter("boundary/grid picks", n::kDeciderBoundaryPicks);
+  r.histogram("newton iterations", n::kDeciderNewtonIters);
+  r.histogram("w_L* (s)", n::kDeciderWStar);
+  if (!w_star_history.empty()) {
+    std::ostringstream h;
+    // A long run can make thousands of decisions; the tail is what the
+    // operator tunes against, so print the most recent values.
+    constexpr std::size_t kMaxShown = 16;
+    const std::size_t shown =
+        w_star_history.size() < kMaxShown ? w_star_history.size() : kMaxShown;
+    if (shown < w_star_history.size()) h << "... ";
+    for (std::size_t i = w_star_history.size() - shown;
+         i < w_star_history.size(); ++i) {
+      if (i > w_star_history.size() - shown) h << " ";
+      h << Renderer::num(w_star_history[i]);
+    }
+    r.line("w_L* history (last)", h.str());
+  }
+
+  r.section("predictor");
+  r.counter("observations", n::kPredictorObservations);
+  r.histogram("c1 relative error", n::kPredictorC1RelErr);
+  r.histogram("dl relative error", n::kPredictorDlRelErr);
+  r.histogram("ds relative error", n::kPredictorDsRelErr);
+
+  r.section("checkpointing");
+  r.counter("checkpoints", n::kCkptCheckpoints);
+  r.counter("full checkpoints", n::kCkptFulls);
+  r.counter("pages written", n::kCkptPagesWritten);
+  r.counter("uncompressed bytes", n::kCkptUncompressedBytes);
+  r.counter("file bytes", n::kCkptFileBytes);
+  {
+    const std::uint64_t raw =
+        metrics.counter_or_zero(n::kCkptUncompressedBytes);
+    const std::uint64_t out = metrics.counter_or_zero(n::kCkptFileBytes);
+    if (raw > 0 && out > 0)
+      r.line("compression ratio", Renderer::num(double(raw) / double(out)));
+  }
+  r.histogram("capture wall (s)", n::kCkptCaptureSeconds);
+  r.histogram("compress wall (s)", n::kCkptCompressSeconds);
+
+  r.section("delta pipeline");
+  r.counter("bytes in", n::kDeltaBytesIn);
+  r.counter("bytes out", n::kDeltaBytesOut);
+  r.counter("pages delta-coded", n::kDeltaPagesDelta);
+  r.counter("pages raw", n::kDeltaPagesRaw);
+  r.counter("pages identical", n::kDeltaPagesSame);
+  r.counter("shards", n::kDeltaShards);
+  r.histogram("pages per shard", n::kDeltaShardPages);
+
+  r.section("transfer engine");
+  r.counter("chunks sent", n::kXferChunksSent);
+  r.counter("chunks failed", n::kXferChunksFailed);
+  r.counter("retries", n::kXferRetries);
+  r.counter("bytes acked", n::kXferBytesAcked);
+  r.counter("bytes wasted", n::kXferBytesWasted);
+  r.counter("commits", n::kXferCommits);
+  r.counter("aborts", n::kXferAborts);
+  r.counter("interrupts", n::kXferInterrupts);
+  r.counter("resumes", n::kXferResumes);
+  r.histogram("chunk time (s)", n::kXferChunkSeconds);
+  r.histogram("backoff wait (s)", n::kXferBackoffSeconds);
+  r.gauge("last drain goodput", n::kXferDrainGoodputBps, " B/s");
+
+  // Anything no section above claimed.
+  bool other_header = false;
+  auto other = [&](const char* kind, const std::string& name,
+                   const std::string& value) {
+    if (!other_header) {
+      r.section("other metrics");
+      other_header = true;
+    }
+    r.os() << "  " << kind << " " << name << " = " << value << "\n";
+  };
+  for (const auto& [name, v] : metrics.counters) {
+    if (!r.consumed(name)) other("counter", name, std::to_string(v));
+  }
+  for (const auto& [name, v] : metrics.gauges) {
+    if (!r.consumed(name)) other("gauge", name, Renderer::num(v));
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    if (!r.consumed(name)) {
+      other("histogram", name,
+            "n=" + std::to_string(h.count) +
+                (h.count ? " mean=" + Renderer::num(h.mean()) : ""));
+    }
+  }
+  return r.os().str();
+}
+
+}  // namespace aic::obs

@@ -1,0 +1,43 @@
+// RunReport: the human-readable per-run summary of an instrumented AIC run.
+//
+// A report is assembled from a MetricsSnapshot (live, from a Hub, or
+// re-read from the JSON a previous run exported) plus — optionally — the
+// run's trace events, from which it recovers time-ordered history that the
+// registry's aggregates cannot hold (the sequence of chosen w_L* values
+// from "decider/decision" instants). render() prints the sections the
+// bench targets used to hand-roll: simulator outcome, decider behaviour
+// with the w_L* history, predictor residual statistics, delta-compression
+// totals, transfer-engine totals, and a catch-all dump of any metric no
+// section claimed (so new instrumentation is never silently invisible).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aic::obs {
+
+struct RunReport {
+  MetricsSnapshot metrics;
+  /// Chosen w_L* per decision, in decision order (empty without a trace).
+  std::vector<double> w_star_history;
+  std::size_t trace_event_count = 0;
+  std::uint64_t trace_dropped = 0;
+
+  static RunReport from_metrics(MetricsSnapshot snap);
+  /// Snapshot both sides of a live hub; pulls w_L* history from the trace.
+  static RunReport from_hub(const Hub& hub);
+  /// Rebuild from exported files: `metrics_json` as written by
+  /// metrics_to_json, and (optionally, empty to skip) `chrome_trace_json`
+  /// as written by trace_to_chrome_json. Throws CheckError on malformed
+  /// input.
+  static RunReport from_json(std::string_view metrics_json,
+                             std::string_view chrome_trace_json = {});
+
+  std::string render() const;
+};
+
+}  // namespace aic::obs

@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace aic::obs {
+
+const char* to_string(TimeDomain d) {
+  switch (d) {
+    case TimeDomain::kVirtual:
+      return "virtual";
+    case TimeDomain::kWall:
+      return "wall";
+  }
+  return "?";
+}
+
+TraceLog::TraceLog(std::size_t capacity)
+    : origin_ns_(wall_now_ns()), capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void TraceLog::push(TraceEvent e, std::initializer_list<TraceArg> args) {
+  for (const TraceArg& a : args) {
+    if (e.arg_count >= TraceEvent::kMaxArgs) break;
+    e.args[e.arg_count++] = a;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(e);
+}
+
+void TraceLog::span(TimeDomain domain, const char* category, const char* name,
+                    double start_s, double end_s, std::uint32_t track,
+                    std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.category = category;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kSpan;
+  e.domain = domain;
+  e.start = start_s;
+  e.duration = std::max(0.0, end_s - start_s);
+  e.track = track;
+  push(e, args);
+}
+
+void TraceLog::instant(TimeDomain domain, const char* category,
+                       const char* name, double t_s, std::uint32_t track,
+                       std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.category = category;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.domain = domain;
+  e.start = t_s;
+  e.track = track;
+  push(e, args);
+}
+
+std::vector<TraceEvent> TraceLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace aic::obs

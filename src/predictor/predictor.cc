@@ -1,8 +1,11 @@
 #include "predictor/predictor.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace aic::predictor {
 
@@ -20,6 +23,24 @@ const char* to_string(Target t) {
 
 AicPredictor::AicPredictor(StepwiseConfig stepwise, double learning_rate)
     : stepwise_(stepwise), learning_rate_(learning_rate) {}
+
+void AicPredictor::set_obs(obs::Hub* hub) {
+  if (hub == nullptr) {
+    m_observations_ = nullptr;
+    m_rel_err_ = {};
+    return;
+  }
+  namespace on = obs::names;
+  obs::MetricsRegistry& m = hub->metrics;
+  m_observations_ = m.counter(on::kPredictorObservations);
+  const std::array<const char*, kTargetCount> names = {
+      on::kPredictorC1RelErr, on::kPredictorDlRelErr, on::kPredictorDsRelErr};
+  for (std::size_t t = 0; t < kTargetCount; ++t) {
+    // 1% .. ~80x relative error in x2 steps.
+    m_rel_err_[t] = m.histogram(
+        names[t], obs::Histogram::exponential_buckets(0.01, 2.0, 14));
+  }
+}
 
 double AicPredictor::predict(Target target, const BaseMetrics& metrics) const {
   const std::size_t t = std::size_t(target);
@@ -40,6 +61,16 @@ void AicPredictor::observe(const BaseMetrics& metrics, double c1,
                            double delta_latency, double delta_size) {
   const std::array<double, kTargetCount> targets = {c1, delta_latency,
                                                     delta_size};
+  if (m_observations_ != nullptr) {
+    // Residual of the prediction the decider would have used for this
+    // checkpoint, before the model learns from it.
+    m_observations_->add();
+    for (std::size_t t = 0; t < kTargetCount; ++t) {
+      const double predicted = predict(Target(t), metrics);
+      const double scale = std::max(std::abs(targets[t]), 1e-12);
+      m_rel_err_[t]->observe(std::abs(predicted - targets[t]) / scale);
+    }
+  }
   ++observations_;
   for (std::size_t t = 0; t < kTargetCount; ++t)
     mean_[t] += (targets[t] - mean_[t]) / double(observations_);

@@ -23,6 +23,12 @@
 #include "predictor/features.h"
 #include "predictor/regression.h"
 
+namespace aic::obs {
+class Counter;
+class Histogram;
+struct Hub;
+}  // namespace aic::obs
+
 namespace aic::predictor {
 
 enum class Target : std::size_t { kC1 = 0, kDeltaLatency = 1, kDeltaSize = 2 };
@@ -50,6 +56,11 @@ class AicPredictor {
   bool warmed_up() const { return models_[0].has_value(); }
   std::size_t observations() const { return observations_; }
 
+  /// Attaches an observability hub: every observe() then records the
+  /// pre-update prediction's relative error per target into the
+  /// predictor.{c1,dl,ds}.rel_err histograms. nullptr detaches.
+  void set_obs(obs::Hub* hub);
+
   /// The fitted model for a target (empty until warmed up) — diagnostics
   /// and the feature-ablation bench use this.
   const std::optional<OnlineGd>& model(Target t) const {
@@ -69,6 +80,10 @@ class AicPredictor {
   std::array<double, kTargetCount> mean_{0.0, 0.0, 0.0};
 
   std::array<std::optional<OnlineGd>, kTargetCount> models_;
+
+  // Observability (null when detached).
+  obs::Counter* m_observations_ = nullptr;
+  std::array<obs::Histogram*, kTargetCount> m_rel_err_{};
 };
 
 }  // namespace aic::predictor

@@ -6,10 +6,72 @@
 #include "ckpt/checkpointer.h"
 #include "common/check.h"
 #include "mem/snapshot.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "storage/multilevel_store.h"
 
 namespace aic::sim {
 namespace {
+
+namespace on = obs::names;
+
+/// The simulator's instrumentation surface, shared by both variants.
+/// Every method is a no-op when the run has no hub.
+class SimObs {
+ public:
+  explicit SimObs(obs::Hub* hub) : hub_(hub) {
+    if (hub_ == nullptr) return;
+    obs::MetricsRegistry& m = hub_->metrics;
+    m_failures_[0] = m.counter(on::kSimFailuresL1);
+    m_failures_[1] = m.counter(on::kSimFailuresL2);
+    m_failures_[2] = m.counter(on::kSimFailuresL3);
+    m_restores_ = m.counter(on::kSimRestores);
+    m_checkpoints_ = m.counter(on::kSimCheckpoints);
+    m_resumed_ = m.counter(on::kSimDrainsResumed);
+  }
+
+  void failure(double t, int level) {
+    if (hub_ == nullptr) return;
+    m_failures_[std::size_t(level - 1)]->add();
+    hub_->trace.instant(obs::TimeDomain::kVirtual, on::kCatSim, on::kEvFailure,
+                        t, std::uint32_t(level), {{"level", double(level)}});
+  }
+
+  /// The recovery read, from the failure instant to work resumption.
+  void restore(double t0, double t1, int level, double read_seconds) {
+    if (hub_ == nullptr) return;
+    m_restores_->add();
+    hub_->trace.span(obs::TimeDomain::kVirtual, on::kCatSim, on::kEvRestore,
+                     t0, t1, std::uint32_t(level),
+                     {{"level", double(level)}, {"read_s", read_seconds}});
+  }
+
+  void interval(double t0, double t1, std::uint64_t file_bytes) {
+    if (hub_ == nullptr) return;
+    m_checkpoints_->add();
+    hub_->trace.span(obs::TimeDomain::kVirtual, on::kCatCkpt, on::kEvInterval,
+                     t0, t1, 0, {{"file_bytes", double(file_bytes)}});
+  }
+
+  void drains_resumed(std::size_t n) {
+    if (hub_ != nullptr && n > 0) m_resumed_->add(n);
+  }
+
+  void finish(const FailureSimResult& result) {
+    if (hub_ == nullptr) return;
+    obs::MetricsRegistry& m = hub_->metrics;
+    m.gauge(on::kSimTurnaroundSeconds)->set(result.turnaround);
+    m.gauge(on::kSimBaseSeconds)->set(result.base_time);
+    m.gauge(on::kSimNet2)->set(result.net2());
+  }
+
+ private:
+  obs::Hub* hub_;
+  std::array<obs::Counter*, 3> m_failures_{};
+  obs::Counter* m_restores_ = nullptr;
+  obs::Counter* m_checkpoints_ = nullptr;
+  obs::Counter* m_resumed_ = nullptr;
+};
 
 /// Per-checkpoint remote landing times on the wall clock.
 struct RemoteState {
@@ -44,7 +106,9 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
   mem::AddressSpace space;
   wl->initialize(space);
 
-  ckpt::CheckpointChain chain;
+  SimObs obs(config.obs);
+  ckpt::CheckpointChain chain(ckpt::CheckpointChain::Config{
+      .obs = config.obs});
   failure::FailureInjector injector(config.failures, Rng(config.seed));
   Rng storage_rng(config.seed ^ 0x9e3779b97f4a7c15ull);
 
@@ -52,10 +116,12 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
   mc.local_bps = config.costs.local_bps;
   mc.raid_bps = config.costs.b2_bps;
   mc.remote_bps = config.costs.b3_bps;
+  mc.xfer.obs = config.obs;
   storage::MultiLevelStore store(mc);
 
   double wall = 0.0;
   double interval_start_progress = 0.0;
+  double interval_start_wall = 0.0;
 
   // Initial full checkpoint, staged everywhere before t = 0 (drained to
   // completion off the clock); the store's virtual clock is then pinned to
@@ -71,6 +137,8 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
   auto handle_failure = [&](int level) {
     ++result.failures_by_level[std::size_t(level - 1)];
     ++result.restores;
+    const double fail_at = wall;
+    obs.failure(fail_at, level);
     sync();  // bring every drain to the failure instant
     store.apply_failure(level, storage_rng);
 
@@ -86,7 +154,11 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
       store.repair_raid_group();
       (void)store.reseed_from_remote();
     }
-    result.drains_resumed += int(store.resume_drains());
+    {
+      const std::size_t resumed = store.resume_drains();
+      result.drains_resumed += int(resumed);
+      obs.drains_resumed(resumed);
+    }
 
     auto restored = chain.restore();
     space = restored.memory.materialize();
@@ -98,6 +170,8 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
     // drains resume concurrently with the re-read.
     wall += rec->read_seconds;
     sync();
+    obs.restore(fail_at, wall, level, rec->read_seconds);
+    interval_start_wall = wall;
   };
 
   const double quantum = 1.0;
@@ -140,6 +214,8 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
       sync();
       space.protect_all();
       interval_start_progress = wl->progress();
+      obs.interval(interval_start_wall, wall, st.file_bytes);
+      interval_start_wall = wall;
     }
   }
 
@@ -148,6 +224,7 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
   result.xfer_stats = store.xfer().stats();
   result.turnaround = wall;
   result.final_state_verified = reference.equals_space(space);
+  obs.finish(result);
   return result;
 }
 
@@ -176,11 +253,15 @@ FailureSimResult run_failure_sim(const FailureSimConfig& config) {
   mem::AddressSpace space;
   wl->initialize(space);
 
-  ckpt::CheckpointChain chain;  // delta-compressed incrementals
+  SimObs obs(config.obs);
+  // Delta-compressed incrementals.
+  ckpt::CheckpointChain chain(ckpt::CheckpointChain::Config{
+      .obs = config.obs});
   failure::FailureInjector injector(config.failures, Rng(config.seed));
 
   double wall = 0.0;
   double interval_start_progress = 0.0;
+  double interval_start_wall = 0.0;
   std::vector<RemoteState> remote;
 
   // Initial full checkpoint, staged everywhere before t = 0.
@@ -194,6 +275,8 @@ FailureSimResult run_failure_sim(const FailureSimConfig& config) {
   auto handle_failure = [&](int level) {
     ++result.failures_by_level[std::size_t(level - 1)];
     ++result.restores;
+    const double fail_at = wall;
+    obs.failure(fail_at, level);
     // Newest checkpoint whose surviving copy covers this failure level.
     std::uint64_t seq = 0;
     for (const RemoteState& r : remote) {
@@ -217,6 +300,8 @@ FailureSimResult run_failure_sim(const FailureSimConfig& config) {
     const double bw = level <= 2 ? config.costs.b2_bps : config.costs.b3_bps;
     const double recovery = double(chain.restart_chain_bytes()) / bw;
     wall += recovery;
+    obs.restore(fail_at, wall, level, recovery);
+    interval_start_wall = wall;
     // Failures can strike during recovery as well; the pending event keeps
     // ticking on the wall clock and is handled by the main loop.
   };
@@ -260,11 +345,14 @@ FailureSimResult run_failure_sim(const FailureSimConfig& config) {
       core_free_at = wall + (params.c3 - params.c1);
       space.protect_all();
       interval_start_progress = wl->progress();
+      obs.interval(interval_start_wall, wall, st.file_bytes);
+      interval_start_wall = wall;
     }
   }
 
   result.turnaround = wall;
   result.final_state_verified = reference.equals_space(space);
+  obs.finish(result);
   return result;
 }
 

@@ -22,6 +22,10 @@
 #include "workload/workload.h"
 #include "xfer/stats.h"
 
+namespace aic::obs {
+struct Hub;
+}  // namespace aic::obs
+
 namespace aic::sim {
 
 struct FailureSimConfig {
@@ -43,6 +47,12 @@ struct FailureSimConfig {
   /// last acked chunk after the restart — the Markov model's
   /// interrupted-transfer states, exercised end to end.
   bool use_transfer_engine = false;
+  /// Optional observability hub: failure/restore instants, interval spans,
+  /// end-of-run gauges, plus (with use_transfer_engine) every chunk span
+  /// the drain engine emits and the chain's compression instrumentation.
+  /// nullptr = disabled. Does not perturb the simulation: the virtual
+  /// timeline is identical with and without a hub attached.
+  obs::Hub* obs = nullptr;
 };
 
 struct FailureSimResult {

@@ -6,10 +6,14 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/names.h"
+#include "obs/trace.h"
+
 namespace aic::xfer {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+namespace on = obs::names;
 }  // namespace
 
 const char* to_string(TransferState state) {
@@ -37,6 +41,25 @@ TransferScheduler::TransferScheduler(Config config) : config_(config) {
   AIC_CHECK(config.retry.backoff_multiplier >= 1.0);
   AIC_CHECK(config.retry.max_backoff_s >= config.retry.initial_backoff_s);
   AIC_CHECK(config.retry.chunk_timeout_s >= 0.0);
+  if (obs::Hub* hub = config_.obs) {
+    obs::MetricsRegistry& m = hub->metrics;
+    m_chunks_sent_ = m.counter(on::kXferChunksSent);
+    m_chunks_failed_ = m.counter(on::kXferChunksFailed);
+    m_retries_ = m.counter(on::kXferRetries);
+    m_bytes_acked_ = m.counter(on::kXferBytesAcked);
+    m_bytes_wasted_ = m.counter(on::kXferBytesWasted);
+    m_commits_ = m.counter(on::kXferCommits);
+    m_aborts_ = m.counter(on::kXferAborts);
+    m_interrupts_ = m.counter(on::kXferInterrupts);
+    m_resumes_ = m.counter(on::kXferResumes);
+    m_chunk_seconds_ = m.histogram(
+        on::kXferChunkSeconds,
+        obs::Histogram::exponential_buckets(1e-4, 2.0, 24));
+    m_backoff_seconds_ = m.histogram(
+        on::kXferBackoffSeconds,
+        obs::Histogram::exponential_buckets(1e-3, 2.0, 20));
+    m_goodput_ = m.gauge(on::kXferDrainGoodputBps);
+  }
 }
 
 void TransferScheduler::add_level(int level, Channel::Config channel,
@@ -104,6 +127,16 @@ void TransferScheduler::commit(Entry& e) {
   e.rec.state = TransferState::kCommitted;
   e.rec.commit_time = now_;
   ++e.rec.stats.transfers_committed;
+  if (config_.obs) {
+    m_commits_->add();
+    const double drain = now_ - e.rec.submit_time;
+    if (drain > 0.0) m_goodput_->set(double(e.rec.total_bytes) / drain);
+    config_.obs->trace.instant(
+        obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvCommit, now_,
+        std::uint32_t(e.rec.level),
+        {{"bytes", double(e.rec.total_bytes)},
+         {"drain_s", drain}});
+  }
 }
 
 void TransferScheduler::start_ready_attempts() {
@@ -153,6 +186,15 @@ void TransferScheduler::finish_attempt(Entry& e) {
   level.channel->close_stream();
   e.attempt_active = false;
   e.rec.stats.wire_seconds += e.attempt_end - e.attempt_start;
+  if (config_.obs) {
+    m_chunk_seconds_->observe(e.attempt_end - e.attempt_start);
+    config_.obs->trace.span(
+        obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvChunk,
+        e.attempt_start, e.attempt_end, std::uint32_t(e.rec.level),
+        {{"offset", double(e.rec.acked_bytes)},
+         {"bytes", double(e.attempt_bytes)},
+         {"ok", e.attempt_acked ? 1.0 : 0.0}});
+  }
 
   if (e.attempt_delivered > 0) {
     // Bytes that physically arrived are staged even when the attempt
@@ -167,6 +209,10 @@ void TransferScheduler::finish_attempt(Entry& e) {
     e.rec.acked_bytes += e.attempt_bytes;
     ++e.rec.stats.chunks_sent;
     e.rec.stats.bytes_acked += e.attempt_bytes;
+    if (config_.obs) {
+      m_chunks_sent_->add();
+      m_bytes_acked_->add(e.attempt_bytes);
+    }
     e.rec.chunk_attempts = 0;
     e.ready_at = now_;
     if (e.rec.acked_bytes >= e.rec.total_bytes) {
@@ -181,6 +227,10 @@ void TransferScheduler::finish_attempt(Entry& e) {
   // the per-chunk budget is exhausted.
   ++e.rec.stats.chunks_failed;
   e.rec.stats.bytes_wasted += e.attempt_bytes;
+  if (config_.obs) {
+    m_chunks_failed_->add();
+    m_bytes_wasted_->add(e.attempt_bytes);
+  }
   if (e.rec.chunk_attempts >= config_.retry.max_attempts_per_chunk) {
     std::ostringstream os;
     os << "transfer of " << e.rec.key << " to level " << e.rec.level
@@ -190,6 +240,14 @@ void TransferScheduler::finish_attempt(Entry& e) {
     e.rec.state = TransferState::kAborted;
     ++e.rec.stats.transfers_aborted;
     level.sink->discard(e.rec.key);
+    if (config_.obs) {
+      m_aborts_->add();
+      config_.obs->trace.instant(
+          obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvAbort, now_,
+          std::uint32_t(e.rec.level),
+          {{"offset", double(e.rec.acked_bytes)},
+           {"attempts", double(e.rec.chunk_attempts)}});
+    }
     return;
   }
   const int retry_index = e.rec.chunk_attempts - 1;  // 0 for first retry
@@ -200,6 +258,14 @@ void TransferScheduler::finish_attempt(Entry& e) {
   e.rec.backoff_history.push_back(backoff);
   ++e.rec.stats.retries;
   e.rec.stats.backoff_seconds += backoff;
+  if (config_.obs) {
+    m_retries_->add();
+    m_backoff_seconds_->observe(backoff);
+    config_.obs->trace.span(
+        obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvBackoff, now_,
+        now_ + backoff, std::uint32_t(e.rec.level),
+        {{"retry", double(retry_index + 1)}});
+  }
   e.ready_at = now_ + backoff;
   e.rec.state = TransferState::kPending;
 }
@@ -246,10 +312,25 @@ std::size_t TransferScheduler::interrupt_level(int level) {
       level_of(e).channel->close_stream();
       e.rec.stats.wire_seconds += std::max(0.0, now_ - e.attempt_start);
       e.attempt_active = false;
+      if (config_.obs) {
+        config_.obs->trace.span(
+            obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvChunk,
+            e.attempt_start, now_, std::uint32_t(e.rec.level),
+            {{"offset", double(e.rec.acked_bytes)},
+             {"bytes", double(e.attempt_bytes)},
+             {"ok", 0.0},
+             {"lost", 1.0}});
+      }
     }
     e.rec.state = TransferState::kInterrupted;
     ++e.rec.stats.transfers_interrupted;
     ++interrupted;
+    if (config_.obs) {
+      m_interrupts_->add();
+      config_.obs->trace.instant(
+          obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvInterrupt, now_,
+          std::uint32_t(level), {{"acked", double(e.rec.acked_bytes)}});
+    }
   }
   return interrupted;
 }
@@ -265,6 +346,14 @@ std::size_t TransferScheduler::resume_level(int level) {
     e.rec.chunk_attempts = 0;  // fresh budget for the resumed drain
     e.ready_at = now_;
     ++resumed;
+    if (config_.obs) {
+      m_resumes_->add();
+      config_.obs->trace.instant(
+          obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvResume, now_,
+          std::uint32_t(level),
+          {{"acked", double(e.rec.acked_bytes)},
+           {"total", double(e.rec.total_bytes)}});
+    }
   }
   return resumed;
 }

@@ -33,6 +33,13 @@
 #include "xfer/stats.h"
 #include "xfer/transfer.h"
 
+namespace aic::obs {
+class Counter;
+class Gauge;
+class Histogram;
+struct Hub;
+}  // namespace aic::obs
+
 namespace aic::xfer {
 
 class TransferScheduler {
@@ -40,6 +47,10 @@ class TransferScheduler {
   struct Config {
     std::size_t chunk_bytes = 64 * 1024;
     RetryPolicy retry;
+    /// Optional observability hub: per-chunk spans, retry/backoff events,
+    /// and goodput gauges land here. nullptr = disabled (no overhead
+    /// beyond one branch per event site).
+    obs::Hub* obs = nullptr;
   };
 
   TransferScheduler();
@@ -117,6 +128,20 @@ class TransferScheduler {
   void run_events(double limit);
 
   Config config_;
+  // Metric handles resolved once at construction (all null when
+  // config_.obs is null; event sites branch on config_.obs).
+  obs::Counter* m_chunks_sent_ = nullptr;
+  obs::Counter* m_chunks_failed_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_bytes_acked_ = nullptr;
+  obs::Counter* m_bytes_wasted_ = nullptr;
+  obs::Counter* m_commits_ = nullptr;
+  obs::Counter* m_aborts_ = nullptr;
+  obs::Counter* m_interrupts_ = nullptr;
+  obs::Counter* m_resumes_ = nullptr;
+  obs::Histogram* m_chunk_seconds_ = nullptr;
+  obs::Histogram* m_backoff_seconds_ = nullptr;
+  obs::Gauge* m_goodput_ = nullptr;
   double now_ = 0.0;
   TransferId next_id_ = 1;
   std::map<int, Level> levels_;

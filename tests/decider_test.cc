@@ -1,0 +1,154 @@
+// Ground-truth tests for the AIC decider's w_L* search: the online
+// Newton–Raphson + Extreme Value Theorem comparison
+// (model::extreme_value_minimum) must match a brute-force grid
+// minimization of the same adaptive NET^2 objective across randomized
+// system/interval profiles. Comparison is by objective VALUE, not by
+// argmin position — the NET^2 curve can be extremely flat around its
+// minimum, where two far-apart spans are equally good.
+//
+// Also stresses the degenerate shapes the EVT frame exists for: flat
+// objectives, boundary optima, and the infeasibility cliff below
+// w = SF*(c3_prev - c1_prev), plus the EvtDiag diagnostics the decider's
+// instrumentation records.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/interval_models.h"
+#include "model/optimizer.h"
+#include "model/system_profile.h"
+
+namespace aic::model {
+namespace {
+
+constexpr double kMinW = 1.0;
+constexpr double kMaxW = 1e5;
+
+/// Brute-force reference: dense log grid + golden-section refinement.
+OptResult brute_force(const ScalarFn& f, double lo, double hi) {
+  return minimize_scalar(f, lo, hi, 512, 100);
+}
+
+SystemProfile random_profile(Rng& rng) {
+  SystemProfile sys;
+  const auto split = split_rate(rng.uniform(1e-5, 1e-3));
+  sys.lambda = {split[0], split[1], split[2]};
+  sys.c[0] = rng.uniform(0.1, 2.0);
+  sys.c[1] = sys.c[0] * rng.uniform(1.5, 5.0);
+  sys.c[2] = sys.c[1] * rng.uniform(5.0, 80.0);
+  sys.r = sys.c;
+  sys.sharing_factor = rng.uniform() < 0.5 ? 1.0 : 2.0;
+  return sys;
+}
+
+IntervalParams perturbed(const SystemProfile& sys, Rng& rng) {
+  IntervalParams p = IntervalParams::from_profile(sys);
+  const double jitter = rng.uniform(0.7, 1.3);
+  p.c1 *= jitter;
+  p.c2 *= rng.uniform(0.7, 1.3);
+  p.c3 *= rng.uniform(0.7, 1.3);
+  // Keep the model's ordering assumption intact.
+  p.c2 = std::max(p.c2, p.c1);
+  p.c3 = std::max(p.c3, p.c2);
+  p.r1 = p.c1;
+  p.r2 = p.c2;
+  p.r3 = p.c3;
+  return p;
+}
+
+TEST(DeciderTest, MatchesBruteForceAcrossRandomProfiles) {
+  Rng rng(20130521);  // the paper's conference date, for want of tradition
+  for (int trial = 0; trial < 20; ++trial) {
+    const SystemProfile sys = random_profile(rng);
+    const IntervalParams cur = perturbed(sys, rng);
+    const IntervalParams prev = perturbed(sys, rng);
+    auto objective = [&](double w) {
+      return net2_adaptive(sys, w, cur, prev);
+    };
+
+    EvtDiag diag;
+    const double x0 = rng.uniform(kMinW, 100.0);
+    const OptResult evt =
+        extreme_value_minimum(objective, kMinW, kMaxW, x0, &diag);
+    const OptResult grid = brute_force(objective, kMinW, kMaxW);
+
+    ASSERT_TRUE(std::isfinite(evt.value)) << "trial " << trial;
+    ASSERT_GE(evt.x, kMinW);
+    ASSERT_LE(evt.x, kMaxW);
+    // The online search must be as good as brute force (by value; the
+    // grid itself carries discretization error, hence the tolerance).
+    EXPECT_LE(evt.value, grid.value * (1.0 + 1e-3) + 1e-12)
+        << "trial " << trial << ": evt at w=" << evt.x << " value "
+        << evt.value << " vs grid w=" << grid.x << " value " << grid.value;
+
+    EXPECT_GE(diag.newton_iters, 0);
+    EXPECT_LE(diag.newton_iters, 200);
+  }
+}
+
+TEST(DeciderTest, FlatObjectiveIsHandled) {
+  auto flat = [](double) { return 5.0; };
+  EvtDiag diag;
+  const OptResult r = extreme_value_minimum(flat, kMinW, kMaxW, 10.0, &diag);
+  EXPECT_DOUBLE_EQ(r.value, 5.0);
+  EXPECT_GE(r.x, kMinW);
+  EXPECT_LE(r.x, kMaxW);
+  EXPECT_GE(diag.newton_iters, 0);
+}
+
+TEST(DeciderTest, BoundaryOptimaAreFound) {
+  // Strictly increasing: minimum at the lower boundary.
+  auto inc = [](double w) { return w; };
+  EvtDiag diag_lo;
+  const OptResult lo = extreme_value_minimum(inc, kMinW, kMaxW, 50.0, &diag_lo);
+  EXPECT_DOUBLE_EQ(lo.value, kMinW);
+  EXPECT_DOUBLE_EQ(lo.x, kMinW);
+
+  // Strictly decreasing: minimum at the upper boundary.
+  auto dec = [](double w) { return -w; };
+  const OptResult hi = extreme_value_minimum(dec, kMinW, kMaxW, 50.0, nullptr);
+  EXPECT_DOUBLE_EQ(hi.value, -kMaxW);
+  EXPECT_DOUBLE_EQ(hi.x, kMaxW);
+}
+
+TEST(DeciderTest, InteriorMinimumBeatsBoundaries) {
+  // A clean convex bowl: the NR stationary point should win and land near
+  // the analytic minimum.
+  auto bowl = [](double w) { return (w - 300.0) * (w - 300.0) + 7.0; };
+  EvtDiag diag;
+  const OptResult r = extreme_value_minimum(bowl, kMinW, kMaxW, 10.0, &diag);
+  EXPECT_NEAR(r.x, 300.0, 1.0);
+  EXPECT_NEAR(r.value, 7.0, 1e-3);
+  EXPECT_FALSE(diag.used_boundary);
+}
+
+TEST(DeciderTest, InfeasibilityCliffDoesNotTrapTheSearch) {
+  // Mimics the adaptive NET^2 shape: a huge plateau below the feasibility
+  // threshold, a well-behaved valley above it. NR seeded inside the cliff
+  // must still find the valley (the coarse-grid safeguard).
+  const double cliff = 800.0;
+  auto f = [&](double w) {
+    if (w < cliff) return 1e12;
+    const double v = w - 2000.0;
+    return v * v / 1e4 + 2.0;
+  };
+  EvtDiag diag;
+  const OptResult r = extreme_value_minimum(f, kMinW, kMaxW, 2.0, &diag);
+  const OptResult grid = brute_force(f, kMinW, kMaxW);
+  EXPECT_LE(r.value, grid.value * (1.0 + 1e-3));
+  EXPECT_NEAR(r.x, 2000.0, 50.0);
+}
+
+TEST(DeciderTest, DiagReportsBoundaryWhenStationaryLoses) {
+  auto inc = [](double w) { return std::log(w); };
+  EvtDiag diag;
+  const OptResult r = extreme_value_minimum(inc, kMinW, kMaxW, 100.0, &diag);
+  EXPECT_DOUBLE_EQ(r.x, kMinW);
+  // Monotone objective: no interior stationary point exists, so the EVT
+  // boundary comparison is what found the minimum.
+  EXPECT_TRUE(diag.used_boundary);
+}
+
+}  // namespace
+}  // namespace aic::model

@@ -1,0 +1,98 @@
+// Determinism regression for the full simulation stack: a failure-sim run
+// with the transfer engine is a pure function of its seed. Two runs with
+// the same seed must agree on every virtual-time observable — recovered
+// state, event counts, NET^2 — and a different seed must actually change
+// the failure history (otherwise the "same" comparison proves nothing).
+//
+// Rationale: the drain engine, the failure injector, the delta pipeline,
+// and the recovery path all share one virtual clock; any hidden host
+// dependence (hash ordering, thread timing, uninitialized reads) shows up
+// here as a diff between two identically-seeded runs.
+#include <gtest/gtest.h>
+
+#include "failure/failure.h"
+#include "obs/export.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "sim/failure_sim.h"
+
+namespace aic::sim {
+namespace {
+
+FailureSimConfig config_with_seed(std::uint64_t seed, obs::Hub* hub) {
+  FailureSimConfig cfg;
+  cfg.benchmark = workload::SpecBenchmark::kBzip2;
+  cfg.workload_scale = 0.125;
+  cfg.failures = failure::FailureSpec::from_total(0.04);
+  cfg.checkpoint_interval = 10.0;
+  cfg.seed = seed;
+  cfg.use_transfer_engine = true;
+  cfg.obs = hub;
+  return cfg;
+}
+
+/// Count of trace events on the virtual timeline (wall-clock spans repeat
+/// in number but not duration; virtual events must repeat exactly).
+std::size_t virtual_event_count(const obs::Hub& hub) {
+  std::size_t n = 0;
+  for (const auto& e : hub.trace.snapshot()) {
+    n += (e.domain == obs::TimeDomain::kVirtual);
+  }
+  return n;
+}
+
+TEST(DeterminismTest, SameSeedReproducesTheRunExactly) {
+  obs::Hub hub_a;
+  const FailureSimResult a = run_failure_sim(config_with_seed(11, &hub_a));
+  obs::Hub hub_b;
+  const FailureSimResult b = run_failure_sim(config_with_seed(11, &hub_b));
+
+  // Byte-identical recovered state: each run's final memory matched its
+  // failure-free reference, so both runs ended in the same state.
+  ASSERT_TRUE(a.final_state_verified);
+  ASSERT_TRUE(b.final_state_verified);
+  ASSERT_GT(a.total_failures(), 0) << "seed must inject failures";
+
+  // Identical virtual-time outcome.
+  EXPECT_DOUBLE_EQ(a.turnaround, b.turnaround);
+  EXPECT_DOUBLE_EQ(a.base_time, b.base_time);
+  EXPECT_DOUBLE_EQ(a.net2(), b.net2());
+  EXPECT_EQ(a.failures_by_level, b.failures_by_level);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+  EXPECT_EQ(a.restores, b.restores);
+  EXPECT_EQ(a.drains_resumed, b.drains_resumed);
+
+  // Identical transfer-engine event counts.
+  EXPECT_EQ(a.xfer_stats.chunks_sent, b.xfer_stats.chunks_sent);
+  EXPECT_EQ(a.xfer_stats.chunks_failed, b.xfer_stats.chunks_failed);
+  EXPECT_EQ(a.xfer_stats.retries, b.xfer_stats.retries);
+  EXPECT_EQ(a.xfer_stats.bytes_acked, b.xfer_stats.bytes_acked);
+
+  // The observability layer sees the same run: every counter identical
+  // (counters only record virtual-domain event counts and byte totals),
+  // and the same number of virtual-timeline trace events.
+  const auto snap_a = hub_a.metrics.snapshot();
+  const auto snap_b = hub_b.metrics.snapshot();
+  EXPECT_EQ(snap_a.counters, snap_b.counters);
+  EXPECT_DOUBLE_EQ(snap_a.gauge_or(obs::names::kSimNet2, -1.0),
+                   snap_b.gauge_or(obs::names::kSimNet2, -1.0));
+  EXPECT_EQ(virtual_event_count(hub_a), virtual_event_count(hub_b));
+  EXPECT_EQ(hub_a.trace.dropped(), hub_b.trace.dropped());
+}
+
+TEST(DeterminismTest, DifferentSeedDiverges) {
+  const FailureSimResult a = run_failure_sim(config_with_seed(11, nullptr));
+  const FailureSimResult b = run_failure_sim(config_with_seed(22, nullptr));
+  ASSERT_TRUE(a.final_state_verified);
+  ASSERT_TRUE(b.final_state_verified);
+  // The failure histories must differ somewhere observable; turnaround
+  // aggregates the whole timeline, so an exact tie across seeds would
+  // mean the seed is not reaching the injector.
+  EXPECT_FALSE(a.turnaround == b.turnaround &&
+               a.failures_by_level == b.failures_by_level &&
+               a.restores == b.restores)
+      << "seeds 11 and 22 produced byte-identical runs";
+}
+
+}  // namespace
+}  // namespace aic::sim

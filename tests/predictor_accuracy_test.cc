@@ -1,0 +1,166 @@
+// Accuracy tests for the AIC predictor against synthetic ground truth:
+// the forward stepwise fit must pick out the features that actually
+// generated the targets (over the {DP, t, JD, DI} expansion), and the
+// online normalized-GD refinement must shrink the prediction residuals as
+// observations accumulate — measured both directly and through the
+// predictor.{c1,dl,ds}.rel_err histograms the decider's report reads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "predictor/features.h"
+#include "predictor/predictor.h"
+#include "predictor/regression.h"
+
+namespace aic::predictor {
+namespace {
+
+// Feature expansion order (features.h): DP, t, JD, DI, DP^2, t^2, JD^2,
+// DI^2, DP*t, DP*JD, DP*DI, t*JD, t*DI, JD*DI.
+constexpr std::size_t kIdxDP = 0;
+constexpr std::size_t kIdxT = 1;
+constexpr std::size_t kIdxTSq = 5;
+constexpr std::size_t kIdxDPT = 8;
+
+BaseMetrics random_metrics(Rng& rng) {
+  BaseMetrics m;
+  m.dirty_pages = rng.uniform(10.0, 500.0);
+  m.elapsed = rng.uniform(1.0, 60.0);
+  m.jd = rng.uniform(0.0, 1.0);
+  m.di = rng.uniform(0.0, 1.0);
+  return m;
+}
+
+TEST(PredictorAccuracyTest, StepwiseSelectsGeneratingFeatures) {
+  // Ground truth y = 3*DP + 0.5*t^2 + 10, with JD/DI pure noise inputs.
+  Rng rng(101);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 40; ++i) {
+    const BaseMetrics m = random_metrics(rng);
+    const auto cand = expand_features(m);
+    xs.emplace_back(cand.begin(), cand.end());
+    ys.push_back(3.0 * m.dirty_pages + 0.5 * m.elapsed * m.elapsed + 10.0 +
+                 rng.uniform(-0.5, 0.5));
+  }
+  const LinearModel model = stepwise_fit(xs, ys);
+  ASSERT_FALSE(model.selected.empty());
+  ASSERT_LE(model.selected.size(), 3u);
+  const auto has = [&](std::size_t idx) {
+    return std::find(model.selected.begin(), model.selected.end(), idx) !=
+           model.selected.end();
+  };
+  EXPECT_TRUE(has(kIdxDP)) << "DP term not selected";
+  EXPECT_TRUE(has(kIdxTSq)) << "t^2 term not selected";
+
+  // The fit should actually predict: in-sample relative error small.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double err = std::abs(model.predict(xs[i]) - ys[i]) /
+                       std::max(std::abs(ys[i]), 1e-9);
+    worst = std::max(worst, err);
+  }
+  EXPECT_LT(worst, 0.10);
+}
+
+TEST(PredictorAccuracyTest, StepwiseIgnoresNoiseOnlyCandidates) {
+  // Ground truth depends only on DP*t; JD/DI and the other expansions are
+  // spurious. The selection must stay small and include the true term.
+  Rng rng(202);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 40; ++i) {
+    const BaseMetrics m = random_metrics(rng);
+    const auto cand = expand_features(m);
+    xs.emplace_back(cand.begin(), cand.end());
+    ys.push_back(0.02 * m.dirty_pages * m.elapsed + 1.0 +
+                 rng.uniform(-0.05, 0.05));
+  }
+  const LinearModel model = stepwise_fit(xs, ys);
+  ASSERT_FALSE(model.selected.empty());
+  EXPECT_NE(std::find(model.selected.begin(), model.selected.end(), kIdxDPT),
+            model.selected.end())
+      << "DP*t term not selected";
+}
+
+TEST(PredictorAccuracyTest, OnlineGdShrinksResidualsOverWindows) {
+  // The warm-up stepwise fit learns one coefficient set exactly; then the
+  // workload drifts (all target coefficients scale by 3x) and the online
+  // normalized-GD refinement must track it: pre-update relative errors,
+  // averaged over successive windows, shrink after the shift, and the
+  // final window is accurate in absolute terms.
+  Rng rng(303);
+  AicPredictor pred;
+  obs::Hub hub;
+  pred.set_obs(&hub);
+
+  constexpr int kObservations = 160;
+  constexpr int kWindow = 30;
+  std::vector<double> rel_err;
+  int observed = 0;
+  const auto feed = [&](double scale, int count, bool record) {
+    for (int i = 0; i < count; ++i) {
+      const BaseMetrics m = random_metrics(rng);
+      const double c1 = scale * (1e-3 * m.dirty_pages + 0.01);
+      const double dl = scale * (5e-4 * m.dirty_pages + 2e-3 * m.elapsed);
+      const double ds = scale * (2000.0 * m.dirty_pages + 1e4);
+      if (record && pred.warmed_up()) {
+        const double p = pred.predict(Target::kC1, m);
+        rel_err.push_back(std::abs(p - c1) / std::max(c1, 1e-12));
+      }
+      pred.observe(m, c1, dl, ds);
+      ++observed;
+    }
+  };
+  feed(1.0, int(AicPredictor::kWarmupSamples) + 4, false);
+  ASSERT_TRUE(pred.warmed_up());
+  feed(3.0, kObservations, true);  // the drift the GD must chase
+  ASSERT_GE(rel_err.size(), std::size_t(3 * kWindow));
+
+  const auto window_mean = [&](std::size_t start) {
+    double s = 0.0;
+    for (std::size_t i = start; i < start + kWindow; ++i) s += rel_err[i];
+    return s / kWindow;
+  };
+  const double first = window_mean(0);
+  const double mid = window_mean(rel_err.size() / 2);
+  const double last = window_mean(rel_err.size() - kWindow);
+  EXPECT_LT(mid, first) << "residuals did not start shrinking after drift";
+  EXPECT_LT(last, first) << "residuals did not shrink with observations";
+  EXPECT_LT(last, 0.05) << "tracked model is not accurate";
+
+  // The same residuals flowed into the observability histograms.
+  const auto snap = hub.metrics.snapshot();
+  EXPECT_EQ(snap.counter_or_zero(obs::names::kPredictorObservations),
+            std::uint64_t(observed));
+  ASSERT_TRUE(snap.histograms.count(obs::names::kPredictorC1RelErr));
+  const auto& h = snap.histograms.at(obs::names::kPredictorC1RelErr);
+  EXPECT_EQ(h.count, std::uint64_t(observed));
+  ASSERT_TRUE(snap.histograms.count(obs::names::kPredictorDlRelErr));
+  ASSERT_TRUE(snap.histograms.count(obs::names::kPredictorDsRelErr));
+  EXPECT_EQ(snap.histograms.at(obs::names::kPredictorDlRelErr).count,
+            std::uint64_t(observed));
+}
+
+TEST(PredictorAccuracyTest, SetObsNullDetaches) {
+  Rng rng(404);
+  AicPredictor pred;
+  obs::Hub hub;
+  pred.set_obs(&hub);
+  pred.set_obs(nullptr);
+  const BaseMetrics m = random_metrics(rng);
+  pred.observe(m, 1.0, 1.0, 1.0);
+  EXPECT_EQ(hub.metrics.snapshot().counter_or_zero(
+                obs::names::kPredictorObservations),
+            0u);
+}
+
+}  // namespace
+}  // namespace aic::predictor
