@@ -18,6 +18,7 @@ using namespace aic;
 using control::Scheme;
 
 int main() {
+  bench::Session session("ablation_decider");
   bench::Checker check;
   const double kScale = bench::smoke_pick(0.25, 0.0625);
 
@@ -38,6 +39,12 @@ int main() {
                    TextTable::num(aic1.net2, 3), TextTable::num(aic2.net2, 3),
                    TextTable::num(aic5.net2, 3)});
 
+    const std::string bn = to_string(b);
+    session.sample("net2." + bn + ".sic", "net2", sic.net2);
+    session.sample("net2." + bn + ".aic_1s", "net2", aic1.net2);
+    session.sample("net2." + bn + ".aic_2s", "net2", aic2.net2);
+    session.sample("net2." + bn + ".aic_5s", "net2", aic5.net2);
+
     check.expect(aic1.net2 <= sic.net2,
                  std::string(to_string(b)) + ": full AIC beats SIC");
     check.expect(aic1.net2 <= aic5.net2 * 1.05,
@@ -46,5 +53,5 @@ int main() {
   }
   table.print(std::cout);
   table.print_csv(std::cout);
-  return check.exit_code();
+  return session.finish(check);
 }

@@ -15,6 +15,7 @@ using namespace aic;
 using control::Scheme;
 
 int main() {
+  bench::Session session("ablation_sample_buffer");
   bench::Checker check;
   const auto b = workload::SpecBenchmark::kSjeng;
 
@@ -36,6 +37,9 @@ int main() {
                    TextTable::num(res.net2, 3),
                    TextTable::num(res.control_overhead, 2) + " s",
                    std::to_string(res.intervals.size())});
+    const std::string sz = std::to_string(sb / kKiB) + "kib";
+    session.sample("net2.sb_" + sz, "net2", res.net2);
+    session.sample("control_overhead.sb_" + sz, "s", res.control_overhead);
     if (sb == sizes.front()) {
       first_net2 = res.net2;
       small_overhead = res.control_overhead;
@@ -52,5 +56,5 @@ int main() {
                "NET^2 plateaus across SB sizes (sampling is robust)");
   check.expect(large_overhead > small_overhead,
                "metric cost grows with the buffer (why SB is bounded)");
-  return check.exit_code();
+  return session.finish(check);
 }

@@ -1,15 +1,23 @@
 // Shared helpers for the table/figure reproduction benches: the paper's
-// testbed configuration (Section V.A/V.C) and a uniform CHECK reporter for
-// the shape assertions each bench makes against the paper's claims.
+// testbed configuration (Section V.A/V.C), a uniform CHECK reporter for
+// the shape assertions each bench makes against the paper's claims, and
+// the telemetry Session every bench target uses to emit its
+// BENCH_<target>.json result file (obs/bench_record.h).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "control/experiment.h"
 #include "model/system_profile.h"
+#include "obs/bench_record.h"
+#include "obs/clock.h"
 #include "workload/workload.h"
 
 namespace aic::bench {
@@ -49,11 +57,14 @@ inline control::ExperimentConfig testbed_config(
 }
 
 /// Reproduction-check reporter: prints CHECK lines and tracks failures so
-/// a bench's exit code reflects whether the paper's shape held.
+/// a bench's exit code reflects whether the paper's shape held. The full
+/// claim/verdict list is retained so Session::finish can embed it in the
+/// target's BENCH_*.json.
 class Checker {
  public:
   void expect(bool ok, const std::string& claim) {
     std::printf("CHECK %-4s %s\n", ok ? "ok" : "FAIL", claim.c_str());
+    results_.emplace_back(claim, ok);
     if (!ok) ++failures_;
   }
   /// Nonzero iff a reproduction check failed — except under smoke mode,
@@ -68,9 +79,92 @@ class Checker {
     return failures_ == 0 ? 0 : 1;
   }
   int failures() const { return failures_; }
+  const std::vector<std::pair<std::string, bool>>& results() const {
+    return results_;
+  }
 
  private:
   int failures_ = 0;
+  std::vector<std::pair<std::string, bool>> results_;
+};
+
+/// Benchmark telemetry session: collects named metric samples while the
+/// bench runs and writes the schema-versioned BENCH_<target>.json on
+/// finish(). Results land in $AIC_BENCH_OUT (default: the working
+/// directory), which is how scripts/bench.sh and the verify.sh bench-smoke
+/// leg collect a results directory for tools/aic_benchdiff.
+///
+/// Usage shape (see any bench/ main):
+///
+///   bench::Session session("fig11_netsq_benchmarks");
+///   bench::Checker check;
+///   ...
+///   session.sample("net2.milc.aic", "net2", r.net2());
+///   ...
+///   return session.finish(check);
+class Session {
+ public:
+  explicit Session(std::string_view target)
+      : record_(obs::make_bench_record(target, smoke_mode())),
+        t0_ns_(obs::wall_now_ns()) {}
+
+  /// Get-or-create a metric series (first creator's unit/direction win).
+  obs::BenchMetric& metric(std::string_view name, std::string_view unit,
+                           bool higher_is_better = false) {
+    return record_.metric(name, unit, higher_is_better);
+  }
+
+  /// Appends one observation to the named series.
+  void sample(std::string_view name, std::string_view unit, double value,
+              bool higher_is_better = false) {
+    metric(name, unit, higher_is_better).samples.push_back(value);
+  }
+
+  /// Times fn() `reps` times (seconds through obs::wall_now_ns — bench
+  /// clocks and trace clocks agree by construction) into a repeated-sample
+  /// metric, so aic_benchdiff gets a bootstrap-able distribution.
+  template <typename F>
+  void time_samples(std::string_view name, int reps, F&& fn) {
+    obs::BenchMetric& m = metric(name, "s");
+    for (int i = 0; i < reps; ++i) {
+      const std::uint64_t t0 = obs::wall_now_ns();
+      fn();
+      m.samples.push_back(obs::wall_seconds_since(t0));
+    }
+  }
+
+  obs::BenchRecord& record() { return record_; }
+
+  /// Embeds the checker's verdicts, stamps the whole-run wall time, writes
+  /// BENCH_<target>.json, and returns the bench's exit code (the checker's
+  /// verdict, or 2 when the result file cannot be written).
+  int finish(const Checker& check) {
+    for (const auto& [claim, ok] : check.results()) {
+      record_.checks.push_back({claim, ok});
+    }
+    sample("wall.total_s", "s", obs::wall_seconds_since(t0_ns_));
+    // A series the bench declared but never fed would fail schema
+    // validation; drop it rather than block the whole record.
+    std::erase_if(record_.metrics,
+                  [](const obs::BenchMetric& m) { return m.samples.empty(); });
+    const char* out_dir = std::getenv("AIC_BENCH_OUT");
+    const std::string path =
+        std::string(out_dir != nullptr && out_dir[0] != '\0' ? out_dir : ".") +
+        "/" + obs::bench_record_filename(record_.target);
+    std::ofstream out(path, std::ios::binary);
+    if (out) out << obs::bench_record_to_json(record_);
+    if (!out) {
+      std::fprintf(stderr, "bench-record: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    std::printf("bench-record: wrote %s (%zu metric(s), %zu check(s))\n",
+                path.c_str(), record_.metrics.size(), record_.checks.size());
+    return check.exit_code();
+  }
+
+ private:
+  obs::BenchRecord record_;
+  std::uint64_t t0_ns_;
 };
 
 }  // namespace aic::bench

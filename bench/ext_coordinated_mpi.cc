@@ -17,6 +17,7 @@ using namespace aic;
 using control::Scheme;
 
 int main() {
+  bench::Session session("ext_coordinated_mpi");
   bench::Checker check;
   const auto benchmark = workload::SpecBenchmark::kMilc;
 
@@ -48,6 +49,13 @@ int main() {
       table.add_row({std::to_string(procs), TextTable::num(stagger, 1),
                      TextTable::num(aic.net2, 3),
                      TextTable::num(sic.net2, 3), TextTable::pct(gain, 1)});
+      std::string key = "p";
+      key += std::to_string(procs);
+      key += ".stagger";
+      key += TextTable::num(stagger, 1);
+      session.sample("net2." + key + ".aic", "net2", aic.net2);
+      session.sample("net2." + key + ".sic", "net2", sic.net2);
+      session.sample("gain." + key, "ratio", gain, /*higher_is_better=*/true);
       if (procs == 4 && stagger == 0.0) gain_aligned = gain;
       if (procs == 4 && stagger == 1.0) gain_staggered = gain;
       if (procs == 2 && stagger == 0.0) net2_2ranks = aic.net2;
@@ -62,5 +70,5 @@ int main() {
   check.expect(gain_aligned >= gain_staggered - 0.03,
                "phase stagger erodes the adaptive advantage (why the paper "
                "defers AIC-for-MPI)");
-  return check.exit_code();
+  return session.finish(check);
 }

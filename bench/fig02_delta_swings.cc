@@ -52,6 +52,7 @@ Series sweep(workload::SpecBenchmark b, double scale, int seconds) {
 }  // namespace
 
 int main() {
+  bench::Session session("fig02_delta_swings");
   bench::Checker check;
   const int kSeconds = bench::smoke_pick(60, 12);
   const double kScale = bench::smoke_pick(0.25, 0.0625);
@@ -106,6 +107,10 @@ int main() {
     const double swing = hi / std::max(lo, 1.0);
     std::printf("%s: min %.0f B, max %.0f B, swing %.1fx\n",
                 to_string(b), lo, hi, swing);
+    const std::string bn = to_string(b);
+    session.sample("delta_size_mean." + bn, "B", means[b].second);
+    session.sample("delta_latency_mean." + bn, "s", means[b].first);
+    session.sample("swing." + bn, "ratio", swing, /*higher_is_better=*/true);
     if (b == workload::SpecBenchmark::kSjeng) {
       check.expect(swing > 5.0, "sjeng shows wide delta-size swings (>5x)");
       // Deep short-window drop: some t where size(t+3) < 0.3 * size(t).
@@ -120,5 +125,5 @@ int main() {
       check.expect(swing > 1.5, "lbm still swings, though shallower");
     }
   }
-  return check.exit_code();
+  return session.finish(check);
 }

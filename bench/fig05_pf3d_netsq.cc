@@ -20,6 +20,7 @@ using namespace aic;
 using model::LevelCombo;
 
 int main() {
+  bench::Session session("fig05_pf3d_netsq");
   bench::Checker check;
   const std::vector<double> scales = {1, 2, 4, 8, 10, 16, 20};
 
@@ -46,6 +47,12 @@ int main() {
                   {"L1L2L3", l1l2l3},
                   {"Moody", moody.net2},
                   {"gain", gain}};
+    const std::string sz = TextTable::num(s, 0) + "x";
+    session.sample("net2.pf3d." + sz + ".l1l3", "net2", l1l3);
+    session.sample("net2.pf3d." + sz + ".l2l3", "net2", l2l3);
+    session.sample("net2.pf3d." + sz + ".moody", "net2", moody.net2);
+    session.sample("gain_vs_moody." + sz, "ratio", gain,
+                   /*higher_is_better=*/true);
     table.add_row({TextTable::num(s, 0) + "x", TextTable::num(l1l3, 3),
                    TextTable::num(l2l3, 3), TextTable::num(l1l2l3, 3),
                    TextTable::num(moody.net2, 3), TextTable::pct(gain, 1)});
@@ -71,5 +78,5 @@ int main() {
   check.expect(results[20]["gain"] < results[10]["gain"],
                "Moody gap collapses by 20x (the pipelined L3 can no longer "
                "keep up — the paper's 'improvement almost disappears')");
-  return check.exit_code();
+  return session.finish(check);
 }

@@ -19,6 +19,7 @@ using namespace aic;
 using model::LevelCombo;
 
 int main() {
+  bench::Session session("fig07_sharing_factor");
   bench::Checker check;
   const std::vector<double> sizes = {1, 4, 10, 20};
   const std::vector<double> sfs = {1, 2, 3, 5, 8, 10, 15, 20, 30};
@@ -64,9 +65,13 @@ int main() {
   for (double s : sizes) {
     std::printf("size %.0fx: L2L3 profitable up to SF = %.0f\n", s,
                 last_profitable[s]);
+    const std::string sz = TextTable::num(s, 0) + "x";
+    session.sample("max_profitable_sf." + sz, "sf", last_profitable[s],
+                   /*higher_is_better=*/true);
+    session.sample("net2.moody." + sz, "net2", moody_ref[s]);
     check.expect(last_profitable[s] >= 3.0,
                  "L2L3 beats Moody at SF >= 3 for size " +
                      TextTable::num(s, 0) + "x");
   }
-  return check.exit_code();
+  return session.finish(check);
 }

@@ -16,6 +16,7 @@ using namespace aic;
 using control::Scheme;
 
 int main() {
+  bench::Session session("fig11_netsq_benchmarks");
   bench::Checker check;
   const double kScale = bench::smoke_pick(0.25, 0.0625);
 
@@ -35,6 +36,14 @@ int main() {
                   {"sic", sic.net2},
                   {"moody", moody.net2},
                   {"vs_sic", vs_sic}};
+    const std::string bn = to_string(b);
+    session.metric("net2." + bn + ".aic", "net2").params["workload_scale"] =
+        kScale;
+    session.sample("net2." + bn + ".aic", "net2", aic.net2);
+    session.sample("net2." + bn + ".sic", "net2", sic.net2);
+    session.sample("net2." + bn + ".moody", "net2", moody.net2);
+    session.sample("gain_vs_sic." + bn, "ratio", vs_sic,
+                   /*higher_is_better=*/true);
     table.add_row({aic.workload, TextTable::num(aic.net2, 3),
                    TextTable::num(sic.net2, 3), TextTable::num(moody.net2, 3),
                    std::to_string(aic.intervals.size()),
@@ -61,5 +70,5 @@ int main() {
                "applications with higher NET^2)");
   check.expect(sphinx_gap < milc_gap,
                "sphinx3 benefits least from adaptivity (tiny deltas)");
-  return check.exit_code();
+  return session.finish(check);
 }

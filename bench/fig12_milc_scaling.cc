@@ -16,6 +16,7 @@ using namespace aic;
 using control::Scheme;
 
 int main() {
+  bench::Session session("fig12_milc_scaling");
   bench::Checker check;
   const double kScale = bench::smoke_pick(0.25, 0.0625);
   const std::vector<double> sizes = {0.25, 0.5, 1.0, 2.0, 4.0};
@@ -33,6 +34,11 @@ int main() {
         run_experiment(Scheme::kSic, workload::SpecBenchmark::kMilc, cfg);
     const double reduction = (sic.net2 - aic.net2) / sic.net2;
     reductions[s] = reduction;
+    const std::string sz = TextTable::num(s, 2) + "x";
+    session.sample("net2.milc." + sz + ".aic", "net2", aic.net2);
+    session.sample("net2.milc." + sz + ".sic", "net2", sic.net2);
+    session.sample("reduction." + sz, "ratio", reduction,
+                   /*higher_is_better=*/true);
     table.add_row({TextTable::num(s, 2) + "x", TextTable::num(aic.net2, 3),
                    TextTable::num(sic.net2, 3),
                    TextTable::pct(reduction, 1)});
@@ -48,5 +54,5 @@ int main() {
     check.expect(reductions[s] > -0.02,
                  "AIC never loses to SIC at " + TextTable::num(s, 2) + "x");
   }
-  return check.exit_code();
+  return session.finish(check);
 }

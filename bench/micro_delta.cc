@@ -5,6 +5,8 @@
 // instead, calibrated to the paper's testbed class.
 #include <benchmark/benchmark.h>
 
+#include "bench_session_gbench.h"
+
 #include "common/rng.h"
 #include "common/units.h"
 #include "delta/page_delta.h"
@@ -202,4 +204,6 @@ BENCHMARK(BM_ParallelPageCompressMixed)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return aic::bench::run_gbench_main("micro_delta", argc, argv);
+}

@@ -5,6 +5,8 @@
 // inside the one-second decision period.
 #include <benchmark/benchmark.h>
 
+#include "bench_session_gbench.h"
+
 #include "model/interval_models.h"
 #include "model/moody.h"
 #include "model/optimizer.h"
@@ -76,4 +78,6 @@ BENCHMARK(BM_MoodyFullOptimize);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return aic::bench::run_gbench_main("micro_model", argc, argv);
+}

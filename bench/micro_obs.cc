@@ -15,6 +15,8 @@
 //     stays in the noise (< 2%).
 #include <benchmark/benchmark.h>
 
+#include "bench_session_gbench.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -182,4 +184,6 @@ BENCHMARK(BM_KernelObsEnabled);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return aic::bench::run_gbench_main("micro_obs", argc, argv);
+}

@@ -4,6 +4,8 @@
 // every second.
 #include <benchmark/benchmark.h>
 
+#include "bench_session_gbench.h"
+
 #include "common/rng.h"
 #include "common/units.h"
 #include "predictor/metrics.h"
@@ -78,4 +80,6 @@ BENCHMARK(BM_PredictorObserveAndPredict);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return aic::bench::run_gbench_main("micro_predictor", argc, argv);
+}

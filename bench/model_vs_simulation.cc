@@ -17,6 +17,7 @@
 using namespace aic;
 
 int main() {
+  bench::Session session("model_vs_simulation");
   bench::Checker check;
 
   auto sys = model::SystemProfile::coastal();
@@ -36,6 +37,11 @@ int main() {
                    TextTable::num(walk.mean(), 1),
                    TextTable::num(event.mean(), 1),
                    "+/- " + TextTable::num(walk.ci95_halfwidth(), 1)});
+    std::string wk = "w";
+    wk += TextTable::num(w, 0);
+    session.sample("interval_s." + wk + ".analytic", "s", analytic);
+    session.sample("interval_s." + wk + ".mc_walk", "s", walk.mean());
+    session.sample("interval_s." + wk + ".event_sim", "s", event.mean());
     check.expect(std::abs(walk.mean() - analytic) <
                      4.0 * walk.ci95_halfwidth(),
                  "MC walk matches solver at w=" + TextTable::num(w, 0));
@@ -62,6 +68,10 @@ int main() {
     cfg.seed = seed;
     const auto res = sim::run_failure_sim(cfg);
     net2s.add(res.net2());
+    // Repeated-sample metric: one observation per seed, so benchdiff can
+    // judge this one against real run-to-run noise.
+    session.metric("net2.fullstack.bzip2", "net2").samples.push_back(
+        res.net2());
     all_verified = all_verified && res.final_state_verified;
     fs.add_row({std::to_string(seed), TextTable::num(res.turnaround, 1),
                 TextTable::num(res.net2(), 3),
@@ -77,5 +87,5 @@ int main() {
                "every failure-injected run recovered byte-exact state");
   check.expect(net2s.mean() > 1.0,
                "failures cost turnaround (NET^2 > 1)");
-  return check.exit_code();
+  return session.finish(check);
 }

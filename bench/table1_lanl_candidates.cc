@@ -11,6 +11,7 @@
 using namespace aic;
 
 int main() {
+  bench::Session session("table1_lanl_candidates");
   bench::Checker check;
 
   // Paper's reference values for side-by-side comparison.
@@ -54,6 +55,13 @@ int main() {
                    TextTable::pct(ref.packed, 0),
                    TextTable::pct(ref.rectified, 0)});
 
+    std::string id = "sys";
+    id += std::to_string(sys.system_id);
+    session.sample("candidates." + id + ".packed", "fraction",
+                   packed.fraction(), /*higher_is_better=*/true);
+    session.sample("candidates." + id + ".rectified", "fraction",
+                   rect.fraction(), /*higher_is_better=*/true);
+
     if (ref.id == 20) {
       packed20 = packed.fraction();
       gain20 = rect.fraction() - packed.fraction();
@@ -75,5 +83,5 @@ int main() {
                "(systems 20 and 8)");
   check.expect(gain15 < 0.02 && gain16 < 0.08,
                "rectified scheduling barely moves systems 15 and 16");
-  return check.exit_code();
+  return session.finish(check);
 }

@@ -89,6 +89,7 @@ CompressorResult compare_compressors(workload::SpecBenchmark b, double scale,
 }  // namespace
 
 int main() {
+  bench::Session session("table3_compressors");
   bench::Checker check;
   const double kScale = bench::smoke_pick(0.25, 0.0625);
 
@@ -116,6 +117,13 @@ int main() {
                    TextTable::num(aic.exec_time, 0),
                    TextTable::pct(aic.overhead_fraction(), 1)});
 
+    const std::string bn = to_string(b);
+    session.sample("ratio." + bn + ".pa", "ratio", comp.ratio_pa);
+    session.sample("ratio." + bn + ".whole", "ratio", comp.ratio_whole);
+    session.sample("ratio." + bn + ".xor", "ratio", comp.ratio_xor);
+    session.sample("latency." + bn + ".pa", "s", comp.latency_pa);
+    session.sample("overhead." + bn, "fraction", aic.overhead_fraction());
+
     max_overhead = std::max(max_overhead, aic.overhead_fraction());
     worst_gap = std::max(worst_gap,
                          std::abs(comp.ratio_pa - comp.ratio_whole));
@@ -139,5 +147,5 @@ int main() {
   check.expect(worst_gap < 0.35,
                "Xdelta3 and Xdelta3-PA land in the same ballpark per "
                "benchmark");
-  return check.exit_code();
+  return session.finish(check);
 }

@@ -34,6 +34,7 @@ Bytes object_bytes(std::size_t n, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::Session session("xfer_goodput");
   bench::Checker check;
   const double bandwidth = 1.0e6;  // 1 MB/s channel
   const std::size_t object_size = bench::smoke_pick<std::size_t>(
@@ -72,6 +73,12 @@ int main() {
                      TextTable::num(expected, 0),
                      TextTable::num(aggregate, 0),
                      TextTable::num(sched.now(), 2)});
+    auto& per = session.metric("goodput.per_drain.n" + std::to_string(n),
+                               "B/s", /*higher_is_better=*/true);
+    per.params["streams"] = double(n);
+    per.samples.push_back(per_drain);
+    session.sample("goodput.aggregate.n" + std::to_string(n), "B/s",
+                   aggregate, /*higher_is_better=*/true);
     check.expect(per_drain > 0.9 * expected && per_drain < 1.1 * expected,
                  "per-drain goodput ~ B/" + std::to_string(n) +
                      " with " + std::to_string(n) + " concurrent drains");
@@ -112,6 +119,12 @@ int main() {
                    TextTable::num(double(s.bytes_wasted), 0),
                    TextTable::num(s.backoff_seconds, 3),
                    TextTable::num(goodput, 0)});
+    std::string pk = "p";
+    pk += TextTable::num(p, 2);
+    session.sample("goodput.lossy." + pk, "B/s", goodput,
+                   /*higher_is_better=*/true);
+    session.sample("retries.lossy." + pk, "count", double(s.retries));
+    session.sample("backoff.lossy." + pk, "s", s.backoff_seconds);
     check.expect(rec.state == xfer::TransferState::kCommitted,
                  "drain commits despite drop p = " + TextTable::num(p, 2));
     check.expect(goodput < last_goodput,
@@ -126,5 +139,5 @@ int main() {
   lossy.print(std::cout);
   lossy.print_csv(std::cout);
 
-  return check.exit_code();
+  return session.finish(check);
 }

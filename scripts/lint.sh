@@ -10,9 +10,10 @@
 #   L3  no `printf`-family calls in src/ for the same reason;
 #   L4  library code never calls `abort`/`exit` — invariants throw
 #       CheckError so callers and tests can observe them;
-#   L5  no chrono clock ::now() in src/ outside src/obs/ — obs::wall_now_ns
-#       is the library's single host-clock gateway, so wall time stays
-#       mockable and the virtual-time components stay deterministic.
+#   L5  no chrono clock ::now() in src/ outside src/obs/, nor anywhere in
+#       bench/ or tools/ — obs::wall_now_ns is the single host-clock
+#       gateway, so wall time stays mockable, the virtual-time components
+#       stay deterministic, and every benchmark timestamp is comparable.
 #
 # Usage: scripts/lint.sh
 # Exit: 0 clean, 1 findings.
@@ -73,11 +74,16 @@ if ((${#hits[@]})); then
 fi
 
 # --- L5: host-clock reads outside src/obs/ -----------------------------------
+# bench/ and tools/ are held to the same rule: their timing flows into
+# BENCH_<target>.json records that aic_benchdiff compares across runs, so
+# it must come from the one gateway the tests can reason about.
 mapfile -t nonobs_files < <(printf '%s\n' "${lib_files[@]}" \
   | grep -v '^src/obs/')
+mapfile -t frontend_files < <(find bench tools -name '*.cc' -o -name '*.h' \
+  | sort)
 mapfile -t hits < <(scan_code \
   '(system_clock|steady_clock|high_resolution_clock) *:: *now *\(' \
-  "${nonobs_files[@]}")
+  "${nonobs_files[@]}" "${frontend_files[@]}")
 if ((${#hits[@]})); then
   fail "chrono clock ::now() outside src/obs/ (use obs::wall_now_ns):" \
     "${hits[@]}"

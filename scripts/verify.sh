@@ -13,7 +13,10 @@
 # A separate bench-smoke leg builds every bench target and runs each with
 # AIC_BENCH_SMOKE=1 (tiny parameters, reproduction CHECKs informational):
 # it gates on crashes and bit-rot in the bench mains, not on reproducing
-# the paper's shapes at toy sizes.
+# the paper's shapes at toy sizes. Each run must also emit a schema-valid
+# BENCH_<target>.json telemetry record (validated with aic_benchdiff
+# --check), and a self-vs-self aic_benchdiff over the set must report zero
+# regressions — the tautology case that catches diff-pipeline bit-rot.
 #
 # Usage:
 #   scripts/verify.sh               # full matrix (identical to --matrix)
@@ -83,7 +86,8 @@ run_asan_ubsan() {
   local log
   log=$(mktemp)
   if cmake -B build-asan -S . -DAIC_SANITIZE=address,undefined >/dev/null &&
-    cmake --build build-asan -j"$jobs" --target aic_tests aic_fsck aic_report &&
+    cmake --build build-asan -j"$jobs" \
+      --target aic_tests aic_fsck aic_report aic_benchdiff &&
     ctest --test-dir build-asan --output-on-failure -j"$jobs" | tee "$log"; then
     record "asan+ubsan" OK "$(ctest_passed "$log")"
   else
@@ -98,6 +102,8 @@ run_bench_smoke() {
     record bench-smoke FAIL "build failed"
     return
   fi
+  local out_dir
+  out_dir=$(mktemp -d)
   local failed=() ran=0
   for b in build/bench/*; do
     [[ -x "$b" ]] || continue
@@ -105,18 +111,29 @@ run_bench_smoke() {
     name="$(basename "$b")"
     echo "-- bench-smoke: $name"
     if [[ "$name" == micro_* ]]; then
-      AIC_BENCH_SMOKE=1 "$b" --benchmark_min_time=0.01 >/dev/null ||
-        failed+=("$name")
+      AIC_BENCH_SMOKE=1 AIC_BENCH_OUT="$out_dir" \
+        "$b" --benchmark_min_time=0.01 >/dev/null || failed+=("$name")
     else
-      AIC_BENCH_SMOKE=1 "$b" >/dev/null || failed+=("$name")
+      AIC_BENCH_SMOKE=1 AIC_BENCH_OUT="$out_dir" "$b" >/dev/null ||
+        failed+=("$name")
     fi
+    [[ -f "$out_dir/BENCH_$name.json" ]] || failed+=("$name(no-record)")
     ran=$((ran + 1))
   done
+  # Telemetry gate: every record parses, and self-vs-self diffs clean.
   if [[ ${#failed[@]} -eq 0 ]]; then
-    record bench-smoke OK "$ran bench target(s) ran clean"
+    build/tools_build/aic_benchdiff --check "$out_dir" >/dev/null ||
+      failed+=("benchdiff-check")
+    build/tools_build/aic_benchdiff "$out_dir" "$out_dir" >/dev/null ||
+      failed+=("benchdiff-self")
+  fi
+  if [[ ${#failed[@]} -eq 0 ]]; then
+    record bench-smoke OK \
+      "$ran bench target(s) ran clean, telemetry records valid"
   else
     record bench-smoke FAIL "crashed/nonzero: ${failed[*]}"
   fi
+  rm -rf "$out_dir"
 }
 
 case "$mode" in

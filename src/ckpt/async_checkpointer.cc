@@ -129,6 +129,23 @@ void AsyncCheckpointer::worker_loop() {
 
 void AsyncCheckpointer::process(Job job) {
   obs::Hub* hub = config_.chain.obs;
+  try {
+    process_job(job, hub);
+  } catch (const CheckError& e) {
+    // The worker thread has no caller to propagate to — the rethrow below
+    // reaches std::terminate. Leave a postmortem first (flight_recorder.h)
+    // so the failed run is diagnosable from its artifact.
+    if (hub != nullptr) {
+      hub->trace.instant(obs::TimeDomain::kWall, on::kCatCkpt, on::kEvError,
+                         hub->trace.wall_seconds(), 0,
+                         {{"seq", double(job.sequence)}});
+      hub->dump_postmortem("async-checkpointer", e.what());
+    }
+    throw;
+  }
+}
+
+void AsyncCheckpointer::process_job(Job& job, obs::Hub* hub) {
   const std::uint64_t t0 = obs::wall_now_ns();
   const double c0 = hub ? hub->trace.wall_seconds() : 0.0;
   CaptureStats stats;

@@ -116,7 +116,10 @@ class AsyncCheckpointer {
   };
 
   void worker_loop();
+  /// Runs one job; on CheckError dumps a flight-recorder postmortem
+  /// through the hub (when one is attached) and rethrows.
   void process(Job job);
+  void process_job(Job& job, obs::Hub* hub);
 
   Config config_;
   mutable std::mutex mutex_;

@@ -1,0 +1,151 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace aic::obs {
+namespace {
+
+/// Relative change with positive = worse. The denominator falls back to
+/// |current| when the baseline median is exactly zero (a 0 -> x move is a
+/// 100% change, not a division blow-up), and to "no change" when both are
+/// zero.
+double badness_of(double baseline_median, double current_median,
+                  bool higher_is_better) {
+  double denom = std::abs(baseline_median);
+  if (denom == 0.0) denom = std::abs(current_median);
+  if (denom == 0.0) return 0.0;
+  const double rel = (current_median - baseline_median) / denom;
+  return higher_is_better ? -rel : rel;
+}
+
+double resampled_median(const std::vector<double>& xs, Rng& rng,
+                        std::vector<double>& scratch) {
+  scratch.clear();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    scratch.push_back(xs[rng.uniform_u64(xs.size())]);
+  }
+  return percentile_of(scratch, 0.5);
+}
+
+MetricDiff judge(const BenchMetric& baseline, const BenchMetric& current,
+                 const DiffOptions& opt, Rng& rng) {
+  MetricDiff d;
+  d.name = current.name;
+  d.unit = current.unit;
+  d.higher_is_better = current.higher_is_better;
+  d.baseline_samples = baseline.samples.size();
+  d.current_samples = current.samples.size();
+  d.baseline_median = baseline.median();
+  d.current_median = current.median();
+
+  double denom = std::abs(d.baseline_median);
+  if (denom == 0.0) denom = std::abs(d.current_median);
+  d.rel_change =
+      denom == 0.0 ? 0.0 : (d.current_median - d.baseline_median) / denom;
+
+  const double point = badness_of(d.baseline_median, d.current_median,
+                                  current.higher_is_better);
+  if (baseline.samples.size() < 2 && current.samples.size() < 2) {
+    // No repetition on either side: nothing to bootstrap, the point
+    // estimate is the whole story.
+    d.badness_lo = d.badness_hi = point;
+  } else {
+    std::vector<double> boot;
+    boot.reserve(std::size_t(std::max(opt.bootstrap_iterations, 1)));
+    std::vector<double> scratch;
+    for (int i = 0; i < std::max(opt.bootstrap_iterations, 1); ++i) {
+      const double bm = resampled_median(baseline.samples, rng, scratch);
+      const double cm = resampled_median(current.samples, rng, scratch);
+      boot.push_back(badness_of(bm, cm, current.higher_is_better));
+    }
+    d.badness_lo = percentile_of(boot, 0.025);
+    d.badness_hi = percentile_of(boot, 0.975);
+  }
+
+  if (d.badness_lo > opt.threshold) {
+    d.verdict = DiffVerdict::kRegression;
+  } else if (d.badness_hi < -opt.threshold) {
+    d.verdict = DiffVerdict::kImprovement;
+  } else {
+    d.verdict = DiffVerdict::kNeutral;
+  }
+  return d;
+}
+
+}  // namespace
+
+const char* to_string(DiffVerdict v) {
+  switch (v) {
+    case DiffVerdict::kNeutral:
+      return "neutral";
+    case DiffVerdict::kRegression:
+      return "REGRESSION";
+    case DiffVerdict::kImprovement:
+      return "improvement";
+    case DiffVerdict::kOnlyBaseline:
+      return "only-baseline";
+    case DiffVerdict::kOnlyCurrent:
+      return "only-current";
+  }
+  return "?";
+}
+
+RecordDiff diff_records(const BenchRecord& baseline, const BenchRecord& current,
+                        const DiffOptions& opt) {
+  AIC_CHECK_MSG(opt.threshold >= 0.0, "diff threshold must be >= 0");
+  RecordDiff out;
+  out.target = current.target;
+  out.provenance_mismatch = !baseline.build.comparable_to(current.build);
+
+  Rng rng(opt.seed);
+  for (const BenchMetric& cur : current.metrics) {
+    const BenchMetric* base = baseline.find(cur.name);
+    if (base == nullptr) {
+      MetricDiff d;
+      d.name = cur.name;
+      d.unit = cur.unit;
+      d.higher_is_better = cur.higher_is_better;
+      d.verdict = DiffVerdict::kOnlyCurrent;
+      d.current_median = cur.median();
+      d.current_samples = cur.samples.size();
+      out.metrics.push_back(std::move(d));
+      continue;
+    }
+    out.metrics.push_back(judge(*base, cur, opt, rng));
+  }
+  for (const BenchMetric& base : baseline.metrics) {
+    if (current.find(base.name) != nullptr) continue;
+    MetricDiff d;
+    d.name = base.name;
+    d.unit = base.unit;
+    d.higher_is_better = base.higher_is_better;
+    d.verdict = DiffVerdict::kOnlyBaseline;
+    d.baseline_median = base.median();
+    d.baseline_samples = base.samples.size();
+    out.metrics.push_back(std::move(d));
+  }
+
+  for (const MetricDiff& d : out.metrics) {
+    switch (d.verdict) {
+      case DiffVerdict::kRegression:
+        ++out.regressions;
+        break;
+      case DiffVerdict::kImprovement:
+        ++out.improvements;
+        break;
+      case DiffVerdict::kNeutral:
+        ++out.neutral;
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace aic::obs

@@ -1,0 +1,83 @@
+// Noise-aware comparison of two bench records (the aic_benchdiff engine).
+//
+// A naive "did the median move more than X%" check flags noise as
+// regression and hides real regressions inside noisy metrics. Instead,
+// each paired metric is judged on a bootstrap confidence interval: both
+// sample sets are resampled with replacement (deterministically — seeded
+// aic::Rng, so CI runs are reproducible), the relative change of the
+// resampled medians is collected, and the verdict uses the 95% interval of
+// the *badness* (relative change signed so that positive always means
+// "worse", regardless of the metric's direction):
+//
+//   regression   — the whole interval sits above +threshold
+//   improvement  — the whole interval sits below -threshold
+//   neutral      — anything else (including "too noisy to tell")
+//
+// Single-sample metrics degenerate to a point comparison against the
+// threshold, which is exactly the right behaviour for deterministic
+// quantities like NET^2 values or compression ratios.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/bench_record.h"
+
+namespace aic::obs {
+
+struct DiffOptions {
+  /// Relative change considered meaningful (0.10 = 10%).
+  double threshold = 0.10;
+  /// Bootstrap resampling rounds per metric (higher = tighter CI estimate).
+  int bootstrap_iterations = 500;
+  std::uint64_t seed = 42;
+};
+
+enum class DiffVerdict : std::uint8_t {
+  kNeutral = 0,
+  kRegression,
+  kImprovement,
+  kOnlyBaseline,  // metric disappeared from the current run
+  kOnlyCurrent,   // metric is new in the current run
+};
+
+const char* to_string(DiffVerdict v);
+
+struct MetricDiff {
+  std::string name;
+  std::string unit;
+  bool higher_is_better = false;
+  DiffVerdict verdict = DiffVerdict::kNeutral;
+  double baseline_median = 0.0;
+  double current_median = 0.0;
+  /// (current - baseline) / |baseline|, sign as measured.
+  double rel_change = 0.0;
+  /// 95% bootstrap CI of the badness (positive = worse).
+  double badness_lo = 0.0;
+  double badness_hi = 0.0;
+  std::size_t baseline_samples = 0;
+  std::size_t current_samples = 0;
+};
+
+struct RecordDiff {
+  std::string target;
+  /// True when build provenance differs (compiler/build type/sanitizer) —
+  /// the numbers are printed but should be read with suspicion.
+  bool provenance_mismatch = false;
+  std::vector<MetricDiff> metrics;  // current-record order, then baseline-only
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t neutral = 0;
+
+  bool has_regression() const { return regressions > 0; }
+};
+
+/// Pairs metrics by name and judges each pair. Unpaired metrics are
+/// reported as kOnlyBaseline/kOnlyCurrent and never count as regressions.
+RecordDiff diff_records(const BenchRecord& baseline,
+                        const BenchRecord& current,
+                        const DiffOptions& opt = {});
+
+}  // namespace aic::obs

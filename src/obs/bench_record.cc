@@ -1,0 +1,180 @@
+#include "obs/bench_record.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "obs/json.h"
+
+namespace aic::obs {
+namespace {
+
+const std::string& as_string(const JsonValue& v, const char* what) {
+  AIC_CHECK_MSG(v.is(JsonValue::Kind::kString), what << " must be a string");
+  return v.str;
+}
+
+bool as_bool(const JsonValue& v, const char* what) {
+  AIC_CHECK_MSG(v.is(JsonValue::Kind::kBool), what << " must be a boolean");
+  return v.boolean;
+}
+
+void validate(const BenchRecord& rec) {
+  AIC_CHECK_MSG(!rec.target.empty(), "bench record target must be non-empty");
+  for (std::size_t i = 0; i < rec.metrics.size(); ++i) {
+    const BenchMetric& m = rec.metrics[i];
+    AIC_CHECK_MSG(!m.name.empty(), "bench metric name must be non-empty");
+    AIC_CHECK_MSG(!m.samples.empty(),
+                  "bench metric '" << m.name << "' has no samples");
+    for (const double s : m.samples) {
+      AIC_CHECK_MSG(std::isfinite(s),
+                    "bench metric '" << m.name << "' has a non-finite sample");
+    }
+    for (std::size_t j = i + 1; j < rec.metrics.size(); ++j) {
+      AIC_CHECK_MSG(rec.metrics[j].name != m.name,
+                    "duplicate bench metric name '" << m.name << "'");
+    }
+  }
+}
+
+}  // namespace
+
+double BenchMetric::median() const { return percentile_of(samples, 0.5); }
+
+double BenchMetric::iqr() const {
+  if (samples.size() < 2) return 0.0;
+  return percentile_of(samples, 0.75) - percentile_of(samples, 0.25);
+}
+
+BenchMetric& BenchRecord::metric(std::string_view name, std::string_view unit,
+                                 bool higher_is_better) {
+  for (BenchMetric& m : metrics) {
+    if (m.name == name) return m;
+  }
+  BenchMetric m;
+  m.name = std::string(name);
+  m.unit = std::string(unit);
+  m.higher_is_better = higher_is_better;
+  metrics.push_back(std::move(m));
+  return metrics.back();
+}
+
+const BenchMetric* BenchRecord::find(std::string_view name) const {
+  for (const BenchMetric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+BenchRecord make_bench_record(std::string_view target, bool smoke) {
+  BenchRecord rec;
+  rec.target = std::string(target);
+  rec.smoke = smoke;
+  rec.build = current_build_info();
+  return rec;
+}
+
+std::string bench_record_filename(std::string_view target) {
+  return "BENCH_" + std::string(target) + ".json";
+}
+
+std::string bench_record_to_json(const BenchRecord& rec) {
+  validate(rec);
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kBenchSchema << "\"";
+  os << ",\"target\":\"" << json_escape(rec.target) << "\"";
+  os << ",\"smoke\":" << (rec.smoke ? "true" : "false");
+  os << ",\"build\":{\"git_sha\":\"" << json_escape(rec.build.git_sha)
+     << "\",\"compiler\":\"" << json_escape(rec.build.compiler)
+     << "\",\"build_type\":\"" << json_escape(rec.build.build_type)
+     << "\",\"sanitizer\":\"" << json_escape(rec.build.sanitizer)
+     << "\",\"nproc\":" << rec.build.nproc << "}";
+  os << ",\"checks\":[";
+  for (std::size_t i = 0; i < rec.checks.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"claim\":\"" << json_escape(rec.checks[i].claim)
+       << "\",\"ok\":" << (rec.checks[i].ok ? "true" : "false") << "}";
+  }
+  os << "],\"metrics\":[";
+  for (std::size_t i = 0; i < rec.metrics.size(); ++i) {
+    const BenchMetric& m = rec.metrics[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << json_escape(m.name) << "\",\"unit\":\""
+       << json_escape(m.unit) << "\",\"higher_is_better\":"
+       << (m.higher_is_better ? "true" : "false") << ",\"params\":{";
+    bool first = true;
+    for (const auto& [k, v] : m.params) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << json_escape(k) << "\":" << json_number(v);
+    }
+    os << "},\"samples\":[";
+    for (std::size_t j = 0; j < m.samples.size(); ++j) {
+      if (j) os << ",";
+      os << json_number(m.samples[j]);
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+BenchRecord bench_record_from_json(std::string_view json) {
+  const JsonValue doc = json_parse(json);
+  AIC_CHECK_MSG(doc.is(JsonValue::Kind::kObject),
+                "bench record root must be an object");
+  const std::string& schema = as_string(doc.at("schema"), "schema");
+  AIC_CHECK_MSG(schema == kBenchSchema,
+                "unsupported bench record schema '" << schema << "' (expected "
+                                                    << kBenchSchema << ")");
+  BenchRecord rec;
+  rec.target = as_string(doc.at("target"), "target");
+  rec.smoke = as_bool(doc.at("smoke"), "smoke");
+
+  const JsonValue& build = doc.at("build");
+  AIC_CHECK_MSG(build.is(JsonValue::Kind::kObject),
+                "build must be an object");
+  rec.build.git_sha = as_string(build.at("git_sha"), "build.git_sha");
+  rec.build.compiler = as_string(build.at("compiler"), "build.compiler");
+  rec.build.build_type = as_string(build.at("build_type"), "build.build_type");
+  rec.build.sanitizer = as_string(build.at("sanitizer"), "build.sanitizer");
+  rec.build.nproc = int(build.at("nproc").as_number());
+
+  const JsonValue& checks = doc.at("checks");
+  AIC_CHECK_MSG(checks.is(JsonValue::Kind::kArray), "checks must be an array");
+  for (const JsonValue& c : checks.array) {
+    AIC_CHECK_MSG(c.is(JsonValue::Kind::kObject),
+                  "each check must be an object");
+    BenchCheck check;
+    check.claim = as_string(c.at("claim"), "check claim");
+    check.ok = as_bool(c.at("ok"), "check ok");
+    rec.checks.push_back(std::move(check));
+  }
+
+  const JsonValue& metrics = doc.at("metrics");
+  AIC_CHECK_MSG(metrics.is(JsonValue::Kind::kArray),
+                "metrics must be an array");
+  for (const JsonValue& mv : metrics.array) {
+    AIC_CHECK_MSG(mv.is(JsonValue::Kind::kObject),
+                  "each metric must be an object");
+    BenchMetric m;
+    m.name = as_string(mv.at("name"), "metric name");
+    m.unit = as_string(mv.at("unit"), "metric unit");
+    m.higher_is_better =
+        as_bool(mv.at("higher_is_better"), "metric higher_is_better");
+    const JsonValue& params = mv.at("params");
+    AIC_CHECK_MSG(params.is(JsonValue::Kind::kObject),
+                  "metric '" << m.name << "' params must be an object");
+    for (const auto& [k, v] : params.object) m.params[k] = v.as_number();
+    const JsonValue& samples = mv.at("samples");
+    AIC_CHECK_MSG(samples.is(JsonValue::Kind::kArray),
+                  "metric '" << m.name << "' samples must be an array");
+    for (const JsonValue& s : samples.array) m.samples.push_back(s.as_number());
+    rec.metrics.push_back(std::move(m));
+  }
+  validate(rec);
+  return rec;
+}
+
+}  // namespace aic::obs

@@ -1,0 +1,95 @@
+// Machine-readable benchmark results: the BENCH_<target>.json schema.
+//
+// Every bench target (bench/) records its headline numbers — repeated
+// samples per named metric, with units, direction, and free-form numeric
+// params — plus the build provenance (build_info.h) and the reproduction
+// Checker verdicts, and writes one schema-versioned JSON file per target.
+// tools/aic_benchdiff loads two such files (or directories of them) and
+// decides regression/improvement/neutral per metric (bench_diff.h), which
+// is what turns the bench fleet from printed tables into a performance
+// trajectory CI can gate on.
+//
+// Schema "aic-bench-v1":
+//
+//   {
+//     "schema": "aic-bench-v1",
+//     "target": "fig11_netsq_benchmarks",
+//     "smoke": false,
+//     "build": {"git_sha": "...", "compiler": "gcc 13.2.0",
+//               "build_type": "RelWithDebInfo", "sanitizer": "",
+//               "nproc": 8},
+//     "checks": [{"claim": "...", "ok": true}, ...],
+//     "metrics": [
+//       {"name": "net2.milc.aic", "unit": "net2",
+//        "higher_is_better": false,
+//        "params": {"workload_scale": 0.25},
+//        "samples": [1.31, 1.29, 1.33]}
+//     ]
+//   }
+//
+// Metric names are unique within a record and samples are never empty —
+// bench_record_from_json enforces both (plus the usual hostile-input
+// discipline of the obs JSON parser: every violation throws CheckError).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/build_info.h"
+
+namespace aic::obs {
+
+inline constexpr const char kBenchSchema[] = "aic-bench-v1";
+
+/// One named measurement series. `samples` holds repeated observations of
+/// the same quantity (same unit); summaries are median/IQR so a single
+/// outlier repetition cannot flip a verdict.
+struct BenchMetric {
+  std::string name;
+  std::string unit;               // "s", "net2", "B/s", "ratio", ...
+  bool higher_is_better = false;  // goodput: true; latency/NET^2: false
+  std::map<std::string, double> params;  // run parameters, for humans
+  std::vector<double> samples;
+
+  double median() const;
+  /// Interquartile range (p75 - p25); 0 for a single sample.
+  double iqr() const;
+};
+
+struct BenchCheck {
+  std::string claim;
+  bool ok = false;
+};
+
+/// One bench target's full result file.
+struct BenchRecord {
+  std::string target;
+  bool smoke = false;
+  BuildInfo build;
+  std::vector<BenchCheck> checks;
+  std::vector<BenchMetric> metrics;  // recording order; names unique
+
+  /// Get-or-create by name (first creator's unit/direction win).
+  BenchMetric& metric(std::string_view name, std::string_view unit,
+                      bool higher_is_better = false);
+  const BenchMetric* find(std::string_view name) const;
+};
+
+/// Fresh record stamped with the current build metadata.
+BenchRecord make_bench_record(std::string_view target, bool smoke);
+
+/// Canonical result filename for a target: "BENCH_<target>.json".
+std::string bench_record_filename(std::string_view target);
+
+/// Serializes to schema aic-bench-v1. Throws CheckError on an invalid
+/// record (empty/duplicate metric names, empty sample sets, non-finite
+/// samples) so a malformed file can never be written in the first place.
+std::string bench_record_to_json(const BenchRecord& rec);
+
+/// Parses and validates a result file. Throws CheckError on malformed
+/// JSON, wrong/missing schema tag, or any structural violation.
+BenchRecord bench_record_from_json(std::string_view json);
+
+}  // namespace aic::obs

@@ -1,0 +1,104 @@
+#include "obs/build_info.h"
+
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <thread>
+
+// The build system stamps these in (src/CMakeLists.txt); the fallbacks keep
+// the file compiling standalone (clang-tidy, IDE passes).
+#ifndef AIC_SOURCE_DIR
+#define AIC_SOURCE_DIR ""
+#endif
+#ifndef AIC_SANITIZE_STR
+#define AIC_SANITIZE_STR ""
+#endif
+#ifndef AIC_BUILD_TYPE_STR
+#define AIC_BUILD_TYPE_STR ""
+#endif
+
+namespace aic::obs {
+namespace {
+
+std::string trim(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r' ||
+                        s.back() == ' ' || s.back() == '\t')) {
+    s.pop_back();
+  }
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return s.substr(i);
+}
+
+std::string read_first_line(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::string line;
+  std::getline(in, line);
+  return trim(line);
+}
+
+bool looks_like_sha(std::string_view s) {
+  if (s.size() < 7 || s.size() > 64) return false;
+  for (const char c : s) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+/// Resolves HEAD from a .git directory without invoking git: a detached
+/// HEAD is the hash itself; a symbolic ref ("ref: refs/heads/main") is
+/// looked up as a loose ref file, then in packed-refs.
+std::string git_head_sha(const std::string& git_dir) {
+  const std::string head = read_first_line(git_dir + "/HEAD");
+  if (looks_like_sha(head)) return head;
+  constexpr std::string_view kRefPrefix = "ref: ";
+  if (head.rfind(kRefPrefix, 0) != 0) return "";
+  const std::string ref = trim(head.substr(kRefPrefix.size()));
+  if (ref.empty() || ref.find("..") != std::string::npos) return "";
+  const std::string loose = read_first_line(git_dir + "/" + ref);
+  if (looks_like_sha(loose)) return loose;
+  std::ifstream packed(git_dir + "/packed-refs", std::ios::binary);
+  std::string line;
+  while (std::getline(packed, line)) {
+    // "<sha> <refname>"; '#' lines are headers, '^' lines peeled tags.
+    if (line.empty() || line[0] == '#' || line[0] == '^') continue;
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos) continue;
+    if (trim(line.substr(sp + 1)) != ref) continue;
+    const std::string sha = trim(line.substr(0, sp));
+    if (looks_like_sha(sha)) return sha;
+  }
+  return "";
+}
+
+std::string compiler_string() {
+#if defined(__clang__)
+  std::ostringstream os;
+  os << "clang " << __clang_major__ << "." << __clang_minor__ << "."
+     << __clang_patchlevel__;
+  return os.str();
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+BuildInfo current_build_info() {
+  BuildInfo info;
+  const std::string source_dir = AIC_SOURCE_DIR;
+  std::string sha;
+  if (!source_dir.empty()) sha = git_head_sha(source_dir + "/.git");
+  info.git_sha = sha.empty() ? "unknown" : sha;
+  info.compiler = compiler_string();
+  info.build_type = AIC_BUILD_TYPE_STR;
+  info.sanitizer = AIC_SANITIZE_STR;
+  info.nproc = int(std::thread::hardware_concurrency());
+  return info;
+}
+
+}  // namespace aic::obs

@@ -1,0 +1,37 @@
+// Host/build provenance for machine-readable result files.
+//
+// A benchmark number is only comparable to another run when we know what
+// produced it: two results from different compilers, sanitizer legs, or
+// commits must never be silently diffed as if they were the same machine
+// state. BuildInfo captures that provenance once per process — git commit
+// (read from the source tree's .git at runtime, so no reconfigure is
+// needed after a commit), compiler, CMake build type, the AIC_SANITIZE
+// matrix leg, and the host's hardware concurrency — and every
+// BENCH_<target>.json embeds it (bench_record.h). tools/aic_benchdiff
+// prints a provenance warning when the two sides disagree.
+#pragma once
+
+#include <string>
+
+namespace aic::obs {
+
+struct BuildInfo {
+  std::string git_sha;     // HEAD commit hash; "unknown" outside a checkout
+  std::string compiler;    // e.g. "gcc 13.2.0"
+  std::string build_type;  // CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
+  std::string sanitizer;   // AIC_SANITIZE leg ("" = plain build)
+  int nproc = 0;           // std::thread::hardware_concurrency()
+
+  /// True when two builds' numbers are comparable without caveats.
+  bool comparable_to(const BuildInfo& other) const {
+    return compiler == other.compiler && build_type == other.build_type &&
+           sanitizer == other.sanitizer;
+  }
+};
+
+/// Build metadata of the running binary. The git hash is resolved from the
+/// source tree recorded at configure time (.git/HEAD, following one level
+/// of symbolic ref, then packed-refs); every other field is compiled in.
+BuildInfo current_build_info();
+
+}  // namespace aic::obs

@@ -70,6 +70,14 @@ std::string metrics_to_csv(const MetricsSnapshot& snap) {
   for (const auto& [name, h] : snap.histograms) {
     os << "histogram," << name << ",count," << h.count << "\n";
     os << "histogram," << name << ",sum," << json_number(h.sum) << "\n";
+    if (h.count > 0) {
+      os << "histogram," << name << ",p50," << json_number(h.quantile(0.5))
+         << "\n";
+      os << "histogram," << name << ",p95," << json_number(h.quantile(0.95))
+         << "\n";
+      os << "histogram," << name << ",p99," << json_number(h.quantile(0.99))
+         << "\n";
+    }
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
       os << "histogram," << name << ",le_";
       if (i < h.bounds.size()) {

@@ -95,5 +95,8 @@ inline constexpr const char* kEvResume = "resume";       // xfer, instant
 inline constexpr const char* kEvDecision = "decision";   // decider, instant
 inline constexpr const char* kEvFailure = "failure";     // sim, instant
 inline constexpr const char* kEvRestore = "restore";     // sim, span
+/// Error escaping a subsystem boundary (any category, instant) — the last
+/// event a flight-recorder postmortem usually holds.
+inline constexpr const char* kEvError = "error";
 
 }  // namespace aic::obs::names

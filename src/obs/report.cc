@@ -53,7 +53,8 @@ class Renderer {
     v << "n=" << h.count;
     if (h.count > 0) {
       v << "  mean=" << num(h.mean()) << "  p50=" << num(h.quantile(0.5))
-        << "  p95=" << num(h.quantile(0.95));
+        << "  p95=" << num(h.quantile(0.95))
+        << "  p99=" << num(h.quantile(0.99));
     }
     line(label, v.str());
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
+
 namespace aic::obs {
 
 const char* to_string(TimeDomain d) {
@@ -21,6 +23,12 @@ void TraceLog::push(TraceEvent e, std::initializer_list<TraceArg> args) {
   for (const TraceArg& a : args) {
     if (e.arg_count >= TraceEvent::kMaxArgs) break;
     e.args[e.arg_count++] = a;
+  }
+  // The flight recorder sees every event, including the ones dropped past
+  // this log's capacity — a postmortem needs the newest events, the
+  // exported timeline needs the oldest.
+  if (FlightRecorder* tap = tap_.load(std::memory_order_acquire)) {
+    tap->record(e);
   }
   std::lock_guard<std::mutex> lock(mutex_);
   if (events_.size() >= capacity_) {
@@ -70,6 +78,33 @@ std::size_t TraceLog::size() const {
 std::uint64_t TraceLog::dropped() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return dropped_;
+}
+
+Hub::Hub(std::size_t trace_capacity) : trace(trace_capacity) {}
+
+Hub::~Hub() {
+  // Detach the tap before the recorder is destroyed (members are torn down
+  // after this body, in reverse declaration order — trace before flight_
+  // would be fine, but a late event from another thread must not race the
+  // recorder's destruction).
+  trace.set_tap(nullptr);
+}
+
+FlightRecorder& Hub::enable_flight_recorder(std::size_t capacity,
+                                            std::string dump_path) {
+  if (!flight_) {
+    flight_ = std::make_unique<FlightRecorder>(capacity);
+    flight_->set_metrics(&metrics);
+    trace.set_tap(flight_.get());
+  }
+  flight_->set_dump_path(std::move(dump_path));
+  return *flight_;
+}
+
+bool Hub::dump_postmortem(std::string_view reason,
+                          std::string_view detail) const noexcept {
+  if (!flight_) return false;
+  return flight_->dump(reason, detail);
 }
 
 }  // namespace aic::obs

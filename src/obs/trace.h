@@ -22,14 +22,20 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/clock.h"
 #include "obs/metrics.h"
 
 namespace aic::obs {
+
+class FlightRecorder;
 
 enum class TimeDomain : std::uint8_t { kVirtual = 0, kWall = 1 };
 
@@ -86,11 +92,19 @@ class TraceLog {
   /// Events discarded after the capacity bound was reached.
   std::uint64_t dropped() const;
 
+  /// Forwards every recorded event to `tap` (the failure flight recorder)
+  /// BEFORE the capacity check, so the tap keeps seeing the tail of a run
+  /// even after this log stops growing. nullptr detaches.
+  void set_tap(FlightRecorder* tap) {
+    tap_.store(tap, std::memory_order_release);
+  }
+
  private:
   void push(TraceEvent e, std::initializer_list<TraceArg> args);
 
   const std::uint64_t origin_ns_;
   const std::size_t capacity_;
+  std::atomic<FlightRecorder*> tap_{nullptr};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
@@ -103,8 +117,29 @@ struct Hub {
   MetricsRegistry metrics;
   TraceLog trace;
 
-  explicit Hub(std::size_t trace_capacity = TraceLog::kDefaultCapacity)
-      : trace(trace_capacity) {}
+  explicit Hub(std::size_t trace_capacity = TraceLog::kDefaultCapacity);
+  ~Hub();
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  /// Attaches a failure flight recorder (flight_recorder.h): a ring of the
+  /// last `capacity` trace events — fed even past the TraceLog's own
+  /// capacity bound — with final values drawn from `metrics`, dumping to
+  /// `dump_path` on failure. Idempotent; returns the recorder.
+  FlightRecorder& enable_flight_recorder(
+      std::size_t capacity = 256, std::string dump_path = "postmortem.json");
+
+  /// The attached recorder, or nullptr when none was enabled.
+  FlightRecorder* flight() const { return flight_.get(); }
+
+  /// Writes the postmortem via the attached recorder; false (and no file)
+  /// when no recorder is enabled. Never throws — this runs on failure
+  /// paths.
+  bool dump_postmortem(std::string_view reason,
+                       std::string_view detail) const noexcept;
+
+ private:
+  std::unique_ptr<FlightRecorder> flight_;
 };
 
 }  // namespace aic::obs

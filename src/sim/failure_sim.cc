@@ -117,7 +117,14 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
   mc.raid_bps = config.costs.b2_bps;
   mc.remote_bps = config.costs.b3_bps;
   mc.xfer.obs = config.obs;
+  if (config.xfer_max_attempts_override > 0) {
+    mc.xfer.retry.max_attempts_per_chunk = config.xfer_max_attempts_override;
+  }
   storage::MultiLevelStore store(mc);
+  if (config.remote_drop_probability > 0.0) {
+    store.xfer().channel(3).set_drop_probability(
+        config.remote_drop_probability, config.seed ^ 0xf11e57a7ull);
+  }
 
   double wall = 0.0;
   double interval_start_progress = 0.0;
@@ -228,12 +235,9 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
   return result;
 }
 
-}  // namespace
-
-FailureSimResult run_failure_sim(const FailureSimConfig& config) {
-  AIC_CHECK(config.checkpoint_interval > 0.0);
-  if (config.use_transfer_engine) return run_failure_sim_xfer(config);
-
+/// The analytic variant: L2/L3 placements land after the c2/c3 formula
+/// durations (no drain engine).
+FailureSimResult run_failure_sim_analytic(const FailureSimConfig& config) {
   FailureSimResult result;
 
   // Failure-free reference final state (determinism makes this exact).
@@ -354,6 +358,23 @@ FailureSimResult run_failure_sim(const FailureSimConfig& config) {
   result.final_state_verified = reference.equals_space(space);
   obs.finish(result);
   return result;
+}
+
+}  // namespace
+
+FailureSimResult run_failure_sim(const FailureSimConfig& config) {
+  AIC_CHECK(config.checkpoint_interval > 0.0);
+  try {
+    return config.use_transfer_engine ? run_failure_sim_xfer(config)
+                                      : run_failure_sim_analytic(config);
+  } catch (const CheckError& e) {
+    // A dying run leaves its flight recording behind (no-op unless the hub
+    // enabled one); the typed error still propagates unchanged.
+    if (config.obs != nullptr) {
+      config.obs->dump_postmortem("failure-sim", e.what());
+    }
+    throw;
+  }
 }
 
 }  // namespace aic::sim

@@ -53,6 +53,13 @@ struct FailureSimConfig {
   /// nullptr = disabled. Does not perturb the simulation: the virtual
   /// timeline is identical with and without a hub attached.
   obs::Hub* obs = nullptr;
+  /// Channel-level fault injection on the remote (L3) drain channel
+  /// (use_transfer_engine only): per-chunk drop probability. Combined with
+  /// a small attempt budget this makes a drain exhaust its retries and die
+  /// mid-drain with a TransferError — the flight-recorder postmortem path.
+  double remote_drop_probability = 0.0;
+  /// Overrides the drain engine's per-chunk attempt budget when > 0.
+  int xfer_max_attempts_override = 0;
 };
 
 struct FailureSimResult {

@@ -1,0 +1,166 @@
+// The bench_diff bootstrap engine: regression/improvement/neutral verdicts
+// must respect the metric's direction, survive noise without false alarms,
+// and degenerate sensibly for single-sample (deterministic) metrics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/bench_diff.h"
+
+namespace aic::obs {
+namespace {
+
+BenchRecord record_with(const std::string& name,
+                        const std::vector<double>& samples,
+                        bool higher_is_better = false) {
+  BenchRecord rec = make_bench_record("t", false);
+  BenchMetric& m = rec.metric(name, "s", higher_is_better);
+  m.samples = samples;
+  return rec;
+}
+
+/// `n` samples around `center` with +/- `jitter` uniform noise.
+std::vector<double> noisy(double center, double jitter, int n,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) {
+    const double u = double(rng.uniform_u64(1000001)) / 1e6;  // [0, 1]
+    out.push_back(center + jitter * (2.0 * u - 1.0));
+  }
+  return out;
+}
+
+const MetricDiff& only_metric(const RecordDiff& d) {
+  EXPECT_EQ(d.metrics.size(), 1u);
+  return d.metrics.front();
+}
+
+TEST(BenchDiff, SelfDiffIsAllNeutral) {
+  BenchRecord rec = record_with("m", noisy(1.0, 0.05, 9, 1));
+  rec.metric("k", "B/s", true).samples = {5.0, 5.1, 4.9};
+  const RecordDiff d = diff_records(rec, rec);
+  EXPECT_EQ(d.regressions, 0u);
+  EXPECT_EQ(d.improvements, 0u);
+  EXPECT_EQ(d.neutral, 2u);
+  EXPECT_FALSE(d.has_regression());
+  EXPECT_FALSE(d.provenance_mismatch);
+}
+
+TEST(BenchDiff, DetectsClearRegression) {
+  const BenchRecord base = record_with("lat", noisy(1.0, 0.02, 9, 2));
+  const BenchRecord cur = record_with("lat", noisy(1.30, 0.02, 9, 3));
+  const RecordDiff d = diff_records(base, cur);
+  const MetricDiff& m = only_metric(d);
+  EXPECT_EQ(m.verdict, DiffVerdict::kRegression);
+  EXPECT_GT(m.badness_lo, 0.10) << "whole CI must clear the threshold";
+  EXPECT_NEAR(m.rel_change, 0.30, 0.05);
+  EXPECT_EQ(d.regressions, 1u);
+  EXPECT_TRUE(d.has_regression());
+}
+
+TEST(BenchDiff, DetectsClearImprovement) {
+  const BenchRecord base = record_with("lat", noisy(1.0, 0.02, 9, 4));
+  const BenchRecord cur = record_with("lat", noisy(0.70, 0.02, 9, 5));
+  const RecordDiff d = diff_records(base, cur);
+  EXPECT_EQ(only_metric(d).verdict, DiffVerdict::kImprovement);
+  EXPECT_EQ(d.improvements, 1u);
+  EXPECT_FALSE(d.has_regression());
+}
+
+TEST(BenchDiff, NoiseWiderThanShiftStaysNeutral) {
+  // A 10% median shift inside +/- 40% noise: the bootstrap CI must
+  // straddle the threshold, so no verdict either way.
+  const BenchRecord base = record_with("lat", noisy(1.0, 0.4, 9, 6));
+  const BenchRecord cur = record_with("lat", noisy(1.1, 0.4, 9, 7));
+  const RecordDiff d = diff_records(base, cur);
+  EXPECT_EQ(only_metric(d).verdict, DiffVerdict::kNeutral);
+  EXPECT_EQ(d.neutral, 1u);
+}
+
+TEST(BenchDiff, DirectionFlipsTheVerdict) {
+  // goodput (higher is better) dropping 30% is a regression...
+  const BenchRecord base =
+      record_with("goodput", noisy(100.0, 1.0, 9, 8), true);
+  const BenchRecord down =
+      record_with("goodput", noisy(70.0, 1.0, 9, 9), true);
+  EXPECT_EQ(only_metric(diff_records(base, down)).verdict,
+            DiffVerdict::kRegression);
+  // ...and rising 30% is an improvement.
+  const BenchRecord up =
+      record_with("goodput", noisy(130.0, 1.0, 9, 10), true);
+  EXPECT_EQ(only_metric(diff_records(base, up)).verdict,
+            DiffVerdict::kImprovement);
+}
+
+TEST(BenchDiff, SingleSamplePointComparison) {
+  // Deterministic metrics (one sample each side) compare point-to-point.
+  EXPECT_EQ(only_metric(diff_records(record_with("m", {1.0}),
+                                     record_with("m", {1.25})))
+                .verdict,
+            DiffVerdict::kRegression);
+  EXPECT_EQ(only_metric(diff_records(record_with("m", {1.0}),
+                                     record_with("m", {1.05})))
+                .verdict,
+            DiffVerdict::kNeutral);
+  EXPECT_EQ(only_metric(diff_records(record_with("m", {1.0}),
+                                     record_with("m", {0.80})))
+                .verdict,
+            DiffVerdict::kImprovement);
+}
+
+TEST(BenchDiff, ThresholdIsConfigurable) {
+  DiffOptions strict;
+  strict.threshold = 0.02;
+  EXPECT_EQ(only_metric(diff_records(record_with("m", {1.0}),
+                                     record_with("m", {1.05}), strict))
+                .verdict,
+            DiffVerdict::kRegression);
+  DiffOptions loose;
+  loose.threshold = 0.50;
+  EXPECT_EQ(only_metric(diff_records(record_with("m", {1.0}),
+                                     record_with("m", {1.25}), loose))
+                .verdict,
+            DiffVerdict::kNeutral);
+}
+
+TEST(BenchDiff, UnpairedMetricsNeverCountAsRegression) {
+  BenchRecord base = record_with("gone", {1.0});
+  BenchRecord cur = record_with("new", {2.0});
+  const RecordDiff d = diff_records(base, cur);
+  ASSERT_EQ(d.metrics.size(), 2u);
+  // Current-record order first, then baseline-only.
+  EXPECT_EQ(d.metrics[0].name, "new");
+  EXPECT_EQ(d.metrics[0].verdict, DiffVerdict::kOnlyCurrent);
+  EXPECT_EQ(d.metrics[1].name, "gone");
+  EXPECT_EQ(d.metrics[1].verdict, DiffVerdict::kOnlyBaseline);
+  EXPECT_EQ(d.regressions, 0u);
+  EXPECT_FALSE(d.has_regression());
+}
+
+TEST(BenchDiff, ProvenanceMismatchIsFlagged) {
+  BenchRecord base = record_with("m", {1.0});
+  BenchRecord cur = record_with("m", {1.0});
+  cur.build.sanitizer = "address";
+  EXPECT_TRUE(diff_records(base, cur).provenance_mismatch);
+}
+
+TEST(BenchDiff, DeterministicAcrossRuns) {
+  const BenchRecord base = record_with("m", noisy(1.0, 0.1, 9, 11));
+  const BenchRecord cur = record_with("m", noisy(1.15, 0.1, 9, 12));
+  const RecordDiff a = diff_records(base, cur);
+  const RecordDiff b = diff_records(base, cur);
+  EXPECT_DOUBLE_EQ(only_metric(a).badness_lo, only_metric(b).badness_lo);
+  EXPECT_DOUBLE_EQ(only_metric(a).badness_hi, only_metric(b).badness_hi);
+  EXPECT_EQ(only_metric(a).verdict, only_metric(b).verdict);
+}
+
+TEST(BenchDiff, VerdictToString) {
+  EXPECT_STREQ(to_string(DiffVerdict::kRegression), "REGRESSION");
+  EXPECT_STREQ(to_string(DiffVerdict::kNeutral), "neutral");
+}
+
+}  // namespace
+}  // namespace aic::obs

@@ -1,0 +1,161 @@
+// BENCH_<target>.json schema: round-trips, writer-side validation, and the
+// parser's hostile-input discipline (truncated/hand-edited files must
+// throw, never misreport a benchmark run).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+#include "obs/bench_record.h"
+
+namespace aic::obs {
+namespace {
+
+BenchRecord sample_record() {
+  BenchRecord rec = make_bench_record("fig_test", /*smoke=*/true);
+  BenchMetric& m = rec.metric("net2.milc.aic", "net2");
+  m.params["workload_scale"] = 0.25;
+  m.samples = {1.31, 1.29, 1.33};
+  BenchMetric& g = rec.metric("goodput", "B/s", /*higher_is_better=*/true);
+  g.samples = {1e6};
+  rec.checks.push_back({"concurrent beats Moody", true});
+  rec.checks.push_back({"gap widens with size", false});
+  return rec;
+}
+
+TEST(BenchRecord, FilenameIsCanonical) {
+  EXPECT_EQ(bench_record_filename("fig11_netsq_benchmarks"),
+            "BENCH_fig11_netsq_benchmarks.json");
+}
+
+TEST(BenchRecord, MetricIsGetOrCreate) {
+  BenchRecord rec = make_bench_record("t", false);
+  BenchMetric& a = rec.metric("m", "s");
+  a.samples.push_back(1.0);
+  BenchMetric& b = rec.metric("m", "ignored-on-revisit");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.unit, "s");
+  EXPECT_EQ(rec.metrics.size(), 1u);
+  EXPECT_EQ(rec.find("m"), &rec.metrics[0]);
+  EXPECT_EQ(rec.find("absent"), nullptr);
+}
+
+TEST(BenchRecord, MedianAndIqr) {
+  BenchMetric m;
+  m.samples = {5.0, 1.0, 3.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(m.median(), 3.0);
+  BenchMetric single;
+  single.samples = {7.5};
+  EXPECT_DOUBLE_EQ(single.median(), 7.5);
+  EXPECT_DOUBLE_EQ(single.iqr(), 0.0);
+  BenchMetric spread;
+  spread.samples = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(spread.median(), 3.0);
+  EXPECT_DOUBLE_EQ(spread.iqr(), 2.0);  // p75 - p25 = 4 - 2
+}
+
+TEST(BenchRecord, RoundTripPreservesEverything) {
+  const BenchRecord rec = sample_record();
+  const std::string json = bench_record_to_json(rec);
+  const BenchRecord back = bench_record_from_json(json);
+
+  EXPECT_EQ(back.target, "fig_test");
+  EXPECT_TRUE(back.smoke);
+  EXPECT_EQ(back.build.compiler, rec.build.compiler);
+  EXPECT_EQ(back.build.git_sha, rec.build.git_sha);
+  EXPECT_EQ(back.build.nproc, rec.build.nproc);
+
+  ASSERT_EQ(back.checks.size(), 2u);
+  EXPECT_EQ(back.checks[0].claim, "concurrent beats Moody");
+  EXPECT_TRUE(back.checks[0].ok);
+  EXPECT_FALSE(back.checks[1].ok);
+
+  ASSERT_EQ(back.metrics.size(), 2u);
+  const BenchMetric* m = back.find("net2.milc.aic");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->unit, "net2");
+  EXPECT_FALSE(m->higher_is_better);
+  ASSERT_EQ(m->samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(m->samples[1], 1.29);
+  EXPECT_DOUBLE_EQ(m->params.at("workload_scale"), 0.25);
+  const BenchMetric* g = back.find("goodput");
+  ASSERT_NE(g, nullptr);
+  EXPECT_TRUE(g->higher_is_better);
+}
+
+TEST(BenchRecord, WriterRejectsInvalidRecords) {
+  BenchRecord no_target = make_bench_record("", false);
+  EXPECT_THROW(bench_record_to_json(no_target), CheckError);
+
+  BenchRecord empty_samples = make_bench_record("t", false);
+  empty_samples.metric("m", "s");  // never sampled
+  EXPECT_THROW(bench_record_to_json(empty_samples), CheckError);
+
+  BenchRecord dup = make_bench_record("t", false);
+  dup.metrics.push_back({"m", "s", false, {}, {1.0}});
+  dup.metrics.push_back({"m", "s", false, {}, {2.0}});
+  EXPECT_THROW(bench_record_to_json(dup), CheckError);
+
+  BenchRecord nonfinite = make_bench_record("t", false);
+  nonfinite.metric("m", "s").samples.push_back(std::nan(""));
+  EXPECT_THROW(bench_record_to_json(nonfinite), CheckError);
+}
+
+TEST(BenchRecord, ParserRejectsHostileInput) {
+  const std::string good = bench_record_to_json(sample_record());
+
+  // Truncation at any meaningful boundary must throw, not misparse.
+  EXPECT_THROW(bench_record_from_json(""), CheckError);
+  EXPECT_THROW(bench_record_from_json(good.substr(0, good.size() / 2)),
+               CheckError);
+  EXPECT_THROW(bench_record_from_json(good.substr(0, good.size() - 1)),
+               CheckError);
+  // Trailing garbage.
+  EXPECT_THROW(bench_record_from_json(good + "x"), CheckError);
+
+  // Wrong or missing schema tag.
+  EXPECT_THROW(bench_record_from_json(R"({"schema":"aic-bench-v0"})"),
+               CheckError);
+  EXPECT_THROW(bench_record_from_json(R"({"target":"t"})"), CheckError);
+
+  // Structurally wrong field types.
+  EXPECT_THROW(bench_record_from_json(
+                   R"({"schema":"aic-bench-v1","target":7,"smoke":false,)"
+                   R"("build":{},"checks":[],"metrics":[]})"),
+               CheckError);
+  EXPECT_THROW(
+      bench_record_from_json(
+          R"({"schema":"aic-bench-v1","target":"t","smoke":false,)"
+          R"("build":{"git_sha":"","compiler":"","build_type":"",)"
+          R"("sanitizer":"","nproc":1},"checks":[],)"
+          R"("metrics":[{"name":"m","unit":"s","higher_is_better":false,)"
+          R"("params":{},"samples":"not-an-array"}]})"),
+      CheckError);
+  // Metric with an empty sample list.
+  EXPECT_THROW(
+      bench_record_from_json(
+          R"({"schema":"aic-bench-v1","target":"t","smoke":false,)"
+          R"("build":{"git_sha":"","compiler":"","build_type":"",)"
+          R"("sanitizer":"","nproc":1},"checks":[],)"
+          R"("metrics":[{"name":"m","unit":"s","higher_is_better":false,)"
+          R"("params":{},"samples":[]}]})"),
+      CheckError);
+}
+
+TEST(BenchRecord, BuildProvenanceComparability) {
+  BuildInfo a;
+  a.compiler = "gcc 12";
+  a.build_type = "Release";
+  a.sanitizer = "";
+  BuildInfo b = a;
+  EXPECT_TRUE(a.comparable_to(b));
+  b.sanitizer = "address";
+  EXPECT_FALSE(a.comparable_to(b));
+  b = a;
+  b.git_sha = "different-sha";  // different commit is still comparable
+  EXPECT_TRUE(a.comparable_to(b));
+}
+
+}  // namespace
+}  // namespace aic::obs

@@ -138,6 +138,28 @@ TEST(ObsTest, HistogramSnapshotQuantiles) {
   EXPECT_DOUBLE_EQ(snap2.quantile(1.0), 100.0);
 }
 
+TEST(ObsTest, HistogramQuantileInterpolatesExactly) {
+  // Uniform 1..10 in linear buckets of width 2 (bounds 2,4,6,8,10): two
+  // observations per bucket, so the interpolated quantiles land exactly
+  // where a continuous uniform distribution would put them.
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("u", Histogram::linear_buckets(0.0, 10.0, 5));
+  for (int i = 1; i <= 10; ++i) h->observe(double(i));
+  const HistogramSnapshot snap = reg.snapshot().histograms.at("u");
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.95), 9.5);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.99), 9.9);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.25), 2.5);
+  // Out-of-range q clamps; empty histogram reports 0.
+  EXPECT_DOUBLE_EQ(snap.quantile(1.5), snap.quantile(1.0));
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.quantile(0.5), 0.0);
+  // Mass past the last bound reports the last finite bound, never a
+  // made-up extrapolation.
+  Histogram* of = reg.histogram("of", Histogram::linear_buckets(0.0, 10.0, 5));
+  for (int i = 0; i < 4; ++i) of->observe(1e9);
+  EXPECT_DOUBLE_EQ(reg.snapshot().histograms.at("of").quantile(0.99), 10.0);
+}
+
 TEST(ObsTest, ExponentialBucketsGrowGeometrically) {
   const auto b = Histogram::exponential_buckets(1.0, 2.0, 8);
   ASSERT_EQ(b.size(), 8u);
@@ -284,10 +306,26 @@ TEST(ObsTest, MetricsCsvRowPerDatum) {
   MetricsRegistry reg;
   reg.counter("a")->add(2);
   reg.gauge("b")->set(1.5);
+  // A histogram contributes count/sum, the interpolated p50/p95/p99
+  // summary rows, and one cumulative row per bucket.
+  Histogram* h = reg.histogram("lat", Histogram::linear_buckets(0.0, 10.0, 5));
+  for (int i = 1; i <= 10; ++i) h->observe(double(i));
   const std::string csv = metrics_to_csv(reg.snapshot());
   EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
   EXPECT_NE(csv.find("counter,a,value,2"), std::string::npos);
   EXPECT_NE(csv.find("gauge,b,value,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,count,10"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,p50,5\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,p95,9.5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,p99,9.9"), std::string::npos);
+}
+
+TEST(ObsTest, MetricsCsvSkipsQuantilesForEmptyHistogram) {
+  MetricsRegistry reg;
+  reg.histogram("empty", Histogram::linear_buckets(0.0, 10.0, 5));
+  const std::string csv = metrics_to_csv(reg.snapshot());
+  EXPECT_NE(csv.find("histogram,empty,count,0"), std::string::npos);
+  EXPECT_EQ(csv.find("histogram,empty,p50"), std::string::npos);
 }
 
 TEST(ObsTest, ChromeTraceExportShape) {
