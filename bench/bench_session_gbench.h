@@ -14,8 +14,10 @@
 namespace aic::bench {
 
 /// ConsoleReporter that also records each per-iteration run (seconds per
-/// iteration, real time) under the benchmark's full name. Aggregate rows
-/// and errored runs are passed through to the console but not recorded.
+/// iteration, real time) under the benchmark's full name, plus every
+/// user counter as "<name>.<counter>" — that is how ratio and peak-memory
+/// metrics become diffable alongside the timings. Aggregate rows and
+/// errored runs are passed through to the console but not recorded.
 class SessionReporter : public benchmark::ConsoleReporter {
  public:
   explicit SessionReporter(Session* session) : session_(session) {}
@@ -28,6 +30,13 @@ class SessionReporter : public benchmark::ConsoleReporter {
       }
       session_->sample(run.benchmark_name(), "s/iter",
                        run.real_accumulated_time / double(run.iterations));
+      for (const auto& [cname, counter] : run.counters) {
+        // Counters follow the session default: lower is better (ratios,
+        // peak bytes). Constant config counters (e.g. "workers") diff as
+        // neutral.
+        session_->sample(run.benchmark_name() + "." + cname, "counter",
+                         double(counter.value));
+      }
     }
     ConsoleReporter::ReportRuns(reports);
   }

@@ -5,15 +5,98 @@
 // instead, calibrated to the paper's testbed class.
 #include <benchmark/benchmark.h>
 
+#include <malloc.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+
 #include "bench_session_gbench.h"
 
+#include "ckpt/checkpointer.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "delta/correcting.h"
 #include "delta/page_delta.h"
 #include "delta/parallel_page_delta.h"
 #include "delta/xdelta3.h"
 #include "delta/xor_delta.h"
+#include "mem/address_space.h"
 #include "mem/snapshot.h"
+
+// ---- binary-wide heap accounting for the restore-memory metric ----
+// Same scheme as tests/heap_guard.h (each binary defines its own operator
+// new replacement): live bytes via malloc_usable_size on both sides, CAS
+// high-water mark. The restore benchmarks report peak-above-start as a
+// counter, which the session reporter turns into a diffable metric.
+
+namespace {
+std::atomic<std::uint64_t> g_live_bytes{0};
+std::atomic<std::uint64_t> g_peak_bytes{0};
+
+void note_alloc(void* p) {
+  if (p == nullptr) return;
+  const std::uint64_t live =
+      g_live_bytes.fetch_add(malloc_usable_size(p),
+                             std::memory_order_relaxed) +
+      malloc_usable_size(p);
+  std::uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, live,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+void note_free(void* p) {
+  if (p == nullptr) return;
+  g_live_bytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+}
+
+std::uint64_t reset_heap_peak() {
+  const std::uint64_t live = g_live_bytes.load(std::memory_order_relaxed);
+  g_peak_bytes.store(live, std::memory_order_relaxed);
+  return live;
+}
+
+std::uint64_t heap_peak() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+// noinline: if GCC inlines these it sees the underlying malloc/free and
+// -Wmismatched-new-delete mis-pairs them with the sized operator delete.
+__attribute__((noinline)) void* operator new(std::size_t size) {
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  note_alloc(p);
+  return p;
+}
+
+__attribute__((noinline)) void* operator new(
+    std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size);
+  note_alloc(p);
+  return p;
+}
+
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::size_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+__attribute__((noinline)) void operator delete(
+    void* p, const std::nothrow_t&) noexcept {
+  note_free(p);
+  std::free(p);
+}
 
 namespace {
 
@@ -201,6 +284,211 @@ void BM_ParallelPageCompressMixed(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelPageCompressMixed)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime();
+
+// ---- moved-block workloads: the correcting coder's target case ----
+
+/// kind 0: memmove the middle half forward by ~1 page + 17 bytes.
+/// kind 1: memmove backward by ~2 pages + 101 bytes.
+/// kind 2: splice/insert/delete churn (16 random edits changing length).
+/// kind 3: permutation of 48-byte chunks (sub-block moves, the greedy
+///         coder's blind spot).
+Bytes moved_target(const Bytes& source, int kind, Rng& rng) {
+  Bytes t = source;
+  switch (kind) {
+    case 0: {
+      const std::size_t shift = kPageSize + 17;
+      const std::size_t len = t.size() / 2 - shift;
+      std::memmove(t.data() + t.size() / 4 + shift,
+                   source.data() + t.size() / 4, len);
+      return t;
+    }
+    case 1: {
+      const std::size_t shift = 2 * kPageSize + 101;
+      const std::size_t len = t.size() / 2 - shift;
+      std::memmove(t.data() + t.size() / 4,
+                   source.data() + t.size() / 4 + shift, len);
+      return t;
+    }
+    case 2: {
+      for (int e = 0; e < 16; ++e) {
+        const std::size_t at = rng.uniform_u64(t.size());
+        if (rng.bernoulli(0.5)) {
+          Bytes ins(1 + rng.uniform_u64(64));
+          for (auto& x : ins) x = std::uint8_t(rng());
+          t.insert(t.begin() + at, ins.begin(), ins.end());
+        } else {
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng.uniform_u64(64), t.size() - at);
+          t.erase(t.begin() + at, t.begin() + at + len);
+        }
+      }
+      return t;
+    }
+    default: {
+      const std::size_t chunk = 48;
+      const std::size_t chunks = t.size() / chunk;
+      std::vector<std::size_t> order(chunks);
+      for (std::size_t i = 0; i < chunks; ++i) order[i] = i;
+      for (std::size_t i = chunks - 1; i > 0; --i)
+        std::swap(order[i], order[rng.uniform_u64(i + 1)]);
+      Bytes out;
+      out.reserve(t.size());
+      for (std::size_t c : order)
+        out.insert(out.end(), source.begin() + c * chunk,
+                   source.begin() + (c + 1) * chunk);
+      out.insert(out.end(), source.begin() + chunks * chunk, source.end());
+      return out;
+    }
+  }
+}
+
+/// Encode latency + compression ratio of both whole-buffer coders on the
+/// moved-block workloads. Same workload per Arg, so
+/// BM_CorrectingEncodeMoved/<k> vs BM_XDelta3EncodeMoved/<k> is the
+/// ratio-at-equal-latency comparison, and each is tracked by benchdiff.
+template <typename Codec>
+void moved_encode_bench(benchmark::State& state) {
+  Rng rng(0x717 + std::uint64_t(state.range(0)));
+  const Bytes src = random_bytes(rng, 256 * kKiB);
+  const Bytes tgt = moved_target(src, int(state.range(0)), rng);
+  const Codec codec;
+  std::size_t delta_size = 0;
+  for (auto _ : state) {
+    Bytes d = codec.encode(src, tgt);
+    delta_size = d.size();
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(tgt.size()));
+  state.counters["ratio"] = double(delta_size) / double(tgt.size());
+}
+
+void BM_XDelta3EncodeMoved(benchmark::State& state) {
+  moved_encode_bench<delta::XDelta3Codec>(state);
+}
+BENCHMARK(BM_XDelta3EncodeMoved)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_CorrectingEncodeMoved(benchmark::State& state) {
+  moved_encode_bench<delta::CorrectingDeltaCodec>(state);
+}
+BENCHMARK(BM_CorrectingEncodeMoved)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_CorrectingDecode(benchmark::State& state) {
+  Rng rng(0x718);
+  const Bytes src = random_bytes(rng, 256 * kKiB);
+  const Bytes tgt = moved_target(src, 3, rng);
+  const delta::CorrectingDeltaCodec codec;
+  const Bytes d = codec.encode(src, tgt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(src, d));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(tgt.size()));
+}
+BENCHMARK(BM_CorrectingDecode);
+
+/// Page-level correcting compressor on a moved-pages checkpoint: half the
+/// dirty pages are whole-page moves (cdelta records), half partial edits.
+void BM_CorrectingPagesCompress(benchmark::State& state) {
+  Rng rng(0x719);
+  const std::size_t pages = std::size_t(state.range(0));
+  mem::AddressSpace space;
+  space.allocate_range(0, pages);
+  for (mem::PageId id = 0; id < pages; ++id) {
+    space.mutate(id, [&](std::span<std::uint8_t> b) {
+      for (auto& x : b) x = std::uint8_t(rng());
+    });
+  }
+  mem::Snapshot prev = mem::Snapshot::capture(space);
+  space.protect_all();
+  for (mem::PageId id = 0; id < pages; ++id) {
+    if (id % 2 == 0 && id + 4 < pages) {
+      Bytes img(prev.page_bytes(id + 4).begin(),
+                prev.page_bytes(id + 4).end());
+      space.write(id, 0, img);
+    } else {
+      Bytes edit = random_bytes(rng, kPageSize / 5);
+      space.write(id, rng.uniform_u64(kPageSize - edit.size()), edit);
+    }
+  }
+  std::vector<delta::DirtyPage> dirty;
+  for (auto id : space.dirty_pages())
+    dirty.push_back({id, space.page_bytes(id)});
+  delta::PageAlignedCompressor pa({}, /*correcting=*/true);
+  std::uint64_t out_bytes = 0;
+  for (auto _ : state) {
+    auto res = pa.compress(dirty, prev);
+    out_bytes = res.stats.output_bytes;
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(pages * kPageSize));
+  state.counters["ratio"] =
+      double(out_bytes) / double(pages * kPageSize);
+}
+BENCHMARK(BM_CorrectingPagesCompress)->Arg(64)->Arg(512);
+
+// ---- restart reconstruction: wall time and peak heap per mode ----
+
+/// A chain whose incrementals touch every page (the worst case for
+/// out-of-place restore): tiny full, then an incremental allocating the
+/// rest, then one editing all pages.
+std::unique_ptr<ckpt::CheckpointChain> restore_chain(std::size_t pages) {
+  Rng rng(0x71A);
+  mem::AddressSpace space;
+  space.allocate_range(0, 4);
+  for (mem::PageId id = 0; id < 4; ++id) {
+    space.mutate(id, [&](std::span<std::uint8_t> b) {
+      for (auto& x : b) x = std::uint8_t(rng());
+    });
+  }
+  ckpt::CheckpointChain::Config cfg;
+  cfg.correcting = true;
+  auto chain = std::make_unique<ckpt::CheckpointChain>(cfg);
+  chain->capture(space, {}, 0.0);
+  space.protect_all();
+  space.allocate_range(4, pages);
+  for (mem::PageId id = 4; id < pages; ++id) {
+    space.mutate(id, [&](std::span<std::uint8_t> b) {
+      for (auto& x : b) x = std::uint8_t(rng());
+    });
+  }
+  chain->capture(space, {}, 1.0);
+  space.protect_all();
+  for (mem::PageId id = 0; id < pages; ++id) {
+    Bytes edit = random_bytes(rng, 16);
+    space.write(id, rng.uniform_u64(kPageSize - edit.size()), edit);
+  }
+  chain->capture(space, {}, 2.0);
+  return chain;
+}
+
+void restore_bench(benchmark::State& state, ckpt::RestartEngine::Mode mode) {
+  const std::size_t pages = std::size_t(state.range(0));
+  const auto chain = restore_chain(pages);
+  const std::vector<ckpt::CheckpointFile>& files = chain->files();
+  const delta::PageAlignedCompressor pa({}, /*correcting=*/true);
+  std::uint64_t peak = 0;
+  for (auto _ : state) {
+    const std::uint64_t live0 = reset_heap_peak();
+    auto restored = ckpt::RestartEngine::restore(files, pa, mode);
+    peak = std::max(peak, heap_peak() - live0);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(pages * kPageSize));
+  state.counters["peak_heap_kib"] = double(peak) / 1024.0;
+}
+
+void BM_RestoreInPlace(benchmark::State& state) {
+  restore_bench(state, ckpt::RestartEngine::Mode::kInPlace);
+}
+BENCHMARK(BM_RestoreInPlace)->Arg(64)->Arg(512);
+
+void BM_RestoreOutOfPlace(benchmark::State& state) {
+  restore_bench(state, ckpt::RestartEngine::Mode::kOutOfPlace);
+}
+BENCHMARK(BM_RestoreOutOfPlace)->Arg(64)->Arg(512);
 
 }  // namespace
 

@@ -10,6 +10,10 @@
 #
 #   --smoke        tiny parameters (AIC_BENCH_SMOKE=1); reproduction
 #                  CHECKs become informational. Default: full sizes.
+#                  Smoke runs diff against the recorded bench/baselines
+#                  seed records by default (they were recorded in smoke
+#                  mode), so a perf regression fails the run without any
+#                  flags; pass --baseline to override.
 #   --out DIR      results directory (default: a timestamped directory
 #                  under bench-results/)
 #   --baseline DIR after the run, diff against a previous results
@@ -58,6 +62,15 @@ while [[ $# -gt 0 ]]; do
 done
 
 [[ -n "$out_dir" ]] || out_dir="bench-results/$(date +%Y%m%d-%H%M%S)"
+
+# Smoke runs gate against the recorded seed baselines by default — they
+# were recorded with AIC_BENCH_SMOKE=1, so the parameters match. Full runs
+# never default (full-size numbers are not comparable to smoke records).
+if [[ -z "$baseline" && "$smoke" == 1 ]] &&
+  compgen -G "bench/baselines/BENCH_*.json" >/dev/null; then
+  baseline="bench/baselines"
+  echo "== bench: defaulting --baseline to bench/baselines =="
+fi
 
 jobs="$(nproc)"
 echo "== bench: building (jobs=$jobs) =="

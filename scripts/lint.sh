@@ -14,6 +14,12 @@
 #       bench/ or tools/ — obs::wall_now_ns is the single host-clock
 #       gateway, so wall time stays mockable, the virtual-time components
 #       stay deterministic, and every benchmark timestamp is comparable.
+#   L6  no raw `memcpy(` in src/delta/ or src/ckpt/ — those layers move
+#       bytes between regions that may alias (in-place reconstruction,
+#       payload framing), and a silent memcpy over an overlap is exactly
+#       the bug class the in-place scheduler exists to prevent. Use
+#       std::memmove when overlap is legal, or common/bytes.h
+#       copy_no_overlap, which asserts disjointness before delegating.
 #
 # Usage: scripts/lint.sh
 # Exit: 0 clean, 1 findings.
@@ -86,6 +92,16 @@ mapfile -t hits < <(scan_code \
   "${nonobs_files[@]}" "${frontend_files[@]}")
 if ((${#hits[@]})); then
   fail "chrono clock ::now() outside src/obs/ (use obs::wall_now_ns):" \
+    "${hits[@]}"
+fi
+
+# --- L6: raw memcpy in the aliasing-sensitive layers -------------------------
+mapfile -t overlap_files < <(find src/delta src/ckpt \
+  -name '*.cc' -o -name '*.h' | sort)
+mapfile -t hits < <(scan_code \
+  '(^|[^[:alnum:]_])(std::)?memcpy *\(' "${overlap_files[@]}")
+if ((${#hits[@]})); then
+  fail "raw memcpy in src/delta|src/ckpt (use std::memmove or copy_no_overlap):" \
     "${hits[@]}"
 fi
 

@@ -7,12 +7,28 @@
 namespace aic::ckpt {
 namespace {
 
-// "AICCKPT1" / "AICCKPT2" little-endian.
+// "AICCKPT1" / "AICCKPT2" / "AICCKPT3" little-endian: seven magic bytes
+// plus an ASCII version digit in the top byte.
 constexpr std::uint64_t kMagicV1 = 0x31544B4343494141ULL;
 constexpr std::uint64_t kMagicV2 = 0x32544B4343494141ULL;
+constexpr std::uint64_t kMagicV3 = 0x33544B4343494141ULL;
+constexpr std::uint64_t kMagicPrefixMask = 0x00FFFFFFFFFFFFFFULL;
+constexpr std::uint64_t kMagicPrefix = kMagicV1 & kMagicPrefixMask;
 
-// v2 prefix: u64 magic + u32 body checksum.
+// v2/v3 prefix: u64 magic + u32 body checksum.
 constexpr std::size_t kV2HeaderSize = 12;
+
+/// Record checksum. v2 covers only the body (bytes 12..end) — frozen, every
+/// stored v2 record computed it that way. v3 additionally covers the magic,
+/// closing the v2 gap where a single bit flip in the version digit turned a
+/// record into a "valid" one of another version (the CRC field itself stays
+/// uncovered: a flip there mismatches by construction).
+std::uint32_t record_crc(ByteSpan data, bool cover_magic) {
+  std::uint32_t st = kCrc32cInit;
+  if (cover_magic) st = crc32c_update(st, data.first(8));
+  st = crc32c_update(st, data.subspan(kV2HeaderSize));
+  return crc32c_finalize(st);
+}
 
 /// Reads a length/count field and proves it can be backed by the bytes
 /// still in the stream (`per_item` ≥ serialized bytes per counted item)
@@ -39,6 +55,8 @@ const char* to_string(CheckpointKind kind) {
       return "incremental";
     case CheckpointKind::kIncrementalDelta:
       return "incremental-delta";
+    case CheckpointKind::kIncrementalCorrecting:
+      return "incremental-correcting";
   }
   return "?";
 }
@@ -47,7 +65,10 @@ Bytes CheckpointFile::serialize() const {
   Bytes out;
   out.reserve(payload.size() + cpu_state.size() + 64);
   ByteWriter w(out);
-  w.u64(kMagicV2);
+  // Lowest version that can carry the kind: correcting records need the
+  // v3 magic; everything else stays byte-identical to the v2 writer.
+  w.u64(kind == CheckpointKind::kIncrementalCorrecting ? kMagicV3
+                                                       : kMagicV2);
   w.u32(0);  // checksum placeholder, patched below
   w.u8(std::uint8_t(kind));
   w.varint(sequence);
@@ -64,8 +85,8 @@ Bytes CheckpointFile::serialize() const {
   w.varint(payload.size());
   w.raw(payload);
 
-  const std::uint32_t crc =
-      crc32c(ByteSpan(out).subspan(kV2HeaderSize));
+  const std::uint32_t crc = record_crc(
+      out, kind == CheckpointKind::kIncrementalCorrecting);
   for (int i = 0; i < 4; ++i) out[8 + i] = std::uint8_t(crc >> (8 * i));
   return out;
 }
@@ -74,10 +95,22 @@ CheckpointFile CheckpointFile::parse(ByteSpan data) {
   ByteReader r(data);
   const std::uint64_t magic = r.u64();
   CheckpointFile f;
-  if (magic == kMagicV2) {
-    f.version = kVersionV2;
+  const char version_digit = char(magic >> 56);
+  if ((magic & kMagicPrefixMask) == kMagicPrefix && version_digit > '3' &&
+      version_digit <= '9') {
+    // Recognizably ours, but a version this build does not speak — a
+    // future format, not corruption; tools surface this distinctly. A
+    // non-digit top byte is plain corruption and falls through to the
+    // bad-magic check instead.
+    throw UnsupportedFormatError(
+        "checkpoint format version '" + std::string(1, version_digit) +
+        "' at offset 7 is newer than this build understands (reads v1-v" +
+        std::to_string(kCurrentVersion) + ")");
+  }
+  if (magic == kMagicV2 || magic == kMagicV3) {
+    f.version = magic == kMagicV3 ? kVersionV3 : kVersionV2;
     const std::uint32_t stored = r.u32();
-    const std::uint32_t computed = crc32c(data.subspan(kV2HeaderSize));
+    const std::uint32_t computed = record_crc(data, magic == kMagicV3);
     if (stored != computed) {
       // Best-effort peek at the (untrusted) sequence so the diagnostic can
       // say which chain position is corrupt; every read is bounds-checked.
@@ -102,8 +135,15 @@ CheckpointFile CheckpointFile::parse(ByteSpan data) {
   }
   std::size_t at = r.pos();
   const std::uint8_t kind = r.u8();
-  AIC_CHECK_MSG(kind <= std::uint8_t(CheckpointKind::kIncrementalDelta),
-                "bad checkpoint kind " << int(kind) << " at offset " << at);
+  // Correcting records are legal only under the v3 magic — a v1/v2
+  // record claiming kind 3 is corrupt, not futuristic.
+  const std::uint8_t max_kind =
+      f.version >= kVersionV3
+          ? std::uint8_t(CheckpointKind::kIncrementalCorrecting)
+          : std::uint8_t(CheckpointKind::kIncrementalDelta);
+  AIC_CHECK_MSG(kind <= max_kind, "bad checkpoint kind "
+                                      << int(kind) << " at offset " << at
+                                      << " for format v" << int(f.version));
   f.kind = CheckpointKind(kind);
   f.sequence = r.varint();
   f.app_time = r.f64();
@@ -136,7 +176,8 @@ std::uint64_t CheckpointFile::serialized_size() const {
   // for the header and add payload sizes.
   Bytes scratch;
   ByteWriter w(scratch);
-  w.u64(kMagicV2);
+  w.u64(kind == CheckpointKind::kIncrementalCorrecting ? kMagicV3
+                                                       : kMagicV2);
   w.u32(0);
   w.u8(std::uint8_t(kind));
   w.varint(sequence);

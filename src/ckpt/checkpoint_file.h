@@ -5,12 +5,19 @@
 // are not delta-compressed), the list of pages freed since the previous
 // checkpoint, and the page payload in one of three forms:
 //
-//   kFull             — every live page, raw.
-//   kIncremental      — dirty pages only, raw.
-//   kIncrementalDelta — dirty pages, page-aligned delta against the
-//                       previous checkpoint (delta/PageAlignedCompressor
-//                       payload; decoding needs the accumulated previous
-//                       state).
+//   kFull                  — every live page, raw.
+//   kIncremental           — dirty pages only, raw.
+//   kIncrementalDelta      — dirty pages, page-aligned delta against the
+//                            previous checkpoint (delta/
+//                            PageAlignedCompressor payload; decoding needs
+//                            the accumulated previous state).
+//   kIncrementalCorrecting — like kIncrementalDelta, but pages may carry
+//                            correcting-coder (delta format v3) records,
+//                            including whole-page-move records that
+//                            reference a *different* previous page. Files
+//                            of this kind serialize with the "AICCKPT3"
+//                            magic so a pre-v3 reader rejects them up
+//                            front instead of choking mid-payload.
 //
 // Restart needs the last full checkpoint plus *all* incremental checkpoints
 // after it (Section II.A); RestartEngine replays exactly that. One silently
@@ -28,11 +35,22 @@
 //     varint payload_len | payload bytes
 //
 // v1 ("AICCKPT1") is the same body with no checksum field; parse() still
-// accepts it (reading old checkpoint stores) but serialize() always emits
-// v2. The CRC-32C (common/crc32c.h) covers every body byte, so any bit
-// flip, truncation inside the body, or torn write is detected before the
-// record's contents are believed; parse() reports the byte offset at which
-// corruption was detected in the CheckError message.
+// accepts it (reading old checkpoint stores). v3 ("AICCKPT3") is the v2
+// layout — same CRC placement, same body fields — and exists to version
+// the payload: the kIncrementalCorrecting kind (and with it
+// delta-format-v3 page records) is legal only under the v3 magic.
+// serialize() emits v2 for every pre-existing kind, so chains that never
+// use the correcting coder are byte-identical to what older builds wrote.
+// The CRC-32C (common/crc32c.h) covers every body byte — and, in v3, the
+// magic as well, closing the v2 gap where a single bit flip in the version
+// digit could turn a record into a "valid" one of another version — so any
+// bit flip, truncation inside the body, or torn write is detected before
+// the record's contents are believed; parse() reports the byte offset at
+// which corruption was detected in the CheckError message.
+//
+// A record whose magic starts "AICCKPT" but carries a version digit this
+// build does not understand throws UnsupportedFormatError (a CheckError
+// subclass), so tools can distinguish "from the future" from "corrupt".
 //
 // parse() is hardened against hostile input: every length/count field is
 // bounds-checked against the bytes actually remaining before any
@@ -49,6 +67,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/check.h"
 #include "mem/address_space.h"
 
 namespace aic::ckpt {
@@ -59,16 +78,27 @@ enum class CheckpointKind : std::uint8_t {
   kFull = 0,
   kIncremental = 1,
   kIncrementalDelta = 2,
+  kIncrementalCorrecting = 3,
 };
 
 const char* to_string(CheckpointKind kind);
 
+/// Thrown by CheckpointFile::parse() for a record with a well-formed
+/// "AICCKPT" magic whose version digit is newer than this build — a
+/// future-format record, as opposed to a corrupt one.
+class UnsupportedFormatError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
 struct CheckpointFile {
   /// On-disk format version this record was parsed from (or will be
-  /// written as — serialize() always emits the current version).
+  /// written as; serialize() picks the lowest version that can carry the
+  /// record's kind).
   static constexpr std::uint8_t kVersionV1 = 1;  // no checksum
   static constexpr std::uint8_t kVersionV2 = 2;  // CRC-32C over the body
-  static constexpr std::uint8_t kCurrentVersion = kVersionV2;
+  static constexpr std::uint8_t kVersionV3 = 3;  // + correcting records
+  static constexpr std::uint8_t kCurrentVersion = kVersionV3;
 
   CheckpointKind kind = CheckpointKind::kFull;
   /// Monotone sequence number within a chain; full checkpoints restart
@@ -86,10 +116,12 @@ struct CheckpointFile {
   /// in memory.
   std::uint8_t version = kCurrentVersion;
 
-  /// Serializes to the on-disk byte layout (always v2, checksummed).
+  /// Serializes to the on-disk byte layout (checksummed; v3 for
+  /// correcting records, v2 for everything else).
   Bytes serialize() const;
-  /// Parses a serialized checkpoint (v1 or v2); throws CheckError naming
-  /// the offending byte offset on any corruption or hostile length field.
+  /// Parses a serialized checkpoint (v1-v3); throws CheckError naming
+  /// the offending byte offset on any corruption or hostile length field,
+  /// and UnsupportedFormatError for a well-formed future-version magic.
   static CheckpointFile parse(ByteSpan data);
 
   /// Total serialized size without building the buffer (used for bandwidth

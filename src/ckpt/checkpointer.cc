@@ -86,7 +86,10 @@ CheckpointFile take_incremental_delta_with(
     double app_time, const std::vector<PageId>& prev_live,
     const mem::Snapshot& prev, Compressor& compressor, CaptureStats* stats) {
   CheckpointFile f;
-  f.kind = CheckpointKind::kIncrementalDelta;
+  // The kind follows the compressor's mode: correcting payloads carry
+  // cdelta records and need the v3 file magic.
+  f.kind = compressor.correcting() ? CheckpointKind::kIncrementalCorrecting
+                                   : CheckpointKind::kIncrementalDelta;
   f.sequence = sequence;
   f.app_time = app_time;
   f.cpu_state.assign(cpu_state.begin(), cpu_state.end());
@@ -110,6 +113,7 @@ CheckpointFile take_incremental_delta_with(
     stats->pages_delta = res.pages_delta;
     stats->pages_raw = res.pages_raw;
     stats->pages_same = res.pages_same;
+    stats->pages_moved = res.pages_moved;
   }
   return f;
 }
@@ -136,7 +140,7 @@ CheckpointFile Checkpointer::take_incremental_delta(
 
 RestartEngine::Restored RestartEngine::restore(
     const std::vector<CheckpointFile>& chain,
-    const delta::PageAlignedCompressor& compressor) {
+    const delta::PageAlignedCompressor& compressor, Mode mode) {
   AIC_CHECK_MSG(!chain.empty(), "empty restart chain");
   AIC_CHECK_MSG(chain.front().kind == CheckpointKind::kFull,
                 "restart chain must begin with a full checkpoint, got "
@@ -172,13 +176,22 @@ RestartEngine::Restored RestartEngine::restore(
             out.memory.put_page(id, bytes);
           break;
         }
-        case CheckpointKind::kIncrementalDelta: {
+        case CheckpointKind::kIncrementalDelta:
+        case CheckpointKind::kIncrementalCorrecting: {
           // Deltas reference page versions as of the previous checkpoint,
-          // which is exactly the accumulated state before this file — decode
-          // first, then apply frees and overlay.
-          mem::Snapshot pages = compressor.decompress(f.payload, out.memory);
-          for (PageId id : f.freed_pages) out.memory.erase_page(id);
-          pages.overlay_onto(out.memory);
+          // which is exactly the accumulated state before this file — apply
+          // the payload first, then the frees (a moved page's source may be
+          // freed in the same checkpoint). The two kinds differ only in
+          // which record kinds the payload may contain; the decoder
+          // dispatches per record either way.
+          if (mode == Mode::kInPlace) {
+            compressor.decompress_in_place(f.payload, out.memory);
+            for (PageId id : f.freed_pages) out.memory.erase_page(id);
+          } else {
+            mem::Snapshot pages = compressor.decompress(f.payload, out.memory);
+            for (PageId id : f.freed_pages) out.memory.erase_page(id);
+            pages.overlay_onto(out.memory);
+          }
           break;
         }
       }
@@ -197,6 +210,7 @@ CheckpointChain::CheckpointChain(Config config)
     : config_(config),
       compressor_(delta::ParallelPageCompressor::Config{
           .page_codec = config.page_codec,
+          .correcting = config.correcting,
           .workers = config.compress_workers,
           .obs = config.obs}) {}
 
@@ -249,7 +263,9 @@ CaptureStats CheckpointChain::capture_pages(const mem::Snapshot& pages,
     stats.uncompressed_bytes = page_ids.size() * kPageSize + cpu_state.size();
     incrementals_since_full_ = 0;
   } else if (config_.delta_compress) {
-    file.kind = CheckpointKind::kIncrementalDelta;
+    file.kind = compressor_.correcting()
+                    ? CheckpointKind::kIncrementalCorrecting
+                    : CheckpointKind::kIncrementalDelta;
     std::vector<delta::DirtyPage> dirty;
     dirty.reserve(page_ids.size());
     for (PageId id : page_ids) dirty.push_back({id, pages.page_bytes(id)});
@@ -263,6 +279,7 @@ CaptureStats CheckpointChain::capture_pages(const mem::Snapshot& pages,
     stats.pages_delta = res.pages_delta;
     stats.pages_raw = res.pages_raw;
     stats.pages_same = res.pages_same;
+    stats.pages_moved = res.pages_moved;
     ++incrementals_since_full_;
   } else {
     file.kind = CheckpointKind::kIncremental;
@@ -334,7 +351,8 @@ CaptureStats CheckpointChain::capture(const mem::AddressSpace& space,
   return stats;
 }
 
-RestartEngine::Restored CheckpointChain::restore() const {
+RestartEngine::Restored CheckpointChain::restore(
+    RestartEngine::Mode mode) const {
   AIC_CHECK_MSG(!files_.empty(), "no checkpoints to restore");
   // Find the latest full checkpoint and replay from there.
   std::size_t start = files_.size();
@@ -342,7 +360,7 @@ RestartEngine::Restored CheckpointChain::restore() const {
   AIC_CHECK_MSG(start > 0, "chain has no full checkpoint");
   std::vector<CheckpointFile> chain(files_.begin() + (start - 1),
                                     files_.end());
-  return RestartEngine::restore(chain, compressor_.serial());
+  return RestartEngine::restore(chain, compressor_.serial(), mode);
 }
 
 void CheckpointChain::rollback_to(std::uint64_t sequence) {

@@ -41,6 +41,9 @@ struct CaptureStats {
   /// Dirty pages bit-identical to their previous version, skipped by the
   /// compressor's memcmp fast path (zero payload bytes).
   std::uint64_t pages_same = 0;
+  /// Pages encoded against a different previous page (whole-page moves;
+  /// correcting mode only).
+  std::uint64_t pages_moved = 0;
 };
 
 /// Stateless capture primitives.
@@ -88,11 +91,26 @@ class RestartEngine {
     std::uint64_t sequence = 0;
   };
 
+  /// How delta files are folded into the accumulated image.
+  enum class Mode {
+    /// Burns/Long/Stockmeyer reconstruction: each delta payload is applied
+    /// directly onto the page frames of the accumulated image (the buffer
+    /// holding the previous state IS the buffer being rebuilt), so peak
+    /// memory is one image plus transient scratch — roughly half the
+    /// out-of-place peak. The default; output is byte-exact against
+    /// kOutOfPlace (tested).
+    kInPlace,
+    /// Decode each delta into a second snapshot, then overlay — the
+    /// pre-v3 behavior, kept as the differential-testing reference.
+    kOutOfPlace,
+  };
+
   /// `chain` must start with a kFull file; later files must have strictly
   /// increasing sequence numbers. Delta files are decoded against the
   /// accumulated state, mirroring capture.
   static Restored restore(const std::vector<CheckpointFile>& chain,
-                          const delta::PageAlignedCompressor& compressor);
+                          const delta::PageAlignedCompressor& compressor,
+                          Mode mode = Mode::kInPlace);
 };
 
 /// Stateful chain manager: owns the accumulated previous-checkpoint state,
@@ -107,6 +125,10 @@ class CheckpointChain {
     /// are written raw — the "incremental checkpointing without delta
     /// compression" ablation point.
     bool delta_compress = true;
+    /// Use the one-pass correcting coder (cdelta records, checkpoint format
+    /// v3, whole-page move detection) for delta incrementals instead of the
+    /// greedy per-page coder. Ignored when delta_compress is false.
+    bool correcting = false;
     delta::XDelta3Config page_codec = delta::PageAlignedCompressor::page_config();
     /// Delta-compression worker threads (the paper's dedicated
     /// checkpointing cores). 0 = auto (hardware_concurrency() - 1);
@@ -141,8 +163,10 @@ class CheckpointChain {
                              const std::vector<PageId>& live_now,
                              ByteSpan cpu_state, double app_time);
 
-  /// Restores the latest state from the retained chain.
-  RestartEngine::Restored restore() const;
+  /// Restores the latest state from the retained chain (in place by
+  /// default; see RestartEngine::Mode).
+  RestartEngine::Restored restore(
+      RestartEngine::Mode mode = RestartEngine::Mode::kInPlace) const;
 
   /// Accumulated state as of the last checkpoint (what the next delta is
   /// compressed against).

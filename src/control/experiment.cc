@@ -44,6 +44,7 @@ class ConcurrentRun {
     ckpt::CheckpointChain::Config chain_cfg;
     chain_cfg.full_period = config.full_period;
     chain_cfg.delta_compress = true;
+    chain_cfg.correcting = config.correcting_codec;
     chain_cfg.compress_workers = config.compress_workers;
     chain_cfg.obs = config.obs;
     chain_ = std::make_unique<ckpt::CheckpointChain>(chain_cfg);
@@ -530,6 +531,7 @@ ProfiledCosts profile_workload(workload::SpecBenchmark benchmark,
   ckpt::CheckpointChain::Config chain_cfg;
   chain_cfg.full_period = 0;
   chain_cfg.delta_compress = true;
+  chain_cfg.correcting = config.correcting_codec;
   chain_cfg.compress_workers = config.compress_workers;
   ckpt::CheckpointChain chain(chain_cfg);
   chain.capture(space, wl->cpu_state(), 0.0);

@@ -66,6 +66,10 @@ struct ExperimentConfig {
   /// (hardware_concurrency() - 1), 1 = serial. Results are byte-identical
   /// at any setting; only host wall-clock changes.
   unsigned compress_workers = 0;
+  /// Delta-compress with the one-pass correcting coder (cdelta records,
+  /// whole-page move detection, checkpoint format v3) instead of the
+  /// greedy per-page coder — the Table 3 "correcting" compressor row.
+  bool correcting_codec = false;
   /// Work-span search range for the deciders.
   double min_w = 1.0;
   double max_w = 1e5;

@@ -1,9 +1,11 @@
 #include "delta/page_delta.h"
 
 #include <cstring>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "common/units.h"
+#include "delta/rolling_hash.h"
 
 namespace aic::delta {
 namespace {
@@ -11,20 +13,53 @@ namespace {
 constexpr std::uint8_t kKindRaw = 0;
 constexpr std::uint8_t kKindDelta = 1;
 constexpr std::uint8_t kKindSame = 2;
+constexpr std::uint8_t kKindCDelta = 3;
+
+void merge_codec_stats(CodecStats& acc, const CodecStats& st) {
+  acc.work_units += st.work_units;
+  acc.copy_ops += st.copy_ops;
+  acc.add_ops += st.add_ops;
+}
 
 }  // namespace
 
-PageAlignedCompressor::PageAlignedCompressor(XDelta3Config per_page)
-    : codec_(per_page) {}
+MoveIndex::MoveIndex(const mem::Snapshot& prev) {
+  by_content_.reserve(prev.page_count());
+  // page_ids() is ascending and emplace keeps the first insert, so a
+  // content collision always resolves to the lowest id — deterministic
+  // regardless of how compress() later shards the dirty set.
+  for (mem::PageId id : prev.page_ids())
+    by_content_.emplace(fnv1a64(prev.page_bytes(id)), id);
+}
+
+std::optional<mem::PageId> MoveIndex::find(ByteSpan bytes,
+                                           const mem::Snapshot& prev) const {
+  if (by_content_.empty()) return std::nullopt;
+  auto it = by_content_.find(fnv1a64(bytes));
+  if (it == by_content_.end()) return std::nullopt;
+  ByteSpan cand = prev.page_bytes(it->second);
+  if (std::memcmp(cand.data(), bytes.data(), kPageSize) != 0)
+    return std::nullopt;
+  return it->second;
+}
+
+PageAlignedCompressor::PageAlignedCompressor(XDelta3Config per_page,
+                                             bool correcting)
+    : codec_(per_page), correcting_(correcting) {}
+
+MoveIndex PageAlignedCompressor::move_index(const mem::Snapshot& prev) const {
+  return correcting_ ? MoveIndex(prev) : MoveIndex();
+}
 
 void PageAlignedCompressor::encode_page(const DirtyPage& page,
                                         const mem::Snapshot& prev,
-                                        ByteWriter& w,
+                                        const MoveIndex& moves, ByteWriter& w,
                                         DeltaResult& acc) const {
   AIC_CHECK(page.bytes.size() == kPageSize);
   w.varint(page.id);
   acc.stats.input_bytes += kPageSize;
-  if (prev.contains(page.id)) {
+  const bool has_prev = prev.contains(page.id);
+  if (has_prev) {
     ByteSpan prev_bytes = prev.page_bytes(page.id);
     acc.stats.source_bytes += kPageSize;
     // Fast path: conservatively write-protected pages are often rewritten
@@ -38,11 +73,43 @@ void PageAlignedCompressor::encode_page(const DirtyPage& page,
       ++acc.pages_same;
       return;
     }
+  }
+  if (correcting_) {
+    // Whole-page move: this exact content lived at another id in the
+    // previous checkpoint (memmove of page-aligned regions). The record
+    // degenerates to a single COPY over that source — ~15 bytes where the
+    // greedy coder, which only ever differences a page against itself,
+    // would emit a 4 KiB raw record.
+    if (auto src = moves.find(page.bytes, prev); src && *src != page.id) {
+      CodecStats st;
+      Bytes delta = ccodec_.encode(prev.page_bytes(*src), page.bytes, &st);
+      merge_codec_stats(acc.stats, st);
+      w.u8(kKindCDelta);
+      w.varint(*src);
+      w.varint(delta.size());
+      w.raw(delta);
+      ++acc.pages_delta;
+      ++acc.pages_moved;
+      return;
+    }
+    if (has_prev) {
+      CodecStats st;
+      Bytes delta = ccodec_.encode(prev.page_bytes(page.id), page.bytes, &st);
+      merge_codec_stats(acc.stats, st);
+      if (delta.size() < kPageSize) {
+        w.u8(kKindCDelta);
+        w.varint(page.id);
+        w.varint(delta.size());
+        w.raw(delta);
+        ++acc.pages_delta;
+        return;
+      }
+      // Delta expanded (dissimilar page): fall through to raw.
+    }
+  } else if (has_prev) {
     CodecStats st;
-    Bytes delta = codec_.encode(prev_bytes, page.bytes, &st);
-    acc.stats.work_units += st.work_units;
-    acc.stats.copy_ops += st.copy_ops;
-    acc.stats.add_ops += st.add_ops;
+    Bytes delta = codec_.encode(prev.page_bytes(page.id), page.bytes, &st);
+    merge_codec_stats(acc.stats, st);
     if (delta.size() < kPageSize) {
       w.u8(kKindDelta);
       w.varint(delta.size());
@@ -68,7 +135,8 @@ DeltaResult PageAlignedCompressor::compress(
   result.payload.reserve(dirty.size() * (kPageSize + 16) + 10);
   ByteWriter w(result.payload);
   w.varint(dirty.size());
-  for (const DirtyPage& page : dirty) encode_page(page, prev, w, result);
+  const MoveIndex moves = move_index(prev);
+  for (const DirtyPage& page : dirty) encode_page(page, prev, moves, w, result);
   result.stats.output_bytes = result.payload.size();
   return result;
 }
@@ -87,6 +155,8 @@ mem::Snapshot PageAlignedCompressor::decompress(
       out.put_page(id, prev.page_bytes(id));
       continue;
     }
+    PageId src = id;
+    if (kind == kKindCDelta) src = r.varint();
     const std::uint64_t len = r.varint();
     ByteSpan body = r.raw(len);
     if (kind == kKindRaw) {
@@ -100,12 +170,143 @@ mem::Snapshot PageAlignedCompressor::decompress(
       Bytes page = codec_.decode(prev.page_bytes(id), body);
       AIC_CHECK(page.size() == kPageSize);
       out.put_page(id, page);
+    } else if (kind == kKindCDelta) {
+      AIC_CHECK_MSG(prev.contains(src), "cdelta page "
+                                            << id << " source page " << src
+                                            << " missing from previous "
+                                               "snapshot");
+      Bytes page = ccodec_.decode(prev.page_bytes(src), body);
+      AIC_CHECK(page.size() == kPageSize);
+      out.put_page(id, page);
     } else {
       AIC_CHECK_MSG(false, "bad page kind " << int(kind));
     }
   }
   AIC_CHECK_MSG(r.done(), "trailing bytes in page-delta payload");
   return out;
+}
+
+void PageAlignedCompressor::decompress_in_place(ByteSpan payload,
+                                                mem::Snapshot& state) const {
+  struct Rec {
+    PageId id;
+    std::uint8_t kind;
+    PageId src;     // cdelta only; == id for in-frame deltas
+    ByteSpan body;  // raw/delta/cdelta instruction bytes (into payload)
+  };
+  ByteReader r(payload);
+  const std::uint64_t count = r.varint();
+  // Each record costs at least two bytes (id varint + kind); a hostile
+  // count must die here, not in the vector allocation below.
+  AIC_CHECK_MSG(count <= r.remaining() / 2,
+                "page-delta record count " << count
+                                           << " exceeds payload size");
+  std::vector<Rec> recs;
+  recs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Rec rec;
+    rec.id = r.varint();
+    rec.kind = r.u8();
+    rec.src = rec.id;
+    if (rec.kind == kKindSame) {
+      recs.push_back(rec);
+      continue;
+    }
+    AIC_CHECK_MSG(rec.kind == kKindRaw || rec.kind == kKindDelta ||
+                      rec.kind == kKindCDelta,
+                  "bad page kind " << int(rec.kind));
+    if (rec.kind == kKindCDelta) rec.src = r.varint();
+    rec.body = r.raw(r.varint());
+    recs.push_back(rec);
+  }
+  AIC_CHECK_MSG(r.done(), "trailing bytes in page-delta payload");
+
+  // Pass 1: index writers and the last cross-frame reader of every source
+  // page. A frame whose old content is still needed by a later move record
+  // must be stashed before it is overwritten — and can be dropped the
+  // moment its last reader has run.
+  std::unordered_map<PageId, std::size_t> last_reader;
+  std::unordered_map<PageId, std::size_t> writer;
+  writer.reserve(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto [it, inserted] = writer.emplace(recs[i].id, i);
+    AIC_CHECK_MSG(inserted, "page " << recs[i].id
+                                    << " appears twice in one payload");
+    if (recs[i].kind == kKindCDelta && recs[i].src != recs[i].id) {
+      // `state` is pristine here, so this is the same "source must exist in
+      // the previous image" rule decompress() enforces — checked now because
+      // by the time pass 2 reaches the reader, an earlier record may have
+      // legitimately created a page with that id.
+      AIC_CHECK_MSG(state.contains(recs[i].src),
+                    "cdelta page " << recs[i].id << " source page "
+                                   << recs[i].src
+                                   << " missing from restart image");
+      last_reader[recs[i].src] = i;
+    }
+  }
+
+  // Pass 2: apply in stream order, mutating frames where they sit. Extra
+  // memory is one transient decoded page (kinds raw aside) plus whatever
+  // mover sources are live in the stash at that instant.
+  std::unordered_map<PageId, Bytes> stash;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Rec& rec = recs[i];
+    if (auto lr = last_reader.find(rec.id);
+        lr != last_reader.end() && lr->second > i && !stash.contains(rec.id) &&
+        state.contains(rec.id)) {
+      ByteSpan old = state.page_bytes(rec.id);
+      stash.emplace(rec.id, Bytes(old.begin(), old.end()));
+    }
+    switch (rec.kind) {
+      case kKindSame:
+        AIC_CHECK_MSG(state.contains(rec.id),
+                      "same page " << rec.id
+                                   << " missing from restart image");
+        break;
+      case kKindRaw:
+        AIC_CHECK_MSG(rec.body.size() == kPageSize,
+                      "raw page " << rec.id << " body is " << rec.body.size()
+                                  << " bytes, expected " << kPageSize);
+        state.put_page(rec.id, rec.body);
+        break;
+      case kKindDelta: {
+        AIC_CHECK_MSG(state.contains(rec.id),
+                      "delta page " << rec.id
+                                    << " missing from restart image");
+        Bytes page = codec_.decode(state.page_bytes(rec.id), rec.body);
+        AIC_CHECK(page.size() == kPageSize);
+        state.put_page(rec.id, page);
+        break;
+      }
+      case kKindCDelta: {
+        if (rec.src == rec.id) {
+          AIC_CHECK_MSG(state.contains(rec.id),
+                        "cdelta page " << rec.id
+                                       << " missing from restart image");
+          // The payoff case: the correcting stream rewrites the frame where
+          // it sits — no decoded copy at all.
+          ccodec_.apply_in_place(state.mutable_page_bytes(rec.id), rec.body);
+          break;
+        }
+        ByteSpan source;
+        if (auto st = stash.find(rec.src); st != stash.end()) {
+          source = ByteSpan(st->second);
+        } else {
+          AIC_CHECK_MSG(state.contains(rec.src),
+                        "cdelta page " << rec.id << " source page " << rec.src
+                                       << " missing from restart image");
+          source = state.page_bytes(rec.src);
+        }
+        Bytes page = ccodec_.decode(source, rec.body);
+        AIC_CHECK(page.size() == kPageSize);
+        state.put_page(rec.id, page);
+        if (auto lr = last_reader.find(rec.src);
+            lr != last_reader.end() && lr->second == i)
+          stash.erase(rec.src);
+        break;
+      }
+    }
+  }
 }
 
 WholeFileCompressor::WholeFileCompressor(XDelta3Config config)

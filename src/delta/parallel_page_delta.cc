@@ -18,7 +18,7 @@ ParallelPageCompressor::ParallelPageCompressor(Config config)
     : config_(config),
       workers_(config.workers == 0 ? common::ThreadPool::default_workers()
                                    : config.workers),
-      serial_(config.page_codec) {
+      serial_(config.page_codec, config.correcting) {
   if (obs::Hub* hub = config_.obs) {
     obs::MetricsRegistry& m = hub->metrics;
     m_bytes_in_ = m.counter(on::kDeltaBytesIn);
@@ -70,6 +70,12 @@ DeltaResult ParallelPageCompressor::compress(
   if (!pool_) pool_ = std::make_unique<common::ThreadPool>(workers_ - 1);
   if (shard_buffers_.size() < shards) shard_buffers_.resize(shards);
 
+  // Built once, shared read-only by every shard: move candidates are a
+  // function of `prev` alone, which is what keeps parallel output
+  // byte-identical to serial in correcting mode. Empty (and free) in
+  // greedy mode.
+  const MoveIndex moves = serial_.move_index(prev);
+
   // Contiguous balanced partition: shard s gets [begin(s), begin(s+1)).
   const std::size_t base = n / shards, rem = n % shards;
   const auto begin_of = [&](std::size_t s) {
@@ -88,7 +94,7 @@ DeltaResult ParallelPageCompressor::compress(
     const double t0 = hub ? hub->trace.wall_seconds() : 0.0;
     try {
       for (std::size_t i = lo; i < hi; ++i)
-        serial_.encode_page(dirty[i], prev, w, accs[s]);
+        serial_.encode_page(dirty[i], prev, moves, w, accs[s]);
     } catch (...) {
       errors[s] = std::current_exception();
     }
@@ -130,6 +136,7 @@ DeltaResult ParallelPageCompressor::compress(
     result.pages_delta += a.pages_delta;
     result.pages_raw += a.pages_raw;
     result.pages_same += a.pages_same;
+    result.pages_moved += a.pages_moved;
   }
   result.stats.output_bytes = result.payload.size();
   record_compress(result, shards);

@@ -40,6 +40,12 @@ class ParallelPageCompressor {
  public:
   struct Config {
     XDelta3Config page_codec = PageAlignedCompressor::page_config();
+    /// Encode with the one-pass correcting coder (cdelta records +
+    /// whole-page move detection) instead of the greedy per-page coder.
+    /// The byte-identity invariant holds in both modes: the MoveIndex is
+    /// built once from `prev` before sharding, so every shard sees the
+    /// same move candidates as a serial encode would.
+    bool correcting = false;
     /// Encoding threads (including the calling thread); 0 = auto
     /// (ThreadPool::default_workers(), i.e. hardware_concurrency() - 1 —
     /// the paper's "all cores but the application's" checkpointing cores).
@@ -72,6 +78,7 @@ class ParallelPageCompressor {
   const PageAlignedCompressor& serial() const { return serial_; }
 
   unsigned workers() const { return workers_; }
+  bool correcting() const { return serial_.correcting(); }
 
  private:
   /// Folds one compress() outcome into the metrics (no-op when obs is

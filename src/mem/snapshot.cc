@@ -23,6 +23,21 @@ ByteSpan Snapshot::page_bytes(PageId id) const {
   return ByteSpan(it->second->bytes, kPageSize);
 }
 
+std::span<std::uint8_t> Snapshot::mutable_page_bytes(PageId id) {
+  auto it = pages_.find(id);
+  AIC_CHECK_MSG(it != pages_.end(), "snapshot missing page " << id);
+  return std::span<std::uint8_t>(it->second->bytes, kPageSize);
+}
+
+std::span<std::uint8_t> Snapshot::ensure_page(PageId id) {
+  auto& slot = pages_[id];
+  if (!slot) {
+    slot = std::make_unique<PageData>();
+    std::memset(slot->bytes, 0, kPageSize);
+  }
+  return std::span<std::uint8_t>(slot->bytes, kPageSize);
+}
+
 void Snapshot::put_page(PageId id, ByteSpan bytes) {
   AIC_CHECK(bytes.size() == kPageSize);
   auto& slot = pages_[id];

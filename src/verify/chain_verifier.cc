@@ -23,11 +23,12 @@ class Walker {
       : options_(options), compressor_(compressor), report_(report) {}
 
   void step(std::size_t index, const CheckpointFile* f,
-            const std::string& parse_error) {
+            const std::string& parse_error,
+            CheckCode parse_code = CheckCode::kParseError) {
     ++report_.records_checked;
     if (f == nullptr) {
-      emit(Severity::kError, CheckCode::kParseError, index,
-           Diagnostic::kNoSequence, parse_error);
+      emit(Severity::kError, parse_code, index, Diagnostic::kNoSequence,
+           parse_error);
       replay_ok_ = false;
       return;
     }
@@ -200,6 +201,8 @@ const char* to_string(CheckCode code) {
       return "replay-skipped";
     case CheckCode::kUncheckedV1:
       return "unchecked-v1";
+    case CheckCode::kUnsupportedVersion:
+      return "unsupported-version";
   }
   return "?";
 }
@@ -254,12 +257,18 @@ Report ChainVerifier::verify_serialized(
     report.bytes_checked += records[i].size();
     std::optional<ckpt::CheckpointFile> parsed;
     std::string error;
+    CheckCode code = CheckCode::kParseError;
     try {
       parsed = ckpt::CheckpointFile::parse(records[i]);
+    } catch (const ckpt::UnsupportedFormatError& e) {
+      // Ordered before CheckError: a future-versioned record is a reader
+      // mismatch, not corruption, and gets its own code.
+      error = e.what();
+      code = CheckCode::kUnsupportedVersion;
     } catch (const CheckError& e) {
       error = e.what();
     }
-    walker.step(i, parsed ? &*parsed : nullptr, error);
+    walker.step(i, parsed ? &*parsed : nullptr, error, code);
   }
   walker.finish();
   return report;

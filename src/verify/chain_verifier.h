@@ -56,6 +56,11 @@ enum class CheckCode : std::uint8_t {
   kDeltaUndecodable,      // I10: delta payload fails against the pre-state
   kReplaySkipped,         // content checks suspended after earlier fault
   kUncheckedV1,           // I11 (warning): record has no checksum
+  /// I1 variant: the record is recognizably an AIC checkpoint but its
+  /// format version postdates this build ("AICCKPT4"+). Not corruption —
+  /// the store needs a newer reader — so tools surface it distinctly
+  /// (aic_fsck exits 2, not 1).
+  kUnsupportedVersion,
 };
 
 const char* to_string(CheckCode code);

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "delta/correcting.h"
 #include "delta/page_delta.h"
 #include "delta/rolling_hash.h"
 #include "delta/xdelta3.h"
@@ -56,7 +57,8 @@ class CodecRoundTrip : public ::testing::TestWithParam<int> {
  protected:
   std::unique_ptr<DeltaCodec> make() const {
     if (GetParam() == 0) return std::make_unique<XDelta3Codec>();
-    return std::make_unique<XorDeltaCodec>();
+    if (GetParam() == 1) return std::make_unique<XorDeltaCodec>();
+    return std::make_unique<CorrectingDeltaCodec>();
   }
 };
 
@@ -120,10 +122,17 @@ TEST_P(CodecRoundTrip, WrongSourceRejected) {
   EXPECT_THROW((void)codec->decode(other, delta), CheckError);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTrip, ::testing::Values(0, 1),
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTrip,
+                         ::testing::Values(0, 1, 2),
                          [](const auto& info) {
-                           return info.param == 0 ? std::string("XDelta3")
-                                                  : std::string("XorRle");
+                           switch (info.param) {
+                             case 0:
+                               return std::string("XDelta3");
+                             case 1:
+                               return std::string("XorRle");
+                             default:
+                               return std::string("Correcting");
+                           }
                          });
 
 TEST(XDelta3, FindsShiftedContent) {

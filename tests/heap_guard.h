@@ -1,0 +1,37 @@
+// Binary-wide heap instrumentation for tests that assert on allocation
+// behaviour: the obs overhead guard (hot paths must not allocate) and the
+// in-place-restore memory guard (peak heap during restore must be about
+// half of out-of-place).
+//
+// The global operator new/delete replacement lives in obs_test.cc — one
+// definition per binary — and tracks, for every allocation in the test
+// process: a count, the live byte total, and a high-water mark. Any test
+// TU includes this header to read them. Byte sizes are taken from
+// malloc_usable_size on both the allocate and free sides, so live_bytes
+// is exact even though operator delete is not always sized.
+//
+// These counters are process-global and racy-by-design across threads
+// (relaxed atomics): tests that assert on them must do their measured work
+// single-threaded.
+#pragma once
+
+#include <cstdint>
+
+namespace aic::testing {
+
+struct HeapStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t live_bytes = 0;
+  /// High-water mark of live_bytes since process start or the last
+  /// reset_heap_peak().
+  std::uint64_t peak_bytes = 0;
+};
+
+HeapStats heap_stats();
+
+/// Restarts the high-water mark from the current live total, so a test can
+/// measure the peak of one region: reset, run, then read
+/// heap_stats().peak_bytes - live-at-reset.
+void reset_heap_peak();
+
+}  // namespace aic::testing

@@ -30,14 +30,56 @@
 #include "sim/failure_sim.h"
 
 // ---------------------------------------------------------------------------
-// Allocation counting for the overhead guard. Overriding the global
-// operator new is the only way to observe the hot path's allocations
-// without a tooling dependency; the counter is relaxed-atomic so the
-// concurrency tests in this binary stay race-free under TSan.
+// Heap instrumentation for the overhead guard here and the restore-memory
+// guard in ckpt_test.cc (shared via heap_guard.h — this TU holds the one
+// operator new/delete replacement the binary is allowed). Overriding the
+// global operator new is the only way to observe the hot path's
+// allocations without a tooling dependency; counters are relaxed-atomic so
+// the concurrency tests in this binary stay race-free under TSan. Byte
+// totals come from malloc_usable_size on both sides, so live_bytes stays
+// exact through the unsized operator delete.
+
+#include <malloc.h>
+
+#include "heap_guard.h"
 
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_live_bytes{0};
+std::atomic<std::uint64_t> g_peak_bytes{0};
+
+void note_alloc(void* p) {
+  if (p == nullptr) return;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t size = malloc_usable_size(p);
+  const std::uint64_t live =
+      g_live_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  std::uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void note_free(void* p) {
+  if (p == nullptr) return;
+  g_live_bytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+}
 }  // namespace
+
+namespace aic::testing {
+
+HeapStats heap_stats() {
+  return HeapStats{g_alloc_count.load(std::memory_order_relaxed),
+                   g_live_bytes.load(std::memory_order_relaxed),
+                   g_peak_bytes.load(std::memory_order_relaxed)};
+}
+
+void reset_heap_peak() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+}  // namespace aic::testing
 
 // GCC flags the malloc/free implementations of the replaced operators as
 // mismatched new/delete when it inlines them at call sites; the pairing is
@@ -47,19 +89,31 @@ std::atomic<std::uint64_t> g_alloc_count{0};
 #endif
 
 void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
+  if (void* p = std::malloc(size)) {
+    note_alloc(p);
+    return p;
+  }
   throw std::bad_alloc();
 }
 
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size);
+  void* p = std::malloc(size);
+  note_alloc(p);
+  return p;
 }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  note_free(p);
+  std::free(p);
+}
 
 namespace aic::obs {
 namespace {

@@ -157,6 +157,70 @@ TEST(ParallelPageCompressor, RoundTripsThroughSerialDecompress) {
   }
 }
 
+TEST(ParallelPageCompressor, CorrectingModeByteIdenticalAndMovesDetected) {
+  // Correcting mode adds a shared input to every shard — the MoveIndex
+  // over prev — so byte-identity needs it built once before sharding.
+  // Exercise it with a workload rich in whole-page moves (cdelta records
+  // referencing other pages) straddling shard boundaries.
+  Rng rng(23);
+  PageAlignedCompressor serial({}, /*correcting=*/true);
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::size_t pages = 48;
+    mem::AddressSpace space;
+    space.allocate_range(0, pages);
+    for (mem::PageId id = 0; id < pages; ++id) {
+      space.mutate(id, [&](std::span<std::uint8_t> b) {
+        for (auto& x : b) x = std::uint8_t(rng());
+      });
+    }
+    const mem::Snapshot prev = mem::Snapshot::capture(space);
+    space.protect_all();
+    // A band of whole-page moves: page id takes page (id - 5)'s old image.
+    for (mem::PageId id = 8; id < 24; ++id) {
+      Bytes moved(prev.page_bytes(id - 5).begin(),
+                  prev.page_bytes(id - 5).end());
+      space.write(id, 0, moved);
+    }
+    // Plus ordinary churn: partial edits and fresh pages.
+    for (int e = 0; e < 20; ++e) {
+      const mem::PageId id = rng.uniform_u64(pages + 6);
+      if (!space.contains(id)) {
+        space.allocate(id);
+        continue;
+      }
+      const std::size_t len = 1 + rng.uniform_u64(512);
+      space.write(id, rng.uniform_u64(kPageSize - len),
+                  random_bytes(rng, len));
+    }
+    std::vector<DirtyPage> dirty;
+    for (auto id : space.dirty_pages())
+      dirty.push_back({id, space.page_bytes(id)});
+
+    DeltaResult want = serial.compress(dirty, prev);
+    EXPECT_GT(want.pages_moved, 0u) << "trial=" << trial;
+    for (unsigned workers = 1; workers <= 8; ++workers) {
+      ParallelPageCompressor pc(
+          {.correcting = true, .workers = workers, .min_shard_pages = 1});
+      ASSERT_TRUE(pc.correcting());
+      DeltaResult got = pc.compress(dirty, prev);
+      ASSERT_EQ(got.payload, want.payload)
+          << "workers=" << workers << " trial=" << trial;
+      EXPECT_EQ(got.pages_moved, want.pages_moved);
+      EXPECT_EQ(got.pages_delta, want.pages_delta);
+      EXPECT_EQ(got.pages_raw, want.pages_raw);
+      EXPECT_EQ(got.pages_same, want.pages_same);
+      EXPECT_EQ(got.stats.output_bytes, want.stats.output_bytes);
+    }
+    // The stitched payload must also replay.
+    mem::Snapshot restored = serial.decompress(want.payload, prev);
+    for (const DirtyPage& d : dirty) {
+      ASSERT_TRUE(restored.contains(d.id));
+      EXPECT_EQ(0, std::memcmp(restored.page_bytes(d.id).data(),
+                               d.bytes.data(), kPageSize));
+    }
+  }
+}
+
 TEST(ParallelPageCompressor, BufferPoolReusedAcrossCheckpoints) {
   // One long-lived compressor over several evolving checkpoints must keep
   // matching the serial output (shard scratch buffers are cleared, not

@@ -23,7 +23,8 @@ using ckpt::CheckpointKind;
 /// Builds a realistic chain — full checkpoint, then delta incrementals with
 /// edits, frees and allocations — and returns the serialized records.
 std::vector<Bytes> build_chain(int checkpoints, std::uint64_t seed,
-                               std::uint32_t full_period = 0) {
+                               std::uint32_t full_period = 0,
+                               bool correcting = false) {
   Rng rng(seed);
   mem::AddressSpace space;
   space.allocate_range(0, 10);
@@ -34,6 +35,7 @@ std::vector<Bytes> build_chain(int checkpoints, std::uint64_t seed,
   }
   CheckpointChain::Config cfg;
   cfg.full_period = full_period;
+  cfg.correcting = correcting;
   CheckpointChain chain(cfg);
   for (int i = 0; i < checkpoints; ++i) {
     Bytes cpu = {std::uint8_t(i), 0x5A};
@@ -272,6 +274,85 @@ TEST(ChainVerifier, V1RecordWarnsButVerifies) {
   ChainVerifier::Options options;
   options.warn_v1 = false;
   EXPECT_EQ(verify_never_throws(records, options).warning_count(), 0u);
+}
+
+// ---------- v3 (correcting-coder) chains ----------
+
+TEST(ChainVerifier, CorrectingChainIsCleanAndReplays) {
+  const auto records = build_chain(6, 40, 0, /*correcting=*/true);
+  bool saw_correcting = false;
+  for (const Bytes& b : records) {
+    const CheckpointFile f = CheckpointFile::parse(b);
+    if (f.kind == CheckpointKind::kIncrementalCorrecting) {
+      saw_correcting = true;
+      EXPECT_EQ(f.version, CheckpointFile::kVersionV3);
+    }
+  }
+  ASSERT_TRUE(saw_correcting) << "workload produced no cdelta incrementals";
+  const Report report = verify_never_throws(records);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_TRUE(report.replay_complete);
+}
+
+TEST(ChainVerifier, CorrectingChainBitFlipsAreCaught) {
+  // Exhaustive over one v3 record, including the magic bytes the v3 CRC
+  // now covers (bit 2 of the version digit would otherwise forge a
+  // plausible future/past version). A flip may surface as a parse error
+  // or — when it lands a digit in '4'..'9' — the typed unsupported-version
+  // diagnostic; either way the chain must not verify.
+  auto records = build_chain(4, 41, 0, /*correcting=*/true);
+  std::size_t rec = 0;
+  while (CheckpointFile::parse(records[rec]).kind !=
+         CheckpointKind::kIncrementalCorrecting)
+    ++rec;
+  for (std::size_t off = 0; off < records[rec].size(); ++off) {
+    for (std::uint8_t bit :
+         {std::uint8_t(1), std::uint8_t(4), std::uint8_t(0x80)}) {
+      auto corrupted = records;
+      corrupted[rec][off] ^= bit;
+      const Report report = verify_never_throws(corrupted);
+      ASSERT_FALSE(report.ok())
+          << "bit flip survived at v3 record " << rec << " offset " << off;
+      ASSERT_TRUE(has_code(report, CheckCode::kParseError) ||
+                  has_code(report, CheckCode::kUnsupportedVersion))
+          << "record " << rec << " offset " << off;
+    }
+  }
+}
+
+TEST(ChainVerifier, CorrectingGarbagePayloadBehindValidCrcIsCaught) {
+  auto records = build_chain(5, 42, 0, /*correcting=*/true);
+  Rng rng(43);
+  for (std::size_t rec = 1; rec < records.size(); ++rec) {
+    auto corrupted = records;
+    CheckpointFile f = CheckpointFile::parse(corrupted[rec]);
+    for (auto& b : f.payload) b = std::uint8_t(rng());
+    corrupted[rec] = f.serialize();  // valid v3 checksum over garbage
+    const Report report = verify_never_throws(corrupted);
+    ASSERT_FALSE(report.ok()) << "garbage cdelta survived at " << rec;
+    ASSERT_TRUE(has_code(report, CheckCode::kDeltaUndecodable) ||
+                has_code(report, CheckCode::kPayloadCorrupt))
+        << "record " << rec;
+  }
+}
+
+TEST(ChainVerifier, UnsupportedFutureVersionIsTypedNotCorrupt) {
+  auto records = build_chain(3, 44);
+  Bytes future;
+  for (char c : std::string("AAICCKT7"))  // LE image of a v7 magic
+    future.push_back(std::uint8_t(c));
+  future.insert(future.end(), 24, std::uint8_t(0));
+  records.push_back(future);
+  const Report report = verify_never_throws(records);
+  EXPECT_FALSE(report.ok());
+  ASSERT_TRUE(has_code(report, CheckCode::kUnsupportedVersion))
+      << report.summary();
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code != CheckCode::kUnsupportedVersion) continue;
+    EXPECT_NE(d.message.find("newer than this build"), std::string::npos)
+        << d.message;
+    EXPECT_NE(d.render().find("unsupported-version"), std::string::npos);
+  }
 }
 
 TEST(ChainVerifier, ParsedChainOverloadMatchesSerialized) {

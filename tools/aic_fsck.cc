@@ -14,8 +14,10 @@
 //   -q, --quiet    print only the summary line
 //
 // Exit status: 0 chain clean (warnings allowed), 1 integrity errors
-// found, 2 usage or I/O error. Never crashes on corrupt input — every
-// fault surfaces as a printed diagnostic.
+// found, 2 usage or I/O error — or a record whose format version is newer
+// than this build reads ([unsupported-version]): that chain needs a newer
+// aic_fsck, not repair, so it is deliberately NOT exit 1. Never crashes on
+// corrupt input — every fault surfaces as a printed diagnostic.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -133,10 +135,20 @@ int main(int argc, char** argv) {
                 << ": " << d.render() << "\n";
     }
   }
+  bool unsupported = false;
+  for (const auto& d : report.diagnostics)
+    unsupported |= d.code == aic::verify::CheckCode::kUnsupportedVersion;
+
   std::cout << "aic_fsck: " << report.summary();
   if (!partial_paths.empty()) {
     std::cout << ", " << partial_paths.size() << " staged partial(s)";
   }
-  std::cout << (report.ok() ? " — clean" : " — CORRUPT") << "\n";
+  std::cout << (report.ok()      ? " — clean"
+                : unsupported    ? " — UNSUPPORTED VERSION"
+                                 : " — CORRUPT")
+            << "\n";
+  // Reader-too-old beats corrupt: nothing here is repairable by this
+  // build, and scripts must not treat it as chain damage.
+  if (unsupported) return 2;
   return report.ok() ? 0 : 1;
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Tool-level test for aic_fsck's future-format-version semantics.
+#
+# A record that opens with a well-formed "AICCKPT" magic and a version
+# digit newer than this build ("AICCKPT4"..."AICCKPT9") is NOT corruption:
+# the chain needs a newer reader, not repair. aic_fsck must surface it as
+# the typed [unsupported-version] diagnostic and exit 2 — distinct from
+# both a clean chain (0) and an integrity failure (1). The same record
+# with a non-digit version byte IS corruption and must stay exit 1.
+#
+# Usage: fsck_version_test.sh <path-to-aic_fsck>
+set -u
+
+fsck="${1:?usage: fsck_version_test.sh <path-to-aic_fsck>}"
+if [[ ! -x "$fsck" ]]; then
+  echo "aic_fsck binary not built in this configuration; skipping"
+  exit 127
+fi
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+fail() {
+  echo "FAIL: $*"
+  exit 1
+}
+
+# Case 1: a v4 record — plausible future format, unreadable by this build.
+# "AAICCKT" is the little-endian byte image of the checkpoint magic
+# constant (ckpt/checkpoint_file.cc), followed by the version digit.
+printf 'AAICCKT4\x00\x00\x00\x00rest-of-a-format-we-cannot-read' \
+  >"$dir/ckpt-0"
+out="$("$fsck" "$dir")"
+rc=$?
+echo "$out"
+[[ $rc -eq 2 ]] || fail "future-version record must exit 2, got $rc"
+grep -q 'unsupported-version' <<<"$out" ||
+  fail "missing [unsupported-version] diagnostic"
+grep -q 'UNSUPPORTED VERSION' <<<"$out" ||
+  fail "summary must say UNSUPPORTED VERSION"
+grep -q 'newer than this build' <<<"$out" ||
+  fail "diagnostic must explain the reader is too old"
+grep -q 'CORRUPT' <<<"$out" &&
+  fail "future-version chain must not be reported CORRUPT"
+
+# Case 2 (contrast): same record with a non-digit version byte — that is
+# not a version from the future, it is a damaged magic: plain corruption.
+printf 'AAICCKTz\x00\x00\x00\x00rest-of-a-format-we-cannot-read' \
+  >"$dir/ckpt-0"
+out="$("$fsck" "$dir")"
+rc=$?
+echo "$out"
+[[ $rc -eq 1 ]] || fail "damaged magic must exit 1, got $rc"
+grep -q 'CORRUPT' <<<"$out" || fail "damaged magic must report CORRUPT"
+grep -q 'unsupported-version' <<<"$out" &&
+  fail "damaged magic must not claim unsupported-version"
+
+echo "fsck_version_test: OK"
