@@ -4,11 +4,14 @@
 #   tier1        configure + build with AIC_WERROR=ON (warnings are
 #                errors across src/tests/bench/examples/tools) + full
 #                ctest suite                                  [build/]
-#   lint         scripts/lint.sh — clang-tidy when installed, plus the
-#                repo-convention greps
+#   lint         scripts/lint.sh — the aic_lint token-level analyzer
+#                (grep fallback when unbuildable), plus clang-tidy when
+#                installed
 #   tsan         concurrency tests under ThreadSanitizer      [build-tsan/]
 #   asan+ubsan   the FULL test suite under AddressSanitizer +
-#                UndefinedBehaviorSanitizer                   [build-asan/]
+#                UndefinedBehaviorSanitizer, plus the aic_lint fixture
+#                corpus and hostile inputs driven through the sanitized
+#                binary                                       [build-asan/]
 #
 # A separate bench-smoke leg builds every bench target and runs each with
 # AIC_BENCH_SMOKE=1 (tiny parameters, reproduction CHECKs informational):
@@ -57,7 +60,7 @@ run_tier1() {
 }
 
 run_lint() {
-  echo "== lint: clang-tidy + convention greps =="
+  echo "== lint: aic_lint analyzer + clang-tidy =="
   if scripts/lint.sh; then
     record lint OK "clean"
   else
@@ -81,15 +84,38 @@ run_tsan() {
   rm -f "$log"
 }
 
+# aic_lint under the sanitizers: the lexer's hostile-input totality claim,
+# checked where it bites. Exit codes are part of the contract — 1 for
+# findings on both fixture trees, 0 for the clean self-scan.
+lint_fixtures_sanitized() {
+  local lint=build-asan/tools_build/aic_lint
+  "$lint" --root tests/analysis/corpus >/dev/null
+  if [[ $? -ne 1 ]]; then
+    echo "aic_lint(asan): corpus scan should exit 1 (findings)"
+    return 1
+  fi
+  "$lint" --root tests/analysis/hostile >/dev/null
+  if [[ $? -ne 1 ]]; then
+    echo "aic_lint(asan): hostile scan should exit 1 (lex-errors)"
+    return 1
+  fi
+  if ! "$lint" --root . >/dev/null; then
+    echo "aic_lint(asan): self-scan should be clean against the baseline"
+    return 1
+  fi
+  echo "-- aic_lint fixture/hostile/self scans clean under ASan+UBSan"
+}
+
 run_asan_ubsan() {
   echo "== asan+ubsan: full test suite under ASan + UBSan =="
   local log
   log=$(mktemp)
   if cmake -B build-asan -S . -DAIC_SANITIZE=address,undefined >/dev/null &&
     cmake --build build-asan -j"$jobs" \
-      --target aic_tests aic_fsck aic_report aic_benchdiff &&
-    ctest --test-dir build-asan --output-on-failure -j"$jobs" | tee "$log"; then
-    record "asan+ubsan" OK "$(ctest_passed "$log")"
+      --target aic_tests aic_fsck aic_report aic_benchdiff aic_lint &&
+    ctest --test-dir build-asan --output-on-failure -j"$jobs" | tee "$log" &&
+    lint_fixtures_sanitized; then
+    record "asan+ubsan" OK "$(ctest_passed "$log"), aic_lint fixtures clean"
   else
     record "asan+ubsan" FAIL "see output above"
   fi

@@ -1,0 +1,177 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "analysis/layering.h"
+#include "analysis/lexer.h"
+#include "obs/json.h"
+
+namespace aic::analysis {
+namespace {
+
+constexpr std::string_view kAllowMarker = "aic-lint: allow(";
+
+/// Rules allowed by inline comments, keyed by line number. A comment's
+/// allowance covers its own line and the next one.
+std::map<int, std::set<std::string>> inline_allows(const LexedFile& file) {
+  std::map<int, std::set<std::string>> allows;
+  for (const Comment& c : file.comments) {
+    std::size_t at = c.text.find(kAllowMarker);
+    while (at != std::string::npos) {
+      const std::size_t open = at + kAllowMarker.size();
+      const std::size_t close = c.text.find(')', open);
+      if (close == std::string::npos) break;
+      std::string rule;
+      auto commit = [&] {
+        if (!rule.empty()) {
+          allows[c.line].insert(rule);
+          allows[c.line + 1].insert(rule);
+          rule.clear();
+        }
+      };
+      for (std::size_t i = open; i < close; ++i) {
+        const char ch = c.text[i];
+        if (ch == ',') {
+          commit();
+        } else if (ch != ' ' && ch != '\t') {
+          rule.push_back(ch);
+        }
+      }
+      commit();
+      at = c.text.find(kAllowMarker, close);
+    }
+  }
+  return allows;
+}
+
+bool finding_order(const Finding& a, const Finding& b) {
+  if (a.path != b.path) return a.path < b.path;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.fingerprint < b.fingerprint;
+}
+
+}  // namespace
+
+Analysis analyze(const std::vector<SourceFile>& files,
+                 const Baseline& baseline) {
+  Analysis out;
+  out.files = int(files.size());
+
+  std::vector<LexedFile> lexed(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    lexed[i] = lex(files[i].content);
+  }
+
+  // Project-wide CheckError family from every library file's class
+  // declarations (the exception-discipline rules are project-aware: a new
+  // error type deriving from CheckError is legal to throw the moment it is
+  // declared).
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files[i].path.rfind("src/", 0) != 0) continue;
+    auto file_edges = class_bases(lexed[i]);
+    edges.insert(edges.end(), file_edges.begin(), file_edges.end());
+  }
+  const std::set<std::string> family = check_error_family(edges);
+
+  std::vector<FileIncludes> layering_inputs;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const SourceFile& f = files[i];
+    for (const LexError& e : lexed[i].errors) {
+      out.findings.push_back({"lex-error", f.path, e.line,
+                              "could not tokenize: " + e.message, e.message,
+                              false, ""});
+    }
+    auto rule_findings = run_token_rules(f.path, lexed[i], family);
+    out.findings.insert(out.findings.end(),
+                        std::make_move_iterator(rule_findings.begin()),
+                        std::make_move_iterator(rule_findings.end()));
+    if (f.path.rfind("src/", 0) == 0) {
+      layering_inputs.push_back({f.path, &lexed[i]});
+    }
+  }
+
+  auto layer_findings = check_layering(layering_inputs);
+  out.findings.insert(out.findings.end(),
+                      std::make_move_iterator(layer_findings.begin()),
+                      std::make_move_iterator(layer_findings.end()));
+
+  // Inline allows, by (path, line).
+  std::map<std::string, std::map<int, std::set<std::string>>> allows;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    auto file_allows = inline_allows(lexed[i]);
+    if (!file_allows.empty()) allows[files[i].path] = std::move(file_allows);
+  }
+  for (Finding& f : out.findings) {
+    const auto by_path = allows.find(f.path);
+    if (by_path == allows.end()) continue;
+    const auto by_line = by_path->second.find(f.line);
+    if (by_line == by_path->second.end()) continue;
+    if (by_line->second.count(f.rule) != 0) {
+      f.suppressed = true;
+      f.suppressed_by = "inline";
+    }
+  }
+
+  out.stale = apply_baseline(baseline, out.findings);
+
+  std::sort(out.findings.begin(), out.findings.end(), finding_order);
+  for (const Finding& f : out.findings) {
+    if (!f.suppressed) {
+      ++out.unsuppressed;
+    } else if (f.suppressed_by == "baseline") {
+      ++out.suppressed_baseline;
+    } else {
+      ++out.suppressed_inline;
+    }
+  }
+  return out;
+}
+
+std::string analysis_to_json(const Analysis& analysis) {
+  std::string out = "{\"schema\": \"aic-lint-v1\",\n";
+  out += " \"files\": " + std::to_string(analysis.files) + ",\n";
+  out += " \"summary\": {\"unsuppressed\": " +
+         std::to_string(analysis.unsuppressed) +
+         ", \"baseline_suppressed\": " +
+         std::to_string(analysis.suppressed_baseline) +
+         ", \"inline_suppressed\": " +
+         std::to_string(analysis.suppressed_inline) +
+         ", \"stale_baseline\": " + std::to_string(analysis.stale.size()) +
+         "},\n";
+  out += " \"findings\": [";
+  bool first = true;
+  for (const Finding& f : analysis.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"rule\": \"" + obs::json_escape(f.rule) + "\", \"path\": \"" +
+           obs::json_escape(f.path) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"message\": \"" +
+           obs::json_escape(f.message) + "\", \"fingerprint\": \"" +
+           obs::json_escape(f.fingerprint) + "\", \"suppressed\": " +
+           (f.suppressed ? "true" : "false");
+    if (f.suppressed) {
+      out += ", \"suppressed_by\": \"" + obs::json_escape(f.suppressed_by) +
+             "\"";
+    }
+    out += "}";
+  }
+  out += first ? "],\n" : "\n ],\n";
+  out += " \"stale_baseline\": [";
+  first = true;
+  for (const BaselineEntry& e : analysis.stale) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"rule\": \"" + obs::json_escape(e.rule) + "\", \"path\": \"" +
+           obs::json_escape(e.path) + "\", \"fingerprint\": \"" +
+           obs::json_escape(e.fingerprint) + "\"}";
+  }
+  out += first ? "]}\n" : "\n ]}\n";
+  return out;
+}
+
+}  // namespace aic::analysis

@@ -1,0 +1,49 @@
+// Analyzer orchestration: lex every file once, compute the project-wide
+// CheckError family, run the token rules and the layering check, then apply
+// inline allows and the suppression baseline.
+//
+// The library is pure string-in/findings-out — all filesystem traversal and
+// I/O live in tools/aic_lint.cc — so tests feed it fixture corpora and
+// hostile inputs directly, and the analyzer itself obeys the rules it
+// enforces (no iostream, no printing, CheckError-family errors only).
+//
+// Inline suppression: a comment containing `aic-lint: allow(rule-a,rule-b)`
+// suppresses findings of those rules on the comment's line and the line
+// after it (so the comment can sit on its own line above the construct).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/baseline.h"
+#include "analysis/rules.h"
+
+namespace aic::analysis {
+
+struct SourceFile {
+  std::string path;     // repo-relative, forward slashes
+  std::string content;  // raw bytes
+};
+
+struct Analysis {
+  std::vector<Finding> findings;      // sorted by (path, line, rule)
+  std::vector<BaselineEntry> stale;   // baseline entries that matched nothing
+  int files = 0;
+  int unsuppressed = 0;
+  int suppressed_baseline = 0;
+  int suppressed_inline = 0;
+
+  bool clean() const { return unsuppressed == 0 && stale.empty(); }
+};
+
+/// Runs the full analysis over a file set. Total on hostile input: lexer
+/// failures become `lex-error` findings, never exceptions.
+Analysis analyze(const std::vector<SourceFile>& files,
+                 const Baseline& baseline);
+
+/// Machine-readable findings document (schema aic-lint-v1), hostile-input-
+/// safe style of obs/json: every string escaped, stable field order.
+std::string analysis_to_json(const Analysis& analysis);
+
+}  // namespace aic::analysis

@@ -1,0 +1,82 @@
+#include "analysis/baseline.h"
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace aic::analysis {
+
+namespace {
+
+std::string required_string(const obs::JsonValue& obj, std::string_view key) {
+  const obs::JsonValue& v = obj.at(key);
+  AIC_CHECK_MSG(v.is(obs::JsonValue::Kind::kString),
+                "baseline: field '" << key << "' must be a string");
+  return v.str;
+}
+
+}  // namespace
+
+Baseline baseline_from_json(std::string_view text) {
+  const obs::JsonValue doc = obs::json_parse(text);
+  AIC_CHECK_MSG(doc.is(obs::JsonValue::Kind::kObject),
+                "baseline: document must be an object");
+  AIC_CHECK_MSG(required_string(doc, "schema") == "aic-lint-baseline-v1",
+                "baseline: unsupported schema (want aic-lint-baseline-v1)");
+  const obs::JsonValue& list = doc.at("suppressions");
+  AIC_CHECK_MSG(list.is(obs::JsonValue::Kind::kArray),
+                "baseline: 'suppressions' must be an array");
+  Baseline out;
+  out.entries.reserve(list.array.size());
+  for (const obs::JsonValue& item : list.array) {
+    AIC_CHECK_MSG(item.is(obs::JsonValue::Kind::kObject),
+                  "baseline: each suppression must be an object");
+    BaselineEntry e;
+    e.rule = required_string(item, "rule");
+    e.path = required_string(item, "path");
+    e.fingerprint = required_string(item, "fingerprint");
+    if (const obs::JsonValue* r = item.find("reason")) {
+      AIC_CHECK_MSG(r->is(obs::JsonValue::Kind::kString),
+                    "baseline: 'reason' must be a string");
+      e.reason = r->str;
+    }
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string baseline_to_json(const Baseline& baseline) {
+  std::string out = "{\"schema\": \"aic-lint-baseline-v1\",\n";
+  out += " \"suppressions\": [";
+  bool first = true;
+  for (const BaselineEntry& e : baseline.entries) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"rule\": \"" + obs::json_escape(e.rule) + "\", \"path\": \"" +
+           obs::json_escape(e.path) + "\", \"fingerprint\": \"" +
+           obs::json_escape(e.fingerprint) + "\", \"reason\": \"" +
+           obs::json_escape(e.reason) + "\"}";
+  }
+  out += first ? "]}\n" : "\n ]}\n";
+  return out;
+}
+
+std::vector<BaselineEntry> apply_baseline(const Baseline& baseline,
+                                          std::vector<Finding>& findings) {
+  std::vector<BaselineEntry> stale;
+  for (const BaselineEntry& e : baseline.entries) {
+    bool used = false;
+    for (Finding& f : findings) {
+      if (f.suppressed || f.rule != e.rule || f.path != e.path ||
+          f.fingerprint != e.fingerprint) {
+        continue;
+      }
+      f.suppressed = true;
+      f.suppressed_by = "baseline";
+      used = true;
+    }
+    if (!used) stale.push_back(e);
+  }
+  return stale;
+}
+
+}  // namespace aic::analysis

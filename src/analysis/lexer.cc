@@ -1,0 +1,337 @@
+#include "analysis/lexer.h"
+
+#include <array>
+#include <cstddef>
+
+namespace aic::analysis {
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r';
+}
+
+/// String-literal encoding prefixes; an identifier equal to one of these
+/// immediately followed by a quote is a literal prefix, not an identifier.
+bool is_string_prefix(std::string_view id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR" ||
+         id == "u8" || id == "u" || id == "U" || id == "L";
+}
+bool is_char_prefix(std::string_view id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+/// Multi-character punctuators, longest first so maximal munch holds.
+constexpr std::array<std::string_view, 24> kPuncts = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "##",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) { splice(src); }
+
+  LexedFile run() {
+    bool at_line_start = true;
+    while (p_ < text_.size()) {
+      const char c = text_[p_];
+      if (c == '\n') {
+        at_line_start = true;
+        ++p_;
+        continue;
+      }
+      if (is_space(c)) {
+        ++p_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;  // comments do not reset at_line_start
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start) {
+        directive();
+        at_line_start = false;
+        continue;
+      }
+      at_line_start = false;
+      if (is_ident_start(c)) {
+        identifier_or_literal();
+      } else if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        number();
+      } else if (c == '"') {
+        string_literal(/*raw=*/false);
+      } else if (c == '\'') {
+        char_literal();
+      } else {
+        punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // --- phase 1: backslash-newline splices removed, line map retained ------
+  void splice(std::string_view src) {
+    text_.reserve(src.size());
+    line_of_.reserve(src.size() + 1);
+    int line = 1;
+    for (std::size_t i = 0; i < src.size();) {
+      if (src[i] == '\\' && i + 1 < src.size() &&
+          (src[i + 1] == '\n' ||
+           (src[i + 1] == '\r' && i + 2 < src.size() && src[i + 2] == '\n'))) {
+        i += src[i + 1] == '\r' ? 3 : 2;
+        ++line;
+        continue;
+      }
+      text_.push_back(src[i]);
+      line_of_.push_back(line);
+      if (src[i] == '\n') ++line;
+      ++i;
+    }
+    line_of_.push_back(line);  // sentinel: line of the EOF position
+  }
+
+  char peek(std::size_t ahead) const {
+    return p_ + ahead < text_.size() ? text_[p_ + ahead] : '\0';
+  }
+  int line_here() const { return line_of_[p_]; }
+  int line_at(std::size_t pos) const {
+    return line_of_[pos < line_of_.size() ? pos : line_of_.size() - 1];
+  }
+
+  void error(std::string message, int line) {
+    out_.errors.push_back({std::move(message), line});
+  }
+
+  void emit(TokenKind kind, std::string text, int line) {
+    out_.tokens.push_back({kind, std::move(text), line});
+  }
+
+  // --- comments -----------------------------------------------------------
+  void line_comment() {
+    const std::size_t start = p_;
+    while (p_ < text_.size() && text_[p_] != '\n') ++p_;
+    out_.comments.push_back(
+        {std::string(text_, start, p_ - start), line_at(start)});
+  }
+
+  void block_comment() {
+    const std::size_t start = p_;
+    p_ += 2;
+    while (p_ < text_.size() && !(text_[p_] == '*' && peek(1) == '/')) ++p_;
+    if (p_ >= text_.size()) {
+      error("unterminated block comment", line_at(start));
+    } else {
+      p_ += 2;
+    }
+    out_.comments.push_back(
+        {std::string(text_, start, p_ - start), line_at(start)});
+  }
+
+  // --- literals -----------------------------------------------------------
+  void string_literal(bool raw) {
+    const int line = line_here();
+    if (raw) {
+      raw_string(line);
+      return;
+    }
+    ++p_;  // opening quote
+    while (p_ < text_.size()) {
+      const char c = text_[p_];
+      if (c == '\\' && p_ + 1 < text_.size()) {
+        p_ += 2;
+      } else if (c == '"') {
+        ++p_;
+        emit(TokenKind::kString, "", line);
+        return;
+      } else if (c == '\n') {
+        break;  // ordinary string literals do not span lines
+      } else {
+        ++p_;
+      }
+    }
+    error("unterminated string literal", line);
+    emit(TokenKind::kString, "", line);
+  }
+
+  void raw_string(int line) {
+    ++p_;  // opening quote; cursor now at the delimiter
+    std::string delim;
+    while (p_ < text_.size() && text_[p_] != '(' && delim.size() <= 16) {
+      const char c = text_[p_];
+      if (c == ')' || c == '\\' || is_space(c) || c == '\n') break;
+      delim.push_back(c);
+      ++p_;
+    }
+    if (p_ >= text_.size() || text_[p_] != '(') {
+      error("malformed raw string delimiter", line);
+      emit(TokenKind::kString, "", line);
+      return;
+    }
+    ++p_;  // '('
+    const std::string close = ")" + delim + "\"";
+    const std::size_t end = text_.find(close, p_);
+    if (end == std::string::npos) {
+      error("unterminated raw string literal", line);
+      p_ = text_.size();
+    } else {
+      p_ = end + close.size();
+    }
+    emit(TokenKind::kString, "", line);
+  }
+
+  void char_literal() {
+    const int line = line_here();
+    ++p_;  // opening quote
+    while (p_ < text_.size()) {
+      const char c = text_[p_];
+      if (c == '\\' && p_ + 1 < text_.size()) {
+        p_ += 2;
+      } else if (c == '\'') {
+        ++p_;
+        emit(TokenKind::kChar, "", line);
+        return;
+      } else if (c == '\n') {
+        break;
+      } else {
+        ++p_;
+      }
+    }
+    error("unterminated character literal", line);
+    emit(TokenKind::kChar, "", line);
+  }
+
+  // --- identifiers / numbers ---------------------------------------------
+  void identifier_or_literal() {
+    const int line = line_here();
+    const std::size_t start = p_;
+    while (p_ < text_.size() && is_ident_char(text_[p_])) ++p_;
+    std::string id(text_, start, p_ - start);
+    if (p_ < text_.size() && text_[p_] == '"' && is_string_prefix(id)) {
+      string_literal(/*raw=*/id.back() == 'R');
+      return;
+    }
+    if (p_ < text_.size() && text_[p_] == '\'' && is_char_prefix(id)) {
+      char_literal();
+      return;
+    }
+    emit(TokenKind::kIdentifier, std::move(id), line);
+  }
+
+  void number() {
+    const int line = line_here();
+    const std::size_t start = p_;
+    ++p_;
+    while (p_ < text_.size()) {
+      const char c = text_[p_];
+      if (is_ident_char(c) || c == '.') {
+        ++p_;
+      } else if (c == '\'' && p_ + 1 < text_.size() &&
+                 is_ident_char(text_[p_ + 1])) {
+        p_ += 2;  // digit separator
+      } else if ((c == '+' || c == '-') &&
+                 (text_[p_ - 1] == 'e' || text_[p_ - 1] == 'E' ||
+                  text_[p_ - 1] == 'p' || text_[p_ - 1] == 'P')) {
+        ++p_;  // exponent sign
+      } else {
+        break;
+      }
+    }
+    emit(TokenKind::kNumber, std::string(text_, start, p_ - start), line);
+  }
+
+  // --- preprocessor -------------------------------------------------------
+  void directive() {
+    const int line = line_here();
+    ++p_;  // '#'
+    while (p_ < text_.size() && is_space(text_[p_])) ++p_;
+    std::string name;
+    while (p_ < text_.size() && is_ident_char(text_[p_])) {
+      name.push_back(text_[p_]);
+      ++p_;
+    }
+    if (name == "include") {
+      include_target(line);
+    }
+    // Consume the rest of the directive line, honouring comments and
+    // string literals (a "//" inside an #error string is not a comment).
+    while (p_ < text_.size() && text_[p_] != '\n') {
+      const char c = text_[p_];
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();  // may span lines; directive ends at its own line
+      } else if (c == '"') {
+        directive_quoted('"');
+      } else if (c == '\'') {
+        directive_quoted('\'');
+      } else {
+        ++p_;
+      }
+    }
+    emit(TokenKind::kDirective, std::move(name), line);
+  }
+
+  /// Skips a quoted span inside a directive body without emitting a token.
+  void directive_quoted(char quote) {
+    ++p_;
+    while (p_ < text_.size() && text_[p_] != quote && text_[p_] != '\n') {
+      p_ += (text_[p_] == '\\' && p_ + 1 < text_.size()) ? 2 : 1;
+    }
+    if (p_ < text_.size() && text_[p_] == quote) ++p_;
+  }
+
+  void include_target(int line) {
+    while (p_ < text_.size() && is_space(text_[p_])) ++p_;
+    if (p_ >= text_.size()) return;
+    const char open = text_[p_];
+    if (open != '<' && open != '"') return;  // macro-computed include: skip
+    const char close = open == '<' ? '>' : '"';
+    ++p_;
+    std::string path;
+    while (p_ < text_.size() && text_[p_] != close && text_[p_] != '\n') {
+      path.push_back(text_[p_]);
+      ++p_;
+    }
+    if (p_ < text_.size() && text_[p_] == close) {
+      ++p_;
+      out_.includes.push_back({std::move(path), open == '<', line});
+    } else {
+      error("unterminated #include target", line);
+    }
+  }
+
+  // --- punctuation --------------------------------------------------------
+  void punct() {
+    const int line = line_here();
+    for (const std::string_view op : kPuncts) {
+      if (text_.compare(p_, op.size(), op) == 0) {
+        emit(TokenKind::kPunct, std::string(op), line);
+        p_ += op.size();
+        return;
+      }
+    }
+    emit(TokenKind::kPunct, std::string(1, text_[p_]), line);
+    ++p_;
+  }
+
+  std::string text_;
+  std::vector<int> line_of_;
+  std::size_t p_ = 0;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace aic::analysis

@@ -1,0 +1,79 @@
+// Token-level C++ lexer for the project static analyzer (aic_lint).
+//
+// The convention greps in scripts/lint.sh cannot see block comments, string
+// literals, or `#include` structure — a string containing "exit(" is a false
+// positive and code trailing a block comment is a false negative. This lexer
+// is the fix: it classifies every byte of a translation unit as comment,
+// string/char literal, preprocessor directive, or real token, so the rule
+// engine (rules.h) matches only code that the compiler would actually
+// compile.
+//
+// Scope and deliberate simplifications (documented, not accidental):
+//
+//   * keywords are kIdentifier tokens — the rules match on spelling;
+//   * string/char literal *content* is discarded (rules only need to know
+//     a literal occupies the span), but raw strings, encoding prefixes, and
+//     escapes are honoured so the literal's *end* is found correctly;
+//   * backslash-newline splices are resolved before scanning (line numbers
+//     are tracked through the splice). Per the standard raw strings revert
+//     splices; this lexer does not re-insert them — acceptable because only
+//     literal termination matters here, not content;
+//   * hostile input never throws or crashes: unterminated comments and
+//     literals consume to end-of-file/line and are reported in
+//     LexedFile::errors (the analyzer turns them into `lex-error` findings),
+//     and unknown bytes become single-character punctuation tokens.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aic::analysis {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,  // identifiers and keywords
+  kNumber,      // pp-number (incl. digit separators and suffixes)
+  kString,      // string literal of any prefix, incl. raw strings
+  kChar,        // character literal
+  kPunct,       // operator/punctuator; text is the exact spelling
+  kDirective,   // a whole preprocessor line; text is the directive name
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 1;  // 1-based line of the token's first character
+};
+
+/// One `#include` directive, as written.
+struct IncludeDirective {
+  std::string path;
+  bool angled = false;  // <...> vs "..."
+  int line = 1;
+};
+
+/// A comment's text (delimiters included) — kept for the inline-suppression
+/// scanner (`// aic-lint: allow(rule)`).
+struct Comment {
+  std::string text;
+  int line = 1;
+};
+
+struct LexError {
+  std::string message;
+  int line = 1;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<Comment> comments;
+  std::vector<LexError> errors;
+};
+
+/// Lexes one translation unit. Total, never throws: any byte sequence
+/// produces a LexedFile (possibly with errors recorded).
+LexedFile lex(std::string_view src);
+
+}  // namespace aic::analysis

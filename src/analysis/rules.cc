@@ -1,0 +1,398 @@
+#include "analysis/rules.h"
+
+#include <array>
+
+namespace aic::analysis {
+namespace {
+
+struct PathInfo {
+  bool library = false;   // under src/
+  bool frontend = false;  // under bench/ or tools/
+  std::string module;     // first directory under src/ ("" otherwise)
+  std::string filename;   // basename
+};
+
+PathInfo classify(const std::string& path) {
+  PathInfo info;
+  const std::size_t slash = path.find_last_of('/');
+  info.filename = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (path.rfind("src/", 0) == 0) {
+    info.library = true;
+    const std::size_t next = path.find('/', 4);
+    if (next != std::string::npos) info.module = path.substr(4, next - 4);
+  } else if (path.rfind("bench/", 0) == 0 || path.rfind("tools/", 0) == 0) {
+    info.frontend = true;
+  }
+  return info;
+}
+
+bool is_id(const Token& t, std::string_view s) {
+  return t.kind == TokenKind::kIdentifier && t.text == s;
+}
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == TokenKind::kPunct && t.text == s;
+}
+
+bool id_in(const Token& t, std::initializer_list<std::string_view> set) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  for (const std::string_view s : set) {
+    if (t.text == s) return true;
+  }
+  return false;
+}
+
+constexpr std::array<std::string_view, 12> kFundamental = {
+    "int",   "long",   "short",   "unsigned", "signed",   "char",
+    "bool",  "float",  "double",  "wchar_t",  "char16_t", "char32_t",
+};
+
+bool is_fundamental(std::string_view id) {
+  for (const std::string_view s : kFundamental) {
+    if (id == s) return true;
+  }
+  return false;
+}
+
+/// Evaluates every applicable rule over one file's token stream.
+class RuleRunner {
+ public:
+  RuleRunner(const std::string& path, const LexedFile& file,
+             const std::set<std::string>& error_family)
+      : path_(path),
+        info_(classify(path)),
+        toks_(file.tokens),
+        includes_(file.includes),
+        family_(error_family) {}
+
+  std::vector<Finding> run() {
+    const bool exempt_clock_gateway = info_.library && info_.module == "obs";
+    if (info_.library || info_.frontend) {
+      if (!exempt_clock_gateway) clock_gateway();
+    }
+    if (!info_.library) return std::move(out_);
+
+    if (info_.module != "common") own_new_delete();
+    include_iostream();
+    printf_family();
+    abort_exit();
+    if (info_.module == "delta" || info_.module == "ckpt") overlap_memcpy();
+    if (!(info_.module == "common" && info_.filename.rfind("rng.", 0) == 0)) {
+      det_entropy();
+    }
+    if (!(info_.module == "obs" && info_.filename.rfind("clock.", 0) == 0)) {
+      det_clock();
+    }
+    det_env();
+    exc_catch_rules();
+    exc_throw_type();
+    return std::move(out_);
+  }
+
+ private:
+  const Token& tok(std::size_t i) const { return toks_[i]; }
+  std::size_t size() const { return toks_.size(); }
+
+  void add(std::string rule, int line, std::string message,
+           std::string fingerprint) {
+    out_.push_back({std::move(rule), path_, line, std::move(message),
+                    std::move(fingerprint), false, ""});
+  }
+
+  /// True when token i is an identifier immediately called: `name (`.
+  bool is_call(std::size_t i) const {
+    return tok(i).kind == TokenKind::kIdentifier && i + 1 < size() &&
+           is_punct(tok(i + 1), "(");
+  }
+
+  /// True when a callee at i is plain or std::-qualified (member calls and
+  /// other-namespace qualifications are someone else's function).
+  bool plain_or_std(std::size_t i) const {
+    if (i >= 1 && (is_punct(tok(i - 1), ".") || is_punct(tok(i - 1), "->"))) {
+      return false;
+    }
+    if (i >= 1 && is_punct(tok(i - 1), "::")) {
+      return i >= 2 && is_id(tok(i - 2), "std");
+    }
+    return true;
+  }
+
+  void flag_calls(std::string_view rule,
+                  std::initializer_list<std::string_view> callees,
+                  std::string_view message_suffix) {
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (id_in(tok(i), callees) && is_call(i) && plain_or_std(i)) {
+        add(std::string(rule), tok(i).line,
+            tok(i).text + "() " + std::string(message_suffix), tok(i).text);
+      }
+    }
+  }
+
+  // --- L1 ------------------------------------------------------------------
+  void own_new_delete() {
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (is_id(tok(i), "new")) {
+        add("own-new-delete", tok(i).line,
+            "raw new outside src/common/ — ownership is unique_ptr/"
+            "containers in library code",
+            "new");
+      } else if (is_id(tok(i), "delete")) {
+        if (i >= 1 && is_punct(tok(i - 1), "=")) continue;  // = delete;
+        add("own-new-delete", tok(i).line,
+            "raw delete outside src/common/ — ownership is unique_ptr/"
+            "containers in library code",
+            "delete");
+      }
+    }
+  }
+
+  // --- L2 ------------------------------------------------------------------
+  void include_iostream() {
+    for (const IncludeDirective& inc : includes_) {
+      if (inc.angled && inc.path == "iostream") {
+        add("include-iostream", inc.line,
+            "#include <iostream> in library code — the library reports "
+            "through return values and CheckError, never by printing",
+            "iostream");
+      }
+    }
+  }
+
+  // --- L3 ------------------------------------------------------------------
+  void printf_family() {
+    flag_calls("printf-family", {"printf", "fprintf", "puts"},
+               "call in library code — report through return values and "
+               "CheckError");
+  }
+
+  // --- L4 ------------------------------------------------------------------
+  void abort_exit() {
+    flag_calls("abort-exit", {"abort", "exit", "_Exit", "quick_exit"},
+               "call in library code — invariants throw CheckError so "
+               "callers and tests can observe them");
+  }
+
+  // --- L5 ------------------------------------------------------------------
+  void clock_gateway() {
+    for (std::size_t i = 0; i + 3 < size(); ++i) {
+      if (id_in(tok(i),
+                {"system_clock", "steady_clock", "high_resolution_clock"}) &&
+          is_punct(tok(i + 1), "::") && is_id(tok(i + 2), "now") &&
+          is_punct(tok(i + 3), "(")) {
+        add("clock-gateway", tok(i).line,
+            tok(i).text + "::now() outside src/obs/ — obs::wall_now_ns is "
+                          "the single host-clock gateway",
+            tok(i).text);
+      }
+    }
+  }
+
+  // --- L6 ------------------------------------------------------------------
+  void overlap_memcpy() {
+    flag_calls("overlap-memcpy", {"memcpy"},
+               "in an aliasing-sensitive layer — use std::memmove or "
+               "common/bytes.h copy_no_overlap");
+  }
+
+  // --- determinism ---------------------------------------------------------
+  void det_entropy() {
+    flag_calls("det-entropy",
+               {"rand", "srand", "rand_r", "random", "srandom", "drand48"},
+               "in library code — common::Rng is the only entropy gateway");
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (is_id(tok(i), "random_device")) {
+        add("det-entropy", tok(i).line,
+            "random_device in library code — common::Rng is the only "
+            "entropy gateway",
+            "random_device");
+      }
+    }
+  }
+
+  void det_clock() {
+    flag_calls("det-clock",
+               {"time", "gettimeofday", "clock_gettime", "clock", "localtime",
+                "gmtime", "ctime", "mktime", "timespec_get"},
+               "in library code — obs::wall_now_ns is the only host-clock "
+               "gateway");
+  }
+
+  void det_env() {
+    flag_calls("det-env",
+               {"getenv", "secure_getenv", "setenv", "unsetenv", "putenv"},
+               "in library code — configuration is passed explicitly, "
+               "never read ambiently");
+  }
+
+  // --- exception discipline -----------------------------------------------
+  /// Index just past the matching closer for the opener at `open`;
+  /// size() when unbalanced (hostile input).
+  std::size_t skip_balanced(std::size_t open, std::string_view opener,
+                            std::string_view closer) const {
+    int depth = 0;
+    for (std::size_t i = open; i < size(); ++i) {
+      if (is_punct(tok(i), opener)) ++depth;
+      if (is_punct(tok(i), closer) && --depth == 0) return i + 1;
+    }
+    return size();
+  }
+
+  void exc_catch_rules() {
+    for (std::size_t i = 0; i + 1 < size(); ++i) {
+      if (!is_id(tok(i), "catch") || !is_punct(tok(i + 1), "(")) continue;
+      const std::size_t params_end = skip_balanced(i + 1, "(", ")");
+      // Parameter token span, parens excluded.
+      const std::size_t lo = i + 2, hi = params_end - 1;
+      bool catch_all = false, by_ref = false;
+      std::string first_type, joined;
+      for (std::size_t k = lo; k < hi && k < size(); ++k) {
+        const Token& t = tok(k);
+        if (is_punct(t, "...")) catch_all = true;
+        if (is_punct(t, "&") || is_punct(t, "*")) by_ref = true;
+        if (t.kind == TokenKind::kIdentifier) {
+          if (first_type.empty() && t.text != "const" && t.text != "volatile") {
+            first_type = t.text;
+          }
+          joined += joined.empty() ? t.text : " " + t.text;
+        }
+      }
+      if (catch_all) {
+        catch_all_swallow(i, params_end);
+      } else if (!by_ref && !first_type.empty() &&
+                 !is_fundamental(first_type)) {
+        add("exc-catch-value", tok(i).line,
+            "catch-by-value of class type (" + joined +
+                ") — slices; catch by const reference",
+            joined);
+      }
+    }
+  }
+
+  void catch_all_swallow(std::size_t catch_idx, std::size_t body_open) {
+    if (body_open >= size() || !is_punct(tok(body_open), "{")) return;
+    const std::size_t body_end = skip_balanced(body_open, "{", "}");
+    for (std::size_t k = body_open; k < body_end; ++k) {
+      if (id_in(tok(k), {"throw", "current_exception", "rethrow_exception",
+                         "throw_with_nested"})) {
+        return;  // rethrows or captures — not a swallow
+      }
+    }
+    add("exc-catch-all", tok(catch_idx).line,
+        "catch (...) that swallows — rethrow, capture via "
+        "std::current_exception, or catch the specific type",
+        "catch(...)");
+  }
+
+  void exc_throw_type() {
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (!is_id(tok(i), "throw")) continue;
+      if (i + 1 >= size()) break;
+      if (is_punct(tok(i + 1), ";")) continue;  // rethrow
+      // Collect the identifier chain of the thrown expression's type.
+      std::string last_id;
+      std::size_t k = i + 1;
+      while (k < size() &&
+             (tok(k).kind == TokenKind::kIdentifier || is_punct(tok(k), "::"))) {
+        if (tok(k).kind == TokenKind::kIdentifier) last_id = tok(k).text;
+        ++k;
+      }
+      if (last_id.empty()) {
+        add("exc-throw-type", tok(i).line,
+            "throw of a non-class expression — library errors are the "
+            "CheckError family",
+            "<non-class>");
+      } else if (family_.find(last_id) == family_.end()) {
+        add("exc-throw-type", tok(i).line,
+            "throw of " + last_id +
+                " — library errors derive from aic::CheckError so tests "
+                "and callers can catch one family",
+            last_id);
+      }
+    }
+  }
+
+  const std::string& path_;
+  PathInfo info_;
+  const std::vector<Token>& toks_;
+  const std::vector<IncludeDirective>& includes_;
+  const std::set<std::string>& family_;
+  std::vector<Finding> out_;
+};
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> class_bases(
+    const LexedFile& file) {
+  std::vector<std::pair<std::string, std::string>> edges;
+  const std::vector<Token>& t = file.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!is_id(t[i], "class") && !is_id(t[i], "struct")) continue;
+    if (i >= 1 && is_id(t[i - 1], "enum")) continue;  // enum class
+    std::size_t k = i + 1;
+    if (k >= t.size() || t[k].kind != TokenKind::kIdentifier) continue;
+    const std::string derived = t[k].text;
+    ++k;
+    if (k < t.size() && is_id(t[k], "final")) ++k;
+    if (k >= t.size() || !is_punct(t[k], ":")) continue;
+    ++k;
+    // Base list: [access] [virtual] qualified-name [<...>] ("," ...)* "{"
+    while (k < t.size() && !is_punct(t[k], "{") && !is_punct(t[k], ";")) {
+      while (k < t.size() &&
+             id_in(t[k], {"public", "private", "protected", "virtual"})) {
+        ++k;
+      }
+      std::string base;
+      while (k < t.size() &&
+             (t[k].kind == TokenKind::kIdentifier || is_punct(t[k], "::"))) {
+        if (t[k].kind == TokenKind::kIdentifier) base = t[k].text;
+        ++k;
+      }
+      if (k < t.size() && is_punct(t[k], "<")) {  // skip template arguments
+        int depth = 0;
+        while (k < t.size()) {
+          if (is_punct(t[k], "<")) ++depth;
+          if (is_punct(t[k], ">") && --depth == 0) {
+            ++k;
+            break;
+          }
+          if (is_punct(t[k], ">>")) {
+            depth -= 2;
+            ++k;
+            if (depth <= 0) break;
+            continue;
+          }
+          ++k;
+        }
+      }
+      if (!base.empty()) edges.emplace_back(derived, base);
+      if (k < t.size() && is_punct(t[k], ",")) {
+        ++k;
+        continue;
+      }
+      break;
+    }
+  }
+  return edges;
+}
+
+std::set<std::string> check_error_family(
+    const std::vector<std::pair<std::string, std::string>>& edges) {
+  std::set<std::string> family = {"CheckError"};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& [derived, base] : edges) {
+      if (family.count(base) != 0 && family.insert(derived).second) {
+        grew = true;
+      }
+    }
+  }
+  return family;
+}
+
+std::vector<Finding> run_token_rules(
+    const std::string& path, const LexedFile& file,
+    const std::set<std::string>& error_family) {
+  return RuleRunner(path, file, error_family).run();
+}
+
+}  // namespace aic::analysis

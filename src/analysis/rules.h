@@ -1,0 +1,71 @@
+// Token-level rule engine: the repo conventions L1–L6 plus determinism and
+// exception-discipline rules, evaluated over lexer.h token streams.
+//
+// Rule catalog (ids are stable — they appear in findings, baselines, and
+// inline `// aic-lint: allow(<rule>)` comments; DESIGN.md §14 documents
+// each with rationale):
+//
+//   own-new-delete   L1  raw new/delete outside src/common/
+//   include-iostream L2  #include <iostream> in src/ library code
+//   printf-family    L3  printf/fprintf/puts calls in src/
+//   abort-exit       L4  abort()/exit() in src/ (invariants throw CheckError)
+//   clock-gateway    L5  chrono clock ::now() outside src/obs/ (src/, bench/,
+//                        tools/) — obs::wall_now_ns is the host-clock gateway
+//   overlap-memcpy   L6  raw memcpy in src/delta|src/ckpt (aliasing layers)
+//   det-entropy          rand/srand/random_device outside common/rng.* —
+//                        common::Rng is the only entropy gateway
+//   det-clock            time()/gettimeofday()/clock() etc. outside
+//                        src/obs/clock.*
+//   det-env              getenv/setenv in library code (config is explicit)
+//   exc-catch-all        catch (...) that swallows (no rethrow, no
+//                        current_exception capture)
+//   exc-catch-value      catch by value of a class type (slices; catch by
+//                        const reference)
+//   exc-throw-type       throw of a type outside the CheckError family
+//   lex-error            source the lexer could not fully tokenize
+//
+// Library rules run on src/; clock-gateway additionally runs on bench/ and
+// tools/ (their timing flows into BENCH_*.json records that aic_benchdiff
+// compares across runs). Findings carry a line-independent fingerprint so
+// baseline entries survive unrelated edits.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/lexer.h"
+
+namespace aic::analysis {
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+  std::string fingerprint;
+  bool suppressed = false;
+  std::string suppressed_by;  // "baseline" | "inline" | "" (not suppressed)
+};
+
+/// `Derived -> base` inheritance edges visible in one file, by unqualified
+/// class name (the last identifier of a qualified base wins, so
+/// `aic::CheckError` contributes "CheckError").
+std::vector<std::pair<std::string, std::string>> class_bases(
+    const LexedFile& file);
+
+/// Unqualified names of classes transitively derived from CheckError
+/// (CheckError itself included) given project-wide inheritance edges.
+std::set<std::string> check_error_family(
+    const std::vector<std::pair<std::string, std::string>>& edges);
+
+/// Runs every token rule applicable to `path` (repo-relative, forward
+/// slashes) over one lexed file. `error_family` comes from
+/// check_error_family over the whole library file set.
+std::vector<Finding> run_token_rules(const std::string& path,
+                                     const LexedFile& file,
+                                     const std::set<std::string>& error_family);
+
+}  // namespace aic::analysis

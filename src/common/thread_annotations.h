@@ -1,0 +1,43 @@
+// Clang -Wthread-safety annotation macros, no-ops everywhere else.
+//
+// The analysis proves lock discipline at compile time: a member declared
+// AIC_GUARDED_BY(mutex_) may only be touched while mutex_ is held, and a
+// function declared AIC_REQUIRES(mutex_) may only be called with it held.
+// GCC accepts the code unannotated (the macros expand to nothing), so the
+// annotations are free documentation there and a checked contract under
+// clang.
+//
+// Gating: clang's analysis only understands std::mutex / std::lock_guard
+// when the standard library itself is annotated. libc++ is (behind
+// _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS); libstdc++ is not — enabling
+// the attributes against libstdc++ would flag every correctly-locked
+// access as unguarded. So the attributes expand only when the active
+// standard library advertises annotated mutex types, or when the build
+// forces them on (-DAIC_FORCE_THREAD_ANNOTATIONS with an annotated mutex).
+#pragma once
+
+#include <version>
+
+#if defined(AIC_FORCE_THREAD_ANNOTATIONS) ||      \
+    (defined(__clang__) &&                        \
+     defined(_LIBCPP_HAS_THREAD_SAFETY_ANNOTATIONS))
+#define AIC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AIC_THREAD_ANNOTATION(x)
+#endif
+
+/// Member access requires holding the named mutex.
+#define AIC_GUARDED_BY(x) AIC_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee access (not the pointer itself) requires the named mutex.
+#define AIC_PT_GUARDED_BY(x) AIC_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Caller must hold the named mutex(es) around this function.
+#define AIC_REQUIRES(...) \
+  AIC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires / releases the named mutex(es).
+#define AIC_ACQUIRE(...) AIC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define AIC_RELEASE(...) AIC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Caller must NOT hold the named mutex(es) (deadlock prevention).
+#define AIC_EXCLUDES(...) AIC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot model; justify at the site.
+#define AIC_NO_THREAD_SAFETY_ANALYSIS \
+  AIC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace aic::common {
 
 class ThreadPool {
@@ -52,10 +54,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_cv_;  // signals workers: task ready / stop
   std::condition_variable idle_cv_;  // signals wait_idle: pending_ hit zero
-  std::deque<std::function<void()>> queue_;
-  std::size_t pending_ = 0;  // queued + currently running tasks
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_ AIC_GUARDED_BY(mutex_);
+  std::size_t pending_ AIC_GUARDED_BY(mutex_) = 0;  // queued + running tasks
+  bool stop_ AIC_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> threads_;  // written only in ctor, joined in dtor
 };
 
 }  // namespace aic::common

@@ -106,7 +106,7 @@ bool FlightRecorder::dump(std::string_view reason,
     if (!out) return false;
     out << postmortem_json(reason, detail);
     return bool(out);
-  } catch (...) {
+  } catch (...) {  // aic-lint: allow(exc-catch-all): noexcept dump boundary
     return false;
   }
 }
@@ -124,7 +124,7 @@ void terminate_with_postmortem() {
         std::rethrow_exception(ep);
       } catch (const std::exception& e) {
         detail = e.what();
-      } catch (...) {
+      } catch (...) {  // aic-lint: allow(exc-catch-all): classifying, not hiding
         detail = "(non-standard exception)";
       }
     }
@@ -133,7 +133,7 @@ void terminate_with_postmortem() {
   if (g_previous_terminate != nullptr) g_previous_terminate();
   // Terminate handlers must not return; if the chained handler somehow
   // did, end the process with the conventional SIGABRT-like status.
-  std::_Exit(134);
+  std::_Exit(134);  // aic-lint: allow(abort-exit): terminate handlers must not return
 }
 
 }  // namespace

@@ -29,6 +29,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace aic::obs {
 
 /// Monotone event counter.
@@ -126,9 +128,12 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      AIC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      AIC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      AIC_GUARDED_BY(mutex_);
 };
 
 }  // namespace aic::obs

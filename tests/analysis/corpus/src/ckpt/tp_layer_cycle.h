@@ -1,0 +1,5 @@
+// TP layer-cycle: this header and storage/tp_cycle_peer.h include each
+// other, closing a ckpt <-> storage module cycle (this edge is also an
+// illegal layer-edge; the peer's edge is policy-legal on its own).
+#pragma once
+#include "storage/tp_cycle_peer.h"

@@ -1,0 +1,4 @@
+// TN own-new-delete: src/common/ is the sanctioned home for raw
+// allocation primitives, so the rule is exempt here by design.
+char* corpus_arena_grow(unsigned n) { return new char[n]; }
+void corpus_arena_free(char* p) { delete[] p; }

@@ -1,0 +1,10 @@
+// TN abort-exit: lookalike identifiers, member calls, comments, and
+// string literals.
+struct CorpusProc;
+int corpus_exit_code();
+int corpus_shutdown(CorpusProc& p) {
+  p.exit(0);               /* abort() only inside this comment */
+  const char* doc = "call exit(1) to stop";
+  (void)doc;
+  return corpus_exit_code();
+}

@@ -1,0 +1,11 @@
+// TN det-env: getenv appears only in a comment and a string; the config
+// object is passed explicitly.
+struct CorpusConfig {
+  const char* get(const char* key) const;
+};
+// configuration is injected, never read via getenv()
+const char* corpus_mode(const CorpusConfig& cfg) {
+  const char* doc = "getenv(\"AIC_MODE\") is banned";
+  (void)doc;
+  return cfg.get("mode");
+}

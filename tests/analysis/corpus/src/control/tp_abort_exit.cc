@@ -1,0 +1,8 @@
+// TP abort-exit: the string literal contains "//", which truncated the
+// old sed-based scan and hid the call after it — the token lexer does not
+// fall for it. _Exit is also in the family (the old grep missed it).
+#include <cstdlib>
+void corpus_die() {
+  const char* doc = "http://example.org/aic"; std::abort();
+}
+void corpus_die_harder() { std::_Exit(3); }

@@ -1,0 +1,6 @@
+// TP det-env: ambient configuration reads/writes in library code.
+#include <cstdlib>
+const char* corpus_mode() {
+  setenv("AIC_SEEN", "1", 1);
+  return std::getenv("AIC_MODE");
+}

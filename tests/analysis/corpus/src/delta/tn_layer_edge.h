@@ -1,0 +1,8 @@
+// TN layer-edge: every quoted include here is an allowed dependency of
+// delta/ (common, mem, obs), same-module, or a system header.
+#pragma once
+#include <vector>
+#include "common/check.h"
+#include "delta/tn_overlap_memcpy_helpers.h"
+#include "mem/page.h"
+#include "obs/metrics.h"

@@ -1,0 +1,6 @@
+// TN overlap-memcpy: the overlap-safe primitives are fine.
+#include <cstring>
+void corpus_apply_safe(char* dst, const char* src, unsigned n) {
+  std::memmove(dst, src, n);
+  copy_no_overlap(dst, src, n);
+}

@@ -1,0 +1,6 @@
+// TP clock-gateway: reading the host clock outside src/obs/.
+#include <chrono>
+long corpus_stamp() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}

@@ -1,0 +1,5 @@
+// TP overlap-memcpy: memcpy in an aliasing-sensitive layer.
+#include <cstring>
+void corpus_apply(char* dst, const char* src, unsigned n) {
+  std::memcpy(dst, src, n);
+}

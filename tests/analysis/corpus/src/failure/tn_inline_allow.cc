@@ -1,0 +1,6 @@
+// Inline-suppression fixture: the finding exists but is allowed by the
+// marker comment on the same line.
+#include <cstdlib>
+void corpus_deliberate_exit() {
+  std::abort();  // aic-lint: allow(abort-exit): fixture for inline suppression
+}

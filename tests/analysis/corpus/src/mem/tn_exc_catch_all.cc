@@ -1,0 +1,16 @@
+// TN exc-catch-all: rethrowing and capturing catch (...) blocks are the
+// sanctioned shapes.
+#include <exception>
+void corpus_step();
+void corpus_guard(std::exception_ptr& slot) {
+  try {
+    corpus_step();
+  } catch (...) {
+    slot = std::current_exception();
+  }
+  try {
+    corpus_step();
+  } catch (...) {
+    throw;
+  }
+}

@@ -1,0 +1,8 @@
+// TN own-new-delete: deleted special members, comments, and string
+// literals mention new/delete without allocating anything.
+struct CorpusPinned {
+  CorpusPinned(const CorpusPinned&) = delete;
+  CorpusPinned& operator=(const CorpusPinned&) = delete;
+};
+/* new pages are grown elsewhere; delete never appears as code here */
+const char* corpus_ownership_doc() { return "new delete placement"; }

@@ -1,0 +1,10 @@
+// TP exc-catch-all: a catch (...) that swallows the exception.
+void corpus_step();
+bool corpus_try_step() {
+  try {
+    corpus_step();
+  } catch (...) {
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,6 @@
+// TP own-new-delete: raw allocation in library code outside src/common/.
+int* corpus_leaky(int v) {
+  int* p = new int(v);
+  delete p;
+  return nullptr;
+}

@@ -1,0 +1,5 @@
+// TN include-iostream: the banned header appears only in a comment and a
+// string literal; the real includes are fine.
+// #include <iostream>
+#include <sstream>
+const char* corpus_l2_doc() { return "#include <iostream>"; }

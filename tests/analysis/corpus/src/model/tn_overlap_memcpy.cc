@@ -1,0 +1,6 @@
+// TN overlap-memcpy: the rule only covers the aliasing-sensitive layers
+// (delta/, ckpt/); plain memcpy elsewhere is fine.
+#include <cstring>
+void corpus_copy(char* dst, const char* src, unsigned n) {
+  std::memcpy(dst, src, n);
+}

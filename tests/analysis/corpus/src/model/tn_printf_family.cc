@@ -1,0 +1,8 @@
+// TN printf-family: member calls, other-namespace qualification, and
+// string literals are not calls to the C printing functions.
+struct CorpusSink;
+void corpus_use(CorpusSink& sink) {
+  sink.printf("routed through an injected sink");
+  fmt::printf("different namespace entirely");
+}
+const char* corpus_l3_doc() { return "printf(%d)"; }

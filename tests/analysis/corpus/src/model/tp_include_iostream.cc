@@ -1,0 +1,4 @@
+// TP include-iostream: library code pulling in the streaming/printing
+// header.
+#include <iostream>
+int corpus_model_tp_l2 = 0;

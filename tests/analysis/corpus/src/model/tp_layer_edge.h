@@ -1,0 +1,4 @@
+// TP layer-edge: model/ may depend only on common/; reaching into sim/
+// inverts the layering.
+#pragma once
+#include "sim/engine.h"

@@ -1,0 +1,6 @@
+// TP printf-family: direct printing from library code.
+#include <cstdio>
+void corpus_report(int v) {
+  std::printf("v=%d\n", v);
+  fprintf(stderr, "v=%d\n", v);
+}

@@ -1,0 +1,4 @@
+// TN det-clock: src/obs/clock.* is the sanctioned host-clock gateway,
+// exempt from the rule by design.
+#include <ctime>
+long corpus_wall_now() { return long(time(nullptr)); }

@@ -1,0 +1,6 @@
+// TN clock-gateway: src/obs/ is the single host-clock gateway, so the
+// rule is exempt here by design.
+#include <chrono>
+long corpus_obs_stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// TN det-clock: "time" inside string literals (the classic grep false
+// positive), member calls, and lookalike identifiers.
+struct CorpusHist;
+struct CorpusSched;
+long corpus_record(CorpusHist& h, CorpusSched& sched, double v) {
+  h.observe("chunk time (s)", v);
+  return sched.time(3) + corpus_timeline(v);
+}

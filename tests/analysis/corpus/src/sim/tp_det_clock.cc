@@ -1,0 +1,7 @@
+// TP det-clock: host wall-clock reads in library code.
+#include <ctime>
+long corpus_wall() {
+  std::timespec ts{};
+  clock_gettime(0, &ts);
+  return long(time(nullptr)) + ts.tv_sec;
+}

@@ -1,0 +1,17 @@
+// TN exc-throw-type: a project error type deriving from CheckError is
+// legal to throw the moment it is declared, and bare rethrow is fine.
+#include "common/check.h"
+namespace aic::storage {
+class CorpusStoreError : public aic::CheckError {
+ public:
+  using CheckError::CheckError;
+};
+void corpus_fail_typed() { throw CorpusStoreError("stale epoch"); }
+void corpus_passthrough() {
+  try {
+    corpus_fail_typed();
+  } catch (const CorpusStoreError&) {
+    throw;
+  }
+}
+}  // namespace aic::storage

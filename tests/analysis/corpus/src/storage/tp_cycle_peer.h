@@ -1,0 +1,4 @@
+// Peer half of the layer-cycle fixture: storage -> ckpt is legal in
+// isolation, but combined with the other half it forms a cycle.
+#pragma once
+#include "ckpt/tp_layer_cycle.h"

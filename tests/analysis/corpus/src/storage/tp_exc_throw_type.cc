@@ -1,0 +1,9 @@
+// TP exc-throw-type: throwing outside the CheckError family, and
+// throwing a non-class expression.
+#include <stdexcept>
+void corpus_fail_open() {
+  throw std::runtime_error("bad manifest");
+}
+void corpus_fail_harder() {
+  throw 42;
+}

@@ -1,0 +1,8 @@
+// TN lex-error: raw strings, encoding prefixes, digit separators, and
+// line splices all tokenize cleanly.
+const char* corpus_raw = R"lint(contains "quotes", // and */ markers)lint";
+const char* corpus_u8 = u8"prefixed";
+unsigned corpus_sep = 1'000'000;
+#define CORPUS_TWO_LINES(x) \
+  ((x) + 1)
+int corpus_spliced = CORPUS_TWO_LINES(1);

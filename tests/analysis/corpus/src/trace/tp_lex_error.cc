@@ -1,0 +1,4 @@
+// TP lex-error: the block comment never closes; the analyzer reports it
+// instead of silently mis-scanning the rest of the file.
+int corpus_lex_tp = 1;
+/* unterminated

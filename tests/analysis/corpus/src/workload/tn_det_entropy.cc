@@ -1,0 +1,9 @@
+// TN det-entropy: lookalike identifiers, member calls, and string
+// literals.
+struct CorpusGen;
+int operand(int x);
+int corpus_draw(CorpusGen& gen, int x) {
+  const char* doc = "rand() is banned in library code";
+  (void)doc;
+  return gen.rand() + operand(x);
+}

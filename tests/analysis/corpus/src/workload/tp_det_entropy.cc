@@ -1,0 +1,7 @@
+// TP det-entropy: ambient entropy in library code.
+#include <cstdlib>
+#include <random>
+int corpus_jitter() {
+  std::random_device rd;
+  return rand() + int(rd());
+}

@@ -1,0 +1,15 @@
+// TN exc-catch-value: const-reference, pointer, and fundamental-type
+// catches are fine.
+void corpus_send();
+void corpus_recover() {
+  try {
+    corpus_send();
+  } catch (const CorpusFault& fault) {
+    corpus_log(fault);
+  }
+  try {
+    corpus_send();
+  } catch (int code) {
+    corpus_log_code(code);
+  }
+}

@@ -1,0 +1,9 @@
+// TP exc-catch-value: catching a class type by value slices it.
+void corpus_send();
+void corpus_recover() {
+  try {
+    corpus_send();
+  } catch (CorpusFault fault) {
+    corpus_log(fault);
+  }
+}

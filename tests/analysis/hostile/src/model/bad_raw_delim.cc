@@ -1,0 +1,1 @@
+const char* hostile_d = R"this delimiter has spaces(x)";

@@ -1,0 +1,2 @@
+int hostile_a = 1;
+/* never closed

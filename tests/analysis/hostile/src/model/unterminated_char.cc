@@ -1,0 +1,1 @@
+char hostile_c = 'a

@@ -1,0 +1,1 @@
+const char* hostile_r = R"x(never closed

@@ -1,0 +1,1 @@
+const char* hostile_s = "runs off the end of the file

@@ -1,0 +1,1 @@
+int hostile_bytes = 0; €þÿ /* Ã */ "ð" 

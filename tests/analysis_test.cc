@@ -1,0 +1,369 @@
+// aic_lint analyzer: lexer behaviour on the constructs that defeat the
+// grep-based scan, the rule catalog against the fixture corpus (one true
+// positive AND one true negative per rule), hostile-input totality, the
+// suppression machinery, and a self-run proving the real tree is clean
+// against its checked-in baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/lexer.h"
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace aic::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Lexer: the constructs the old sed/grep scan got wrong.
+
+bool has_identifier(const LexedFile& f, std::string_view name) {
+  return std::any_of(f.tokens.begin(), f.tokens.end(), [&](const Token& t) {
+    return t.kind == TokenKind::kIdentifier && t.text == name;
+  });
+}
+
+TEST(Lexer, StringAndCommentContentIsOpaque) {
+  const LexedFile f = lex(
+      "const char* a = \"abort() inside a string\";\n"
+      "// abort() inside a line comment\n"
+      "/* abort() inside a block comment */\n"
+      "int after = 1;\n");
+  EXPECT_FALSE(has_identifier(f, "abort"));
+  EXPECT_TRUE(has_identifier(f, "after"));
+  EXPECT_TRUE(f.errors.empty());
+}
+
+TEST(Lexer, SlashesInsideStringDoNotTruncateTheLine) {
+  // The classic scan_code false negative: sed's //-strip ate the call.
+  const LexedFile f = lex("const char* u = \"http://x\"; abort();\n");
+  EXPECT_TRUE(has_identifier(f, "abort"));
+}
+
+TEST(Lexer, RawStringSwallowsCommentAndQuoteMarkers) {
+  const LexedFile f =
+      lex("const char* r = R\"d(has \" and // and */ inside)d\"; int tail;\n");
+  EXPECT_FALSE(has_identifier(f, "has"));
+  EXPECT_TRUE(has_identifier(f, "tail"));
+  EXPECT_TRUE(f.errors.empty());
+}
+
+TEST(Lexer, BackslashSpliceKeepsLineNumbers) {
+  const LexedFile f = lex("int a\\\n_b = 1;\nint second = 2;\n");
+  ASSERT_FALSE(f.tokens.empty());
+  EXPECT_EQ(f.tokens[1].text, "a_b");  // spliced into one identifier
+  bool saw_second = false;
+  for (const Token& t : f.tokens) {
+    if (t.text == "second") {
+      saw_second = true;
+      EXPECT_EQ(t.line, 3);  // physical line, despite the splice above
+    }
+  }
+  EXPECT_TRUE(saw_second);
+}
+
+TEST(Lexer, IncludeTargetsRecordAngledVersusQuoted) {
+  const LexedFile f = lex(
+      "#include <vector>\n"
+      "#include \"delta/page_delta.h\"  // trailing comment\n");
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0].path, "vector");
+  EXPECT_TRUE(f.includes[0].angled);
+  EXPECT_EQ(f.includes[1].path, "delta/page_delta.h");
+  EXPECT_FALSE(f.includes[1].angled);
+  EXPECT_EQ(f.includes[1].line, 2);
+}
+
+TEST(Lexer, DirectiveBodyHonoursStringsAndComments) {
+  // The "//" lives inside the #error string: the next line must survive.
+  const LexedFile f = lex("#error \"see http://docs\"\nint survivor = 1;\n");
+  EXPECT_TRUE(has_identifier(f, "survivor"));
+}
+
+TEST(Lexer, HostileInputsAreTotal) {
+  const char* hostile[] = {
+      "/* never closed",
+      "\"runs off the end",
+      "R\"x(never closed",
+      "R\"way too long a delimiter goes here(x)\"",
+      "'a",
+      "int x = 1; \\",
+      "\x01\x02\x7f\xfe\xff",
+  };
+  for (const char* src : hostile) {
+    const LexedFile f = lex(src);  // must not throw or hang
+    (void)f;
+  }
+  EXPECT_EQ(lex("/* never closed").errors.size(), 1u);
+  EXPECT_EQ(lex("/* never closed").errors[0].message,
+            "unterminated block comment");
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer unit behaviour on synthetic files.
+
+Analysis analyze_one(std::string path, std::string content) {
+  return analyze({{std::move(path), std::move(content)}}, Baseline{});
+}
+
+int count_rule(const Analysis& a, std::string_view rule,
+               bool unsuppressed_only = false) {
+  int n = 0;
+  for (const Finding& f : a.findings) {
+    if (f.rule == rule && !(unsuppressed_only && f.suppressed)) ++n;
+  }
+  return n;
+}
+
+TEST(Analyzer, StringLiteralNamedLikeACallIsNotFlagged) {
+  // The real-tree false positive that motivated the token engine:
+  // a histogram label containing `time (s)`.
+  const Analysis a = analyze_one(
+      "src/sim/report.cc", "void f(H& h) { h.observe(\"chunk time (s)\"); }\n");
+  EXPECT_EQ(a.unsuppressed, 0);
+}
+
+TEST(Analyzer, EqDeleteIsNotADeallocation) {
+  const Analysis a = analyze_one(
+      "src/mem/pin.h", "struct P { P(const P&) = delete; };\n");
+  EXPECT_EQ(count_rule(a, "own-new-delete"), 0);
+}
+
+TEST(Analyzer, CheckErrorFamilyIsTransitiveAcrossFiles) {
+  const Analysis a = analyze(
+      {{"src/common/err_a.h", "class ErrA : public CheckError {};\n"},
+       {"src/delta/err_b.h", "class ErrB : public ErrA {};\n"},
+       {"src/delta/use.cc", "void f() { throw ErrB(\"x\"); }\n"}},
+      Baseline{});
+  EXPECT_EQ(count_rule(a, "exc-throw-type"), 0);
+}
+
+TEST(Analyzer, InlineAllowCoversTheNextLine) {
+  const Analysis a = analyze_one("src/mem/f.cc",
+                                 "void f() {\n"
+                                 "  // aic-lint: allow(abort-exit): test\n"
+                                 "  abort();\n"
+                                 "}\n");
+  ASSERT_EQ(count_rule(a, "abort-exit"), 1);
+  EXPECT_EQ(a.unsuppressed, 0);
+  EXPECT_EQ(a.suppressed_inline, 1);
+}
+
+TEST(Analyzer, InlineAllowForADifferentRuleDoesNotSuppress) {
+  const Analysis a = analyze_one(
+      "src/mem/f.cc",
+      "void f() { abort(); }  // aic-lint: allow(printf-family): wrong rule\n");
+  EXPECT_EQ(count_rule(a, "abort-exit", /*unsuppressed_only=*/true), 1);
+}
+
+TEST(Analyzer, BaselineSuppressesByFingerprintAndReportsStale) {
+  Baseline b;
+  b.entries.push_back({"abort-exit", "src/mem/f.cc", "abort", "legacy"});
+  b.entries.push_back({"abort-exit", "src/mem/gone.cc", "abort", "fixed"});
+  const Analysis a =
+      analyze({{"src/mem/f.cc", "void f() { abort(); }\n"}}, b);
+  EXPECT_EQ(a.unsuppressed, 0);
+  EXPECT_EQ(a.suppressed_baseline, 1);
+  ASSERT_EQ(a.stale.size(), 1u);  // the entry matching nothing must surface
+  EXPECT_EQ(a.stale[0].path, "src/mem/gone.cc");
+  EXPECT_FALSE(a.clean());  // stale entries keep the run red
+}
+
+TEST(Baseline, JsonRoundTripsAndRejectsHostileInput) {
+  Baseline b;
+  b.entries.push_back({"layer-edge", "src/a/b.h", "a->c:c/d.h", "why"});
+  const Baseline back = baseline_from_json(baseline_to_json(b));
+  ASSERT_EQ(back.entries.size(), 1u);
+  EXPECT_EQ(back.entries[0].rule, "layer-edge");
+  EXPECT_EQ(back.entries[0].fingerprint, "a->c:c/d.h");
+  EXPECT_THROW(baseline_from_json("{\"schema\": \"aic-lint-baseline-v1\","),
+               CheckError);
+  EXPECT_THROW(baseline_from_json("{\"schema\": \"other\", "
+                                  "\"suppressions\": []}"),
+               CheckError);
+  EXPECT_THROW(baseline_from_json("[]"), CheckError);
+}
+
+TEST(Analyzer, FindingsJsonIsParseable) {
+  const Analysis a = analyze_one(
+      "src/mem/f.cc", "void f() { abort(); /* \"hostile\\\" label */ }\n");
+  const obs::JsonValue doc = obs::json_parse(analysis_to_json(a));
+  EXPECT_EQ(doc.at("schema").str, "aic-lint-v1");
+  EXPECT_EQ(doc.at("findings").array.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fixture corpus: one true positive and one true negative per rule.
+
+std::vector<SourceFile> load_tree(const fs::path& root) {
+  std::vector<SourceFile> files;
+  for (const char* sub : {"src", "bench", "tools"}) {
+    std::error_code ec;
+    const fs::path dir = root / sub;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      const std::string ext = entry.path().extension().string();
+      if (!entry.is_regular_file() || (ext != ".cc" && ext != ".h")) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream os;
+      os << in.rdbuf();
+      files.push_back(
+          {fs::relative(entry.path(), root).generic_string(), os.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+int count_at(const Analysis& a, std::string_view rule, std::string_view path) {
+  int n = 0;
+  for (const Finding& f : a.findings) {
+    if (f.rule == rule && f.path == path) ++n;
+  }
+  return n;
+}
+
+struct RuleFixture {
+  const char* rule;
+  const char* tp;  // file with >= 1 finding of `rule`
+  const char* tn;  // file with 0 findings of `rule`
+};
+
+constexpr RuleFixture kRuleFixtures[] = {
+    {"own-new-delete", "src/mem/tp_own_new_delete.cc",
+     "src/mem/tn_own_new_delete.cc"},
+    {"own-new-delete", "src/mem/tp_own_new_delete.cc",
+     "src/common/tn_own_new_delete.cc"},  // module exemption
+    {"include-iostream", "src/model/tp_include_iostream.cc",
+     "src/model/tn_include_iostream.cc"},
+    {"printf-family", "src/model/tp_printf_family.cc",
+     "src/model/tn_printf_family.cc"},
+    {"abort-exit", "src/control/tp_abort_exit.cc",
+     "src/control/tn_abort_exit.cc"},
+    {"clock-gateway", "src/delta/tp_clock_gateway.cc",
+     "src/obs/tn_clock_gateway.cc"},  // obs/ is the gateway
+    {"overlap-memcpy", "src/delta/tp_overlap_memcpy.cc",
+     "src/delta/tn_overlap_memcpy.cc"},
+    {"overlap-memcpy", "src/delta/tp_overlap_memcpy.cc",
+     "src/model/tn_overlap_memcpy.cc"},  // layer scoping
+    {"det-entropy", "src/workload/tp_det_entropy.cc",
+     "src/workload/tn_det_entropy.cc"},
+    {"det-entropy", "src/workload/tp_det_entropy.cc",
+     "src/common/rng.cc"},  // the entropy gateway itself
+    {"det-clock", "src/sim/tp_det_clock.cc", "src/sim/tn_det_clock.cc"},
+    {"det-clock", "src/sim/tp_det_clock.cc",
+     "src/obs/clock.cc"},  // the clock gateway itself
+    {"det-env", "src/control/tp_det_env.cc", "src/control/tn_det_env.cc"},
+    {"exc-catch-all", "src/mem/tp_exc_catch_all.cc",
+     "src/mem/tn_exc_catch_all.cc"},
+    {"exc-catch-value", "src/xfer/tp_exc_catch_value.cc",
+     "src/xfer/tn_exc_catch_value.cc"},
+    {"exc-throw-type", "src/storage/tp_exc_throw_type.cc",
+     "src/storage/tn_exc_throw_type.cc"},
+    {"layer-edge", "src/model/tp_layer_edge.h", "src/delta/tn_layer_edge.h"},
+    {"layer-cycle", "src/ckpt/tp_layer_cycle.h", "src/delta/tn_layer_edge.h"},
+    {"lex-error", "src/trace/tp_lex_error.cc", "src/trace/tn_lex_error.cc"},
+};
+
+fs::path fixture_root(const char* sub) {
+  return fs::path(AIC_SOURCE_DIR) / "tests" / "analysis" / sub;
+}
+
+TEST(Corpus, EveryRuleHasATruePositiveAndATrueNegative) {
+  const Analysis a = analyze(load_tree(fixture_root("corpus")), Baseline{});
+  for (const RuleFixture& fx : kRuleFixtures) {
+    EXPECT_GE(count_at(a, fx.rule, fx.tp), 1)
+        << fx.rule << " did not fire in " << fx.tp;
+    EXPECT_EQ(count_at(a, fx.rule, fx.tn), 0)
+        << fx.rule << " misfired in " << fx.tn;
+  }
+}
+
+TEST(Corpus, OnlyTruePositiveFilesHaveUnsuppressedFindings) {
+  const Analysis a = analyze(load_tree(fixture_root("corpus")), Baseline{});
+  EXPECT_EQ(a.unsuppressed, 23);  // pinned: edit fixtures -> update this
+  for (const Finding& f : a.findings) {
+    if (!f.suppressed) {
+      EXPECT_NE(f.path.find("/tp_"), std::string::npos)
+          << "unexpected finding in non-TP file: " << f.path << ":" << f.line
+          << " " << f.rule;
+    }
+  }
+}
+
+TEST(Corpus, LayerCycleIsReportedOncePerComponent) {
+  const Analysis a = analyze(load_tree(fixture_root("corpus")), Baseline{});
+  int cycles = 0;
+  for (const Finding& f : a.findings) {
+    if (f.rule != "layer-cycle") continue;
+    ++cycles;
+    EXPECT_EQ(f.fingerprint, "ckpt+storage");
+    EXPECT_EQ(f.path, "src/ckpt/tp_layer_cycle.h");  // smallest witness file
+  }
+  EXPECT_EQ(cycles, 1);
+}
+
+TEST(Corpus, InlineAllowFixtureIsSuppressedNotDropped) {
+  const Analysis a = analyze(load_tree(fixture_root("corpus")), Baseline{});
+  bool saw = false;
+  for (const Finding& f : a.findings) {
+    if (f.path != "src/failure/tn_inline_allow.cc") continue;
+    saw = true;
+    EXPECT_EQ(f.rule, "abort-exit");
+    EXPECT_TRUE(f.suppressed);
+    EXPECT_EQ(f.suppressed_by, "inline");
+  }
+  EXPECT_TRUE(saw);  // the finding must still appear in the report
+}
+
+TEST(Corpus, HostileTreeYieldsOnlyLexErrors) {
+  const Analysis a = analyze(load_tree(fixture_root("hostile")), Baseline{});
+  EXPECT_GE(a.unsuppressed, 5);
+  for (const Finding& f : a.findings) {
+    EXPECT_EQ(f.rule, "lex-error") << f.path << ":" << f.line;
+  }
+  EXPECT_FALSE(a.clean());
+}
+
+// ---------------------------------------------------------------------------
+// Self-run: the real tree must be clean against its checked-in baseline,
+// with no stale entries — the same gate scripts/verify.sh enforces.
+
+TEST(SelfRun, RealTreeIsCleanAgainstCheckedInBaseline) {
+  const fs::path root(AIC_SOURCE_DIR);
+  std::ifstream in(root / ".aic-lint-baseline.json", std::ios::binary);
+  ASSERT_TRUE(in) << "checked-in baseline missing";
+  std::ostringstream os;
+  os << in.rdbuf();
+  const Baseline baseline = baseline_from_json(os.str());
+
+  const std::vector<SourceFile> files = load_tree(root);
+  ASSERT_GE(files.size(), 100u);  // sanity: we really scanned the tree
+  const Analysis a = analyze(files, baseline);
+
+  std::string report;
+  for (const Finding& f : a.findings) {
+    if (f.suppressed) continue;
+    report += f.path + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+              f.message + "\n";
+  }
+  for (const BaselineEntry& e : a.stale) {
+    report += "stale baseline entry: " + e.rule + " " + e.path + " (" +
+              e.fingerprint + ")\n";
+  }
+  EXPECT_TRUE(a.clean()) << report;
+}
+
+}  // namespace
+}  // namespace aic::analysis
