@@ -1,0 +1,167 @@
+// Fleet-scale bench: the multi-tenant checkpoint service (src/fleet) at
+// 100 -> 1000 -> 10000 concurrent LANL-candidate jobs. The channel is
+// provisioned proportionally to the fleet (a fixed per-job share), so the
+// scaling law to check is: aggregate goodput and NET^2 grow with the
+// fleet while p99 time-to-safe stays bounded. The bench also re-runs the
+// base scale at 1/2/4 shards and checks the timeline digest is
+// byte-identical — the determinism contract, enforced outside the unit
+// suite too.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "fleet/fleet_scheduler.h"
+#include "fleet/qos_policy.h"
+#include "obs/clock.h"
+#include "workload/lanl_trace.h"
+
+using namespace aic;
+
+namespace {
+
+// 20 MB/s of drain bandwidth per hosted job: generous enough that
+// admission passes the whole mix and the scaling law is about the fleet,
+// not about queueing (scripts covering backpressure live in the tests).
+constexpr double kPerJobBps = 2.0e7;
+
+fleet::FleetConfig fleet_config(int shards, std::size_t jobs) {
+  fleet::FleetConfig cfg;
+  cfg.shards = shards;
+  cfg.seed = 42;
+  cfg.quantum_s = 5.0;
+  cfg.bandwidth_bps = kPerJobBps * double(jobs);
+  cfg.latency_s = 1.0e-3;
+  cfg.chunk_bytes = 4 * 1024 * 1024;
+  cfg.lambda_total = 1.0e-3;
+  cfg.restart_s = 10.0;
+  cfg.min_interval_s = 15.0;
+  cfg.max_interval_s = 600.0;
+  cfg.full_every = 8;
+  cfg.max_virtual_s = 86400.0;
+  cfg.admission.target_utilization = 0.7;
+  cfg.admission.queue_capacity = jobs;  // queue, never reject
+  return cfg;
+}
+
+std::vector<workload::FleetJobSpec> fleet_mix(std::size_t jobs) {
+  workload::FleetMixConfig mix;
+  mix.jobs = jobs;
+  mix.tenants = 8;
+  mix.seed = 42;
+  mix.arrival_horizon_s = 300.0;
+  mix.min_work_s = bench::smoke_pick(60.0, 30.0);
+  mix.max_work_s = bench::smoke_pick(600.0, 90.0);
+  mix.pages_per_process = 256;
+  return workload::lanl_fleet_jobs(mix);
+}
+
+fleet::QosPolicy fleet_policy(double bandwidth_bps) {
+  fleet::QosPolicy policy;
+  // Tenant 0 holds a hard reservation for a tenth of the channel; the
+  // other seven are best-effort with equal weights.
+  policy.set(fleet::Tenant{0, "gold", {1.0, bandwidth_bps / 10.0}});
+  return policy;
+}
+
+struct ScaleResult {
+  std::size_t jobs = 0;
+  double wall_s = 0.0;
+  fleet::FleetReport report;
+};
+
+ScaleResult run_scale(std::size_t jobs, int shards) {
+  const fleet::FleetConfig cfg = fleet_config(shards, jobs);
+  fleet::FleetScheduler fleet(cfg, fleet_mix(jobs),
+                              fleet_policy(cfg.bandwidth_bps));
+  const std::uint64_t t0 = obs::wall_now_ns();
+  fleet.run();
+  ScaleResult r;
+  r.jobs = jobs;
+  r.wall_s = obs::wall_seconds_since(t0);
+  r.report = fleet.report();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::Session session("fleet_scale");
+  bench::Checker check;
+
+  const std::vector<std::size_t> scales =
+      bench::smoke_mode() ? std::vector<std::size_t>{30, 100}
+                          : std::vector<std::size_t>{100, 1000, 10000};
+
+  // Determinism first: the base scale must produce one timeline no matter
+  // how the simulation core is sharded.
+  {
+    const ScaleResult one = run_scale(scales.front(), 1);
+    const ScaleResult two = run_scale(scales.front(), 2);
+    const ScaleResult four = run_scale(scales.front(), 4);
+    check.expect(one.report.digest == two.report.digest &&
+                     one.report.digest == four.report.digest,
+                 "timeline digest is byte-identical at 1/2/4 shards");
+    check.expect(one.report.elapsed_s == two.report.elapsed_s &&
+                     one.report.elapsed_s == four.report.elapsed_s,
+                 "virtual elapsed time is shard-count invariant");
+  }
+
+  TextTable table("Fleet scaling — proportionally provisioned channel");
+  table.set_header({"jobs", "elapsed (virt s)", "goodput MB/s", "p99 tts s",
+                    "NET^2 GB", "failures", "wall s"});
+
+  std::vector<ScaleResult> results;
+  for (const std::size_t jobs : scales) {
+    const ScaleResult r = run_scale(jobs, 1);
+    results.push_back(r);
+    const auto& rep = r.report;
+
+    const std::string tag = "fleet.jobs" + std::to_string(jobs);
+    session.sample(tag + ".goodput_bps", "Bps", rep.goodput_bps,
+                   /*higher_is_better=*/true);
+    session.sample(tag + ".tts_p99_s", "s", rep.tts_p99_s);
+    session.sample(tag + ".net2_bytes", "bytes", double(rep.net2_bytes));
+    // Virtual elapsed is deterministic and diffable; per-scale wall time
+    // is printed for the reader but not emitted as a metric — single
+    // sub-millisecond samples would flap aic_benchdiff's gate.
+    session.sample(tag + ".elapsed_s", "s", rep.elapsed_s);
+
+    table.add_row({std::to_string(jobs), TextTable::num(rep.elapsed_s, 0),
+                   TextTable::num(rep.goodput_bps / 1.0e6, 1),
+                   TextTable::num(rep.tts_p99_s, 2),
+                   TextTable::num(double(rep.net2_bytes) / 1.0e9, 2),
+                   std::to_string(rep.failures),
+                   TextTable::num(r.wall_s, 2)});
+
+    check.expect(rep.complete,
+                 "fleet of " + std::to_string(jobs) + " jobs runs to "
+                 "completion");
+    check.expect(rep.rejected == 0,
+                 "unbounded queue admits the whole " + std::to_string(jobs) +
+                     "-job mix");
+    check.expect(rep.goodput_bps > 0.0,
+                 "fleet of " + std::to_string(jobs) + " jobs commits bytes");
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto& prev = results[i - 1].report;
+    const auto& cur = results[i].report;
+    check.expect(cur.net2_bytes > prev.net2_bytes,
+                 "NET^2 grows from " + std::to_string(results[i - 1].jobs) +
+                     " to " + std::to_string(results[i].jobs) + " jobs");
+    check.expect(cur.goodput_bps > prev.goodput_bps,
+                 "goodput grows with the provisioned fleet (" +
+                     std::to_string(results[i].jobs) + " jobs)");
+    check.expect(cur.tts_p99_s < 10.0 * results.front().report.tts_p99_s +
+                                     1.0,
+                 "p99 time-to-safe stays bounded at " +
+                     std::to_string(results[i].jobs) + " jobs");
+  }
+
+  return session.finish(check);
+}

@@ -6,7 +6,7 @@
 
 #include "bench_util.h"
 #include "common/table.h"
-#include "trace/lanl_trace.h"
+#include "workload/lanl_trace.h"
 
 using namespace aic;
 
@@ -35,17 +35,12 @@ int main() {
   double gain20 = 0.0, gain8 = 0.0, gain15 = 0.0, gain16 = 0.0;
 
   for (const Ref& ref : refs) {
-    const auto sys = trace::system_by_id(ref.id);
-    trace::TraceConfig packed_cfg;
-    packed_cfg.days = 60;
-    packed_cfg.policy = trace::SchedulerPolicy::kPacked;
-    trace::TraceConfig rect_cfg = packed_cfg;
-    rect_cfg.policy = trace::SchedulerPolicy::kRectified;
-
-    const auto packed =
-        trace::analyze_candidates(trace::generate_log(sys, packed_cfg), sys);
-    const auto rect =
-        trace::analyze_candidates(trace::generate_log(sys, rect_cfg), sys);
+    // The per-system candidate study now lives in workload/lanl_trace so
+    // the fleet bench draws its job mix from the same generator.
+    const auto study = workload::run_candidate_study(ref.id, /*days=*/60);
+    const auto& sys = study.system;
+    const auto& packed = study.packed;
+    const auto& rect = study.rectified;
 
     table.add_row({std::to_string(sys.system_id), sys.type,
                    std::to_string(sys.nodes),

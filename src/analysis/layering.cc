@@ -16,7 +16,7 @@ const std::map<std::string, std::set<std::string>>& layering_policy() {
       {"model", {"common"}},
       {"trace", {"common"}},
       {"analysis", {"common", "obs"}},
-      {"workload", {"common", "mem"}},
+      {"workload", {"common", "mem", "trace"}},
       {"failure", {"common", "model"}},
       {"delta", {"common", "mem", "obs"}},
       {"predictor", {"common", "mem", "obs"}},
@@ -28,10 +28,13 @@ const std::map<std::string, std::set<std::string>>& layering_policy() {
       {"sim",
        {"common", "ckpt", "control", "failure", "mem", "model", "obs",
         "storage", "workload", "xfer"}},
+      {"fleet",
+       {"common", "failure", "mem", "model", "obs", "sim", "workload",
+        "xfer"}},
       {"aic",
        {"common", "obs", "mem", "model", "trace", "analysis", "workload",
         "failure", "delta", "predictor", "xfer", "storage", "ckpt", "verify",
-        "control", "sim"}},
+        "control", "sim", "fleet"}},
   };
   return kPolicy;
 }

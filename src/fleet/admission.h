@@ -1,0 +1,103 @@
+// AdmissionController — bounds the fleet's aggregate drain demand.
+//
+// Every admitted job imposes a steady-state load on the shared L2/L3
+// channel: roughly one delta checkpoint of `footprint * dirty_fraction`
+// bytes per optimal interval w*. The controller estimates that demand per
+// job (demand_bps) with the same Young/Daly-style w* the per-job decider
+// converges to, and admits a job only while
+//
+//     sum(admitted demand) + demand(job) <= target_utilization * capacity
+//
+// — the head-room guard that keeps the channel out of the congestion
+// regime where every tenant's NET² blows up together. Jobs that do not
+// fit are queued FIFO (up to queue_capacity) and promoted as admitted
+// jobs finish; past the queue bound they are rejected outright. Both
+// outcomes are first-class (AdmissionDecision), not errors: a fleet at
+// capacity is operating correctly.
+//
+// Determinism: decisions depend only on the offer sequence — no clocks,
+// no randomness — so a fleet replays byte-identically under any shard
+// count as long as offers arrive in a deterministic order (FleetScheduler
+// offers at round boundaries, sorted by arrival then job id).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "workload/lanl_trace.h"
+
+namespace aic::fleet {
+
+struct AdmissionConfig {
+  /// Drain-channel capacity the fleet shares (bps).
+  double capacity_bps = 1.0e9;
+  /// Fraction of capacity the steady-state demand may fill; the rest is
+  /// head-room for drain bursts and retry traffic.
+  double target_utilization = 0.7;
+  /// FIFO backlog bound; offers past it are rejected.
+  std::size_t queue_capacity = 64;
+  /// Per-job failure rate (all levels) used in the w* demand estimate.
+  double lambda_total = 1.0e-3;
+  /// Clamp on the estimated checkpoint interval (seconds).
+  double min_interval_s = 30.0;
+  double max_interval_s = 3600.0;
+};
+
+enum class AdmissionDecision : std::uint8_t {
+  kAdmitted = 0,
+  kQueued,
+  kRejected,
+};
+
+const char* to_string(AdmissionDecision d);
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Estimated steady-state drain demand of one job (bps): one delta of
+  /// footprint * dirty_fraction bytes per estimated interval w*, where
+  /// w* = sqrt(2 * drain_time / lambda) clamped to the config's interval
+  /// bounds (drain_time estimated at full channel bandwidth — optimistic,
+  /// hence the utilization head-room).
+  double demand_bps(const workload::FleetJobSpec& job) const;
+
+  /// Offers a job for admission. kAdmitted reserves its demand
+  /// immediately; kQueued parks it (promote via drain_queue()); kRejected
+  /// drops it — the queue is full, or the job's demand alone exceeds the
+  /// budget and could never be admitted.
+  AdmissionDecision offer(const workload::FleetJobSpec& job);
+
+  /// Releases a finished (or evicted) admitted job's demand.
+  void release(const workload::FleetJobSpec& job);
+
+  /// Promotes queued jobs FIFO while their demand fits, returning the
+  /// newly admitted specs in queue order. Strict FIFO: promotion stops at
+  /// the first job that does not fit, even if a later, smaller one would
+  /// (no starvation of large jobs).
+  std::vector<workload::FleetJobSpec> drain_queue();
+
+  double admitted_demand_bps() const { return admitted_demand_bps_; }
+  double budget_bps() const {
+    return config_.capacity_bps * config_.target_utilization;
+  }
+  std::size_t queued() const { return queue_.size(); }
+  std::uint64_t admitted_total() const { return admitted_total_; }
+  std::uint64_t queued_total() const { return queued_total_; }
+  std::uint64_t rejected_total() const { return rejected_total_; }
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  bool fits(double demand) const;
+
+  AdmissionConfig config_;
+  double admitted_demand_bps_ = 0.0;
+  std::deque<workload::FleetJobSpec> queue_;
+  std::uint64_t admitted_total_ = 0;
+  std::uint64_t queued_total_ = 0;
+  std::uint64_t rejected_total_ = 0;
+};
+
+}  // namespace aic::fleet

@@ -1,0 +1,517 @@
+#include "fleet/fleet_scheduler.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+
+namespace aic::fleet {
+namespace on = obs::names;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr int kDrainLevel = 3;
+
+/// Staging sink that only tracks sizes: fleet drains are synthetic
+/// (submit_sized), so "storing" a checkpoint is accounting, not bytes.
+class CountingSink final : public xfer::ChunkSink {
+ public:
+  void stage(const std::string& key, std::uint64_t offset,
+             ByteSpan chunk) override {
+    auto& staged = staged_[key];
+    staged = std::max(staged, offset + chunk.size());
+  }
+  std::uint64_t staged_bytes(const std::string& key) const override {
+    auto it = staged_.find(key);
+    return it == staged_.end() ? 0 : it->second;
+  }
+  void commit(const std::string& key) override { staged_.erase(key); }
+  void discard(const std::string& key) override { staged_.erase(key); }
+
+ private:
+  std::map<std::string, std::uint64_t> staged_;
+};
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      v.size() - 1, std::size_t(q * double(v.size())));
+  std::nth_element(v.begin(), v.begin() + std::ptrdiff_t(idx), v.end());
+  return v[idx];
+}
+
+}  // namespace
+
+FleetScheduler::FleetScheduler(FleetConfig config,
+                               std::vector<workload::FleetJobSpec> jobs,
+                               QosPolicy policy)
+    : config_(config),
+      policy_(std::move(policy)),
+      admission_([&config] {
+        AdmissionConfig a = config.admission;
+        // The controller's demand model must agree with the per-job
+        // deciders: same channel, same failure rate, same interval clamp.
+        a.capacity_bps = config.bandwidth_bps;
+        a.lambda_total = config.lambda_total;
+        a.min_interval_s = config.min_interval_s;
+        a.max_interval_s = config.max_interval_s;
+        return a;
+      }()),
+      sched_([&config] {
+        xfer::TransferScheduler::Config c;
+        c.chunk_bytes = config.chunk_bytes;
+        c.obs = config.obs;
+        return c;
+      }()),
+      sink_(std::make_unique<CountingSink>()) {
+  AIC_CHECK_MSG(config_.shards >= 1,
+                "shard count must be >= 1, got " << config_.shards);
+  AIC_CHECK_MSG(config_.quantum_s > 0.0,
+                "round quantum must be positive, got " << config_.quantum_s);
+  AIC_CHECK_MSG(config_.lambda_total > 0.0, "fleet lambda must be positive");
+  AIC_CHECK_MSG(config_.capture_bps > 0.0,
+                "capture bandwidth must be positive");
+  AIC_CHECK_MSG(config_.full_every >= 1, "full_every must be >= 1");
+  AIC_CHECK_MSG(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                "ewma_alpha must be in (0, 1], got " << config_.ewma_alpha);
+  sched_.add_level(kDrainLevel,
+                   {config_.bandwidth_bps, config_.latency_s}, sink_.get());
+  // Installs the tenant table; a reservation set that oversubscribes the
+  // channel throws xfer::ReservationError here, before any job runs.
+  policy_.apply(sched_, kDrainLevel);
+
+  pending_ = std::move(jobs);
+  std::sort(pending_.begin(), pending_.end(),
+            [](const workload::FleetJobSpec& a,
+               const workload::FleetJobSpec& b) {
+              return a.arrival_s != b.arrival_s ? a.arrival_s < b.arrival_s
+                                                : a.job_id < b.job_id;
+            });
+  for (const auto& spec : pending_) {
+    AIC_CHECK_MSG(spec.job_id != 0, "fleet job ids must be nonzero");
+    AIC_CHECK_MSG(spec.work_s > 0.0,
+                  "job " << spec.job_id << " has no work");
+    AIC_CHECK_MSG(spec.footprint_bytes > 0,
+                  "job " << spec.job_id << " has an empty footprint");
+  }
+
+  if (config_.obs) {
+    auto& m = config_.obs->metrics;
+    m_admitted_ = m.counter(on::kFleetJobsAdmitted);
+    m_queued_ = m.counter(on::kFleetJobsQueued);
+    m_rejected_ = m.counter(on::kFleetJobsRejected);
+    m_finished_ = m.counter(on::kFleetJobsFinished);
+    m_checkpoints_ = m.counter(on::kFleetCheckpoints);
+    m_commits_ = m.counter(on::kFleetCommits);
+    m_failures_ = m.counter(on::kFleetFailures);
+    m_net2_ = m.counter(on::kFleetNet2Bytes);
+    m_tts_ = m.histogram(on::kFleetTimeToSafeSeconds,
+                         obs::Histogram::exponential_buckets(0.1, 2.0, 16));
+  }
+}
+
+std::uint64_t FleetScheduler::delta_bytes(const JobState& j) const {
+  return std::max<std::uint64_t>(
+      1, std::uint64_t(double(j.spec.footprint_bytes) *
+                       j.spec.dirty_fraction));
+}
+
+double FleetScheduler::w_star(const JobState& j) const {
+  return std::clamp(std::sqrt(2.0 * j.pred_drain_s / config_.lambda_total),
+                    config_.min_interval_s, config_.max_interval_s);
+}
+
+void FleetScheduler::mix(std::uint64_t v) {
+  digest_ ^= v;
+  digest_ *= 0x100000001b3ULL;  // FNV-1a prime
+}
+
+void FleetScheduler::activate(const workload::FleetJobSpec& spec,
+                              double start) {
+  AIC_CHECK_MSG(index_.count(spec.job_id) == 0,
+                "duplicate fleet job id " << spec.job_id);
+  jobs_.emplace_back(
+      spec, sim::JobFailureProcess(
+                failure::FailureSpec::from_total(config_.lambda_total),
+                config_.seed, spec.job_id));
+  JobState& j = jobs_.back();
+  j.active = true;
+  j.stats.start_time = start;
+  j.next_failure = j.failures.next_after(start);
+  // Initial drain prediction: the delta alone at full channel bandwidth —
+  // optimistic on a contended fleet; the EWMA corrects within a few
+  // commits.
+  j.pred_drain_s = config_.latency_s +
+                   double(delta_bytes(j)) / config_.bandwidth_bps;
+  j.next_ckpt = start + w_star(j);
+  index_[spec.job_id] = jobs_.size() - 1;
+  if (m_admitted_) m_admitted_->add();
+  if (config_.obs) {
+    config_.obs->trace.instant(obs::TimeDomain::kVirtual, on::kCatFleet,
+                               on::kEvAdmit, start,
+                               std::uint32_t(spec.tenant),
+                               {{"job", double(spec.job_id)}});
+  }
+}
+
+void FleetScheduler::admit_arrivals(double t1) {
+  while (next_arrival_ < pending_.size() &&
+         pending_[next_arrival_].arrival_s < t1) {
+    const workload::FleetJobSpec& spec = pending_[next_arrival_];
+    const AdmissionDecision d = admission_.offer(spec);
+    switch (d) {
+      case AdmissionDecision::kAdmitted:
+        activate(spec, spec.arrival_s);
+        break;
+      case AdmissionDecision::kQueued:
+        ++queued_offers_;
+        if (m_queued_) m_queued_->add();
+        if (config_.obs) {
+          config_.obs->trace.instant(obs::TimeDomain::kVirtual, on::kCatFleet,
+                                     on::kEvQueue, spec.arrival_s,
+                                     std::uint32_t(spec.tenant),
+                                     {{"job", double(spec.job_id)}});
+        }
+        break;
+      case AdmissionDecision::kRejected:
+        ++rejected_jobs_;
+        ++tenant_rejected_[spec.tenant];
+        if (m_rejected_) m_rejected_->add();
+        if (config_.obs) {
+          config_.obs->trace.instant(obs::TimeDomain::kVirtual, on::kCatFleet,
+                                     on::kEvReject, spec.arrival_s,
+                                     std::uint32_t(spec.tenant),
+                                     {{"job", double(spec.job_id)}});
+        }
+        break;
+    }
+    ++next_arrival_;
+  }
+}
+
+void FleetScheduler::job_round(JobState& j, double t0, double t1,
+                               std::vector<Action>& out) const {
+  j.round_seq = 0;
+  if (!j.active || j.finished) return;
+  double cursor = std::max(t0, j.stats.start_time);
+  if (cursor >= t1) return;
+
+  // A resume owed from a restart that ended exactly on (or before) the
+  // round boundary: the busy-end event fell outside the previous round's
+  // half-open window, so it is honored here.
+  if (j.drain_interrupted && j.busy_until <= cursor) {
+    out.push_back({cursor, j.spec.job_id, j.round_seq++,
+                   ActionKind::kResume, 0, 0, false, 0});
+    j.drain_interrupted = false;
+  }
+
+  while (cursor < t1) {
+    const bool busy = j.busy_until > cursor;
+    const double e_busy = busy ? j.busy_until : kInf;
+    const double e_fail = j.next_failure.time;
+    const double e_work = busy ? kInf : cursor + (j.spec.work_s - j.progress);
+    const double e_ckpt = (!busy && !j.drain_outstanding)
+                              ? std::max(j.next_ckpt, cursor)
+                              : kInf;
+    double t = std::min(std::min(e_busy, e_fail), std::min(e_work, e_ckpt));
+    if (t > t1) t = t1;
+    if (!busy) j.progress += t - cursor;
+    cursor = t;
+    if (cursor >= t1) break;
+
+    if (e_busy <= t) {
+      // Restart downtime (or a capture pause) ended; a drain interrupted
+      // by the failure resumes now.
+      if (j.drain_interrupted) {
+        out.push_back({cursor, j.spec.job_id, j.round_seq++,
+                       ActionKind::kResume, 0, 0, false, 0});
+        j.drain_interrupted = false;
+      }
+      continue;
+    }
+    if (e_fail <= t) {
+      const int level = j.next_failure.level;
+      ++j.stats.failures;
+      j.stats.rework_s += std::max(0.0, j.progress - j.safe_progress);
+      // Deterministic re-execution: the job rewinds to its last *safe*
+      // (committed) state. An in-flight drain still covers a valid future
+      // state of the recompute, so it keeps draining (level 1) or resumes
+      // after the restart (level >= 2 loses the node's streams).
+      j.progress = std::min(j.progress, j.safe_progress);
+      j.busy_until = cursor + config_.restart_s;
+      if (level >= 2 && j.drain_outstanding) j.drain_interrupted = true;
+      out.push_back({cursor, j.spec.job_id, j.round_seq++,
+                     ActionKind::kFailure, 0, 0, false, level});
+      j.next_failure = j.failures.next_after(cursor);
+      continue;
+    }
+    if (e_work <= t) {
+      j.finished = true;
+      j.stats.finish_time = cursor;
+      out.push_back({cursor, j.spec.job_id, j.round_seq++,
+                     ActionKind::kFinish, 0, 0, false, 0});
+      break;
+    }
+    // Capture: pause for the copy, hand the bytes to the drain engine.
+    const bool full =
+        j.force_full || j.ckpt_seq % std::uint64_t(config_.full_every) == 0;
+    const std::uint64_t bytes =
+        full ? std::max<std::uint64_t>(j.spec.footprint_bytes, 1)
+             : delta_bytes(j);
+    j.force_full = false;
+    j.drain_outstanding = true;
+    j.drain_interrupted = false;
+    j.drain_capture_time = cursor;
+    j.drain_progress = j.progress;
+    ++j.ckpt_seq;
+    ++j.stats.checkpoints;
+    if (full) ++j.stats.fulls;
+    j.busy_until = cursor + double(bytes) / config_.capture_bps;
+    out.push_back({cursor, j.spec.job_id, j.round_seq++,
+                   ActionKind::kCapture, bytes, j.ckpt_seq, full, 0});
+  }
+}
+
+void FleetScheduler::apply_actions(const std::vector<Action>& merged) {
+  for (const Action& a : merged) {
+    mix(std::bit_cast<std::uint64_t>(a.time));
+    mix(a.job);
+    mix((std::uint64_t(a.seq) << 8) | std::uint64_t(a.kind));
+    mix(a.bytes);
+    sched_.run_until(a.time);
+    JobState& j = jobs_[index_.at(a.job)];
+    switch (a.kind) {
+      case ActionKind::kCapture: {
+        std::string key = "j";
+        key += std::to_string(a.job);
+        key += "/c";
+        key += std::to_string(a.ckpt);
+        j.drain_id = sched_.submit_sized(kDrainLevel, std::move(key), a.bytes,
+                                         j.spec.tenant);
+        if (m_checkpoints_) m_checkpoints_->add();
+        break;
+      }
+      case ActionKind::kFailure:
+        if (m_failures_) m_failures_->add();
+        if (config_.obs) {
+          config_.obs->trace.instant(obs::TimeDomain::kVirtual, on::kCatFleet,
+                                     on::kEvFailure, a.time,
+                                     std::uint32_t(j.spec.tenant),
+                                     {{"job", double(a.job)},
+                                      {"level", double(a.fail_level)}});
+        }
+        if (a.fail_level >= 2 && j.drain_id != 0) {
+          if (sched_.interrupt(j.drain_id)) ++j.stats.interrupts;
+        }
+        break;
+      case ActionKind::kResume:
+        if (j.drain_id != 0 && sched_.resume(j.drain_id)) ++j.stats.resumes;
+        break;
+      case ActionKind::kFinish:
+        if (config_.obs) {
+          config_.obs->trace.instant(obs::TimeDomain::kVirtual, on::kCatFleet,
+                                     on::kEvJobFinish, a.time,
+                                     std::uint32_t(j.spec.tenant),
+                                     {{"job", double(a.job)}});
+        }
+        break;
+    }
+  }
+}
+
+void FleetScheduler::boundary(double t1) {
+  for (JobState& j : jobs_) {
+    if (!j.active || j.drain_id == 0) continue;
+    const xfer::TransferRecord& rec = sched_.record(j.drain_id);
+    if (rec.state == xfer::TransferState::kCommitted) {
+      const double tts = rec.commit_time - j.drain_capture_time;
+      const double observed = rec.commit_time - rec.submit_time;
+      j.pred_drain_s = config_.ewma_alpha * observed +
+                       (1.0 - config_.ewma_alpha) * j.pred_drain_s;
+      j.safe_progress = std::max(j.safe_progress, j.drain_progress);
+      ++j.stats.commits;
+      j.stats.committed_bytes += rec.total_bytes;
+      j.stats.net2_bytes += rec.stats.bytes_acked + rec.stats.bytes_wasted;
+      j.stats.tts_sum_s += tts;
+      tts_samples_.push_back(tts);
+      tenant_tts_[j.spec.tenant].push_back(tts);
+      mix(std::bit_cast<std::uint64_t>(rec.commit_time));
+      mix(j.spec.job_id);
+      if (m_commits_) m_commits_->add();
+      if (m_net2_) {
+        m_net2_->add(rec.stats.bytes_acked + rec.stats.bytes_wasted);
+      }
+      if (m_tts_) m_tts_->observe(tts);
+      sched_.discard(j.drain_id);
+      j.drain_id = 0;
+      j.drain_outstanding = false;
+      j.drain_interrupted = false;
+      if (!j.finished) j.next_ckpt = t1 + w_star(j);
+    } else if (rec.state == xfer::TransferState::kAborted) {
+      ++j.stats.aborts;
+      j.stats.net2_bytes += rec.stats.bytes_acked + rec.stats.bytes_wasted;
+      if (m_net2_) {
+        m_net2_->add(rec.stats.bytes_acked + rec.stats.bytes_wasted);
+      }
+      sched_.discard(j.drain_id);
+      j.drain_id = 0;
+      j.drain_outstanding = false;
+      j.drain_interrupted = false;
+      // The staged partial is gone; the next capture must be
+      // self-contained.
+      j.force_full = true;
+      if (!j.finished) j.next_ckpt = t1;
+    }
+  }
+  for (JobState& j : jobs_) {
+    if (j.active && j.finished && !j.released && j.drain_id == 0) {
+      j.released = true;
+      ++finished_jobs_;
+      admission_.release(j.spec);
+      if (m_finished_) m_finished_->add();
+    }
+  }
+  for (const workload::FleetJobSpec& spec : admission_.drain_queue()) {
+    activate(spec, t1);
+  }
+}
+
+void FleetScheduler::run() {
+  const std::size_t shards = std::size_t(config_.shards);
+  std::unique_ptr<common::ThreadPool> pool;
+  if (shards > 1) {
+    pool = std::make_unique<common::ThreadPool>(unsigned(shards));
+  }
+  std::vector<std::vector<Action>> shard_actions(shards);
+  std::vector<Action> merged;
+  while (!finished() && now_ < config_.max_virtual_s) {
+    const double t0 = now_;
+    const double t1 = t0 + config_.quantum_s;
+    admit_arrivals(t1);
+
+    for (auto& v : shard_actions) v.clear();
+    if (pool) {
+      for (std::size_t s = 0; s < shards; ++s) {
+        pool->run([this, s, shards, t0, t1, &shard_actions] {
+          for (std::size_t i = s; i < jobs_.size(); i += shards) {
+            job_round(jobs_[i], t0, t1, shard_actions[s]);
+          }
+        });
+      }
+      pool->wait_idle();
+    } else {
+      for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        job_round(jobs_[i], t0, t1, shard_actions[0]);
+      }
+    }
+
+    merged.clear();
+    for (const auto& v : shard_actions) {
+      merged.insert(merged.end(), v.begin(), v.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Action& a, const Action& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.job != b.job) return a.job < b.job;
+                return a.seq < b.seq;
+              });
+    apply_actions(merged);
+    sched_.run_until(t1);
+    boundary(t1);
+    now_ = t1;
+  }
+  if (config_.obs) export_metrics(report());
+}
+
+bool FleetScheduler::finished() const {
+  return next_arrival_ >= pending_.size() && admission_.queued() == 0 &&
+         finished_jobs_ == jobs_.size();
+}
+
+const JobStats& FleetScheduler::job_stats(std::uint64_t job_id) const {
+  auto it = index_.find(job_id);
+  AIC_CHECK_MSG(it != index_.end(), "unknown fleet job " << job_id);
+  return jobs_[it->second].stats;
+}
+
+FleetReport FleetScheduler::report() const {
+  FleetReport r;
+  r.elapsed_s = now_;
+  r.complete = finished();
+  r.jobs = pending_.size();
+  r.admitted = admission_.admitted_total();
+  r.queued = queued_offers_;
+  r.rejected = rejected_jobs_;
+  r.finished = finished_jobs_;
+  r.digest = digest_;
+
+  for (const auto& spec : pending_) {
+    ++r.tenants[spec.tenant].jobs;
+  }
+  for (const auto& [tenant, n] : tenant_rejected_) {
+    r.tenants[tenant].jobs_rejected = n;
+  }
+  for (const JobState& j : jobs_) {
+    TenantStats& t = r.tenants[j.spec.tenant];
+    ++t.jobs_admitted;
+    t.jobs_finished += j.released ? 1 : 0;
+    t.checkpoints += j.stats.checkpoints;
+    t.commits += j.stats.commits;
+    t.failures += j.stats.failures;
+    t.net2_bytes += j.stats.net2_bytes;
+    t.committed_bytes += j.stats.committed_bytes;
+    t.rework_s += j.stats.rework_s;
+    t.tts_sum_s += j.stats.tts_sum_s;
+    r.checkpoints += j.stats.checkpoints;
+    r.commits += j.stats.commits;
+    r.failures += j.stats.failures;
+    r.net2_bytes += j.stats.net2_bytes;
+    r.committed_bytes += j.stats.committed_bytes;
+    r.rework_s += j.stats.rework_s;
+  }
+  if (r.elapsed_s > 0.0) {
+    r.goodput_bps = double(r.committed_bytes) / r.elapsed_s;
+    for (auto& [tenant, t] : r.tenants) {
+      t.goodput_bps = double(t.committed_bytes) / r.elapsed_s;
+    }
+  }
+  if (!tts_samples_.empty()) {
+    double sum = 0.0;
+    for (const double s : tts_samples_) sum += s;
+    r.tts_mean_s = sum / double(tts_samples_.size());
+    r.tts_p50_s = percentile(tts_samples_, 0.50);
+    r.tts_p99_s = percentile(tts_samples_, 0.99);
+  }
+  for (const auto& [tenant, samples] : tenant_tts_) {
+    r.tenants[tenant].tts_p99_s = percentile(samples, 0.99);
+  }
+  return r;
+}
+
+void FleetScheduler::export_metrics(const FleetReport& r) const {
+  auto& m = config_.obs->metrics;
+  m.gauge(on::kFleetGoodputBps)->set(r.goodput_bps);
+  m.gauge(on::kFleetReworkSeconds)->set(r.rework_s);
+  for (const auto& [tenant, t] : r.tenants) {
+    m.gauge(on::tenant_metric(tenant, on::kTenantGoodputBps))
+        ->set(t.goodput_bps);
+    m.gauge(on::tenant_metric(tenant, on::kTenantNet2Bytes))
+        ->set(double(t.net2_bytes));
+    m.gauge(on::tenant_metric(tenant, on::kTenantCommits))
+        ->set(double(t.commits));
+    m.gauge(on::tenant_metric(tenant, on::kTenantJobsFinished))
+        ->set(double(t.jobs_finished));
+    m.gauge(on::tenant_metric(tenant, on::kTenantTimeToSafeP99))
+        ->set(t.tts_p99_s);
+  }
+}
+
+}  // namespace aic::fleet

@@ -1,0 +1,250 @@
+// FleetScheduler — a multi-tenant checkpoint service over one shared
+// drain channel, simulated as a sharded discrete-event core.
+//
+// The fleet hosts hundreds to thousands of concurrent jobs (a LANL
+// candidate mix from workload::lanl_fleet_jobs). Each job runs its own
+// lightweight AIC loop — an EWMA drain-time predictor, a Young/Daly-style
+// interval decider w* = sqrt(2 * T_drain / lambda), and a chain-lite
+// full-every-N capture cadence — and drains its checkpoints through one
+// xfer::TransferScheduler whose chunk pricing enforces the per-tenant QoS
+// contracts (fleet::QosPolicy). An AdmissionController bounds the
+// aggregate steady-state drain demand; per-job Poisson failure processes
+// (sim::JobFailureProcess) strike individual jobs mid-drain.
+//
+// Sharded virtual time, byte-deterministic under any shard count:
+//
+//   time advances in fixed rounds of quantum_s. Each round runs three
+//   phases —
+//     1. admission (serial): jobs arriving in the round are offered to the
+//        admission controller in (arrival, job_id) order;
+//     2. shard passes (parallel, one shard per worker): each shard
+//        simulates its jobs' local timelines through the round — work
+//        progress, captures, failures, restarts — touching nothing shared,
+//        and emits timestamped Action records;
+//     3. merge + apply (serial): all shards' actions are merged sorted by
+//        (time, job_id, seq) and applied to the shared transfer engine in
+//        that order, then the engine runs to the round boundary.
+//   Drain completions are delivered back to jobs only at the boundary
+//   (one-quantum staleness), so cross-job coupling through the shared
+//   channel is independent of how jobs were partitioned into shards: for
+//   a fixed seed, every counter, every virtual timestamp, and the
+//   timeline digest are byte-identical at 1, 2, or any number of shards.
+//
+// The digest (FNV-1a over the applied action stream and every commit) is
+// the determinism witness tests and benches compare across shard counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fleet/admission.h"
+#include "fleet/qos_policy.h"
+#include "fleet/tenant.h"
+#include "sim/fleet_failures.h"
+#include "workload/lanl_trace.h"
+#include "xfer/scheduler.h"
+
+namespace aic::obs {
+class Counter;
+class Gauge;
+class Histogram;
+struct Hub;
+}  // namespace aic::obs
+
+namespace aic::fleet {
+
+struct FleetConfig {
+  /// Shard count of the simulation core. Affects wall-clock parallelism
+  /// only — results are byte-identical for any value >= 1.
+  int shards = 1;
+  /// Round quantum (virtual seconds): the granularity at which drain
+  /// completions feed back into job deciders.
+  double quantum_s = 5.0;
+  std::uint64_t seed = 1;
+
+  /// The shared drain channel (registered as level 3).
+  double bandwidth_bps = 1.0e9;
+  double latency_s = 1.0e-3;
+  std::size_t chunk_bytes = 1 << 20;
+
+  /// Per-job failure rate (all levels, failures/second) and restart
+  /// downtime after a strike.
+  double lambda_total = 1.0e-3;
+  double restart_s = 10.0;
+  /// Local capture bandwidth: a capture of B bytes pauses the job for
+  /// B / capture_bps seconds.
+  double capture_bps = 4.0e9;
+  /// Clamp on each job's decided checkpoint interval.
+  double min_interval_s = 30.0;
+  double max_interval_s = 3600.0;
+  /// Chain-lite cadence: a full checkpoint every `full_every` captures
+  /// (the first capture is always full).
+  int full_every = 8;
+  /// EWMA smoothing of the observed drain time feeding the decider.
+  double ewma_alpha = 0.3;
+  /// Safety horizon: the fleet stops at this virtual time even if jobs
+  /// remain (a report of a truncated run says so via finished()).
+  double max_virtual_s = 86400.0;
+
+  /// Admission head-room policy. capacity_bps, lambda_total, and the
+  /// interval clamp are overwritten from the fleet fields above so the
+  /// controller's demand model matches the per-job deciders.
+  AdmissionConfig admission;
+
+  obs::Hub* obs = nullptr;
+};
+
+/// Per-job accounting (also the per-job slice tests pin across shard
+/// counts).
+struct JobStats {
+  std::uint64_t checkpoints = 0;
+  std::uint64_t fulls = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t interrupts = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t net2_bytes = 0;
+  std::uint64_t committed_bytes = 0;
+  double rework_s = 0.0;
+  double tts_sum_s = 0.0;
+  double start_time = -1.0;
+  double finish_time = -1.0;
+};
+
+struct FleetReport {
+  double elapsed_s = 0.0;
+  bool complete = false;  // every job reached a terminal state
+  std::uint64_t jobs = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t queued = 0;  // offers that went through the queue
+  std::uint64_t rejected = 0;
+  std::uint64_t finished = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t net2_bytes = 0;
+  std::uint64_t committed_bytes = 0;
+  double rework_s = 0.0;
+  /// Aggregate goodput: committed checkpoint bytes / elapsed.
+  double goodput_bps = 0.0;
+  /// Time-to-safe (capture -> commit) distribution, virtual seconds.
+  double tts_mean_s = 0.0;
+  double tts_p50_s = 0.0;
+  double tts_p99_s = 0.0;
+  /// Determinism witness (see header comment).
+  std::uint64_t digest = 0;
+  std::map<std::uint64_t, TenantStats> tenants;
+};
+
+class FleetScheduler {
+ public:
+  FleetScheduler(FleetConfig config, std::vector<workload::FleetJobSpec> jobs,
+                 QosPolicy policy);
+
+  /// Runs the fleet to completion (or to max_virtual_s).
+  void run();
+
+  double now() const { return now_; }
+  /// True when every job reached a terminal state (finished + drains
+  /// landed, or rejected).
+  bool finished() const;
+  std::uint64_t digest() const { return digest_; }
+  const JobStats& job_stats(std::uint64_t job_id) const;
+  const AdmissionController& admission() const { return admission_; }
+
+  FleetReport report() const;
+
+ private:
+  enum class ActionKind : std::uint8_t {
+    kCapture = 0,
+    kFailure,
+    kResume,
+    kFinish,
+  };
+  struct Action {
+    double time = 0.0;
+    std::uint64_t job = 0;
+    std::uint32_t seq = 0;  // per-job emission order within the round
+    ActionKind kind = ActionKind::kCapture;
+    std::uint64_t bytes = 0;    // kCapture: drain size
+    std::uint64_t ckpt = 0;     // kCapture: checkpoint sequence number
+    bool full = false;          // kCapture: full vs delta
+    int fail_level = 0;         // kFailure: 1..3
+  };
+  struct JobState {
+    JobState(workload::FleetJobSpec s, sim::JobFailureProcess f)
+        : spec(std::move(s)), failures(std::move(f)) {}
+
+    workload::FleetJobSpec spec;
+    sim::JobFailureProcess failures;
+    bool active = false;
+    bool finished = false;
+    bool released = false;
+    double progress = 0.0;       // work executed (virtual seconds)
+    double safe_progress = 0.0;  // covered by the last committed ckpt
+    double busy_until = 0.0;     // capture pause or restart downtime
+    failure::FailureEvent next_failure;
+    double next_ckpt = 0.0;
+    bool force_full = false;  // aborted drain: redo as a full checkpoint
+    std::uint64_t ckpt_seq = 0;
+    // The (at most one) outstanding drain. drain_id is written by the
+    // serial apply phase; the job's shard-local view is drain_outstanding,
+    // refreshed at round boundaries (one-quantum staleness by design).
+    bool drain_outstanding = false;
+    bool drain_interrupted = false;  // resume due at busy_until
+    xfer::TransferId drain_id = 0;
+    double drain_capture_time = 0.0;
+    double drain_progress = 0.0;  // progress the pending capture covers
+    double pred_drain_s = 1.0;    // EWMA drain-time prediction
+    std::uint32_t round_seq = 0;
+    JobStats stats;
+  };
+
+  std::uint64_t delta_bytes(const JobState& j) const;
+  double w_star(const JobState& j) const;
+  void activate(const workload::FleetJobSpec& spec, double start);
+  void admit_arrivals(double t1);
+  void job_round(JobState& j, double t0, double t1,
+                 std::vector<Action>& out) const;
+  void apply_actions(const std::vector<Action>& merged);
+  void boundary(double t1);
+  void mix(std::uint64_t v);
+  void export_metrics(const FleetReport& r) const;
+
+  FleetConfig config_;
+  QosPolicy policy_;
+  AdmissionController admission_;
+  xfer::TransferScheduler sched_;
+  /// Staging sink that counts instead of storing (fleet drains are
+  /// size-only; see TransferScheduler::submit_sized).
+  std::unique_ptr<xfer::ChunkSink> sink_;
+  std::vector<JobState> jobs_;
+  std::map<std::uint64_t, std::size_t> index_;  // job_id -> jobs_ index
+  /// Arrival order (indices into the ctor's spec vector, sorted by
+  /// (arrival_s, job_id)); next_arrival_ points at the first unoffered.
+  std::vector<workload::FleetJobSpec> pending_;
+  std::size_t next_arrival_ = 0;
+  double now_ = 0.0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t queued_offers_ = 0;
+  std::uint64_t finished_jobs_ = 0;
+  std::uint64_t rejected_jobs_ = 0;
+  std::vector<double> tts_samples_;
+  std::map<std::uint64_t, std::vector<double>> tenant_tts_;
+  std::map<std::uint64_t, std::uint64_t> tenant_rejected_;
+  // Serial-phase metric handles (null when obs is null).
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_queued_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_finished_ = nullptr;
+  obs::Counter* m_checkpoints_ = nullptr;
+  obs::Counter* m_commits_ = nullptr;
+  obs::Counter* m_failures_ = nullptr;
+  obs::Counter* m_net2_ = nullptr;
+  obs::Histogram* m_tts_ = nullptr;
+};
+
+}  // namespace aic::fleet

@@ -1,0 +1,37 @@
+#include "fleet/qos_policy.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aic::fleet {
+
+void QosPolicy::set(Tenant tenant) {
+  AIC_CHECK_MSG(std::isfinite(tenant.qos.weight) && tenant.qos.weight > 0.0,
+                "tenant " << tenant.id << " weight must be positive, got "
+                          << tenant.qos.weight);
+  AIC_CHECK_MSG(
+      std::isfinite(tenant.qos.reserved_bps) && tenant.qos.reserved_bps >= 0.0,
+      "tenant " << tenant.id << " reservation must be non-negative, got "
+                << tenant.qos.reserved_bps);
+  tenants_[tenant.id] = std::move(tenant);
+}
+
+xfer::TenantQos QosPolicy::qos_for(std::uint64_t tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? xfer::TenantQos{} : it->second.qos;
+}
+
+double QosPolicy::reserved_total_bps() const {
+  double total = 0.0;
+  for (const auto& [id, t] : tenants_) total += t.qos.reserved_bps;
+  return total;
+}
+
+void QosPolicy::apply(xfer::TransferScheduler& sched, int level) const {
+  for (const auto& [id, t] : tenants_) {
+    sched.set_tenant_qos(level, id, t.qos);
+  }
+}
+
+}  // namespace aic::fleet

@@ -1,0 +1,46 @@
+// QosPolicy — the fleet's tenant QoS table, validated and applied as one
+// unit to the transfer engine.
+//
+// The policy is declarative: register every tenant with its contract, then
+// apply() installs the table on a TransferScheduler level. Validation is
+// two-stage — set() rejects malformed single entries (CheckError), and
+// apply() surfaces the transfer engine's aggregate check (ReservationError
+// when the reservations oversubscribe the channel) *before* any job has
+// drained, so a misconfigured fleet fails at startup rather than starving
+// tenants at runtime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "fleet/tenant.h"
+#include "xfer/scheduler.h"
+
+namespace aic::fleet {
+
+class QosPolicy {
+ public:
+  /// Registers (or replaces) a tenant. Weight must be positive and finite,
+  /// the reservation non-negative and finite (CheckError otherwise).
+  void set(Tenant tenant);
+
+  /// The tenant's contract; unregistered tenants are best-effort
+  /// weight-1.0 (the transfer engine's default).
+  xfer::TenantQos qos_for(std::uint64_t tenant) const;
+
+  const std::map<std::uint64_t, Tenant>& tenants() const { return tenants_; }
+
+  /// Sum of all hard reservations (bps).
+  double reserved_total_bps() const;
+
+  /// Installs every registered tenant on `level` of `sched`. Propagates
+  /// xfer::ReservationError when the aggregate oversubscribes the
+  /// channel; entries applied before the failing one remain installed, so
+  /// callers should treat the scheduler as poisoned on throw.
+  void apply(xfer::TransferScheduler& sched, int level) const;
+
+ private:
+  std::map<std::uint64_t, Tenant> tenants_;
+};
+
+}  // namespace aic::fleet

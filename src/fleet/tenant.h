@@ -1,0 +1,47 @@
+// Tenant identity and per-tenant accounting for the fleet service.
+//
+// A tenant is a paying customer of the multi-tenant checkpoint fleet: it
+// owns a slice of the job population and a QoS contract on the shared
+// drain channel (xfer::TenantQos — a hard bandwidth reservation and/or a
+// weight in the best-effort residual pool). TenantStats is the per-tenant
+// cut of everything the fleet measures; FleetScheduler fills one per
+// tenant and mirrors the fields into obs metrics under
+// `fleet.tenant.<id>.*` (obs::names::tenant_metric).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xfer/transfer.h"
+
+namespace aic::fleet {
+
+struct Tenant {
+  std::uint64_t id = 0;
+  std::string name;
+  xfer::TenantQos qos;
+};
+
+struct TenantStats {
+  std::uint64_t jobs = 0;           // jobs offered (admitted + queued + rejected)
+  std::uint64_t jobs_admitted = 0;
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t jobs_finished = 0;
+  std::uint64_t checkpoints = 0;    // captures taken
+  std::uint64_t commits = 0;        // drains landed safe
+  std::uint64_t failures = 0;
+  /// Bytes this tenant's drains put on the shared channel (acked + wasted)
+  /// — the tenant's share of the fleet's NET² overhead.
+  std::uint64_t net2_bytes = 0;
+  /// Committed checkpoint bytes (the numerator of goodput).
+  std::uint64_t committed_bytes = 0;
+  /// Work lost to failure rewinds (virtual seconds).
+  double rework_s = 0.0;
+  /// Time-to-safe (capture -> commit) distribution, virtual seconds.
+  double tts_sum_s = 0.0;
+  double tts_p99_s = 0.0;
+  /// Committed bytes / fleet elapsed time.
+  double goodput_bps = 0.0;
+};
+
+}  // namespace aic::fleet

@@ -8,6 +8,9 @@
 // suffixes for units; trace events are (category, name) pairs.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 namespace aic::obs::names {
 
 // --- ckpt: the checkpointing core (AsyncCheckpointer / CheckpointChain) ---
@@ -73,12 +76,48 @@ inline constexpr const char* kSimNet2 = "sim.net2";
 inline constexpr const char* kSimTurnaroundSeconds = "sim.turnaround_seconds";
 inline constexpr const char* kSimBaseSeconds = "sim.base_seconds";
 
+// --- fleet: the multi-tenant checkpoint service ---
+inline constexpr const char* kFleetJobsAdmitted = "fleet.jobs_admitted";
+inline constexpr const char* kFleetJobsQueued = "fleet.jobs_queued";
+inline constexpr const char* kFleetJobsRejected = "fleet.jobs_rejected";
+inline constexpr const char* kFleetJobsFinished = "fleet.jobs_finished";
+inline constexpr const char* kFleetCheckpoints = "fleet.checkpoints";
+inline constexpr const char* kFleetCommits = "fleet.commits";
+inline constexpr const char* kFleetFailures = "fleet.failures";
+inline constexpr const char* kFleetReworkSeconds = "fleet.rework_seconds";
+/// Aggregate NET² proxy: every byte the fleet's drains put on the shared
+/// channel (acked and wasted alike).
+inline constexpr const char* kFleetNet2Bytes = "fleet.net2_bytes";
+inline constexpr const char* kFleetGoodputBps = "fleet.goodput_bps";
+inline constexpr const char* kFleetTimeToSafeSeconds =
+    "fleet.time_to_safe_seconds";
+
+// Per-tenant metric fields, namespaced under `fleet.tenant.<id>.` by
+// tenant_metric() below.
+inline constexpr const char* kTenantGoodputBps = "goodput_bps";
+inline constexpr const char* kTenantNet2Bytes = "net2_bytes";
+inline constexpr const char* kTenantCommits = "commits";
+inline constexpr const char* kTenantJobsFinished = "jobs_finished";
+inline constexpr const char* kTenantTimeToSafeP99 = "time_to_safe_p99_s";
+
+/// Builds the per-tenant metric name `fleet.tenant.<id>.<field>` — the one
+/// dynamic corner of the schema; consumers reconstruct names with the same
+/// function, so writer and reader still cannot drift.
+inline std::string tenant_metric(std::uint64_t tenant, const char* field) {
+  std::string name = "fleet.tenant.";
+  name += std::to_string(tenant);
+  name += '.';
+  name += field;
+  return name;
+}
+
 // --- trace categories ---
 inline constexpr const char* kCatCkpt = "ckpt";
 inline constexpr const char* kCatDelta = "delta";
 inline constexpr const char* kCatXfer = "xfer";
 inline constexpr const char* kCatDecider = "decider";
 inline constexpr const char* kCatSim = "sim";
+inline constexpr const char* kCatFleet = "fleet";
 
 // --- trace event names ---
 inline constexpr const char* kEvInterval = "interval";   // ckpt, span
@@ -93,7 +132,11 @@ inline constexpr const char* kEvAbort = "abort";         // xfer, instant
 inline constexpr const char* kEvInterrupt = "interrupt"; // xfer, instant
 inline constexpr const char* kEvResume = "resume";       // xfer, instant
 inline constexpr const char* kEvDecision = "decision";   // decider, instant
-inline constexpr const char* kEvFailure = "failure";     // sim, instant
+inline constexpr const char* kEvFailure = "failure";     // sim/fleet, instant
+inline constexpr const char* kEvAdmit = "admit";         // fleet, instant
+inline constexpr const char* kEvQueue = "queue";         // fleet, instant
+inline constexpr const char* kEvReject = "reject";       // fleet, instant
+inline constexpr const char* kEvJobFinish = "job_finish";  // fleet, instant
 inline constexpr const char* kEvRestore = "restore";     // sim, span
 /// Error escaping a subsystem boundary (any category, instant) — the last
 /// event a flight-recorder postmortem usually holds.

@@ -1,0 +1,45 @@
+// Per-job failure processes for fleet simulations.
+//
+// A fleet hosts thousands of jobs, each with its own Poisson failure
+// process (failure/failure.h). Sampling them all from one shared RNG would
+// make every job's failure sequence depend on fleet composition and on the
+// order shards happen to draw — the opposite of what a byte-deterministic
+// sharded core needs. A JobFailureProcess instead derives each job's
+// stream from (fleet_seed, job_id) alone, so the sequence a job sees is
+// invariant under shard count, admission order, and which other jobs share
+// the fleet — failures strike individual jobs mid-drain at times fixed by
+// the seed, never by scheduling accidents.
+#pragma once
+
+#include <cstdint>
+
+#include "failure/failure.h"
+
+namespace aic::sim {
+
+class JobFailureProcess {
+ public:
+  JobFailureProcess(failure::FailureSpec spec, std::uint64_t fleet_seed,
+                    std::uint64_t job_id)
+      : injector_(spec, Rng(derive_seed(fleet_seed, job_id))) {}
+
+  /// Next failure strictly after `now` (+infinity with a zero rate).
+  failure::FailureEvent next_after(double now) {
+    return injector_.next_after(now);
+  }
+
+  const failure::FailureSpec& spec() const { return injector_.spec(); }
+
+  /// The per-job seed derivation, exposed so tests can pin it: a SplitMix64
+  /// mix of the fleet seed and the job id.
+  static std::uint64_t derive_seed(std::uint64_t fleet_seed,
+                                   std::uint64_t job_id) {
+    std::uint64_t state = fleet_seed ^ (job_id * 0x9E3779B97f4A7C15ULL);
+    return splitmix64(state);
+  }
+
+ private:
+  failure::FailureInjector injector_;
+};
+
+}  // namespace aic::sim

@@ -211,7 +211,7 @@ std::vector<JobRecord> generate_log(const SystemConfig& system,
   return log;
 }
 
-CandidateStats analyze_candidates(const std::vector<JobRecord>& log,
+std::vector<bool> candidate_flags(const std::vector<JobRecord>& log,
                                   const SystemConfig& system) {
   // Per-node usage step functions: sorted (time, delta) -> prefix levels.
   struct Event {
@@ -263,9 +263,9 @@ CandidateStats analyze_candidates(const std::vector<JobRecord>& log,
     return peak;
   };
 
-  CandidateStats stats;
+  std::vector<bool> flags;
+  flags.reserve(log.size());
   for (const JobRecord& job : log) {
-    ++stats.jobs;
     bool candidate = true;
     for (const auto& [n, c] : job.placement) {
       if (max_usage_in(std::size_t(n), job.dispatch_time, job.end_time) >
@@ -274,7 +274,17 @@ CandidateStats analyze_candidates(const std::vector<JobRecord>& log,
         break;
       }
     }
-    stats.candidates += candidate;
+    flags.push_back(candidate);
+  }
+  return flags;
+}
+
+CandidateStats analyze_candidates(const std::vector<JobRecord>& log,
+                                  const SystemConfig& system) {
+  CandidateStats stats;
+  stats.jobs = log.size();
+  for (const bool flag : candidate_flags(log, system)) {
+    stats.candidates += flag;
   }
   return stats;
 }

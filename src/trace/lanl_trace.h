@@ -102,4 +102,11 @@ struct CandidateStats {
 CandidateStats analyze_candidates(const std::vector<JobRecord>& log,
                                   const SystemConfig& system);
 
+/// Per-job candidacy, aligned with `log` (flags[i] corresponds to log[i]).
+/// analyze_candidates() is the aggregate over these flags; fleet job mixes
+/// (workload/lanl_trace.h) use the flags to draw only the jobs that can
+/// host AIC's concurrent checkpointing.
+std::vector<bool> candidate_flags(const std::vector<JobRecord>& log,
+                                  const SystemConfig& system);
+
 }  // namespace aic::trace

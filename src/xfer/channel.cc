@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace aic::xfer {
 
@@ -34,8 +35,21 @@ void Channel::close_stream() {
 
 Channel::SendOutcome Channel::send(std::uint64_t bytes) {
   const std::size_t share = std::max<std::size_t>(active_streams_, 1);
-  const double per_stream_bps = config_.bandwidth_bps / double(share);
-  const double base = config_.latency_s + double(bytes) / per_stream_bps;
+  return send(bytes, config_.bandwidth_bps / double(share));
+}
+
+Channel::SendOutcome Channel::send(std::uint64_t bytes,
+                                   double bandwidth_bps) {
+  AIC_CHECK_MSG(std::isfinite(bandwidth_bps) && bandwidth_bps >= 0.0,
+                "per-stream bandwidth must be non-negative and finite, got "
+                    << bandwidth_bps);
+  // A zero share (a starved best-effort stream while reservations consume
+  // the whole channel) yields an attempt that never completes: the
+  // scheduler leaves it in flight and virtual time passes it by.
+  const double base =
+      bandwidth_bps > 0.0
+          ? config_.latency_s + double(bytes) / bandwidth_bps
+          : std::numeric_limits<double>::infinity();
 
   if (!scripted_.empty()) {
     const Fault fault = scripted_.front();

@@ -79,6 +79,13 @@ class Channel {
   /// have opened a stream for this attempt.
   SendOutcome send(std::uint64_t bytes);
 
+  /// One chunk-send attempt at an explicitly priced per-stream bandwidth —
+  /// the QoS path: the TransferScheduler computes each stream's share from
+  /// tenant reservations and weights and passes it here. Fault injection
+  /// applies identically. A zero bandwidth yields an attempt of infinite
+  /// duration (a starved stream), never a division fault.
+  SendOutcome send(std::uint64_t bytes, double bandwidth_bps);
+
  private:
   Config config_;
   std::size_t active_streams_ = 0;

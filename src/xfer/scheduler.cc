@@ -67,7 +67,7 @@ void TransferScheduler::add_level(int level, Channel::Config channel,
   AIC_CHECK_MSG(sink != nullptr, "level " << level << " needs a sink");
   AIC_CHECK_MSG(levels_.count(level) == 0,
                 "level " << level << " already registered");
-  levels_[level] = Level{std::make_unique<Channel>(channel), sink};
+  levels_[level] = Level{std::make_unique<Channel>(channel), sink, {}};
 }
 
 Channel& TransferScheduler::channel(int level) {
@@ -76,13 +76,52 @@ Channel& TransferScheduler::channel(int level) {
   return *it->second.channel;
 }
 
+void TransferScheduler::set_tenant_qos(int level, std::uint64_t tenant,
+                                       TenantQos qos) {
+  auto it = levels_.find(level);
+  AIC_CHECK_MSG(it != levels_.end(),
+                "set_tenant_qos on unregistered level " << level);
+  AIC_CHECK_MSG(std::isfinite(qos.weight) && qos.weight > 0.0,
+                "tenant " << tenant << " weight must be positive, got "
+                          << qos.weight);
+  AIC_CHECK_MSG(std::isfinite(qos.reserved_bps) && qos.reserved_bps >= 0.0,
+                "tenant " << tenant
+                          << " reservation must be non-negative, got "
+                          << qos.reserved_bps);
+  // Aggregate-demand validation: the reservation set with this entry
+  // applied must fit the channel. On rejection the table is untouched.
+  const double capacity = it->second.channel->bandwidth_bps();
+  double reserved = qos.reserved_bps;
+  for (const auto& [t, q] : it->second.qos) {
+    if (t != tenant) reserved += q.reserved_bps;
+  }
+  if (reserved > capacity) {
+    std::ostringstream os;
+    os << "reservation set on level " << level << " demands " << reserved
+       << " B/s but the channel provides " << capacity
+       << " B/s (adding tenant " << tenant << " at " << qos.reserved_bps
+       << " B/s)";
+    throw ReservationError(level, reserved, capacity, os.str());
+  }
+  it->second.qos[tenant] = qos;
+}
+
+TenantQos TransferScheduler::tenant_qos(int level, std::uint64_t tenant) const {
+  auto it = levels_.find(level);
+  AIC_CHECK_MSG(it != levels_.end(),
+                "tenant_qos on unregistered level " << level);
+  auto q = it->second.qos.find(tenant);
+  return q == it->second.qos.end() ? TenantQos{} : q->second;
+}
+
 TransferScheduler::Level& TransferScheduler::level_of(const Entry& e) {
   auto it = levels_.find(e.rec.level);
   AIC_CHECK(it != levels_.end());
   return it->second;
 }
 
-TransferId TransferScheduler::submit(int level, std::string key, Bytes data) {
+TransferId TransferScheduler::submit(int level, std::string key, Bytes data,
+                                     std::uint64_t tenant) {
   AIC_CHECK_MSG(levels_.count(level) > 0,
                 "submit to unregistered level " << level);
   for (const auto& [id, e] : entries_) {
@@ -94,9 +133,30 @@ TransferId TransferScheduler::submit(int level, std::string key, Bytes data) {
   e.rec.id = next_id_++;
   e.rec.key = std::move(key);
   e.rec.level = level;
+  e.rec.tenant = tenant;
   e.rec.total_bytes = data.size();
   e.rec.submit_time = now_;
   e.data = std::move(data);
+  e.ready_at = now_;
+  const TransferId id = e.rec.id;
+  entries_.emplace(id, std::move(e));
+  return id;
+}
+
+TransferId TransferScheduler::submit_sized(int level, std::string key,
+                                           std::uint64_t total_bytes,
+                                           std::uint64_t tenant) {
+  AIC_CHECK_MSG(levels_.count(level) > 0,
+                "submit to unregistered level " << level);
+  AIC_CHECK_MSG(total_bytes > 0, "sized submit of empty object " << key);
+  Entry e;
+  e.rec.id = next_id_++;
+  e.rec.key = std::move(key);
+  e.rec.level = level;
+  e.rec.tenant = tenant;
+  e.rec.total_bytes = total_bytes;
+  e.rec.submit_time = now_;
+  e.synthetic = true;
   e.ready_at = now_;
   const TransferId id = e.rec.id;
   entries_.emplace(id, std::move(e));
@@ -158,10 +218,18 @@ void TransferScheduler::start_ready_attempts() {
     starting.push_back(&e);
   }
   for (Entry* e : starting) level_of(*e).channel->open_stream();
-  for (Entry* e : starting) {
+  // Price every attempt starting at this instant against the full stream
+  // population as of the instant (in-flight + starting) BEFORE any outcome
+  // is fixed, so the pricing is order-independent within the batch.
+  std::vector<double> bandwidth(starting.size());
+  for (std::size_t i = 0; i < starting.size(); ++i) {
+    bandwidth[i] = priced_bandwidth(*starting[i], starting);
+  }
+  for (std::size_t i = 0; i < starting.size(); ++i) {
+    Entry* e = starting[i];
     const std::uint64_t chunk = std::min<std::uint64_t>(
         config_.chunk_bytes, e->rec.total_bytes - e->rec.acked_bytes);
-    Channel::SendOutcome out = level_of(*e).channel->send(chunk);
+    Channel::SendOutcome out = level_of(*e).channel->send(chunk, bandwidth[i]);
     // A stalled delivery outlasting the chunk timeout is a failed attempt
     // that costs exactly the timeout (the sender stops listening).
     const double timeout = config_.retry.chunk_timeout_s;
@@ -179,6 +247,55 @@ void TransferScheduler::start_ready_attempts() {
     e->attempt_bytes = chunk;
     e->attempt_delivered = out.bytes_delivered;
   }
+}
+
+double TransferScheduler::priced_bandwidth(
+    const Entry& e, const std::vector<Entry*>& starting) const {
+  const auto lit = levels_.find(e.rec.level);
+  AIC_CHECK(lit != levels_.end());
+  const Level& level = lit->second;
+
+  // Stream population on this level at this instant: in-flight attempts
+  // (outcome already fixed, but they still occupy the wire) plus every
+  // attempt in the starting batch. Nothing in `starting` has
+  // attempt_active set yet, so the two sets are disjoint.
+  std::map<std::uint64_t, std::size_t> streams;  // tenant -> stream count
+  for (const auto& [id, other] : entries_) {
+    if (other.rec.level == e.rec.level && other.attempt_active) {
+      ++streams[other.rec.tenant];
+    }
+  }
+  for (const Entry* s : starting) {
+    if (s->rec.level == e.rec.level) ++streams[s->rec.tenant];
+  }
+
+  auto qos_of = [&level](std::uint64_t tenant) {
+    const auto it = level.qos.find(tenant);
+    return it == level.qos.end() ? TenantQos{} : it->second;
+  };
+
+  // Reserved tenants ride their dedicated lanes; best-effort tenants pool
+  // their weights over the residual bandwidth. An inactive reserved tenant
+  // does not shrink the residual — reservations only bind while the tenant
+  // has streams on the wire.
+  double reserved_active = 0.0;
+  double weight_pool = 0.0;
+  for (const auto& [tenant, count] : streams) {
+    const TenantQos q = qos_of(tenant);
+    if (q.reserved_bps > 0.0) {
+      reserved_active += q.reserved_bps;
+    } else {
+      weight_pool += q.weight;
+    }
+  }
+
+  const TenantQos mine = qos_of(e.rec.tenant);
+  const double my_streams = double(streams[e.rec.tenant]);
+  if (mine.reserved_bps > 0.0) return mine.reserved_bps / my_streams;
+  const double residual =
+      std::max(0.0, level.channel->bandwidth_bps() - reserved_active);
+  if (weight_pool <= 0.0) return residual / my_streams;
+  return residual * (mine.weight / weight_pool) / my_streams;
 }
 
 void TransferScheduler::finish_attempt(Entry& e) {
@@ -200,9 +317,17 @@ void TransferScheduler::finish_attempt(Entry& e) {
     // Bytes that physically arrived are staged even when the attempt
     // failed (partial write): the retry overwrites them at the same
     // offset, which is what keeps staging idempotent.
-    level.sink->stage(
-        e.rec.key, e.rec.acked_bytes,
-        ByteSpan(e.data.data() + e.rec.acked_bytes, e.attempt_delivered));
+    if (e.synthetic) {
+      if (scratch_.size() < e.attempt_delivered) {
+        scratch_.assign(e.attempt_delivered, 0);
+      }
+      level.sink->stage(e.rec.key, e.rec.acked_bytes,
+                        ByteSpan(scratch_.data(), e.attempt_delivered));
+    } else {
+      level.sink->stage(
+          e.rec.key, e.rec.acked_bytes,
+          ByteSpan(e.data.data() + e.rec.acked_bytes, e.attempt_delivered));
+    }
   }
 
   if (e.attempt_acked) {
@@ -298,6 +423,47 @@ void TransferScheduler::run_until(double t) {
   now_ = t;
 }
 
+void TransferScheduler::interrupt_entry(Entry& e) {
+  if (e.attempt_active) {
+    // The in-flight chunk dies with the failure; charge the wire time
+    // actually elapsed, nothing is acked.
+    level_of(e).channel->close_stream();
+    e.rec.stats.wire_seconds += std::max(0.0, now_ - e.attempt_start);
+    e.attempt_active = false;
+    if (config_.obs) {
+      config_.obs->trace.span(
+          obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvChunk,
+          e.attempt_start, now_, std::uint32_t(e.rec.level),
+          {{"offset", double(e.rec.acked_bytes)},
+           {"bytes", double(e.attempt_bytes)},
+           {"ok", 0.0},
+           {"lost", 1.0}});
+    }
+  }
+  e.rec.state = TransferState::kInterrupted;
+  ++e.rec.stats.transfers_interrupted;
+  if (config_.obs) {
+    m_interrupts_->add();
+    config_.obs->trace.instant(
+        obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvInterrupt, now_,
+        std::uint32_t(e.rec.level), {{"acked", double(e.rec.acked_bytes)}});
+  }
+}
+
+void TransferScheduler::resume_entry(Entry& e) {
+  e.rec.state = TransferState::kPending;
+  e.rec.chunk_attempts = 0;  // fresh budget for the resumed drain
+  e.ready_at = now_;
+  if (config_.obs) {
+    m_resumes_->add();
+    config_.obs->trace.instant(
+        obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvResume, now_,
+        std::uint32_t(e.rec.level),
+        {{"acked", double(e.rec.acked_bytes)},
+         {"total", double(e.rec.total_bytes)}});
+  }
+}
+
 std::size_t TransferScheduler::interrupt_level(int level) {
   std::size_t interrupted = 0;
   for (auto& [id, e] : entries_) {
@@ -306,31 +472,8 @@ std::size_t TransferScheduler::interrupt_level(int level) {
         e.rec.state != TransferState::kInFlight) {
       continue;
     }
-    if (e.attempt_active) {
-      // The in-flight chunk dies with the failure; charge the wire time
-      // actually elapsed, nothing is acked.
-      level_of(e).channel->close_stream();
-      e.rec.stats.wire_seconds += std::max(0.0, now_ - e.attempt_start);
-      e.attempt_active = false;
-      if (config_.obs) {
-        config_.obs->trace.span(
-            obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvChunk,
-            e.attempt_start, now_, std::uint32_t(e.rec.level),
-            {{"offset", double(e.rec.acked_bytes)},
-             {"bytes", double(e.attempt_bytes)},
-             {"ok", 0.0},
-             {"lost", 1.0}});
-      }
-    }
-    e.rec.state = TransferState::kInterrupted;
-    ++e.rec.stats.transfers_interrupted;
+    interrupt_entry(e);
     ++interrupted;
-    if (config_.obs) {
-      m_interrupts_->add();
-      config_.obs->trace.instant(
-          obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvInterrupt, now_,
-          std::uint32_t(level), {{"acked", double(e.rec.acked_bytes)}});
-    }
   }
   return interrupted;
 }
@@ -342,20 +485,31 @@ std::size_t TransferScheduler::resume_level(int level) {
         e.rec.state != TransferState::kInterrupted) {
       continue;
     }
-    e.rec.state = TransferState::kPending;
-    e.rec.chunk_attempts = 0;  // fresh budget for the resumed drain
-    e.ready_at = now_;
+    resume_entry(e);
     ++resumed;
-    if (config_.obs) {
-      m_resumes_->add();
-      config_.obs->trace.instant(
-          obs::TimeDomain::kVirtual, on::kCatXfer, on::kEvResume, now_,
-          std::uint32_t(level),
-          {{"acked", double(e.rec.acked_bytes)},
-           {"total", double(e.rec.total_bytes)}});
-    }
   }
   return resumed;
+}
+
+bool TransferScheduler::interrupt(TransferId id) {
+  auto it = entries_.find(id);
+  AIC_CHECK_MSG(it != entries_.end(), "interrupt of unknown transfer " << id);
+  Entry& e = it->second;
+  if (e.rec.state != TransferState::kPending &&
+      e.rec.state != TransferState::kInFlight) {
+    return false;
+  }
+  interrupt_entry(e);
+  return true;
+}
+
+bool TransferScheduler::resume(TransferId id) {
+  auto it = entries_.find(id);
+  AIC_CHECK_MSG(it != entries_.end(), "resume of unknown transfer " << id);
+  Entry& e = it->second;
+  if (e.rec.state != TransferState::kInterrupted) return false;
+  resume_entry(e);
+  return true;
 }
 
 void TransferScheduler::discard(TransferId id) {

@@ -6,7 +6,11 @@
 //
 //   * each chunk is one send attempt on the level's channel, charged at
 //     the channel's current per-stream bandwidth share (concurrent drains
-//     split capacity — the emergent Fig. 7 sharing factor);
+//     split capacity — the emergent Fig. 7 sharing factor). With tenant
+//     QoS configured (set_tenant_qos), the share is priced per tenant:
+//     hard reservations are dedicated lanes, best-effort tenants split the
+//     residual bandwidth by weight — the fleet's per-tenant QoS layer,
+//     still emergent chunk by chunk;
 //   * a failed attempt (drop, partial write, or timeout on a stall)
 //     retries after capped exponential backoff; exhausting the per-chunk
 //     attempt budget aborts the transfer with a TransferError naming the
@@ -28,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "xfer/channel.h"
 #include "xfer/stats.h"
@@ -63,10 +68,34 @@ class TransferScheduler {
   /// The level's channel, for fault injection and inspection.
   Channel& channel(int level);
 
+  /// Registers (or replaces) tenant `tenant`'s QoS on `level`'s channel.
+  /// Validates the aggregate: the sum of reserved bandwidth across the
+  /// level's tenants (with this entry applied) must not exceed the
+  /// channel's capacity — otherwise a ReservationError is thrown and the
+  /// QoS table is left unchanged. Weights must be positive, reservations
+  /// non-negative and finite.
+  void set_tenant_qos(int level, std::uint64_t tenant, TenantQos qos);
+  /// The tenant's QoS on `level` (defaults: weight 1, no reservation).
+  TenantQos tenant_qos(int level, std::uint64_t tenant) const;
+
   /// Queues a drain of `data` to `level` under object name `key`; the
   /// transfer starts at the next run_*() call. Keys must be unique among
-  /// live (non-discarded) transfers to the same level.
-  TransferId submit(int level, std::string key, Bytes data);
+  /// live (non-discarded) transfers to the same level. `tenant` selects
+  /// the QoS lane (see TenantQos); the default tenant 0 reproduces the
+  /// pre-QoS equal B/N split.
+  TransferId submit(int level, std::string key, Bytes data,
+                    std::uint64_t tenant = 0);
+
+  /// Size-only drain for fleet-scale simulation: the transfer carries
+  /// `total_bytes` of synthetic (zero) payload that is never materialized —
+  /// chunks are staged from a shared scratch buffer, so ten thousand
+  /// concurrent multi-GB drains cost chunk_bytes of memory, not the sum of
+  /// their footprints. Timing, pricing, interrupt/resume, and commit
+  /// semantics are identical to submit(). The caller guarantees key
+  /// uniqueness among live transfers (the duplicate scan is skipped — it
+  /// is O(live transfers) per call, too dear at fleet scale).
+  TransferId submit_sized(int level, std::string key,
+                          std::uint64_t total_bytes, std::uint64_t tenant = 0);
 
   double now() const { return now_; }
   /// True when no transfer is pending or in flight (interrupted and
@@ -88,6 +117,15 @@ class TransferScheduler {
   /// budget, resuming at the last acked chunk). Returns the count resumed.
   std::size_t resume_level(int level);
 
+  /// Failure striking one job mid-drain: interrupts a single transfer
+  /// (acked bytes kept, in-flight chunk lost). Returns false when the
+  /// transfer is already terminal or interrupted — an interrupt racing a
+  /// commit is a no-op, not an error.
+  bool interrupt(TransferId id);
+  /// Resumes one interrupted transfer (fresh per-chunk budget, re-drains
+  /// from the last acked chunk). Returns false unless it was interrupted.
+  bool resume(TransferId id);
+
   /// Drops a transfer and its staged partial entirely (rollback of a
   /// checkpoint that no longer exists). Terminal records are erased too.
   void discard(TransferId id);
@@ -107,10 +145,15 @@ class TransferScheduler {
   struct Level {
     std::unique_ptr<Channel> channel;
     ChunkSink* sink = nullptr;
+    /// Per-tenant QoS; absent tenants price as {1.0, 0.0}.
+    std::map<std::uint64_t, TenantQos> qos;
   };
   struct Entry {
     TransferRecord rec;
     Bytes data;
+    /// Size-only transfer (submit_sized): payload is synthetic zeros
+    /// staged from the scheduler's scratch buffer, `data` stays empty.
+    bool synthetic = false;
     double ready_at = 0.0;  // earliest start of the next chunk attempt
     // One in-flight chunk attempt (outcome fixed at start time).
     bool attempt_active = false;
@@ -126,6 +169,14 @@ class TransferScheduler {
   void finish_attempt(Entry& e);
   void commit(Entry& e);
   void run_events(double limit);
+  void interrupt_entry(Entry& e);
+  void resume_entry(Entry& e);
+  /// Per-stream bandwidth for a starting attempt of `e`, from the level's
+  /// active stream population (in-flight attempts plus those in
+  /// `starting`): reserved tenants get reserved_bps split across their own
+  /// streams, best-effort tenants share the residual by weight.
+  double priced_bandwidth(const Entry& e,
+                          const std::vector<Entry*>& starting) const;
 
   Config config_;
   // Metric handles resolved once at construction (all null when
@@ -146,6 +197,9 @@ class TransferScheduler {
   TransferId next_id_ = 1;
   std::map<int, Level> levels_;
   std::map<TransferId, Entry> entries_;
+  /// Zero-filled staging source for synthetic (size-only) transfers; grows
+  /// to the largest chunk ever staged and is shared by every such drain.
+  Bytes scratch_;
   /// Counters of discarded transfers, folded into stats().
   Stats discarded_stats_;
 };

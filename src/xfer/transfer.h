@@ -54,6 +54,41 @@ struct RetryPolicy {
   double chunk_timeout_s = 0.0;
 };
 
+/// Per-tenant QoS on one destination channel: a hard bandwidth reservation
+/// (a dedicated lane carved out of the channel — both a floor and the
+/// tenant's rate while it is active) and/or a weight for the best-effort
+/// residual pool. Tenants with reserved_bps == 0 share the residual
+/// bandwidth proportionally to weight — with equal weights and no
+/// reservations this degrades to the emergent Fig. 7 B/N split.
+struct TenantQos {
+  double weight = 1.0;
+  double reserved_bps = 0.0;
+};
+
+/// Typed rejection of a reservation set whose aggregate demand would
+/// oversubscribe a channel: names the level, the offending aggregate, and
+/// the channel capacity. Thrown by TransferScheduler::set_tenant_qos; the
+/// scheduler's QoS table is left unchanged.
+class ReservationError : public CheckError {
+ public:
+  ReservationError(int level, double reserved_bps, double capacity_bps,
+                   const std::string& what)
+      : CheckError(what),
+        level_(level),
+        reserved_bps_(reserved_bps),
+        capacity_bps_(capacity_bps) {}
+
+  int level() const { return level_; }
+  /// Aggregate reserved bandwidth the rejected set would have demanded.
+  double reserved_bps() const { return reserved_bps_; }
+  double capacity_bps() const { return capacity_bps_; }
+
+ private:
+  int level_;
+  double reserved_bps_;
+  double capacity_bps_;
+};
+
 /// Typed abort error: names the destination level and the chunk offset the
 /// drain could not push past.
 class TransferError : public CheckError {
@@ -95,6 +130,9 @@ struct TransferRecord {
   TransferId id = 0;
   std::string key;
   int level = 0;
+  /// Owning tenant for QoS pricing (0 = the default tenant: weight 1, no
+  /// reservation — the pre-QoS behaviour).
+  std::uint64_t tenant = 0;
   TransferState state = TransferState::kPending;
   std::uint64_t total_bytes = 0;
   /// Resume point: bytes confirmed at the sink (whole chunks only).

@@ -1,0 +1,335 @@
+// Tests for the fleet service: admission-controller decision paths,
+// QosPolicy validation and installation, and the FleetScheduler's core
+// guarantee — byte-identical counters, timelines, and digests under any
+// shard count for a fixed seed — plus per-tenant accounting and the obs
+// export.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fleet/admission.h"
+#include "fleet/fleet_scheduler.h"
+#include "fleet/qos_policy.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "workload/lanl_trace.h"
+
+namespace aic::fleet {
+namespace {
+
+namespace on = obs::names;
+
+workload::FleetJobSpec spec_of(std::uint64_t id, double footprint_mb,
+                               double dirty = 0.1) {
+  workload::FleetJobSpec s;
+  s.job_id = id;
+  s.tenant = std::uint32_t(id % 4);
+  s.arrival_s = double(id);
+  s.work_s = 100.0;
+  s.footprint_bytes = std::uint64_t(footprint_mb * 1024 * 1024);
+  s.dirty_fraction = dirty;
+  return s;
+}
+
+TEST(FleetAdmission, DemandScalesWithDeltaAndInterval) {
+  AdmissionConfig cfg;
+  cfg.capacity_bps = 1.0e8;
+  cfg.lambda_total = 1.0e-3;
+  cfg.min_interval_s = 1.0;
+  cfg.max_interval_s = 1.0e6;
+  AdmissionController ctrl(cfg);
+
+  const double d_small = ctrl.demand_bps(spec_of(1, 10.0));
+  const double d_big = ctrl.demand_bps(spec_of(2, 1000.0));
+  EXPECT_GT(d_small, 0.0);
+  EXPECT_GT(d_big, d_small)
+      << "a bigger delta demands more steady-state bandwidth";
+  // demand = delta / w* with w* ~ sqrt(delta): sub-linear, not linear.
+  EXPECT_LT(d_big, d_small * 100.0);
+}
+
+TEST(FleetAdmission, AdmitsUntilBudgetThenQueuesThenRejects) {
+  AdmissionConfig cfg;
+  cfg.capacity_bps = 1.0e8;
+  cfg.target_utilization = 0.5;
+  cfg.queue_capacity = 2;
+  cfg.lambda_total = 1.0e-3;
+  AdmissionController ctrl(cfg);
+
+  const auto job = spec_of(1, 500.0);
+  const double demand = ctrl.demand_bps(job);
+  ASSERT_GT(demand, 0.0);
+  const int fit = int(ctrl.budget_bps() / demand);
+  ASSERT_GE(fit, 1);
+
+  int admitted = 0, queued = 0, rejected = 0;
+  for (int i = 0; i < fit + 5; ++i) {
+    switch (ctrl.offer(spec_of(std::uint64_t(i + 1), 500.0))) {
+      case AdmissionDecision::kAdmitted: ++admitted; break;
+      case AdmissionDecision::kQueued: ++queued; break;
+      case AdmissionDecision::kRejected: ++rejected; break;
+    }
+  }
+  EXPECT_EQ(admitted, fit);
+  EXPECT_EQ(queued, 2) << "queue_capacity bounds the backlog";
+  EXPECT_EQ(rejected, 3);
+  EXPECT_EQ(ctrl.admitted_total(), std::uint64_t(fit));
+  EXPECT_EQ(ctrl.queued(), 2u);
+  EXPECT_EQ(ctrl.rejected_total(), 3u);
+  EXPECT_LE(ctrl.admitted_demand_bps(), ctrl.budget_bps());
+
+  // Releasing one admitted job frees room for exactly one queued job.
+  ctrl.release(job);
+  const auto promoted = ctrl.drain_queue();
+  EXPECT_EQ(promoted.size(), 1u);
+  EXPECT_EQ(ctrl.queued(), 1u);
+}
+
+TEST(FleetAdmission, OversizedJobIsRejectedNotQueued) {
+  AdmissionConfig cfg;
+  cfg.capacity_bps = 1.0e6;
+  cfg.target_utilization = 0.1;
+  cfg.min_interval_s = 1.0;
+  cfg.max_interval_s = 2.0;
+  AdmissionController ctrl(cfg);
+  // Demand = delta / w* with w* clamped tiny: far beyond the budget.
+  EXPECT_EQ(ctrl.offer(spec_of(1, 10000.0)), AdmissionDecision::kRejected);
+  EXPECT_EQ(ctrl.queued(), 0u)
+      << "a job that can never fit must not wedge the FIFO";
+  EXPECT_EQ(ctrl.rejected_total(), 1u);
+}
+
+TEST(FleetAdmission, StrictFifoPromotion) {
+  AdmissionConfig cfg;
+  cfg.capacity_bps = 1.0e8;
+  cfg.target_utilization = 0.5;
+  cfg.lambda_total = 1.0e-3;
+  AdmissionController ctrl(cfg);
+
+  // Fill the budget with 500 MB jobs; the loop's last offer queues one.
+  while (ctrl.offer(spec_of(ctrl.admitted_total() + 1, 500.0)) ==
+         AdmissionDecision::kAdmitted) {
+  }
+  ASSERT_EQ(ctrl.queued(), 1u);
+  // A small job queues behind the big FIFO head.
+  ASSERT_EQ(ctrl.offer(spec_of(901, 1.0)), AdmissionDecision::kQueued);
+
+  // Free only a small job's worth of demand: the small job would fit, but
+  // strict FIFO refuses to promote past the big head — no starvation of
+  // large jobs.
+  ctrl.release(spec_of(902, 1.0));
+  EXPECT_TRUE(ctrl.drain_queue().empty());
+  EXPECT_EQ(ctrl.queued(), 2u);
+
+  // Free the head's worth: both jobs promote, in queue order.
+  ctrl.release(spec_of(903, 500.0));
+  const auto promoted = ctrl.drain_queue();
+  ASSERT_EQ(promoted.size(), 2u);
+  EXPECT_GT(promoted[0].footprint_bytes, promoted[1].footprint_bytes);
+  EXPECT_EQ(ctrl.queued(), 0u);
+}
+
+TEST(FleetQosPolicy, ValidatesAndApplies) {
+  QosPolicy policy;
+  EXPECT_THROW(policy.set(Tenant{1, "bad", {0.0, 0.0}}), CheckError);
+  EXPECT_THROW(policy.set(Tenant{1, "bad", {1.0, -1.0}}), CheckError);
+
+  policy.set(Tenant{1, "gold", {1.0, 600.0}});
+  policy.set(Tenant{2, "bronze", {2.0, 0.0}});
+  EXPECT_DOUBLE_EQ(policy.reserved_total_bps(), 600.0);
+  EXPECT_DOUBLE_EQ(policy.qos_for(2).weight, 2.0);
+  EXPECT_DOUBLE_EQ(policy.qos_for(7).weight, 1.0) << "unknown: best-effort";
+
+  // A policy whose reservations oversubscribe the fleet channel surfaces
+  // the transfer engine's typed error at startup, via the scheduler ctor.
+  QosPolicy over;
+  over.set(Tenant{1, "a", {1.0, 700.0}});
+  over.set(Tenant{2, "b", {1.0, 500.0}});
+  FleetConfig cfg;
+  cfg.bandwidth_bps = 1000.0;
+  EXPECT_THROW(FleetScheduler(cfg, {}, over), xfer::ReservationError);
+}
+
+FleetConfig small_fleet_config(int shards, std::uint64_t seed) {
+  FleetConfig cfg;
+  cfg.shards = shards;
+  cfg.seed = seed;
+  cfg.quantum_s = 2.0;
+  cfg.bandwidth_bps = 1.0e8;
+  cfg.latency_s = 1.0e-3;
+  cfg.chunk_bytes = 256 * 1024;
+  cfg.lambda_total = 2.0e-3;
+  cfg.restart_s = 5.0;
+  cfg.min_interval_s = 5.0;
+  cfg.max_interval_s = 120.0;
+  cfg.full_every = 4;
+  cfg.max_virtual_s = 7200.0;
+  return cfg;
+}
+
+std::vector<workload::FleetJobSpec> small_mix(std::uint64_t seed) {
+  workload::FleetMixConfig mix;
+  mix.jobs = 40;
+  mix.tenants = 4;
+  mix.seed = seed;
+  mix.arrival_horizon_s = 60.0;
+  mix.min_work_s = 30.0;
+  mix.max_work_s = 120.0;
+  mix.pages_per_process = 64;
+  return workload::lanl_fleet_jobs(mix);
+}
+
+struct RunSummary {
+  std::uint64_t digest = 0;
+  FleetReport report;
+  std::map<std::uint64_t, JobStats> per_job;
+};
+
+RunSummary run_fleet(int shards, std::uint64_t seed) {
+  auto jobs = small_mix(7);
+  FleetScheduler fleet(small_fleet_config(shards, seed), jobs, QosPolicy{});
+  fleet.run();
+  RunSummary s;
+  s.digest = fleet.digest();
+  s.report = fleet.report();
+  for (const auto& j : jobs) s.per_job[j.job_id] = fleet.job_stats(j.job_id);
+  return s;
+}
+
+TEST(FleetDeterminism, ShardCountDoesNotChangeTheTimeline) {
+  const RunSummary one = run_fleet(1, 42);
+  const RunSummary two = run_fleet(2, 42);
+  const RunSummary four = run_fleet(4, 42);
+
+  ASSERT_TRUE(one.report.complete);
+  EXPECT_GT(one.report.commits, 0u);
+  EXPECT_GT(one.report.failures, 0u)
+      << "the mix must exercise the failure path for this test to mean much";
+
+  for (const RunSummary* other : {&two, &four}) {
+    EXPECT_EQ(one.digest, other->digest);
+    EXPECT_EQ(one.report.elapsed_s, other->report.elapsed_s);
+    EXPECT_EQ(one.report.checkpoints, other->report.checkpoints);
+    EXPECT_EQ(one.report.commits, other->report.commits);
+    EXPECT_EQ(one.report.failures, other->report.failures);
+    EXPECT_EQ(one.report.net2_bytes, other->report.net2_bytes);
+    EXPECT_EQ(one.report.finished, other->report.finished);
+    EXPECT_EQ(one.report.tts_p99_s, other->report.tts_p99_s);
+    for (const auto& [id, stats] : one.per_job) {
+      const JobStats& o = other->per_job.at(id);
+      EXPECT_EQ(stats.checkpoints, o.checkpoints) << "job " << id;
+      EXPECT_EQ(stats.commits, o.commits) << "job " << id;
+      EXPECT_EQ(stats.failures, o.failures) << "job " << id;
+      EXPECT_EQ(stats.interrupts, o.interrupts) << "job " << id;
+      EXPECT_EQ(stats.net2_bytes, o.net2_bytes) << "job " << id;
+      EXPECT_EQ(stats.finish_time, o.finish_time) << "job " << id;
+    }
+    for (const auto& [tenant, ts] : one.report.tenants) {
+      const TenantStats& o = other->report.tenants.at(tenant);
+      EXPECT_EQ(ts.commits, o.commits);
+      EXPECT_EQ(ts.net2_bytes, o.net2_bytes);
+      EXPECT_EQ(ts.tts_p99_s, o.tts_p99_s);
+    }
+  }
+}
+
+TEST(FleetDeterminism, SeedChangesTheTimeline) {
+  const RunSummary a = run_fleet(1, 42);
+  const RunSummary b = run_fleet(1, 43);
+  EXPECT_NE(a.digest, b.digest)
+      << "a different seed must produce a different failure timeline";
+}
+
+TEST(FleetScheduler, CompletesAndAccountsPerTenant) {
+  auto jobs = small_mix(11);
+  obs::Hub hub;
+  FleetConfig cfg = small_fleet_config(1, 5);
+  cfg.obs = &hub;
+  FleetScheduler fleet(cfg, jobs, QosPolicy{});
+  fleet.run();
+
+  const FleetReport r = fleet.report();
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.jobs, 40u);
+  EXPECT_EQ(r.finished, r.admitted);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_GT(r.commits, 0u);
+  EXPECT_GT(r.goodput_bps, 0.0);
+  EXPECT_GE(r.tts_p99_s, r.tts_p50_s);
+
+  // Per-tenant slices cover all four tenants and sum to the totals.
+  ASSERT_EQ(r.tenants.size(), 4u);
+  std::uint64_t commits = 0, net2 = 0, finished = 0;
+  for (const auto& [tenant, t] : r.tenants) {
+    commits += t.commits;
+    net2 += t.net2_bytes;
+    finished += t.jobs_finished;
+    EXPECT_GT(t.goodput_bps, 0.0) << "tenant " << tenant;
+  }
+  EXPECT_EQ(commits, r.commits);
+  EXPECT_EQ(net2, r.net2_bytes);
+  EXPECT_EQ(finished, r.finished);
+
+  // The obs export mirrors the report: aggregate counters and per-tenant
+  // gauges under fleet.tenant.<id>.*.
+  const obs::MetricsSnapshot snap = hub.metrics.snapshot();
+  EXPECT_EQ(snap.counter_or_zero(on::kFleetCommits), r.commits);
+  EXPECT_EQ(snap.counter_or_zero(on::kFleetJobsFinished), r.finished);
+  EXPECT_EQ(snap.counter_or_zero(on::kFleetNet2Bytes), r.net2_bytes);
+  const auto tenant0 = r.tenants.begin()->first;
+  EXPECT_GT(
+      snap.gauge_or(on::tenant_metric(tenant0, on::kTenantGoodputBps), 0.0),
+      0.0);
+}
+
+TEST(FleetScheduler, AdmissionBackpressureSerializesJobs) {
+  auto jobs = small_mix(13);
+  FleetConfig cfg = small_fleet_config(1, 9);
+  // Shrink the budget until only a few jobs fit at a time: the rest must
+  // flow through the queue, and the fleet must still finish everyone.
+  cfg.admission.target_utilization = 0.02;
+  cfg.admission.queue_capacity = 64;
+  FleetScheduler fleet(cfg, jobs, QosPolicy{});
+  fleet.run();
+
+  const FleetReport r = fleet.report();
+  ASSERT_TRUE(r.complete);
+  EXPECT_GT(r.queued, 0u) << "the tight budget must force queueing";
+  EXPECT_EQ(r.finished, r.admitted);
+  EXPECT_EQ(r.finished + r.rejected, r.jobs);
+  EXPECT_GT(r.elapsed_s, small_fleet_config(1, 9).quantum_s)
+      << "serialized admission stretches the fleet timeline";
+}
+
+TEST(FleetScheduler, ReservedTenantSeesFasterTimeToSafe) {
+  auto jobs = small_mix(17);
+  FleetConfig cfg = small_fleet_config(1, 21);
+  // A congested channel: all tenants contend hard for drain bandwidth.
+  cfg.bandwidth_bps = 2.0e6;
+  QosPolicy policy;
+  policy.set(Tenant{0, "gold", {1.0, 1.0e6}});  // half the channel, reserved
+
+  FleetScheduler fleet(cfg, jobs, policy);
+  fleet.run();
+  const FleetReport r = fleet.report();
+  ASSERT_GT(r.commits, 0u);
+  const TenantStats& gold = r.tenants.at(0);
+  ASSERT_GT(gold.commits, 0u);
+  const double gold_mean_tts = gold.tts_sum_s / double(gold.commits);
+  double be_tts_sum = 0.0;
+  std::uint64_t be_commits = 0;
+  for (const auto& [tenant, t] : r.tenants) {
+    if (tenant == 0) continue;
+    be_tts_sum += t.tts_sum_s;
+    be_commits += t.commits;
+  }
+  ASSERT_GT(be_commits, 0u);
+  const double be_mean_tts = be_tts_sum / double(be_commits);
+  EXPECT_LT(gold_mean_tts, be_mean_tts)
+      << "a hard reservation must shield the tenant from contention";
+}
+
+}  // namespace
+}  // namespace aic::fleet
