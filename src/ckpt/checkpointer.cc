@@ -212,7 +212,8 @@ CheckpointChain::CheckpointChain(Config config)
           .page_codec = config.page_codec,
           .correcting = config.correcting,
           .workers = config.compress_workers,
-          .obs = config.obs}) {}
+          .obs = config.obs}),
+      rewind_(config.rewind_budget) {}
 
 void CheckpointChain::record_capture(const CaptureStats& stats) {
   obs::Hub* hub = config_.obs;
@@ -306,6 +307,7 @@ CaptureStats CheckpointChain::capture_pages(const mem::Snapshot& pages,
   last_live_ = live_now;
   files_.push_back(std::move(file));
   record_capture(stats);
+  admit_to_rewind();
   return stats;
 }
 
@@ -348,18 +350,106 @@ CaptureStats CheckpointChain::capture(const mem::AddressSpace& space,
   last_live_ = space.live_pages();
   files_.push_back(std::move(file));
   record_capture(stats);
+  admit_to_rewind();
   return stats;
+}
+
+void CheckpointChain::admit_to_rewind() {
+  if (!rewind_.active()) return;
+  const CheckpointFile& f = files_.back();
+  std::optional<RewindWindow::Entry> victim =
+      rewind_.admit(f.sequence, f.app_time, f.serialized_size());
+  if (victim.has_value()) prune_sequence(victim->sequence);
+}
+
+void CheckpointChain::prune_sequence(std::uint64_t victim_sequence) {
+  std::size_t idx = files_.size();
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].sequence == victim_sequence) {
+      idx = i;
+      break;
+    }
+  }
+  // Tolerate a victim the chain no longer holds (the caller truncated or
+  // rolled back under the window); the window's own accounting is already
+  // updated.
+  if (idx == files_.size()) return;
+  AIC_CHECK_MSG(idx + 1 < files_.size(),
+                "rewind window must never evict the newest checkpoint");
+
+  PruneEvent ev;
+  ev.victim_sequence = victim_sequence;
+  ev.victim_bytes = files_[idx].serialized_size();
+
+  CheckpointFile& succ = files_[idx + 1];
+  if (succ.kind != CheckpointKind::kFull) {
+    // The successor's deltas decode against state that includes the
+    // victim, so rebuild that state BEFORE the victim goes away: replay
+    // [latest full <= successor .. successor] and rewrite the successor as
+    // a full checkpoint. By induction every earlier prune left a full
+    // right after its gap, so the replay slice is always contiguous.
+    std::size_t start = idx + 2;
+    while (start > 0 && files_[start - 1].kind != CheckpointKind::kFull)
+      --start;
+    AIC_CHECK_MSG(start > 0, "pruned chain lost its full checkpoint");
+    const std::int64_t before = std::int64_t(succ.serialized_size());
+    std::vector<CheckpointFile> slice(files_.begin() + (start - 1),
+                                      files_.begin() + (idx + 2));
+    RestartEngine::Restored restored =
+        RestartEngine::restore(slice, compressor_.serial());
+    std::vector<std::pair<PageId, ByteSpan>> views;
+    const auto ids = restored.memory.page_ids();
+    views.reserve(ids.size());
+    for (PageId id : ids) views.emplace_back(id, restored.memory.page_bytes(id));
+    succ.kind = CheckpointKind::kFull;
+    succ.payload = encode_raw_pages(views);
+    succ.freed_pages.clear();
+    ev.reanchored_sequence = succ.sequence;
+    ev.reanchor_growth = std::int64_t(succ.serialized_size()) - before;
+  }
+  files_.erase(files_.begin() + std::ptrdiff_t(idx));
+
+  // A re-anchor may have planted a fresh full closer to the tail; recount
+  // so the periodic-full cadence restarts from it.
+  incrementals_since_full_ = 0;
+  for (auto it = files_.rbegin();
+       it != files_.rend() && it->kind != CheckpointKind::kFull; ++it)
+    ++incrementals_since_full_;
+
+  if (config_.obs != nullptr) {
+    namespace on = obs::names;
+    obs::MetricsRegistry& m = config_.obs->metrics;
+    m.counter(on::kCkptPrunes)->add();
+    m.counter(on::kCkptPruneBytes)->add(ev.victim_bytes);
+    if (ev.reanchored_sequence.has_value())
+      m.counter(on::kCkptReanchors)->add();
+  }
+  last_prune_ = ev;
 }
 
 RestartEngine::Restored CheckpointChain::restore(
     RestartEngine::Mode mode) const {
   AIC_CHECK_MSG(!files_.empty(), "no checkpoints to restore");
-  // Find the latest full checkpoint and replay from there.
-  std::size_t start = files_.size();
+  return restore_at(files_.back().sequence, mode);
+}
+
+RestartEngine::Restored CheckpointChain::restore_at(
+    std::uint64_t sequence, RestartEngine::Mode mode) const {
+  std::size_t end = 0;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].sequence == sequence) {
+      end = i + 1;
+      break;
+    }
+  }
+  AIC_CHECK_MSG(end > 0, "no retained checkpoint with sequence " << sequence);
+  // Find the latest full checkpoint at or before the target and replay
+  // from there.
+  std::size_t start = end;
   while (start > 0 && files_[start - 1].kind != CheckpointKind::kFull) --start;
   AIC_CHECK_MSG(start > 0, "chain has no full checkpoint");
   std::vector<CheckpointFile> chain(files_.begin() + (start - 1),
-                                    files_.end());
+                                    files_.begin() + std::ptrdiff_t(end));
   return RestartEngine::restore(chain, compressor_.serial(), mode);
 }
 
@@ -376,6 +466,7 @@ void CheckpointChain::rollback_to(std::uint64_t sequence) {
   for (auto it = files_.rbegin();
        it != files_.rend() && it->kind != CheckpointKind::kFull; ++it)
     ++incrementals_since_full_;
+  rewind_.drop_newer_than(sequence);
 }
 
 std::uint64_t CheckpointChain::restart_chain_bytes() const {

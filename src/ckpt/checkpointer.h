@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint_file.h"
+#include "ckpt/rewind_window.h"
 #include "delta/page_delta.h"
 #include "delta/parallel_page_delta.h"
 #include "mem/address_space.h"
@@ -137,6 +138,27 @@ class CheckpointChain {
     /// Optional observability hub, shared with the compression pipeline:
     /// per-checkpoint counters plus per-shard spans. nullptr = disabled.
     obs::Hub* obs = nullptr;
+    /// Bounded-regret retention: keep at most this many live checkpoints,
+    /// pruning per the RewindWindow discard schedule (worst-case rewind
+    /// gap within the competitive bound). 0 disables retention — the chain
+    /// keeps every file, the pre-existing behavior. When a pruned file's
+    /// successor is not a full checkpoint it is re-anchored (rewritten as
+    /// a full) first, so every surviving checkpoint stays restorable.
+    /// Unsupported in combination with truncate_before_last_full().
+    std::size_t rewind_budget = 0;
+  };
+
+  /// Accounting for one retention prune (see Config::rewind_budget).
+  struct PruneEvent {
+    std::uint64_t victim_sequence = 0;
+    /// Serialized size of the discarded file.
+    std::uint64_t victim_bytes = 0;
+    /// Set when the victim's successor was rewritten as a full checkpoint
+    /// to keep the chain restorable across the gap.
+    std::optional<std::uint64_t> reanchored_sequence;
+    /// Successor growth from re-anchoring (bytes after minus before);
+    /// 0 when no re-anchor happened.
+    std::int64_t reanchor_growth = 0;
   };
 
   CheckpointChain() : CheckpointChain(Config{}) {}
@@ -168,6 +190,14 @@ class CheckpointChain {
   RestartEngine::Restored restore(
       RestartEngine::Mode mode = RestartEngine::Mode::kInPlace) const;
 
+  /// Restores the state as of the retained checkpoint with this sequence
+  /// number (replaying from the latest full at or before it). With a
+  /// rewind window active, every sequence in rewind().live_sequences() is
+  /// a valid target.
+  RestartEngine::Restored restore_at(
+      std::uint64_t sequence,
+      RestartEngine::Mode mode = RestartEngine::Mode::kInPlace) const;
+
   /// Accumulated state as of the last checkpoint (what the next delta is
   /// compressed against).
   const mem::Snapshot& last_state() const { return accumulated_; }
@@ -190,10 +220,21 @@ class CheckpointChain {
   /// state (last full + successors) — what a recovery must read.
   std::uint64_t restart_chain_bytes() const;
 
+  /// The retention window (inactive when Config::rewind_budget == 0).
+  const RewindWindow& rewind() const { return rewind_; }
+  /// The most recent retention prune, if any capture has evicted yet.
+  const std::optional<PruneEvent>& last_prune() const { return last_prune_; }
+
  private:
   /// Bumps the ckpt.* counters for one captured checkpoint (no-op when
   /// obs is off).
   void record_capture(const CaptureStats& stats);
+  /// Admits the just-captured file into the rewind window and prunes the
+  /// eviction it returns, if any. Called at the end of every capture.
+  void admit_to_rewind();
+  /// Discards the retained file with this sequence, re-anchoring its
+  /// successor as a full checkpoint first when needed.
+  void prune_sequence(std::uint64_t victim_sequence);
 
   Config config_;
   delta::ParallelPageCompressor compressor_;
@@ -202,6 +243,8 @@ class CheckpointChain {
   std::vector<PageId> last_live_;
   std::uint64_t next_sequence_ = 0;
   std::uint32_t incrementals_since_full_ = 0;
+  RewindWindow rewind_;
+  std::optional<PruneEvent> last_prune_;
 };
 
 }  // namespace aic::ckpt

@@ -1,0 +1,302 @@
+#include "ckpt/rewind_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aic::ckpt {
+
+namespace {
+constexpr std::size_t kNone = std::size_t(-1);
+}  // namespace
+
+RewindWindow::RewindWindow(std::size_t budget) : budget_(budget) {
+  AIC_CHECK_MSG(budget == 0 || budget >= 2,
+                "rewind budget must be 0 (disabled) or >= 2, got " << budget);
+}
+
+std::optional<RewindWindow::Entry> RewindWindow::admit(std::uint64_t sequence,
+                                                       double time,
+                                                       std::uint64_t bytes) {
+  if (budget_ == 0) return std::nullopt;
+  AIC_CHECK_MSG(time + 1e-9 >= last_arrival_,
+                "rewind admit out of order: " << time << " after "
+                                             << last_arrival_);
+  delta_max_ = std::max(delta_max_, time - last_arrival_);
+  last_arrival_ = std::max(last_arrival_, time);
+  live_.push_back(Entry{sequence, time, bytes, false, 0.0});
+  if (live_.size() <= budget_) return std::nullopt;
+
+  std::optional<Entry> victim = g_ == 0.0 ? era_init() : steady_evict();
+  AIC_CHECK_MSG(victim.has_value(), "rewind window failed to pick a victim");
+  AIC_CHECK(live_.size() == budget_);
+  ++discards_;
+  return victim;
+}
+
+void RewindWindow::rebase_era() {
+  const double t0 = live_.back().time;
+  g_ = t0 / double(budget_);
+  // Walk the stored arrivals (excluding the newest) oldest to newest and
+  // let each claim the largest grid multiple at or below its own time,
+  // capped at (k-1)*g AND at one step above the previous claim. The
+  // consecutive-run cap matters: if a claim could skip a multiple, the
+  // next era would inherit two adjacent odd positions with no even
+  // between them, and merging both tears a 3-cell hole the bound cannot
+  // absorb. Capping keeps every anchor's time >= its position while the
+  // designated positions form a gap-free run 1..m.
+  long long prev_m = 0;
+  const long long cap_m = (long long)(budget_) - 1;
+  for (std::size_t i = 0; i + 1 < live_.size(); ++i) {
+    Entry& e = live_[i];
+    e.grid = false;
+    e.pos = 0.0;
+    // Positions are tracked as integer grid multiples and multiplied out
+    // once — accumulating prev + g in floating point can drift a final
+    // ulp below k*g and let one claim too many through, leaving the
+    // window with no loose entry to evict.
+    long long m = (long long)(std::floor(e.time / g_ + 1e-9));
+    m = std::min(m, std::min(cap_m, prev_m + 1));
+    if (m <= prev_m) continue;
+    e.grid = true;
+    e.pos = g_ * double(m);
+    prev_m = m;
+  }
+  live_.back().grid = false;
+  live_.back().pos = 0.0;
+  merge_queue_.clear();
+  for (const Entry& e : live_) {
+    if (!e.grid) continue;
+    if (std::llround(e.pos / g_) % 2 != 0) merge_queue_.push_back(e.pos);
+  }
+  next_commit_ = g_ * double(next_even_above(prev_m));
+}
+
+std::optional<RewindWindow::Entry> RewindWindow::era_init() {
+  if (live_.back().time <= 0.0) {
+    // Every arrival so far sits at time zero — no horizon to divide yet.
+    // Shed the oldest and try again at the next admit.
+    return evict_oldest_loose();
+  }
+  rebase_era();
+  std::optional<Entry> victim = evict_oldest_loose();
+  normalize();
+  return victim;
+}
+
+std::optional<RewindWindow::Entry> RewindWindow::steady_evict() {
+  // In steady operation the horizon tracks the era (t stays within ~2k*g
+  // before a flip doubles g). A horizon beyond 4k*g means an arrival jump
+  // the doubling ladder cannot chase — and such a jump leaves a
+  // delta_max of at least half the new horizon in the bound's slack
+  // term, so re-deriving the grid from scratch is safe. This also keeps
+  // pos/g_ small, so the parity arithmetic below stays exact.
+  if (live_.back().time > 4.0 * double(budget_) * g_) {
+    rebase_era();
+    normalize();
+  }
+  // Graduation: the oldest non-grid arrival at or past the commit
+  // frontier becomes a grid checkpoint.
+  std::size_t idx = kNone;
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (!live_[i].grid && live_[i].time + 1e-9 >= next_commit_) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == kNone) return evict_oldest_loose();  // frontier not reached
+
+  std::size_t grid_count = 0;
+  double coverage = 0.0;
+  for (const Entry& le : live_) {
+    if (!le.grid) continue;
+    ++grid_count;
+    coverage = std::max(coverage, le.pos);
+  }
+
+  // Two commit regimes. Below grid capacity (k-1 anchors) — after an
+  // under-designated init, a rebase, or a rollback — the ladder must
+  // densify first: commits land on EVERY multiple of g (frontier advances
+  // by g) so the trailing stretch never exceeds ~g before capacity is
+  // reached. At capacity the classic doubling cadence applies: commits
+  // land on even multiples, the frontier advances by 2g, and each commit
+  // pairs with a merge. Positions snap DOWN to the arrival's own grid
+  // cell — after a drought the frontier jumps forward instead of
+  // committing positions far behind the arrival that claims them.
+  Entry& e = live_[idx];
+  const bool fill = grid_count + 1 <= budget_ - 1;
+  const long long cov_m = std::llround(coverage / g_);
+  long long m;
+  if (fill) {
+    m = (long long)(std::floor(e.time / g_ + 1e-9));
+    m = std::max(m, cov_m + 1);
+  } else {
+    m = 2 * (long long)(std::floor(e.time / (2.0 * g_) + 1e-9));
+    m = std::max(m, next_even_above(cov_m));
+  }
+  const double p = g_ * double(m);
+  e.grid = true;
+  e.pos = p;
+  if (m % 2 != 0) merge_queue_.push_back(p);
+  next_commit_ = grid_count + 1 < budget_ - 1
+                     ? g_ * double(m + 1)
+                     : g_ * double(next_even_above(m));
+
+  std::optional<Entry> victim;
+  if (!fill) {
+    // The grid is over capacity: merge away an odd multiple. A non-empty
+    // queue is guaranteed here — normalize() ran after the last eviction,
+    // and it only leaves an empty queue when no grid checkpoints remain
+    // at all. Among the queued candidates, evict the one whose removal
+    // merges the smallest span: in the healthy steady state that is the
+    // oldest cell (the classic in-order merge), but after a rebase or a
+    // rollback the oldest anchor can sit several multiples above the
+    // origin with nothing below it, where evicting it would tear a hole
+    // far wider than 2g. The era recursion is order-free — it only needs
+    // every odd multiple gone before the flip.
+    AIC_CHECK_MSG(!merge_queue_.empty(),
+                  "grid over capacity with an empty merge queue");
+    std::size_t best_q = kNone;
+    std::size_t best_v = kNone;
+    double best_damage = 0.0;
+    for (std::size_t q = 0; q < merge_queue_.size(); ++q) {
+      std::size_t v = kNone;
+      for (std::size_t i = 0; i < live_.size(); ++i) {
+        if (live_[i].grid && live_[i].pos == merge_queue_[q]) {
+          v = i;
+          break;
+        }
+      }
+      AIC_CHECK_MSG(v != kNone, "merge candidate at pos " << merge_queue_[q]
+                                                          << " not live");
+      AIC_CHECK(v + 1 < live_.size());  // the newest entry is never queued
+      const double prev_time = v == 0 ? 0.0 : live_[v - 1].time;
+      const double damage = live_[v + 1].time - prev_time;
+      if (best_q == kNone || damage < best_damage) {
+        best_q = q;
+        best_v = v;
+        best_damage = damage;
+      }
+    }
+    merge_queue_.erase(merge_queue_.begin() + std::ptrdiff_t(best_q));
+    victim = evict_at(best_v);
+  } else {
+    // Below capacity (the init pass under-designated, or a rollback
+    // dropped anchors): let the commit grow the grid back toward k-1 and
+    // shed a loose entry from the dense edge instead.
+    victim = evict_oldest_loose();
+  }
+  normalize();
+  return victim;
+}
+
+void RewindWindow::normalize() {
+  for (;;) {
+    if (!merge_queue_.empty()) return;
+    double coverage = 0.0;
+    bool any_grid = false;
+    for (const Entry& e : live_) {
+      if (!e.grid) continue;
+      any_grid = true;
+      coverage = std::max(coverage, e.pos);
+    }
+    if (!any_grid) return;
+    // Era flip: every surviving position is an even multiple of g_ (the
+    // odd ones were merged away), i.e. an integer multiple of 2*g_.
+    g_ *= 2.0;
+    for (const Entry& e : live_) {
+      if (!e.grid) continue;
+      const double m = e.pos / g_;
+      AIC_CHECK_MSG(std::abs(m - std::round(m)) < 1e-6,
+                    "grid pos " << e.pos << " not aligned to era " << g_);
+      if (std::llround(m) % 2 != 0) merge_queue_.push_back(e.pos);
+    }
+    next_commit_ = g_ * double(next_even_above(std::llround(coverage / g_)));
+  }
+}
+
+std::optional<RewindWindow::Entry> RewindWindow::evict_at(std::size_t idx) {
+  AIC_CHECK(idx < live_.size());
+  Entry out = live_[idx];
+  live_.erase(live_.begin() + std::ptrdiff_t(idx));
+  return out;
+}
+
+std::optional<RewindWindow::Entry> RewindWindow::evict_oldest_loose() {
+  for (std::size_t i = 0; i + 1 < live_.size(); ++i) {
+    if (!live_[i].grid) return evict_at(i);
+  }
+  AIC_CHECK_MSG(false, "no evictable checkpoint in the rewind window");
+  return std::nullopt;
+}
+
+long long RewindWindow::next_even_above(long long m) {
+  return m % 2 == 0 ? m + 2 : m + 1;
+}
+
+void RewindWindow::drop_newer_than(std::uint64_t sequence) {
+  if (budget_ == 0) return;
+  live_.erase(std::remove_if(live_.begin(), live_.end(),
+                             [&](const Entry& e) {
+                               return e.sequence > sequence;
+                             }),
+              live_.end());
+  merge_queue_.clear();
+  double coverage = 0.0;
+  for (const Entry& e : live_) {
+    if (!e.grid) continue;
+    coverage = std::max(coverage, e.pos);
+    if (std::llround(e.pos / g_) % 2 != 0) merge_queue_.push_back(e.pos);
+  }
+  // The dropped entries may include fresh grid commits; pull the frontier
+  // back to just past the surviving coverage so the re-trodden stretch of
+  // application time graduates again. The next graduation lands one step
+  // above coverage — the fill/steady regime split in steady_evict() then
+  // re-densifies the re-trodden span before resuming the 2g cadence.
+  if (g_ > 0.0) {
+    next_commit_ = g_ * double(std::llround(coverage / g_) + 1);
+  }
+  last_arrival_ = live_.empty() ? 0.0 : live_.back().time;
+}
+
+std::vector<std::uint64_t> RewindWindow::live_sequences() const {
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(live_.size());
+  for (const Entry& e : live_) seqs.push_back(e.sequence);
+  return seqs;
+}
+
+std::uint64_t RewindWindow::live_bytes() const {
+  std::uint64_t total = 0;
+  for (const Entry& e : live_) total += e.bytes;
+  return total;
+}
+
+double RewindWindow::max_gap(double now) const {
+  double prev = 0.0;
+  double worst = 0.0;
+  for (const Entry& e : live_) {
+    worst = std::max(worst, e.time - prev);
+    prev = e.time;
+  }
+  return std::max(worst, now - prev);
+}
+
+double RewindWindow::bound_factor(std::size_t budget) {
+  AIC_CHECK(budget >= 2);
+  return 2.0 + 2.0 / double(budget);
+}
+
+double RewindWindow::slack_factor(std::size_t budget) {
+  AIC_CHECK(budget >= 2);
+  return double((budget + 1) / 2 + 3);
+}
+
+double RewindWindow::gap_bound(double now) const {
+  AIC_CHECK(budget_ >= 2);
+  return bound_factor(budget_) * now / double(budget_ + 1) +
+         slack_factor(budget_) * delta_max_;
+}
+
+}  // namespace aic::ckpt

@@ -39,13 +39,38 @@ AdmissionController::AdmissionController(AdmissionConfig config)
 
 double AdmissionController::demand_bps(
     const workload::FleetJobSpec& job) const {
-  const double delta_bytes =
-      std::max(1.0, double(job.footprint_bytes) * job.dirty_fraction);
+  return demand_bps(job, 1.0);
+}
+
+double AdmissionController::demand_bps(const workload::FleetJobSpec& job,
+                                       double factor) const {
+  const double delta_bytes = std::max(
+      1.0, double(job.footprint_bytes) * job.dirty_fraction * factor);
   const double drain_s = delta_bytes / config_.capacity_bps;
   const double w_star =
-      std::clamp(std::sqrt(2.0 * drain_s / config_.lambda_total),
+      std::clamp(std::sqrt(2.0 * drain_s / (config_.lambda_total * factor)),
                  config_.min_interval_s, config_.max_interval_s);
   return delta_bytes / w_star;
+}
+
+double AdmissionController::width_factor(std::uint64_t job_id) const {
+  auto it = factors_.find(job_id);
+  return it == factors_.end() ? 1.0 : it->second;
+}
+
+void AdmissionController::resize(const workload::FleetJobSpec& job,
+                                 double factor) {
+  AIC_CHECK_MSG(std::isfinite(factor) && factor > 0.0,
+                "resize factor must be positive, got " << factor);
+  const double previous = width_factor(job.job_id);
+  admitted_demand_bps_ =
+      std::max(0.0, admitted_demand_bps_ + demand_bps(job, factor) -
+                        demand_bps(job, previous));
+  if (factor == 1.0) {
+    factors_.erase(job.job_id);
+  } else {
+    factors_[job.job_id] = factor;
+  }
 }
 
 bool AdmissionController::fits(double demand) const {
@@ -78,8 +103,10 @@ AdmissionDecision AdmissionController::offer(
 }
 
 void AdmissionController::release(const workload::FleetJobSpec& job) {
+  const double factor = width_factor(job.job_id);
+  factors_.erase(job.job_id);
   admitted_demand_bps_ =
-      std::max(0.0, admitted_demand_bps_ - demand_bps(job));
+      std::max(0.0, admitted_demand_bps_ - demand_bps(job, factor));
 }
 
 std::vector<workload::FleetJobSpec> AdmissionController::drain_queue() {

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <vector>
 
 #include "workload/lanl_trace.h"
@@ -63,13 +64,27 @@ class AdmissionController {
   /// hence the utilization head-room).
   double demand_bps(const workload::FleetJobSpec& job) const;
 
+  /// Demand of the job running at `factor` times its base width: the delta
+  /// scales with the footprint and the failure exposure scales the interval
+  /// (lambda * factor in w*).
+  double demand_bps(const workload::FleetJobSpec& job, double factor) const;
+
   /// Offers a job for admission. kAdmitted reserves its demand
   /// immediately; kQueued parks it (promote via drain_queue()); kRejected
   /// drops it — the queue is full, or the job's demand alone exceeds the
   /// budget and could never be admitted.
   AdmissionDecision offer(const workload::FleetJobSpec& job);
 
-  /// Releases a finished (or evicted) admitted job's demand.
+  /// Re-prices an admitted job after an elastic reconfiguration to
+  /// `factor` times its base width: the reserved demand moves by the
+  /// difference between the new-width and previous-width estimates, and
+  /// release() will subtract the *current*-width demand — without this a
+  /// grown job's release leaks reserved head-room forever (and a shrunk
+  /// job's release over-frees it).
+  void resize(const workload::FleetJobSpec& job, double factor);
+
+  /// Releases a finished (or evicted) admitted job's demand at its
+  /// current width.
   void release(const workload::FleetJobSpec& job);
 
   /// Promotes queued jobs FIFO while their demand fits, returning the
@@ -79,6 +94,8 @@ class AdmissionController {
   std::vector<workload::FleetJobSpec> drain_queue();
 
   double admitted_demand_bps() const { return admitted_demand_bps_; }
+  /// Current width factor of a (resized) job; 1.0 if never resized.
+  double width_factor(std::uint64_t job_id) const;
   double budget_bps() const {
     return config_.capacity_bps * config_.target_utilization;
   }
@@ -94,6 +111,9 @@ class AdmissionController {
 
   AdmissionConfig config_;
   double admitted_demand_bps_ = 0.0;
+  /// job_id -> current width factor for jobs resized off their base
+  /// width; erased on release (absent means 1.0).
+  std::map<std::uint64_t, double> factors_;
   std::deque<workload::FleetJobSpec> queue_;
   std::uint64_t admitted_total_ = 0;
   std::uint64_t queued_total_ = 0;

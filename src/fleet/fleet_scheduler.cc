@@ -101,6 +101,17 @@ FleetScheduler::FleetScheduler(FleetConfig config,
                   "job " << spec.job_id << " has no work");
     AIC_CHECK_MSG(spec.footprint_bytes > 0,
                   "job " << spec.job_id << " has an empty footprint");
+    double prev_at = 0.0;
+    for (const auto& rs : spec.resizes) {
+      AIC_CHECK_MSG(std::isfinite(rs.factor) && rs.factor > 0.0,
+                    "job " << spec.job_id << " resize factor must be positive,"
+                           << " got " << rs.factor);
+      AIC_CHECK_MSG(rs.at_progress > prev_at,
+                    "job " << spec.job_id
+                           << " resizes must be strictly ascending in "
+                              "at_progress");
+      prev_at = rs.at_progress;
+    }
   }
 
   if (config_.obs) {
@@ -113,20 +124,63 @@ FleetScheduler::FleetScheduler(FleetConfig config,
     m_commits_ = m.counter(on::kFleetCommits);
     m_failures_ = m.counter(on::kFleetFailures);
     m_net2_ = m.counter(on::kFleetNet2Bytes);
+    m_resizes_ = m.counter(on::kFleetResizes);
     m_tts_ = m.histogram(on::kFleetTimeToSafeSeconds,
                          obs::Histogram::exponential_buckets(0.1, 2.0, 16));
   }
 }
 
+double FleetScheduler::size_factor(const JobState& j) const {
+  return j.resizes_applied == 0
+             ? 1.0
+             : j.spec.resizes[j.resizes_applied - 1].factor;
+}
+
 std::uint64_t FleetScheduler::delta_bytes(const JobState& j) const {
   return std::max<std::uint64_t>(
       1, std::uint64_t(double(j.spec.footprint_bytes) *
-                       j.spec.dirty_fraction));
+                       j.spec.dirty_fraction * size_factor(j)));
 }
 
 double FleetScheduler::w_star(const JobState& j) const {
-  return std::clamp(std::sqrt(2.0 * j.pred_drain_s / config_.lambda_total),
-                    config_.min_interval_s, config_.max_interval_s);
+  // Width scales the failure exposure: more nodes, proportionally more
+  // strikes — the interval tightens as sqrt(1/factor) on a grow.
+  return std::clamp(
+      std::sqrt(2.0 * j.pred_drain_s /
+                (config_.lambda_total * size_factor(j))),
+      config_.min_interval_s, config_.max_interval_s);
+}
+
+void FleetScheduler::sync_width(JobState& j, double at,
+                                std::vector<Action>& out) const {
+  const auto& rs = j.spec.resizes;
+  std::size_t applied = 0;
+  while (applied < rs.size() && j.progress >= rs[applied].at_progress - 1e-9) {
+    ++applied;
+  }
+  if (applied == j.resizes_applied) return;
+  while (j.resizes_applied != applied) {
+    if (j.resizes_applied < applied) {
+      ++j.resizes_applied;
+      ++j.stats.resizes;
+    } else {
+      // A failure rewound progress below the boundary: the width reverts;
+      // re-treading the boundary re-fires the resize.
+      --j.resizes_applied;
+    }
+    out.push_back({at, j.spec.job_id, j.round_seq++, ActionKind::kResize, 0,
+                   0, false, 0, size_factor(j)});
+  }
+  // The stream of strikes is a pure function of (seed, job, width epoch):
+  // identical re-treads see identical failures regardless of sharding.
+  j.failures = sim::JobFailureProcess(
+      failure::FailureSpec::from_total(config_.lambda_total * size_factor(j)),
+      config_.seed ^ (0x9E3779B97F4A7C15ULL * std::uint64_t(j.resizes_applied)),
+      j.spec.job_id);
+  j.next_failure = j.failures.next_after(at);
+  // Re-plan the work span at the new width immediately — the post-resize
+  // exposure and delta size make the previous schedule stale.
+  j.next_ckpt = at + w_star(j);
 }
 
 void FleetScheduler::mix(std::uint64_t v) {
@@ -144,6 +198,7 @@ void FleetScheduler::activate(const workload::FleetJobSpec& spec,
                 config_.seed, spec.job_id));
   JobState& j = jobs_.back();
   j.active = true;
+  j.rewind = ckpt::RewindWindow(config_.rewind_budget);
   j.stats.start_time = start;
   j.next_failure = j.failures.next_after(start);
   // Initial drain prediction: the delta alone at full channel bandwidth —
@@ -221,7 +276,18 @@ void FleetScheduler::job_round(JobState& j, double t0, double t1,
     const double e_ckpt = (!busy && !j.drain_outstanding)
                               ? std::max(j.next_ckpt, cursor)
                               : kInf;
-    double t = std::min(std::min(e_busy, e_fail), std::min(e_work, e_ckpt));
+    // Next elastic boundary, mapped from progress-space to the timeline
+    // (work advances 1:1 with time while not busy). Legs stop AT the
+    // boundary, so progress never silently overshoots a pending resize.
+    const double e_resize =
+        (!busy && j.resizes_applied < j.spec.resizes.size())
+            ? cursor +
+                  std::max(0.0, j.spec.resizes[j.resizes_applied].at_progress -
+                                    j.progress)
+            : kInf;
+    double t = std::min(std::min(std::min(e_busy, e_fail),
+                                 std::min(e_work, e_ckpt)),
+                        e_resize);
     if (t > t1) t = t1;
     if (!busy) j.progress += t - cursor;
     cursor = t;
@@ -251,6 +317,9 @@ void FleetScheduler::job_round(JobState& j, double t0, double t1,
       out.push_back({cursor, j.spec.job_id, j.round_seq++,
                      ActionKind::kFailure, 0, 0, false, level});
       j.next_failure = j.failures.next_after(cursor);
+      // The rewind may have crossed back below an elastic boundary; if so
+      // the width (and with it the failure stream just drawn) reverts.
+      sync_width(j, cursor, out);
       continue;
     }
     if (e_work <= t) {
@@ -260,11 +329,17 @@ void FleetScheduler::job_round(JobState& j, double t0, double t1,
                      ActionKind::kFinish, 0, 0, false, 0});
       break;
     }
+    if (e_resize <= t) {
+      sync_width(j, cursor, out);
+      continue;
+    }
     // Capture: pause for the copy, hand the bytes to the drain engine.
     const bool full =
         j.force_full || j.ckpt_seq % std::uint64_t(config_.full_every) == 0;
     const std::uint64_t bytes =
-        full ? std::max<std::uint64_t>(j.spec.footprint_bytes, 1)
+        full ? std::max<std::uint64_t>(
+                   1, std::uint64_t(double(j.spec.footprint_bytes) *
+                                    size_factor(j)))
              : delta_bytes(j);
     j.force_full = false;
     j.drain_outstanding = true;
@@ -286,6 +361,9 @@ void FleetScheduler::apply_actions(const std::vector<Action>& merged) {
     mix(a.job);
     mix((std::uint64_t(a.seq) << 8) | std::uint64_t(a.kind));
     mix(a.bytes);
+    if (a.kind == ActionKind::kResize) {
+      mix(std::bit_cast<std::uint64_t>(a.factor));
+    }
     sched_.run_until(a.time);
     JobState& j = jobs_[index_.at(a.job)];
     switch (a.kind) {
@@ -323,6 +401,19 @@ void FleetScheduler::apply_actions(const std::vector<Action>& merged) {
                                      {{"job", double(a.job)}});
         }
         break;
+      case ActionKind::kResize:
+        // Re-price the job's reserved drain demand at its new width — the
+        // fix for the head-room leak a grown job's release used to cause.
+        admission_.resize(j.spec, a.factor);
+        if (m_resizes_) m_resizes_->add();
+        if (config_.obs) {
+          config_.obs->trace.instant(obs::TimeDomain::kVirtual, on::kCatFleet,
+                                     on::kEvResize, a.time,
+                                     std::uint32_t(j.spec.tenant),
+                                     {{"job", double(a.job)},
+                                      {"factor", a.factor}});
+        }
+        break;
     }
   }
 }
@@ -337,6 +428,20 @@ void FleetScheduler::boundary(double t1) {
       j.pred_drain_s = config_.ewma_alpha * observed +
                        (1.0 - config_.ewma_alpha) * j.pred_drain_s;
       j.safe_progress = std::max(j.safe_progress, j.drain_progress);
+      // Retention: the committed checkpoint enters the job's rewind
+      // window; overflow picks the era-ladder victim, whose bytes leave
+      // the fleet's retained-storage account (digest-covered so a
+      // retention divergence breaks shard-determinism loudly). Recovery
+      // only ever rewinds to the NEWEST commit (safe_progress), which the
+      // schedule never discards.
+      if (j.rewind.active()) {
+        const auto victim =
+            j.rewind.admit(j.ckpt_seq, rec.commit_time, rec.total_bytes);
+        if (victim) {
+          mix(victim->sequence);
+          mix(victim->bytes);
+        }
+      }
       ++j.stats.commits;
       j.stats.committed_bytes += rec.total_bytes;
       j.stats.net2_bytes += rec.stats.bytes_acked + rec.stats.bytes_wasted;
@@ -476,6 +581,17 @@ FleetReport FleetScheduler::report() const {
     r.net2_bytes += j.stats.net2_bytes;
     r.committed_bytes += j.stats.committed_bytes;
     r.rework_s += j.stats.rework_s;
+    r.resizes += j.stats.resizes;
+    if (j.rewind.active()) {
+      r.rewind_discards += j.rewind.discards();
+      r.rewind_live_bytes += j.rewind.live_bytes();
+      if (j.rewind.size() > 0) {
+        r.rewind_max_gap_s = std::max(r.rewind_max_gap_s,
+                                      j.rewind.max_gap(now_));
+        r.rewind_gap_bound_s = std::max(r.rewind_gap_bound_s,
+                                        j.rewind.gap_bound(now_));
+      }
+    }
   }
   if (r.elapsed_s > 0.0) {
     r.goodput_bps = double(r.committed_bytes) / r.elapsed_s;
@@ -500,6 +616,12 @@ void FleetScheduler::export_metrics(const FleetReport& r) const {
   auto& m = config_.obs->metrics;
   m.gauge(on::kFleetGoodputBps)->set(r.goodput_bps);
   m.gauge(on::kFleetReworkSeconds)->set(r.rework_s);
+  if (config_.rewind_budget > 0) {
+    m.gauge(on::kFleetRewindLiveBytes)->set(double(r.rewind_live_bytes));
+    m.gauge(on::kFleetRewindDiscards)->set(double(r.rewind_discards));
+    m.gauge(on::kFleetRewindMaxGapSeconds)->set(r.rewind_max_gap_s);
+    m.gauge(on::kFleetRewindGapBoundSeconds)->set(r.rewind_gap_bound_s);
+  }
   for (const auto& [tenant, t] : r.tenants) {
     m.gauge(on::tenant_metric(tenant, on::kTenantGoodputBps))
         ->set(t.goodput_bps);

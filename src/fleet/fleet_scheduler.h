@@ -39,6 +39,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/rewind_window.h"
 #include "fleet/admission.h"
 #include "fleet/qos_policy.h"
 #include "fleet/tenant.h"
@@ -88,6 +89,13 @@ struct FleetConfig {
   /// remain (a report of a truncated run says so via finished()).
   double max_virtual_s = 86400.0;
 
+  /// Per-job live-checkpoint budget (k): every commit is admitted to a
+  /// ckpt::RewindWindow whose era-ladder discard schedule bounds the
+  /// worst-case rewind gap while the fleet's retained bytes stay O(k) per
+  /// job — the knob that lets a 10k-job fleet hold bounded storage.
+  /// 0 disables retention accounting (every commit is kept forever).
+  std::size_t rewind_budget = 0;
+
   /// Admission head-room policy. capacity_bps, lambda_total, and the
   /// interval clamp are overwritten from the fleet fields above so the
   /// controller's demand model matches the per-job deciders.
@@ -108,6 +116,9 @@ struct JobStats {
   std::uint64_t aborts = 0;
   std::uint64_t net2_bytes = 0;
   std::uint64_t committed_bytes = 0;
+  /// Elastic reconfigurations applied going forward (reverts after a
+  /// failure rewind are not counted; re-treading re-fires and re-counts).
+  std::uint64_t resizes = 0;
   double rework_s = 0.0;
   double tts_sum_s = 0.0;
   double start_time = -1.0;
@@ -134,6 +145,15 @@ struct FleetReport {
   double tts_mean_s = 0.0;
   double tts_p50_s = 0.0;
   double tts_p99_s = 0.0;
+  /// Elastic reconfigurations applied (forward) across all jobs.
+  std::uint64_t resizes = 0;
+  /// Rewind-window retention (zeros when rewind_budget == 0): fleet-wide
+  /// discards and retained bytes, and the worst per-job rewind gap with
+  /// its certified envelope at the final horizon.
+  std::uint64_t rewind_discards = 0;
+  std::uint64_t rewind_live_bytes = 0;
+  double rewind_max_gap_s = 0.0;
+  double rewind_gap_bound_s = 0.0;
   /// Determinism witness (see header comment).
   std::uint64_t digest = 0;
   std::map<std::uint64_t, TenantStats> tenants;
@@ -163,6 +183,7 @@ class FleetScheduler {
     kFailure,
     kResume,
     kFinish,
+    kResize,
   };
   struct Action {
     double time = 0.0;
@@ -173,6 +194,7 @@ class FleetScheduler {
     std::uint64_t ckpt = 0;     // kCapture: checkpoint sequence number
     bool full = false;          // kCapture: full vs delta
     int fail_level = 0;         // kFailure: 1..3
+    double factor = 1.0;        // kResize: new width / base width
   };
   struct JobState {
     JobState(workload::FleetJobSpec s, sim::JobFailureProcess f)
@@ -199,12 +221,26 @@ class FleetScheduler {
     double drain_capture_time = 0.0;
     double drain_progress = 0.0;  // progress the pending capture covers
     double pred_drain_s = 1.0;    // EWMA drain-time prediction
+    /// Elastic width: how many of spec.resizes the job's progress has
+    /// crossed. A pure function of progress (re-derived in job_round), so
+    /// a failure rewind below a boundary reverts the width and
+    /// re-treading re-fires it deterministically.
+    std::size_t resizes_applied = 0;
+    /// Bounded-regret retention over this job's committed checkpoints.
+    ckpt::RewindWindow rewind;
     std::uint32_t round_seq = 0;
     JobStats stats;
   };
 
   std::uint64_t delta_bytes(const JobState& j) const;
   double w_star(const JobState& j) const;
+  /// Current width factor of the job (1.0 before any resize applies).
+  double size_factor(const JobState& j) const;
+  /// Re-derives resizes_applied from progress, rebuilding the failure
+  /// stream and re-planning next_ckpt on every transition (both
+  /// directions); emits one kResize action per forward step and per
+  /// revert so the serial phase re-prices admission.
+  void sync_width(JobState& j, double at, std::vector<Action>& out) const;
   void activate(const workload::FleetJobSpec& spec, double start);
   void admit_arrivals(double t1);
   void job_round(JobState& j, double t0, double t1,
@@ -244,6 +280,7 @@ class FleetScheduler {
   obs::Counter* m_commits_ = nullptr;
   obs::Counter* m_failures_ = nullptr;
   obs::Counter* m_net2_ = nullptr;
+  obs::Counter* m_resizes_ = nullptr;
   obs::Histogram* m_tts_ = nullptr;
 };
 

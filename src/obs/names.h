@@ -23,6 +23,11 @@ inline constexpr const char* kCkptFileBytes = "ckpt.file_bytes";
 inline constexpr const char* kCkptCaptureSeconds = "ckpt.capture_wall_seconds";
 inline constexpr const char* kCkptCompressSeconds =
     "ckpt.compress_wall_seconds";
+// Rewind-window retention (Config::rewind_budget > 0).
+inline constexpr const char* kCkptPrunes = "ckpt.prunes";
+inline constexpr const char* kCkptPruneBytes = "ckpt.prune_bytes";
+/// Prunes whose successor had to be rewritten as a full checkpoint.
+inline constexpr const char* kCkptReanchors = "ckpt.reanchors";
 
 // --- delta: the parallel page-delta compression pipeline ---
 inline constexpr const char* kDeltaBytesIn = "delta.bytes_in";
@@ -75,6 +80,10 @@ inline constexpr const char* kSimCheckpoints = "sim.checkpoints";
 inline constexpr const char* kSimNet2 = "sim.net2";
 inline constexpr const char* kSimTurnaroundSeconds = "sim.turnaround_seconds";
 inline constexpr const char* kSimBaseSeconds = "sim.base_seconds";
+/// Elastic resizes applied (core-count reconfigurations mid-run).
+inline constexpr const char* kSimResizes = "sim.resizes";
+/// Decider re-plans triggered by a resize (replan_on_resize).
+inline constexpr const char* kSimReplans = "sim.replans";
 
 // --- fleet: the multi-tenant checkpoint service ---
 inline constexpr const char* kFleetJobsAdmitted = "fleet.jobs_admitted";
@@ -91,6 +100,16 @@ inline constexpr const char* kFleetNet2Bytes = "fleet.net2_bytes";
 inline constexpr const char* kFleetGoodputBps = "fleet.goodput_bps";
 inline constexpr const char* kFleetTimeToSafeSeconds =
     "fleet.time_to_safe_seconds";
+// Rewind-window retention across the fleet (bounded per-job storage).
+inline constexpr const char* kFleetRewindLiveBytes = "fleet.rewind.live_bytes";
+inline constexpr const char* kFleetRewindDiscards = "fleet.rewind.discards";
+/// Worst retained rewind gap across jobs vs. its certified envelope.
+inline constexpr const char* kFleetRewindMaxGapSeconds =
+    "fleet.rewind.max_gap_seconds";
+inline constexpr const char* kFleetRewindGapBoundSeconds =
+    "fleet.rewind.gap_bound_seconds";
+/// Elastic resizes applied across the fleet.
+inline constexpr const char* kFleetResizes = "fleet.resizes";
 
 // Per-tenant metric fields, namespaced under `fleet.tenant.<id>.` by
 // tenant_metric() below.
@@ -138,6 +157,10 @@ inline constexpr const char* kEvQueue = "queue";         // fleet, instant
 inline constexpr const char* kEvReject = "reject";       // fleet, instant
 inline constexpr const char* kEvJobFinish = "job_finish";  // fleet, instant
 inline constexpr const char* kEvRestore = "restore";     // sim, span
+inline constexpr const char* kEvResize = "resize";       // sim/fleet, instant
+inline constexpr const char* kEvReplan = "replan";       // sim/fleet, instant
+inline constexpr const char* kEvPrune = "prune";         // ckpt/fleet, instant
+inline constexpr const char* kEvReanchor = "reanchor";   // ckpt, instant
 /// Error escaping a subsystem boundary (any category, instant) — the last
 /// event a flight-recorder postmortem usually holds.
 inline constexpr const char* kEvError = "error";

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <vector>
 
+#include <memory>
+#include <optional>
+
 #include "ckpt/checkpointer.h"
 #include "common/check.h"
 #include "mem/snapshot.h"
+#include "model/optimizer.h"
 #include "obs/names.h"
 #include "obs/trace.h"
 #include "storage/multilevel_store.h"
+#include "workload/elastic.h"
 
 namespace aic::sim {
 namespace {
@@ -28,6 +33,8 @@ class SimObs {
     m_restores_ = m.counter(on::kSimRestores);
     m_checkpoints_ = m.counter(on::kSimCheckpoints);
     m_resumed_ = m.counter(on::kSimDrainsResumed);
+    m_resizes_ = m.counter(on::kSimResizes);
+    m_replans_ = m.counter(on::kSimReplans);
   }
 
   void failure(double t, int level) {
@@ -57,6 +64,22 @@ class SimObs {
     if (hub_ != nullptr && n > 0) m_resumed_->add(n);
   }
 
+  void resize(double t, std::uint64_t cores_before, std::uint64_t cores_after) {
+    if (hub_ == nullptr) return;
+    m_resizes_->add();
+    hub_->trace.instant(obs::TimeDomain::kVirtual, on::kCatSim, on::kEvResize,
+                        t, 0,
+                        {{"cores_before", double(cores_before)},
+                         {"cores_after", double(cores_after)}});
+  }
+
+  void replan(double t, double w) {
+    if (hub_ == nullptr) return;
+    m_replans_->add();
+    hub_->trace.instant(obs::TimeDomain::kVirtual, on::kCatSim, on::kEvReplan,
+                        t, 0, {{"w", w}});
+  }
+
   void finish(const FailureSimResult& result) {
     if (hub_ == nullptr) return;
     obs::MetricsRegistry& m = hub_->metrics;
@@ -71,6 +94,8 @@ class SimObs {
   obs::Counter* m_restores_ = nullptr;
   obs::Counter* m_checkpoints_ = nullptr;
   obs::Counter* m_resumed_ = nullptr;
+  obs::Counter* m_resizes_ = nullptr;
+  obs::Counter* m_replans_ = nullptr;
 };
 
 /// Per-checkpoint remote landing times on the wall clock.
@@ -79,6 +104,26 @@ struct RemoteState {
   double l2_done;
   double l3_done;
 };
+
+/// The run's workload: the plain benchmark, or an ElasticWorkload over the
+/// same profile when resize events are configured. `*elastic` (when the
+/// out-pointer is given) aliases the returned workload or stays null.
+std::unique_ptr<workload::Workload> make_sim_workload(
+    const FailureSimConfig& config, workload::ElasticWorkload** elastic) {
+  if (elastic != nullptr) *elastic = nullptr;
+  if (config.resizes.empty()) {
+    return workload::make_spec_workload(config.benchmark,
+                                        config.workload_scale);
+  }
+  workload::ElasticProfile ep;
+  ep.base = workload::spec_profile(config.benchmark, config.workload_scale);
+  ep.base_cores = config.base_cores;
+  ep.resizes = config.resizes;
+  ep.migrate_fraction = config.migrate_fraction;
+  auto wl = std::make_unique<workload::ElasticWorkload>(std::move(ep));
+  if (elastic != nullptr) *elastic = wl.get();
+  return wl;
+}
 
 /// The transfer-engine variant: L2/L3 placements are real chunked drains
 /// through a MultiLevelStore, advanced in lockstep with the wall clock, so
@@ -108,7 +153,7 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
 
   SimObs obs(config.obs);
   ckpt::CheckpointChain chain(ckpt::CheckpointChain::Config{
-      .obs = config.obs});
+      .obs = config.obs, .rewind_budget = config.rewind_budget});
   failure::FailureInjector injector(config.failures, Rng(config.seed));
   Rng storage_rng(config.seed ^ 0x9e3779b97f4a7c15ull);
 
@@ -138,6 +183,27 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
   (void)store.put_checkpoint(chain.files().back());
   const double clock0 = store.xfer().now();
   auto sync = [&]() { store.xfer().run_until(clock0 + wall); };
+
+  // Mirrors a rewind-window prune at the storage layer: the victim's
+  // objects are erased at every level and a re-anchored successor's stored
+  // copy (or in-flight drain) is rewritten with the new full bytes.
+  std::uint64_t seen_discards = 0;
+  auto reclaim_pruned = [&]() {
+    if (chain.rewind().discards() == seen_discards) return;
+    seen_discards = chain.rewind().discards();
+    const auto& ev = *chain.last_prune();
+    const ckpt::CheckpointFile* reanchored = nullptr;
+    if (ev.reanchored_sequence.has_value()) {
+      for (const ckpt::CheckpointFile& f : chain.files()) {
+        if (f.sequence == *ev.reanchored_sequence) {
+          reanchored = &f;
+          break;
+        }
+      }
+    }
+    (void)store.reclaim_checkpoint(ev.victim_sequence, reanchored);
+    ++result.checkpoints_pruned;
+  };
 
   failure::FailureEvent pending = injector.next_after(0.0);
 
@@ -214,6 +280,7 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
       ++result.checkpoints;
       storage::DrainTicket ticket =
           store.put_checkpoint_async(chain.files().back());
+      reclaim_pruned();
       // Blocking halt: the local write plus the delta-compression latency
       // (the drains themselves overlap with computation from here on).
       wall += ticket.local_seconds +
@@ -230,43 +297,58 @@ FailureSimResult run_failure_sim_xfer(const FailureSimConfig& config) {
   store.xfer().run_until_idle();
   result.xfer_stats = store.xfer().stats();
   result.turnaround = wall;
+  result.final_checkpoint_interval = config.checkpoint_interval;
   result.final_state_verified = reference.equals_space(space);
   obs.finish(result);
   return result;
 }
 
 /// The analytic variant: L2/L3 placements land after the c2/c3 formula
-/// durations (no drain engine).
+/// durations (no drain engine). Hosts the elastic-job machinery: on every
+/// resize (and every rollback that reverts one) the cost model, failure
+/// exposure, and — with replan_on_resize — the work span w_L* are
+/// re-derived from the new width.
 FailureSimResult run_failure_sim_analytic(const FailureSimConfig& config) {
   FailureSimResult result;
 
   // Failure-free reference final state (determinism makes this exact).
   mem::Snapshot reference;
   {
-    auto wl = workload::make_spec_workload(config.benchmark,
-                                           config.workload_scale);
+    auto ref = make_sim_workload(config, nullptr);
     mem::AddressSpace space;
-    wl->initialize(space);
-    wl->step(space, wl->base_time());
+    ref->initialize(space);
+    ref->step(space, ref->base_time());
     reference = mem::Snapshot::capture(space);
-    result.base_time = wl->base_time();
+    result.base_time = ref->base_time();
   }
 
-  auto wl =
-      workload::make_spec_workload(config.benchmark, config.workload_scale);
+  workload::ElasticWorkload* ewl = nullptr;
+  auto wl = make_sim_workload(config, &ewl);
   mem::AddressSpace space;
   wl->initialize(space);
 
   SimObs obs(config.obs);
-  // Delta-compressed incrementals.
+  // Delta-compressed incrementals, bounded-regret retention when asked.
   ckpt::CheckpointChain chain(ckpt::CheckpointChain::Config{
-      .obs = config.obs});
+      .obs = config.obs, .rewind_budget = config.rewind_budget});
   failure::FailureInjector injector(config.failures, Rng(config.seed));
 
   double wall = 0.0;
   double interval_start_progress = 0.0;
   double interval_start_wall = 0.0;
   std::vector<RemoteState> remote;
+
+  // Width-dependent state, re-derived at every reconfiguration: the cost
+  // model (per-node resources scale with the allocation; the per-node
+  // remote share b3 does not), the failure exposure (lambda ∝ cores), and
+  // the checkpoint interval (under replan_on_resize).
+  control::CostModel costs = config.costs;
+  failure::FailureSpec exposure = config.failures;
+  double interval = config.checkpoint_interval;
+  std::optional<ckpt::CaptureStats> last_st;
+  std::size_t last_applied = 0;
+  std::uint64_t width_epoch = 0;
+  std::uint64_t seen_discards = 0;
 
   // Initial full checkpoint, staged everywhere before t = 0.
   chain.capture(space, wl->cpu_state(), 0.0);
@@ -276,13 +358,81 @@ FailureSimResult run_failure_sim_analytic(const FailureSimConfig& config) {
 
   failure::FailureEvent pending = injector.next_after(0.0);
 
+  // AIC re-plan: minimize the adaptive interval model's NET^2 in the work
+  // span, parameterized by the last capture's measured artifacts under the
+  // *current* cost model (or the raw footprint before any incremental).
+  auto replan = [&]() {
+    const model::IntervalParams prev =
+        last_st.has_value()
+            ? costs.delta_params(last_st->uncompressed_bytes,
+                                 last_st->file_bytes,
+                                 last_st->delta_work_units)
+            : costs.raw_params(ewl->footprint_pages() * kPageSize);
+    model::SystemProfile sys;
+    sys.lambda = exposure.lambda;
+    sys.c = {prev.c1, prev.c2, prev.c3};
+    sys.r = {prev.r1, prev.r2, prev.r3};
+    const double lo = std::max(1.0, prev.c1);
+    const double hi = std::max(lo * 2.0, wl->base_time());
+    const auto opt = model::extreme_value_minimum(
+        [&](double w) { return model::net2_adaptive(sys, w, prev, prev); },
+        lo, hi, std::clamp(interval, lo, hi));
+    interval = std::max(1.0, opt.x);
+    ++result.replans;
+    obs.replan(wall, interval);
+  };
+
+  // Re-derives every width-dependent input after the applied-resize count
+  // moved — forward (a resize fired during step()) or backward (a rollback
+  // reverted one). The failure process is rebuilt at the new rate with a
+  // fresh deterministic stream per width epoch.
+  auto check_width = [&]() {
+    if (ewl == nullptr || ewl->applied_resizes() == last_applied) return;
+    const double f = ewl->scale_factor();
+    costs = config.costs;
+    costs.local_bps *= f;
+    costs.compress_bps *= f;
+    costs.b2_bps *= f;
+    exposure = config.failures;
+    for (double& l : exposure.lambda) l *= f;
+    ++width_epoch;
+    injector = failure::FailureInjector(
+        exposure, Rng(config.seed ^ (0x9E3779B97F4A7C15ull * width_epoch)));
+    pending = injector.next_after(wall);
+    if (ewl->applied_resizes() > last_applied) {
+      result.resizes_applied += int(ewl->applied_resizes() - last_applied);
+      const auto& mig = ewl->last_migration();
+      obs.resize(wall,
+                 mig.has_value() ? mig->cores_before : config.base_cores,
+                 ewl->cores());
+    }
+    last_applied = ewl->applied_resizes();
+    if (config.replan_on_resize) replan();
+  };
+
+  // Drops a checkpoint the rewind window just pruned from the landing-time
+  // bookkeeping (it no longer exists at any level).
+  auto drop_pruned = [&]() {
+    if (chain.rewind().discards() == seen_discards) return;
+    seen_discards = chain.rewind().discards();
+    const std::uint64_t victim = chain.last_prune()->victim_sequence;
+    remote.erase(std::remove_if(remote.begin(), remote.end(),
+                                [&](const RemoteState& r) {
+                                  return r.sequence == victim;
+                                }),
+                 remote.end());
+    ++result.checkpoints_pruned;
+  };
+
   auto handle_failure = [&](int level) {
     ++result.failures_by_level[std::size_t(level - 1)];
     ++result.restores;
     const double fail_at = wall;
     obs.failure(fail_at, level);
-    // Newest checkpoint whose surviving copy covers this failure level.
-    std::uint64_t seq = 0;
+    // Newest retained checkpoint whose surviving copy covers this failure
+    // level; the oldest retained one (its chain starts with a staged or
+    // re-anchored full) is the fallback when nothing newer has landed.
+    std::uint64_t seq = remote.front().sequence;
     for (const RemoteState& r : remote) {
       const double done = level <= 2 ? r.l2_done : r.l3_done;
       if (done <= wall && r.sequence >= seq) seq = r.sequence;
@@ -299,9 +449,12 @@ FailureSimResult run_failure_sim_analytic(const FailureSimConfig& config) {
     space.protect_all();
     interval_start_progress = wl->progress();
     core_free_at = wall;  // in-flight transfer died with the failure
+    // A rollback can land before a resize boundary: the job restarts at
+    // the narrower width, so re-derive everything from it.
+    check_width();
 
     // Recovery: read the restart chain from the surviving level.
-    const double bw = level <= 2 ? config.costs.b2_bps : config.costs.b3_bps;
+    const double bw = level <= 2 ? costs.b2_bps : costs.b3_bps;
     const double recovery = double(chain.restart_chain_bytes()) / bw;
     wall += recovery;
     obs.restore(fail_at, wall, level, recovery);
@@ -323,15 +476,15 @@ FailureSimResult run_failure_sim_analytic(const FailureSimConfig& config) {
     const double step = std::min(quantum, until_failure);
     wl->step(space, step);
     wall += step;
+    check_width();
 
     const double elapsed = wl->progress() - interval_start_progress;
-    if (elapsed >= config.checkpoint_interval && wall >= core_free_at &&
-        !wl->finished()) {
+    if (elapsed >= interval && wall >= core_free_at && !wl->finished()) {
       // The local write halts the process; a failure during the halt aborts
       // the checkpoint (nothing was captured yet).
       // Estimate c1 from the dirty set before committing.
       const double c1_est = double(space.dirty_page_count() * kPageSize) /
-                            config.costs.local_bps;
+                            costs.local_bps;
       if (pending.time <= wall + c1_est) {
         wall = pending.time;
         handle_failure(pending.level);
@@ -339,8 +492,10 @@ FailureSimResult run_failure_sim_analytic(const FailureSimConfig& config) {
         continue;
       }
       ckpt::CaptureStats st = chain.capture(space, wl->cpu_state(), wall);
+      last_st = st;
       ++result.checkpoints;
-      const auto params = config.costs.delta_params(
+      drop_pruned();
+      const auto params = costs.delta_params(
           st.uncompressed_bytes, st.file_bytes, st.delta_work_units);
       wall += params.c1;
       remote.push_back({chain.checkpoints_taken() - 1,
@@ -355,6 +510,7 @@ FailureSimResult run_failure_sim_analytic(const FailureSimConfig& config) {
   }
 
   result.turnaround = wall;
+  result.final_checkpoint_interval = interval;
   result.final_state_verified = reference.equals_space(space);
   obs.finish(result);
   return result;
@@ -364,6 +520,8 @@ FailureSimResult run_failure_sim_analytic(const FailureSimConfig& config) {
 
 FailureSimResult run_failure_sim(const FailureSimConfig& config) {
   AIC_CHECK(config.checkpoint_interval > 0.0);
+  AIC_CHECK_MSG(config.resizes.empty() || !config.use_transfer_engine,
+                "elastic resizes require the analytic simulator variant");
   try {
     return config.use_transfer_engine ? run_failure_sim_xfer(config)
                                       : run_failure_sim_analytic(config);

@@ -16,9 +16,11 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "control/cost_model.h"
 #include "failure/failure.h"
+#include "workload/elastic.h"
 #include "workload/workload.h"
 #include "xfer/stats.h"
 
@@ -60,6 +62,28 @@ struct FailureSimConfig {
   double remote_drop_probability = 0.0;
   /// Overrides the drain engine's per-chunk attempt budget when > 0.
   int xfer_max_attempts_override = 0;
+  /// Elastic job: core-count reconfigurations keyed on workload progress.
+  /// Non-empty turns the benchmark into an ElasticWorkload over the same
+  /// profile; at every resize the simulator re-derives the cost model
+  /// (local/compress/RAID bandwidth scale with the width, the per-node
+  /// remote share does not), rescales the failure exposure (lambda ∝
+  /// cores), and — with replan_on_resize — re-solves the AIC work span
+  /// w_L* on the adaptive interval model. Analytic variant only: requires
+  /// use_transfer_engine == false.
+  std::vector<workload::ResizeEvent> resizes;
+  /// Core allocation the benchmark's profile is calibrated at.
+  std::uint64_t base_cores = 4;
+  /// Fraction of the post-resize footprint the migration burst rewrites.
+  double migrate_fraction = 0.25;
+  /// Re-plan the checkpoint interval after every reconfiguration (and
+  /// after a rollback that reverts one). Off = keep the static interval —
+  /// the no-replan ablation.
+  bool replan_on_resize = true;
+  /// Bounded-regret retention: live-checkpoint budget of the chain's
+  /// RewindWindow (0 = keep every checkpoint). Pruned checkpoints are
+  /// reclaimed from the MultiLevelStore in the transfer-engine variant and
+  /// dropped from the landing-time bookkeeping in the analytic one.
+  std::size_t rewind_budget = 0;
 };
 
 struct FailureSimResult {
@@ -75,6 +99,16 @@ struct FailureSimResult {
   xfer::Stats xfer_stats;
   /// Drains resumed from a mid-flight interruption (use_transfer_engine).
   int drains_resumed = 0;
+  /// Forward resize transitions observed on the sim timeline (a rollback
+  /// that re-treads past a resize boundary re-fires and re-counts it).
+  int resizes_applied = 0;
+  /// Decider re-plans executed (replan_on_resize).
+  int replans = 0;
+  /// Work span in effect when the run completed (== checkpoint_interval
+  /// unless a re-plan moved it).
+  double final_checkpoint_interval = 0.0;
+  /// Checkpoints pruned by the rewind window over the run.
+  int checkpoints_pruned = 0;
 
   int total_failures() const {
     return failures_by_level[0] + failures_by_level[1] + failures_by_level[2];

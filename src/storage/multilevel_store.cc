@@ -117,6 +117,70 @@ void MultiLevelStore::truncate_to(std::uint64_t count) {
   next_index_ = count;
 }
 
+std::uint64_t MultiLevelStore::reclaim_checkpoint(
+    std::uint64_t index, const ckpt::CheckpointFile* reanchored) {
+  AIC_CHECK_MSG(index + 1 < next_index_,
+                "reclaim_checkpoint(" << index << ") would drop the newest "
+                                      << "checkpoint (have " << next_index_
+                                      << ")");
+  const std::string key = key_for(index);
+  std::uint64_t freed = 0;
+  for (const StorageTarget* t :
+       {static_cast<const StorageTarget*>(&local_),
+        static_cast<const StorageTarget*>(&raid_),
+        static_cast<const StorageTarget*>(&remote_)}) {
+    if (!t->available()) continue;
+    if (auto bytes = t->get(key)) freed += bytes->size();
+  }
+  local_.erase(key);
+  raid_.erase(key);
+  remote_.erase(key);
+  auto it = drains_.find(index);
+  if (it != drains_.end()) {
+    if (it->second.raid.has_value() && xfer_.known(*it->second.raid))
+      xfer_.discard(*it->second.raid);
+    if (it->second.remote.has_value() && xfer_.known(*it->second.remote))
+      xfer_.discard(*it->second.remote);
+    drains_.erase(it);
+  }
+  is_full_.erase(index);
+
+  if (reanchored != nullptr) {
+    const std::uint64_t succ = index + 1;
+    const std::string skey = key_for(succ);
+    const Bytes wire = reanchored->serialize();
+    auto dit = drains_.find(succ);
+    // Per level: a committed copy is replaced in place; a still-running
+    // (or interrupted/aborted) drain is carrying the stale delta bytes and
+    // must be discarded and resubmitted so it can never commit over the
+    // hole the reclaim just opened.
+    auto settle = [&](int level, std::optional<xfer::TransferId>& id,
+                      const StorageTarget& target) {
+      const bool committed =
+          id.has_value() && xfer_.known(*id) &&
+          xfer_.record(*id).state == xfer::TransferState::kCommitted;
+      if (committed) {
+        if (target.available()) {
+          if (level == 2) raid_.put(skey, wire);
+          else remote_.put(skey, wire);
+        }
+        return;
+      }
+      if (id.has_value() && xfer_.known(*id)) xfer_.discard(*id);
+      if (level == 3 || target.available())
+        id = xfer_.submit(level, skey, wire);
+    };
+    if (local_.available() && local_.get(skey).has_value())
+      local_.put(skey, wire);
+    if (dit != drains_.end()) {
+      settle(2, dit->second.raid, raid_);
+      settle(3, dit->second.remote, remote_);
+    }
+    is_full_[succ] = true;
+  }
+  return freed;
+}
+
 void MultiLevelStore::repair_raid_group() {
   // Replacement members join empty; re-striping happens via
   // reseed_from_remote().

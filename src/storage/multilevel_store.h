@@ -117,6 +117,18 @@ class MultiLevelStore {
   /// after a recovery.
   void truncate_to(std::uint64_t count);
 
+  /// Rewind-window reclamation: erases one mid-chain checkpoint at every
+  /// level (discarding its drains) and, when the prune re-anchored the
+  /// successor as a full checkpoint, rewrites the successor's stored
+  /// object with `reanchored` — committed copies are replaced in place and
+  /// unfinished drains are discarded and resubmitted with the new bytes,
+  /// so no level can ever commit the stale delta over a hole. The newest
+  /// checkpoint can never be reclaimed. Returns the bytes erased across
+  /// levels (the storage the window freed). Pairs with
+  /// CheckpointChain::PruneEvent.
+  std::uint64_t reclaim_checkpoint(
+      std::uint64_t index, const ckpt::CheckpointFile* reanchored = nullptr);
+
   /// Replaces a group that lost more members than RAID-5 tolerates with
   /// fresh (empty) nodes; call reseed_from_remote() afterwards.
   void repair_raid_group();

@@ -67,12 +67,23 @@ class Walker {
            f.sequence, os.str());
       replay_ok_ = false;
     } else if (f.sequence != prev_seq_ + 1) {
-      os << "sequence " << f.sequence << " follows " << prev_seq_ << "; "
-         << (f.sequence - prev_seq_ - 1)
-         << " checkpoint(s) missing in between";
-      emit(Severity::kError, CheckCode::kSequenceGap, index, f.sequence,
-           os.str());
-      replay_ok_ = false;
+      if (f.kind == CheckpointKind::kFull) {
+        // A gap right before a full checkpoint is the rewind window's
+        // signature: the prune re-anchored the successor, so the record
+        // depends on nothing that was discarded and replay stays sound.
+        os << "sequence " << f.sequence << " follows " << prev_seq_ << "; "
+           << (f.sequence - prev_seq_ - 1)
+           << " checkpoint(s) pruned before this full re-anchor";
+        emit(Severity::kWarning, CheckCode::kPrunedGap, index, f.sequence,
+             os.str());
+      } else {
+        os << "sequence " << f.sequence << " follows " << prev_seq_ << "; "
+           << (f.sequence - prev_seq_ - 1)
+           << " checkpoint(s) missing in between";
+        emit(Severity::kError, CheckCode::kSequenceGap, index, f.sequence,
+             os.str());
+        replay_ok_ = false;
+      }
     }
     if (!first_ && f.app_time < prev_app_time_) {
       std::ostringstream ts;
@@ -187,6 +198,8 @@ const char* to_string(CheckCode code) {
       return "duplicate-sequence";
     case CheckCode::kSequenceGap:
       return "sequence-gap";
+    case CheckCode::kPrunedGap:
+      return "pruned-gap";
     case CheckCode::kAppTimeRegressed:
       return "app-time-regressed";
     case CheckCode::kFreedInFull:

@@ -49,6 +49,7 @@ enum class CheckCode : std::uint8_t {
   kSequenceNotMonotone,   // I3
   kDuplicateSequence,     // I3
   kSequenceGap,           // I4: missing middle incremental
+  kPrunedGap,             // I4' (warning): gap closed by a full re-anchor
   kAppTimeRegressed,      // I6 (warning)
   kFreedInFull,           // I7
   kFreedPageUnknown,      // I8

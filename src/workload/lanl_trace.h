@@ -51,6 +51,17 @@ struct FleetJobSpec {
   /// Source-trace provenance: LANL system and process count.
   int system_id = 0;
   int processes = 1;
+  /// One elastic reconfiguration: when the job's executed work reaches
+  /// `at_progress` (virtual seconds, strictly ascending across the list),
+  /// its width becomes `factor` × the base — footprint, delta size, and
+  /// failure exposure all scale with it. A failure rewind below the
+  /// boundary reverts the width; re-treading re-fires it, exactly like
+  /// workload::ElasticWorkload.
+  struct Resize {
+    double at_progress = 0.0;
+    double factor = 1.0;
+  };
+  std::vector<Resize> resizes;
 };
 
 struct FleetMixConfig {

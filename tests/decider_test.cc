@@ -87,6 +87,48 @@ TEST(DeciderTest, MatchesBruteForceAcrossRandomProfiles) {
   }
 }
 
+TEST(DeciderTest, ReplanAfterResizeMatchesBruteForce) {
+  // Elastic reconfiguration: the system profile rescales (lambda and c3
+  // move with the width) and the decider re-plans w_L* warm-started at the
+  // PRE-resize optimum — the worst seed for the local search, since the
+  // old optimum can sit far from the new one, or inside the new
+  // infeasibility cliff. The re-plan must still match brute force on the
+  // post-resize objective across randomized profiles and resize factors.
+  Rng rng(0xE1A571C);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SystemProfile before = random_profile(rng);
+    const IntervalParams prev = perturbed(before, rng);
+    auto pre_objective = [&](double w) {
+      return net2_adaptive(before, w, prev, prev);
+    };
+    const OptResult pre =
+        extreme_value_minimum(pre_objective, kMinW, kMaxW, 50.0);
+
+    // Grow or shrink by up to 4x; MPI scaling moves lambda and c3.
+    const double factor = trial % 2 == 0 ? rng.uniform(1.0, 4.0)
+                                         : rng.uniform(0.25, 1.0);
+    const SystemProfile after = before.scaled_mpi(factor);
+    const IntervalParams cur = perturbed(after, rng);
+    auto post_objective = [&](double w) {
+      return net2_adaptive(after, w, cur, prev);
+    };
+
+    EvtDiag diag;
+    const double x0 = std::clamp(pre.x, kMinW, kMaxW);
+    const OptResult replan =
+        extreme_value_minimum(post_objective, kMinW, kMaxW, x0, &diag);
+    const OptResult grid = brute_force(post_objective, kMinW, kMaxW);
+
+    ASSERT_TRUE(std::isfinite(replan.value))
+        << "trial " << trial << " factor " << factor;
+    EXPECT_LE(replan.value, grid.value * (1.0 + 1e-3) + 1e-12)
+        << "trial " << trial << " factor " << factor << ": replan at w="
+        << replan.x << " value " << replan.value << " vs grid w=" << grid.x
+        << " value " << grid.value;
+    EXPECT_LE(diag.newton_iters, 200);
+  }
+}
+
 TEST(DeciderTest, FlatObjectiveIsHandled) {
   auto flat = [](double) { return 5.0; };
   EvtDiag diag;

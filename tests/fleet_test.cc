@@ -131,6 +131,55 @@ TEST(FleetAdmission, StrictFifoPromotion) {
   EXPECT_EQ(ctrl.queued(), 0u);
 }
 
+TEST(FleetAdmission, ResizeRepricesDemandAndReleaseUsesCurrentWidth) {
+  AdmissionConfig cfg;
+  cfg.capacity_bps = 1.0e8;
+  cfg.target_utilization = 0.5;
+  cfg.lambda_total = 1.0e-3;
+  AdmissionController ctrl(cfg);
+
+  const auto job = spec_of(1, 200.0);
+  ASSERT_EQ(ctrl.offer(job), AdmissionDecision::kAdmitted);
+  const double base = ctrl.admitted_demand_bps();
+  ASSERT_GT(base, 0.0);
+
+  // Grow 4x: the reservation moves to the new width.
+  ctrl.resize(job, 4.0);
+  EXPECT_DOUBLE_EQ(ctrl.width_factor(1), 4.0);
+  const double grown = ctrl.admitted_demand_bps();
+  EXPECT_GT(grown, base);
+  EXPECT_NEAR(grown, ctrl.demand_bps(job, 4.0), 1e-9);
+
+  // Regression: release must subtract the CURRENT-width demand. Computing
+  // it from the spec alone (admission-time width) leaks the grown job's
+  // extra reservation forever — head-room the fleet never gets back.
+  ctrl.release(job);
+  EXPECT_NEAR(ctrl.admitted_demand_bps(), 0.0, 1e-9)
+      << "release after a grow leaked reserved demand";
+  EXPECT_DOUBLE_EQ(ctrl.width_factor(1), 1.0) << "release forgets the factor";
+
+  // Shrink direction, witnessed through a second admitted job: an
+  // admission-time release would over-free and strand b's reservation
+  // below its true demand.
+  const auto a = spec_of(2, 200.0);
+  const auto b = spec_of(3, 200.0);
+  ASSERT_EQ(ctrl.offer(a), AdmissionDecision::kAdmitted);
+  ASSERT_EQ(ctrl.offer(b), AdmissionDecision::kAdmitted);
+  ctrl.resize(a, 0.25);
+  EXPECT_NEAR(ctrl.admitted_demand_bps(),
+              ctrl.demand_bps(a, 0.25) + ctrl.demand_bps(b), 1e-9);
+  ctrl.release(a);
+  EXPECT_NEAR(ctrl.admitted_demand_bps(), ctrl.demand_bps(b), 1e-9)
+      << "release after a shrink must not eat the other job's reservation";
+
+  // Resizing back to the base width erases the tracked factor entirely.
+  ctrl.resize(b, 2.0);
+  ctrl.resize(b, 1.0);
+  EXPECT_NEAR(ctrl.admitted_demand_bps(), ctrl.demand_bps(b), 1e-9);
+  ctrl.release(b);
+  EXPECT_NEAR(ctrl.admitted_demand_bps(), 0.0, 1e-9);
+}
+
 TEST(FleetQosPolicy, ValidatesAndApplies) {
   QosPolicy policy;
   EXPECT_THROW(policy.set(Tenant{1, "bad", {0.0, 0.0}}), CheckError);
@@ -329,6 +378,124 @@ TEST(FleetScheduler, ReservedTenantSeesFasterTimeToSafe) {
   const double be_mean_tts = be_tts_sum / double(be_commits);
   EXPECT_LT(gold_mean_tts, be_mean_tts)
       << "a hard reservation must shield the tenant from contention";
+}
+
+/// The small mix with elastic reconfigurations layered on: every third job
+/// grows 2x a third of the way in, every fifth halves near the end —
+/// boundaries inside the work span, so failures can rewind across them.
+std::vector<workload::FleetJobSpec> elastic_mix(std::uint64_t seed) {
+  auto jobs = small_mix(seed);
+  for (auto& j : jobs) {
+    if (j.job_id % 3 == 0) j.resizes.push_back({j.work_s * 0.3, 2.0});
+    if (j.job_id % 5 == 0) j.resizes.push_back({j.work_s * 0.7, 0.5});
+  }
+  return jobs;
+}
+
+RunSummary run_elastic(int shards, std::size_t rewind_budget,
+                       obs::Hub* hub = nullptr) {
+  auto jobs = elastic_mix(7);
+  FleetConfig cfg = small_fleet_config(shards, 42);
+  cfg.rewind_budget = rewind_budget;
+  cfg.obs = hub;
+  FleetScheduler fleet(cfg, jobs, QosPolicy{});
+  fleet.run();
+  RunSummary s;
+  s.digest = fleet.digest();
+  s.report = fleet.report();
+  for (const auto& j : jobs) s.per_job[j.job_id] = fleet.job_stats(j.job_id);
+  return s;
+}
+
+TEST(FleetElastic, ShardCountDoesNotChangeTheElasticTimeline) {
+  const RunSummary one = run_elastic(1, 4);
+  const RunSummary two = run_elastic(2, 4);
+  const RunSummary four = run_elastic(4, 4);
+
+  ASSERT_TRUE(one.report.complete);
+  EXPECT_GT(one.report.resizes, 0u)
+      << "the elastic mix must actually reconfigure";
+  EXPECT_GT(one.report.failures, 0u);
+  EXPECT_GT(one.report.rewind_discards, 0u)
+      << "budget 4 must overflow on this mix";
+
+  for (const RunSummary* other : {&two, &four}) {
+    EXPECT_EQ(one.digest, other->digest)
+        << "resize actions and rewind evictions are digest-covered: any "
+           "shard-dependence in the elastic path shows up here";
+    EXPECT_EQ(one.report.elapsed_s, other->report.elapsed_s);
+    EXPECT_EQ(one.report.checkpoints, other->report.checkpoints);
+    EXPECT_EQ(one.report.commits, other->report.commits);
+    EXPECT_EQ(one.report.resizes, other->report.resizes);
+    EXPECT_EQ(one.report.rewind_discards, other->report.rewind_discards);
+    EXPECT_EQ(one.report.rewind_live_bytes, other->report.rewind_live_bytes);
+    EXPECT_EQ(one.report.net2_bytes, other->report.net2_bytes);
+    for (const auto& [id, stats] : one.per_job) {
+      const JobStats& o = other->per_job.at(id);
+      EXPECT_EQ(stats.resizes, o.resizes) << "job " << id;
+      EXPECT_EQ(stats.checkpoints, o.checkpoints) << "job " << id;
+      EXPECT_EQ(stats.commits, o.commits) << "job " << id;
+      EXPECT_EQ(stats.finish_time, o.finish_time) << "job " << id;
+    }
+  }
+}
+
+TEST(FleetElastic, RewindBudgetBoundsRetainedStorage) {
+  obs::Hub hub;
+  const std::size_t k = 4;
+  const RunSummary s = run_elastic(1, k, &hub);
+  const FleetReport& r = s.report;
+  ASSERT_TRUE(r.complete);
+  ASSERT_GT(r.commits, 0u);
+  EXPECT_GT(r.rewind_discards, 0u);
+  EXPECT_GT(r.rewind_live_bytes, 0u);
+  EXPECT_LT(r.rewind_live_bytes, r.committed_bytes)
+      << "retention must hold less than the keep-everything total";
+
+  // The hard bound that lets a 10k-job fleet cap its storage: each job
+  // retains at most k checkpoints, each at most a full at its widest
+  // (2x grow in this mix).
+  std::uint64_t cap = 0;
+  for (const auto& j : elastic_mix(7)) cap += k * 2 * j.footprint_bytes;
+  EXPECT_LE(r.rewind_live_bytes, cap);
+
+  // The era-ladder guarantee, fleet-wide: the worst per-job rewind gap
+  // stays inside its certified envelope at the final horizon.
+  EXPECT_GT(r.rewind_max_gap_s, 0.0);
+  EXPECT_LE(r.rewind_max_gap_s, r.rewind_gap_bound_s);
+
+  // Telemetry: resize counter (which also counts rewind-induced reverts)
+  // and retention gauges mirror the report.
+  const obs::MetricsSnapshot snap = hub.metrics.snapshot();
+  EXPECT_GE(snap.counter_or_zero(on::kFleetResizes), r.resizes);
+  EXPECT_GT(snap.counter_or_zero(on::kFleetResizes), 0u);
+  EXPECT_EQ(snap.gauge_or(on::kFleetRewindLiveBytes, -1.0),
+            double(r.rewind_live_bytes));
+  EXPECT_EQ(snap.gauge_or(on::kFleetRewindDiscards, -1.0),
+            double(r.rewind_discards));
+  EXPECT_EQ(snap.gauge_or(on::kFleetRewindMaxGapSeconds, -1.0),
+            r.rewind_max_gap_s);
+}
+
+TEST(FleetElastic, DisabledBudgetReportsNoRetention) {
+  const RunSummary s = run_elastic(1, 0);
+  ASSERT_TRUE(s.report.complete);
+  EXPECT_GT(s.report.resizes, 0u);
+  EXPECT_EQ(s.report.rewind_discards, 0u);
+  EXPECT_EQ(s.report.rewind_live_bytes, 0u);
+  EXPECT_EQ(s.report.rewind_max_gap_s, 0.0);
+}
+
+TEST(FleetElastic, ValidatesResizeLists) {
+  auto jobs = small_mix(7);
+  jobs[0].resizes = {{50.0, 2.0}, {40.0, 0.5}};  // not ascending
+  EXPECT_THROW(
+      FleetScheduler(small_fleet_config(1, 1), jobs, QosPolicy{}),
+      CheckError);
+  jobs[0].resizes = {{50.0, -1.0}};  // nonpositive factor
+  EXPECT_THROW(
+      FleetScheduler(small_fleet_config(1, 1), jobs, QosPolicy{}),
+      CheckError);
 }
 
 }  // namespace

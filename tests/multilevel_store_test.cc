@@ -157,5 +157,113 @@ TEST(MultiLevelStore, PartialLocalChainFallsBackDeeper) {
       restore_from(*rec).materialize()));
 }
 
+// ---------- rewind-window reclamation ----------
+
+/// Applies one chain prune to the store: the victim's objects are erased
+/// at every level and, when the prune re-anchored the successor, the
+/// stored successor is rewritten with the new full file.
+void apply_prune(MultiLevelStore& store, const ckpt::CheckpointChain& chain) {
+  const auto& ev = chain.last_prune();
+  ASSERT_TRUE(ev.has_value());
+  const ckpt::CheckpointFile* reanchored = nullptr;
+  if (ev->reanchored_sequence.has_value()) {
+    for (const ckpt::CheckpointFile& f : chain.files()) {
+      if (f.sequence == *ev->reanchored_sequence) {
+        reanchored = &f;
+        break;
+      }
+    }
+    ASSERT_NE(reanchored, nullptr);
+  }
+  store.reclaim_checkpoint(ev->victim_sequence, reanchored);
+}
+
+TEST(RewindStore, ReclaimBoundsStorageAndKeepsRecoveryRestorable) {
+  MultiLevelStore store;
+  Rng rng(0x2EC1);
+  mem::AddressSpace space;
+  space.allocate_range(0, 16);
+  ckpt::CheckpointChain::Config cfg;
+  cfg.full_period = 0;  // every prune of a delta successor must re-anchor
+  cfg.rewind_budget = 4;
+  ckpt::CheckpointChain chain(cfg);
+  for (int i = 0; i < 15; ++i) {
+    chain.capture(space, {}, double(i + 1));
+    store.put_checkpoint(chain.files().back());
+    if (i >= int(cfg.rewind_budget)) apply_prune(store, chain);
+    space.protect_all();
+    Bytes edit(64);
+    for (auto& x : edit) x = std::uint8_t(rng());
+    space.write(rng.uniform_u64(16), rng.uniform_u64(kPageSize - 64), edit);
+
+    // Storage is bounded: each level holds exactly the window's live set.
+    std::size_t local_objects = 0;
+    for (std::uint64_t s : chain.rewind().live_sequences()) {
+      local_objects += store.local().get("ckpt-" + std::to_string(s))
+                           .has_value();
+    }
+    ASSERT_EQ(local_objects, chain.rewind().size());
+
+    auto rec = store.recover();
+    ASSERT_TRUE(rec.has_value());
+    ASSERT_EQ(rec->chain.front().kind, ckpt::CheckpointKind::kFull);
+    ASSERT_TRUE(chain.last_state().equals_space(
+        restore_from(*rec).materialize()));
+  }
+  EXPECT_GT(chain.rewind().discards(), 0u);
+}
+
+TEST(RewindStore, ReclaimResubmitsUnfinishedSuccessorDrains) {
+  MultiLevelStore store;
+  mem::AddressSpace space;
+  space.allocate_range(0, 16);
+  ckpt::CheckpointChain::Config cfg;
+  cfg.full_period = 0;
+  cfg.rewind_budget = 4;
+  ckpt::CheckpointChain chain(cfg);
+  // Queue drains without draining them: when the window first overflows,
+  // the successor's L2/L3 transfers still carry the stale delta bytes.
+  for (int i = 0; i < 5; ++i) {
+    chain.capture(space, {}, double(i + 1));
+    store.put_checkpoint_async(chain.files().back());
+    space.protect_all();
+    space.write(i % 16, 0, Bytes(32, std::uint8_t(i + 1)));
+  }
+  apply_prune(store, chain);
+  store.xfer().run_until_idle();
+
+  // Whatever the drains committed must match the re-anchored chain: the
+  // successor's remote object is a parseable FULL checkpoint, and recovery
+  // (after losing the local level) restores the newest state.
+  const auto& ev = chain.last_prune();
+  ASSERT_TRUE(ev->reanchored_sequence.has_value());
+  auto remote_bytes =
+      store.remote().get("ckpt-" + std::to_string(*ev->reanchored_sequence));
+  ASSERT_TRUE(remote_bytes.has_value());
+  EXPECT_EQ(ckpt::CheckpointFile::parse(*remote_bytes).kind,
+            ckpt::CheckpointKind::kFull);
+  EXPECT_FALSE(
+      store.remote().get("ckpt-" + std::to_string(ev->victim_sequence))
+          .has_value());
+
+  Rng rng(7);
+  store.apply_failure(2, rng);
+  auto rec = store.recover();
+  ASSERT_TRUE(rec.has_value());
+  ASSERT_GE(rec->level_used, 2);
+  EXPECT_TRUE(chain.last_state().equals_space(
+      restore_from(*rec).materialize()));
+}
+
+TEST(RewindStore, ReclaimingTheNewestCheckpointIsRejected) {
+  MultiLevelStore store;
+  mem::AddressSpace space;
+  space.allocate(0);
+  ckpt::CheckpointChain chain;
+  chain.capture(space, {}, 1.0);
+  store.put_checkpoint(chain.files().back());
+  EXPECT_THROW((void)store.reclaim_checkpoint(0), CheckError);
+}
+
 }  // namespace
 }  // namespace aic::storage

@@ -1,0 +1,289 @@
+// Round-trip tests for rewind-window retention on CheckpointChain: chains
+// pruned by the discard schedule must stay fsck-clean (invariants I1–I11,
+// with pruned gaps downgraded to the kPrunedGap warning) and must restore
+// byte-exact from EVERY surviving checkpoint — including chains whose
+// mid-chain files were re-anchored to fulls after a discard. A fuzz loop
+// mixes captures with failure rollbacks across random budgets to shake the
+// same guarantees out of the non-steady paths.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ckpt/checkpointer.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "mem/address_space.h"
+#include "mem/snapshot.h"
+#include "verify/chain_verifier.h"
+
+namespace aic::ckpt {
+namespace {
+
+/// Reference state at one checkpoint: what restore_at(sequence) must
+/// reproduce bit for bit.
+struct Reference {
+  mem::Snapshot memory;
+  Bytes cpu;
+  double app_time = 0.0;
+};
+
+void evolve(mem::AddressSpace& space, Rng& rng) {
+  space.protect_all();
+  const int edits = 1 + int(rng.uniform_u64(6));
+  for (int e = 0; e < edits; ++e) {
+    const mem::PageId id = rng.uniform_u64(24);
+    if (!space.contains(id)) {
+      space.allocate(id);
+    } else if (rng.bernoulli(0.1)) {
+      space.free_page(id);
+    } else {
+      space.mutate(id, [&](std::span<std::uint8_t> b) {
+        const std::size_t off = rng.uniform_u64(b.size() - 16);
+        for (std::size_t i = 0; i < 16; ++i)
+          b[off + i] = std::uint8_t(rng());
+      });
+    }
+  }
+}
+
+bool snapshots_equal(const mem::Snapshot& a, const mem::Snapshot& b) {
+  const auto ids = a.page_ids();
+  if (ids != b.page_ids()) return false;
+  for (mem::PageId id : ids) {
+    const ByteSpan pa = a.page_bytes(id);
+    const ByteSpan pb = b.page_bytes(id);
+    if (!std::equal(pa.begin(), pa.end(), pb.begin(), pb.end())) return false;
+  }
+  return true;
+}
+
+/// Runs the verifier over the chain's serialized records (so I1 framing
+/// checks execute too) and returns the report.
+verify::Report fsck(const CheckpointChain& chain) {
+  std::vector<Bytes> records;
+  records.reserve(chain.files().size());
+  for (const CheckpointFile& f : chain.files()) records.push_back(f.serialize());
+  return verify::ChainVerifier().verify_serialized(records);
+}
+
+TEST(RewindChain, PrunedChainStaysFsckClean) {
+  Rng rng(0xC0DE);
+  mem::AddressSpace space;
+  space.allocate_range(0, 16);
+  CheckpointChain::Config cfg;
+  cfg.full_period = 4;
+  cfg.rewind_budget = 5;
+  CheckpointChain chain(cfg);
+  for (int i = 0; i < 40; ++i) {
+    chain.capture(space, {}, double(i + 1));
+    ASSERT_LE(chain.files().size(), cfg.rewind_budget);
+    // The chain's files and the window's ledger must agree exactly.
+    std::vector<std::uint64_t> seqs;
+    for (const CheckpointFile& f : chain.files()) seqs.push_back(f.sequence);
+    ASSERT_EQ(seqs, chain.rewind().live_sequences());
+    const verify::Report report = fsck(chain);
+    ASSERT_EQ(report.error_count(), 0u)
+        << "step " << i << ": " << report.summary();
+    ASSERT_TRUE(report.replay_complete);
+    evolve(space, rng);
+  }
+  // Pruning definitely happened and announced itself to the verifier.
+  EXPECT_GT(chain.rewind().discards(), 0u);
+  bool saw_pruned_gap = false;
+  for (const verify::Diagnostic& d : fsck(chain).diagnostics)
+    saw_pruned_gap |= d.code == verify::CheckCode::kPrunedGap;
+  EXPECT_TRUE(saw_pruned_gap);
+}
+
+TEST(RewindChain, RestoresByteExactFromEverySurvivor) {
+  Rng rng(0xBEEF);
+  mem::AddressSpace space;
+  space.allocate_range(0, 16);
+  for (mem::PageId id = 0; id < 16; ++id) {
+    space.mutate(id, [&](std::span<std::uint8_t> b) {
+      for (auto& x : b) x = std::uint8_t(rng());
+    });
+  }
+  CheckpointChain::Config cfg;
+  cfg.full_period = 3;
+  cfg.rewind_budget = 4;
+  CheckpointChain chain(cfg);
+  std::map<std::uint64_t, Reference> refs;
+  for (int i = 0; i < 30; ++i) {
+    Bytes cpu = {std::uint8_t(i), std::uint8_t(i * 3)};
+    const double t = double(i + 1);
+    chain.capture(space, cpu, t);
+    refs[chain.files().back().sequence] =
+        Reference{mem::Snapshot::capture(space), cpu, t};
+    for (std::uint64_t seq : chain.rewind().live_sequences()) {
+      ASSERT_TRUE(refs.contains(seq));
+      const Reference& ref = refs.at(seq);
+      for (auto mode : {RestartEngine::Mode::kInPlace,
+                        RestartEngine::Mode::kOutOfPlace}) {
+        RestartEngine::Restored got = chain.restore_at(seq, mode);
+        ASSERT_TRUE(snapshots_equal(got.memory, ref.memory))
+            << "step " << i << " seq " << seq;
+        ASSERT_EQ(got.cpu_state, ref.cpu);
+        ASSERT_DOUBLE_EQ(got.app_time, ref.app_time);
+        ASSERT_EQ(got.sequence, seq);
+      }
+    }
+    evolve(space, rng);
+  }
+}
+
+// With full_period = 0 only the very first capture is full, so every prune
+// of a checkpoint with a delta successor must re-anchor that successor —
+// the hard path: the replacement full is synthesized by replaying the
+// victim before discarding it.
+TEST(RewindChain, MidChainReanchoringKeepsDeltasDecodable) {
+  Rng rng(0xA11CE);
+  mem::AddressSpace space;
+  space.allocate_range(0, 16);
+  CheckpointChain::Config cfg;
+  cfg.full_period = 0;
+  cfg.rewind_budget = 4;
+  CheckpointChain chain(cfg);
+  std::map<std::uint64_t, Reference> refs;
+  bool saw_reanchor = false;
+  for (int i = 0; i < 25; ++i) {
+    chain.capture(space, {}, double(i + 1));
+    refs[chain.files().back().sequence] =
+        Reference{mem::Snapshot::capture(space), {}, double(i + 1)};
+    if (chain.last_prune().has_value() &&
+        chain.last_prune()->reanchored_sequence.has_value()) {
+      saw_reanchor = true;
+    }
+    const verify::Report report = fsck(chain);
+    ASSERT_EQ(report.error_count(), 0u)
+        << "step " << i << ": " << report.summary();
+    for (std::uint64_t seq : chain.rewind().live_sequences()) {
+      RestartEngine::Restored got = chain.restore_at(seq);
+      ASSERT_TRUE(snapshots_equal(got.memory, refs.at(seq).memory))
+          << "step " << i << " seq " << seq;
+    }
+    evolve(space, rng);
+  }
+  EXPECT_TRUE(saw_reanchor);
+  // Re-anchoring planted fulls beyond the first file.
+  int fulls = 0;
+  for (const CheckpointFile& f : chain.files())
+    fulls += f.kind == CheckpointKind::kFull;
+  EXPECT_GT(fulls, 1);
+}
+
+TEST(RewindChain, RollbackKeepsWindowAndChainInSync) {
+  Rng rng(0x9A11);
+  mem::AddressSpace space;
+  space.allocate_range(0, 16);
+  CheckpointChain::Config cfg;
+  cfg.full_period = 3;
+  cfg.rewind_budget = 5;
+  CheckpointChain chain(cfg);
+  std::map<std::uint64_t, Reference> refs;
+  for (int i = 0; i < 20; ++i) {
+    chain.capture(space, {}, double(i + 1));
+    refs[chain.files().back().sequence] =
+        Reference{mem::Snapshot::capture(space), {}, double(i + 1)};
+    evolve(space, rng);
+  }
+  // Fail back to the second-oldest survivor.
+  const auto live = chain.rewind().live_sequences();
+  ASSERT_GE(live.size(), 2u);
+  const std::uint64_t target = live[1];
+  chain.rollback_to(target);
+  ASSERT_EQ(chain.files().back().sequence, target);
+  std::vector<std::uint64_t> seqs;
+  for (const CheckpointFile& f : chain.files()) seqs.push_back(f.sequence);
+  ASSERT_EQ(seqs, chain.rewind().live_sequences());
+  RestartEngine::Restored got = chain.restore();
+  ASSERT_TRUE(snapshots_equal(got.memory, refs.at(target).memory));
+
+  // Resume from the restore point: re-trodden application time must keep
+  // the chain consistent and fsck-clean.
+  mem::AddressSpace resumed;
+  for (mem::PageId id : got.memory.page_ids()) {
+    resumed.allocate(id);
+    resumed.mutate(id, [&](std::span<std::uint8_t> b) {
+      const ByteSpan src = got.memory.page_bytes(id);
+      std::copy(src.begin(), src.end(), b.begin());
+    });
+  }
+  double t = got.app_time;
+  for (int i = 0; i < 15; ++i) {
+    evolve(resumed, rng);
+    chain.capture(resumed, {}, t += 1.0);
+    const verify::Report report = fsck(chain);
+    ASSERT_EQ(report.error_count(), 0u)
+        << "post-rollback step " << i << ": " << report.summary();
+    ASSERT_TRUE(chain.restore().memory.equals_space(resumed));
+  }
+}
+
+// Fuzz: random budgets, random full cadences, captures interleaved with
+// rollbacks — every step must hold the fsck and byte-exact-restore
+// guarantees at once.
+TEST(RewindChain, FuzzPrunedChainsSurviveCapturesAndRollbacks) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(0xF022 + seed * 131);
+    mem::AddressSpace space;
+    space.allocate_range(0, 24);
+    CheckpointChain::Config cfg;
+    cfg.full_period = std::uint32_t(rng.uniform_u64(5));  // 0..4
+    cfg.rewind_budget = 2 + rng.uniform_u64(5);           // 2..6
+    cfg.correcting = rng.bernoulli(0.5);
+    CheckpointChain chain(cfg);
+    std::map<std::uint64_t, Reference> refs;
+    double t = 0.0;
+    for (int step = 0; step < 60; ++step) {
+      if (chain.rewind().size() > 1 && rng.bernoulli(0.1)) {
+        const auto live = chain.rewind().live_sequences();
+        const std::uint64_t target = live[rng.uniform_u64(live.size())];
+        chain.rollback_to(target);
+        const Reference& ref = refs.at(target);
+        t = ref.app_time;
+        // Resume the space from the restored image.
+        mem::AddressSpace fresh;
+        for (mem::PageId id : ref.memory.page_ids()) {
+          fresh.allocate(id);
+          fresh.mutate(id, [&](std::span<std::uint8_t> b) {
+            const ByteSpan src = ref.memory.page_bytes(id);
+            std::copy(src.begin(), src.end(), b.begin());
+          });
+        }
+        space = std::move(fresh);
+        continue;
+      }
+      evolve(space, rng);
+      chain.capture(space, {}, t += rng.uniform(0.2, 2.0));
+      refs[chain.files().back().sequence] =
+          Reference{mem::Snapshot::capture(space), {}, t};
+      ASSERT_LE(chain.files().size(), cfg.rewind_budget);
+      const verify::Report report = fsck(chain);
+      ASSERT_EQ(report.error_count(), 0u)
+          << "seed " << seed << " step " << step << ": " << report.summary();
+      for (std::uint64_t seq : chain.rewind().live_sequences()) {
+        ASSERT_TRUE(
+            snapshots_equal(chain.restore_at(seq).memory, refs.at(seq).memory))
+            << "seed " << seed << " step " << step << " seq " << seq;
+      }
+    }
+  }
+}
+
+TEST(RewindChain, BudgetZeroKeepsEveryFile) {
+  Rng rng(0x0FF);
+  mem::AddressSpace space;
+  space.allocate_range(0, 8);
+  CheckpointChain chain;  // rewind_budget defaults to 0
+  for (int i = 0; i < 10; ++i) {
+    chain.capture(space, {}, double(i + 1));
+    evolve(space, rng);
+  }
+  EXPECT_EQ(chain.files().size(), 10u);
+  EXPECT_FALSE(chain.rewind().active());
+  EXPECT_FALSE(chain.last_prune().has_value());
+}
+
+}  // namespace
+}  // namespace aic::ckpt
