@@ -6,6 +6,7 @@
 // base scale at 1/2/4 shards and checks the timeline digest is
 // byte-identical — the determinism contract, enforced outside the unit
 // suite too.
+#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -16,6 +17,9 @@
 #include "fleet/fleet_scheduler.h"
 #include "fleet/qos_policy.h"
 #include "obs/clock.h"
+#include "obs/names.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "workload/lanl_trace.h"
 
 using namespace aic;
@@ -85,6 +89,29 @@ ScaleResult run_scale(std::size_t jobs, int shards) {
   return r;
 }
 
+/// Same run with the full telemetry plane attached: per-round sampling,
+/// SLO rules with burn windows, and causal time-to-safe chains.
+ScaleResult run_scale_telemetry(std::size_t jobs, int shards) {
+  obs::Hub hub;
+  obs::Telemetry& tel = hub.enable_telemetry();
+  namespace on = obs::names;
+  tel.slo().add_rule(std::string("goodput: ") + on::kFleetGoodputBps +
+                     " > 1.0");
+  tel.slo().add_rule(std::string("tts-p99: ") + on::kFleetTimeToSafeSeconds +
+                     ".p99 < 120 budget 0.1 burn 60/600 x2");
+  fleet::FleetConfig cfg = fleet_config(shards, jobs);
+  cfg.obs = &hub;
+  fleet::FleetScheduler fleet(cfg, fleet_mix(jobs),
+                              fleet_policy(cfg.bandwidth_bps));
+  const std::uint64_t t0 = obs::wall_now_ns();
+  fleet.run();
+  ScaleResult r;
+  r.jobs = jobs;
+  r.wall_s = obs::wall_seconds_since(t0);
+  r.report = fleet.report();
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -107,6 +134,25 @@ int main() {
     check.expect(one.report.elapsed_s == two.report.elapsed_s &&
                      one.report.elapsed_s == four.report.elapsed_s,
                  "virtual elapsed time is shard-count invariant");
+
+    // Telemetry is a pure reader: re-running the same scales with the
+    // full plane attached (sampler + SLO rules + causal log, ticked at
+    // every round boundary) must reproduce the same digest at every shard
+    // count, and the observed run's goodput must stay within 2% of the
+    // unobserved one — the observability tax the fleet is allowed to pay.
+    const ScaleResult t_one = run_scale_telemetry(scales.front(), 1);
+    const ScaleResult t_two = run_scale_telemetry(scales.front(), 2);
+    const ScaleResult t_four = run_scale_telemetry(scales.front(), 4);
+    check.expect(t_one.report.digest == one.report.digest &&
+                     t_two.report.digest == one.report.digest &&
+                     t_four.report.digest == one.report.digest,
+                 "telemetry-on digest matches telemetry-off at 1/2/4 shards");
+    const double off = one.report.goodput_bps;
+    const double on = t_one.report.goodput_bps;
+    check.expect(off > 0.0 && std::abs(on - off) <= 0.02 * off,
+                 "telemetry-on goodput within 2% of telemetry-off");
+    session.sample("fleet.telemetry.goodput_delta_frac", "frac",
+                   off > 0.0 ? std::abs(on - off) / off : 0.0);
   }
 
   TextTable table("Fleet scaling — proportionally provisioned channel");

@@ -18,14 +18,25 @@
 #include "bench_session_gbench.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/causal.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace {
 
 using namespace aic;
+
+// File-local metric names for the telemetry kernels (the obs-name-literal
+// rule's sanctioned form for bench-only instruments).
+constexpr const char* kBenchTelCounter = "bench.tel.events";
+constexpr const char* kBenchTelGauge = "bench.tel.depth";
+constexpr const char* kBenchTelHisto = "bench.tel.latency";
+constexpr const char* kBenchTelSeries = "bench.tel.depth";
 
 // ---------------------------------------------------------------------------
 // Raw primitive costs.
@@ -181,6 +192,84 @@ void BM_KernelObsEnabled(benchmark::State& state) {
                           std::int64_t(buf.size()));
 }
 BENCHMARK(BM_KernelObsEnabled);
+
+// ---------------------------------------------------------------------------
+// Telemetry-plane kernels: the per-round-boundary costs the fleet pays
+// when the sampler, SLO engine, and causal log are attached. These run
+// once per scheduler quantum, not per page, so the budget is microseconds,
+// but they must stay flat in the registry size they scan.
+
+/// One sampler tick over a registry shaped like a mid-size fleet's: 16
+/// counters, 16 gauges (one tenant family), 4 histograms.
+void BM_SamplerSample(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  for (int i = 0; i < 16; ++i) {
+    const std::string suffix = "." + std::to_string(i);
+    reg.counter(kBenchTelCounter + suffix)->add(std::uint64_t(i) * 7);
+    reg.gauge(kBenchTelGauge + suffix)->set(double(i));
+  }
+  std::vector<obs::Histogram*> hs;
+  for (int i = 0; i < 4; ++i) {
+    hs.push_back(
+        reg.histogram(kBenchTelHisto + ("." + std::to_string(i)),
+                      obs::Histogram::exponential_buckets(1e-3, 2.0, 16)));
+  }
+  obs::TimeseriesStore store;
+  obs::Sampler sampler(&reg, &store);
+  double t = 0.0;
+  for (auto _ : state) {
+    for (obs::Histogram* h : hs) h->observe(t - double(std::int64_t(t)) + 0.1);
+    sampler.sample(t);
+    t += 1.0;
+  }
+  benchmark::DoNotOptimize(sampler.samples());
+}
+BENCHMARK(BM_SamplerSample);
+
+/// One SLO evaluation round: 8 rules (half with burn windows) against a
+/// store whose watched series hold a full ring of samples.
+void BM_SloEvaluate(benchmark::State& state) {
+  obs::TimeseriesStore store;
+  obs::SloEngine engine;
+  for (int i = 0; i < 8; ++i) {
+    const std::string series = kBenchTelSeries + ("." + std::to_string(i));
+    obs::Series& s = store.series(series);
+    for (int k = 0; k < 512; ++k) s.push(double(k), double((k * 7 + i) % 10));
+    std::string rule = "r" + std::to_string(i) + ": " + series + " < 8";
+    if (i % 2 == 0) rule += " budget 0.25 burn 30/300 x2";
+    engine.add_rule(rule);
+  }
+  double t = 512.0;
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      store.series(kBenchTelSeries + ("." + std::to_string(i)))
+          .push(t, double(std::int64_t(t) % 10));
+    }
+    benchmark::DoNotOptimize(engine.evaluate(store, t));
+    t += 1.0;
+  }
+  benchmark::DoNotOptimize(engine.evaluations());
+}
+BENCHMARK(BM_SloEvaluate);
+
+/// A full causal-chain lifecycle: open, the fleet's typical five segment
+/// adds, close — the per-checkpoint price of time-to-safe attribution.
+void BM_CausalChainCycle(benchmark::State& state) {
+  obs::CausalLog log;
+  double t = 0.0;
+  for (auto _ : state) {
+    const std::uint64_t id = log.open("bench/chain", 3, t);
+    log.add(id, obs::CausalSegment::kCapture, 0.05);
+    log.add(id, obs::CausalSegment::kAdmissionQueue, 0.01);
+    log.add(id, obs::CausalSegment::kDrainQueue, 0.2);
+    log.add(id, obs::CausalSegment::kInFlight, 1.0);
+    log.add(id, obs::CausalSegment::kBackoff, 0.1);
+    log.close_at(id, t + 1.4);
+    t += 1.0;
+  }
+  benchmark::DoNotOptimize(log.closed());
+}
+BENCHMARK(BM_CausalChainCycle);
 
 }  // namespace
 

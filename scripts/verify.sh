@@ -76,7 +76,7 @@ run_tsan() {
   if cmake -B build-tsan -S . -DAIC_SANITIZE=thread >/dev/null &&
     cmake --build build-tsan -j"$jobs" --target aic_tests &&
     ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
-      -R 'ThreadPool|Parallel|Async|UnchangedFastPath|Xfer|Obs|Correcting|Fleet|Lanl|Elastic|Rewind' | tee "$log"; then
+      -R 'ThreadPool|Parallel|Async|UnchangedFastPath|Xfer|Obs|Correcting|Fleet|Lanl|Elastic|Rewind|Timeseries|Slo|Causal' | tee "$log"; then
     record tsan OK "$(ctest_passed "$log")"
   else
     record tsan FAIL "see output above"
@@ -106,16 +106,39 @@ lint_fixtures_sanitized() {
   echo "-- aic_lint fixture/hostile/self scans clean under ASan+UBSan"
 }
 
+# aic_top under the sanitizers: record a small fleet run, then render and
+# replay it — the whole telemetry JSON path (write, parse, render) on real
+# recorded data.
+aic_top_sanitized() {
+  local top=build-asan/tools_build/aic_top
+  local dir
+  dir=$(mktemp -d)
+  if ! "$top" --demo --jobs 40 --out "$dir" >/dev/null; then
+    echo "aic_top(asan): demo run failed"
+    rm -rf "$dir"
+    return 1
+  fi
+  if ! "$top" --top 5 "$dir/telemetry.json" >/dev/null ||
+    ! "$top" --follow "$dir/telemetry.json" >/dev/null; then
+    echo "aic_top(asan): render/replay of the recorded run failed"
+    rm -rf "$dir"
+    return 1
+  fi
+  rm -rf "$dir"
+  echo "-- aic_top demo + recorded-run render clean under ASan+UBSan"
+}
+
 run_asan_ubsan() {
   echo "== asan+ubsan: full test suite under ASan + UBSan =="
   local log
   log=$(mktemp)
   if cmake -B build-asan -S . -DAIC_SANITIZE=address,undefined >/dev/null &&
     cmake --build build-asan -j"$jobs" \
-      --target aic_tests aic_fsck aic_report aic_benchdiff aic_lint &&
+      --target aic_tests aic_fsck aic_report aic_benchdiff aic_lint aic_top &&
     ctest --test-dir build-asan --output-on-failure -j"$jobs" | tee "$log" &&
-    lint_fixtures_sanitized; then
-    record "asan+ubsan" OK "$(ctest_passed "$log"), aic_lint fixtures clean"
+    lint_fixtures_sanitized &&
+    aic_top_sanitized; then
+    record "asan+ubsan" OK "$(ctest_passed "$log"), aic_lint + aic_top clean"
   else
     record "asan+ubsan" FAIL "see output above"
   fi

@@ -68,6 +68,9 @@ class RuleRunner {
     const bool exempt_clock_gateway = info_.library && info_.module == "obs";
     if (info_.library || info_.frontend) {
       if (!exempt_clock_gateway) clock_gateway();
+      // src/obs/ owns the name constants (and its tests exercise raw
+      // registration); every other instrumentation site goes through them.
+      if (!(info_.library && info_.module == "obs")) obs_name_literal();
     }
     if (!info_.library) return std::move(out_);
 
@@ -183,6 +186,21 @@ class RuleRunner {
                           "the single host-clock gateway",
             tok(i).text);
       }
+    }
+  }
+
+  // --- observability -------------------------------------------------------
+  void obs_name_literal() {
+    for (std::size_t i = 1; i + 2 < size(); ++i) {
+      if (!id_in(tok(i), {"counter", "gauge", "histogram"})) continue;
+      if (!is_punct(tok(i - 1), ".") && !is_punct(tok(i - 1), "->")) continue;
+      if (!is_punct(tok(i + 1), "(")) continue;
+      if (tok(i + 2).kind != TokenKind::kString) continue;
+      add("obs-name-literal", tok(i).line,
+          "inline metric-name literal in " + tok(i).text +
+              "() — instrumentation sites name metrics via obs/names.h "
+              "constants",
+          tok(i).text);
     }
   }
 

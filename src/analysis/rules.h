@@ -22,12 +22,18 @@
 //   exc-catch-value      catch by value of a class type (slices; catch by
 //                        const reference)
 //   exc-throw-type       throw of a type outside the CheckError family
+//   obs-name-literal     inline metric-name string in a counter()/gauge()/
+//                        histogram() registration outside src/obs/ — sites
+//                        name metrics via obs/names.h constants so the
+//                        namespace stays greppable and collision-free
 //   lex-error            source the lexer could not fully tokenize
 //
-// Library rules run on src/; clock-gateway additionally runs on bench/ and
-// tools/ (their timing flows into BENCH_*.json records that aic_benchdiff
-// compares across runs). Findings carry a line-independent fingerprint so
-// baseline entries survive unrelated edits.
+// Library rules run on src/; clock-gateway and obs-name-literal
+// additionally run on bench/ and tools/ (their timing flows into
+// BENCH_*.json records that aic_benchdiff compares across runs, and their
+// metrics land in the same registry namespace). Findings carry a
+// line-independent fingerprint so baseline entries survive unrelated
+// edits.
 #pragma once
 
 #include <map>

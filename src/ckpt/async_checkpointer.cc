@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "obs/clock.h"
 #include "obs/names.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace aic::ckpt {
@@ -72,12 +73,16 @@ std::uint64_t AsyncCheckpointer::submit(mem::AddressSpace& space,
     m_capture_s_->observe(cap1 - cap0);
   }
 
+  double capture_s = 0.0;
+  if (hub != nullptr) capture_s = hub->trace.wall_seconds() - cap0;
+
   Job job{.sequence = sequence,
           .app_time = app_time,
           .cpu_state = Bytes(cpu_state.begin(), cpu_state.end()),
           .pages = std::move(pages),
           .live = std::move(live),
-          .full = full};
+          .full = full,
+          .capture_s = capture_s};
   lock.lock();
   queue_.push_back(std::move(job));
   lock.unlock();
@@ -185,6 +190,24 @@ void AsyncCheckpointer::process_job(Job& job, obs::Hub* hub) {
                        {"remote_s", result.placement.remote}});
     }
     if (config_.on_landed) config_.on_landed(result);
+  }
+  if (hub != nullptr) {
+    if (obs::Telemetry* tel = hub->telemetry()) {
+      // One causal chain per checkpoint. Capture and compress are wall
+      // seconds, the drain is virtual seconds — mixed clock domains, so
+      // the total is the segment sum (close_total), not a timestamp delta.
+      obs::CausalLog& log = tel->causal();
+      const double compress_s = double(result.compress_ns) * 1e-9;
+      const double drain_s =
+          result.landed ? result.placement.raid + result.placement.remote
+                        : 0.0;
+      const std::uint64_t cid =
+          log.open("seq" + std::to_string(job.sequence), 0, job.app_time);
+      log.add(cid, obs::CausalSegment::kCapture, job.capture_s);
+      log.add(cid, obs::CausalSegment::kCompress, compress_s);
+      log.add(cid, obs::CausalSegment::kInFlight, drain_s);
+      log.close_total(cid, job.capture_s + compress_s + drain_s, false);
+    }
   }
 }
 

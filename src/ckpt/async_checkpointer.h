@@ -113,6 +113,9 @@ class AsyncCheckpointer {
     mem::Snapshot pages;              // dirty (or full) page images
     std::vector<mem::PageId> live;    // live set at submit time
     bool full = false;
+    /// Wall seconds the blocking capture took (the c1 halt), measured in
+    /// submit(); feeds the checkpoint's causal chain. 0 without a hub.
+    double capture_s = 0.0;
   };
 
   void worker_loop();

@@ -4,8 +4,11 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace aic::fleet {
+namespace on = obs::names;
 
 const char* to_string(AdmissionDecision d) {
   switch (d) {
@@ -71,6 +74,25 @@ void AdmissionController::resize(const workload::FleetJobSpec& job,
   } else {
     factors_[job.job_id] = factor;
   }
+  update_gauges();
+}
+
+void AdmissionController::set_obs(obs::Hub* hub) {
+  if (hub == nullptr) {
+    g_demand_ = g_budget_ = g_queue_ = nullptr;
+    return;
+  }
+  g_demand_ = hub->metrics.gauge(on::kFleetAdmissionDemandBps);
+  g_budget_ = hub->metrics.gauge(on::kFleetAdmissionBudgetBps);
+  g_queue_ = hub->metrics.gauge(on::kFleetAdmissionQueueDepth);
+  update_gauges();
+}
+
+void AdmissionController::update_gauges() {
+  if (g_demand_ == nullptr) return;
+  g_demand_->set(admitted_demand_bps_);
+  g_budget_->set(budget_bps());
+  g_queue_->set(double(queue_.size()));
 }
 
 bool AdmissionController::fits(double demand) const {
@@ -91,11 +113,13 @@ AdmissionDecision AdmissionController::offer(
   if (queue_.empty() && fits(demand)) {
     admitted_demand_bps_ += demand;
     ++admitted_total_;
+    update_gauges();
     return AdmissionDecision::kAdmitted;
   }
   if (queue_.size() < config_.queue_capacity) {
     queue_.push_back(job);
     ++queued_total_;
+    update_gauges();
     return AdmissionDecision::kQueued;
   }
   ++rejected_total_;
@@ -107,6 +131,7 @@ void AdmissionController::release(const workload::FleetJobSpec& job) {
   factors_.erase(job.job_id);
   admitted_demand_bps_ =
       std::max(0.0, admitted_demand_bps_ - demand_bps(job, factor));
+  update_gauges();
 }
 
 std::vector<workload::FleetJobSpec> AdmissionController::drain_queue() {
@@ -119,6 +144,7 @@ std::vector<workload::FleetJobSpec> AdmissionController::drain_queue() {
     promoted.push_back(queue_.front());
     queue_.pop_front();
   }
+  if (!promoted.empty()) update_gauges();
   return promoted;
 }
 

@@ -28,6 +28,11 @@
 
 #include "workload/lanl_trace.h"
 
+namespace aic::obs {
+class Gauge;
+struct Hub;
+}  // namespace aic::obs
+
 namespace aic::fleet {
 
 struct AdmissionConfig {
@@ -106,8 +111,14 @@ class AdmissionController {
 
   const AdmissionConfig& config() const { return config_; }
 
+  /// Attaches live head-room gauges (fleet.admission.*) to `hub`: reserved
+  /// demand, the utilization budget, and the FIFO depth, refreshed on every
+  /// offer / resize / release / promotion. nullptr detaches.
+  void set_obs(obs::Hub* hub);
+
  private:
   bool fits(double demand) const;
+  void update_gauges();
 
   AdmissionConfig config_;
   double admitted_demand_bps_ = 0.0;
@@ -118,6 +129,9 @@ class AdmissionController {
   std::uint64_t admitted_total_ = 0;
   std::uint64_t queued_total_ = 0;
   std::uint64_t rejected_total_ = 0;
+  obs::Gauge* g_demand_ = nullptr;
+  obs::Gauge* g_budget_ = nullptr;
+  obs::Gauge* g_queue_ = nullptr;
 };
 
 }  // namespace aic::fleet

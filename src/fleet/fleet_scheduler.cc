@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "obs/names.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace aic::fleet {
@@ -127,7 +128,32 @@ FleetScheduler::FleetScheduler(FleetConfig config,
     m_resizes_ = m.counter(on::kFleetResizes);
     m_tts_ = m.histogram(on::kFleetTimeToSafeSeconds,
                          obs::Histogram::exponential_buckets(0.1, 2.0, 16));
+    g_goodput_ = m.gauge(on::kFleetGoodputBps);
+    admission_.set_obs(config_.obs);
   }
+}
+
+obs::CausalLog* FleetScheduler::causal_log() const {
+  if (config_.obs == nullptr) return nullptr;
+  obs::Telemetry* t = config_.obs->telemetry();
+  return t == nullptr ? nullptr : &t->causal();
+}
+
+FleetScheduler::TenantObs& FleetScheduler::tenant_obs(std::uint64_t tenant) {
+  auto it = tenant_obs_.find(tenant);
+  if (it == tenant_obs_.end()) {
+    auto& m = config_.obs->metrics;
+    TenantObs t;
+    t.goodput = m.gauge(on::tenant_metric(tenant, on::kTenantGoodputBps));
+    t.net2 = m.gauge(on::tenant_metric(tenant, on::kTenantNet2Bytes));
+    t.commits = m.gauge(on::tenant_metric(tenant, on::kTenantCommits));
+    t.finished = m.gauge(on::tenant_metric(tenant, on::kTenantJobsFinished));
+    t.tts = m.histogram(
+        on::tenant_metric(tenant, on::kTenantTimeToSafeSeconds),
+        obs::Histogram::exponential_buckets(0.1, 2.0, 16));
+    it = tenant_obs_.emplace(tenant, t).first;
+  }
+  return it->second;
 }
 
 double FleetScheduler::size_factor(const JobState& j) const {
@@ -199,6 +225,7 @@ void FleetScheduler::activate(const workload::FleetJobSpec& spec,
   JobState& j = jobs_.back();
   j.active = true;
   j.rewind = ckpt::RewindWindow(config_.rewind_budget);
+  j.admission_wait_s = std::max(0.0, start - spec.arrival_s);
   j.stats.start_time = start;
   j.next_failure = j.failures.next_after(start);
   // Initial drain prediction: the delta alone at full channel bandwidth —
@@ -372,8 +399,26 @@ void FleetScheduler::apply_actions(const std::vector<Action>& merged) {
         key += std::to_string(a.job);
         key += "/c";
         key += std::to_string(a.ckpt);
+        std::uint64_t cid = 0;
+        if (obs::CausalLog* log = causal_log()) {
+          // One causal chain per checkpoint, opened at capture start; the
+          // drain engine adds the queue/wire/backoff/stall segments and
+          // closes the chain at commit (or abort), so total == time-to-safe.
+          cid = log->open(key, j.spec.tenant, a.time);
+          log->add(cid, obs::CausalSegment::kCapture,
+                   double(a.bytes) / config_.capture_bps);
+          if (j.admission_wait_s > 0.0) {
+            // Arrival -> activation wait, charged once to the job's first
+            // chain: that checkpoint is the first state made safe, so the
+            // admission queue genuinely delayed it.
+            log->add(cid, obs::CausalSegment::kAdmissionQueue,
+                     j.admission_wait_s);
+            j.admission_wait_s = 0.0;
+          }
+        }
         j.drain_id = sched_.submit_sized(kDrainLevel, std::move(key), a.bytes,
                                          j.spec.tenant);
+        if (cid != 0) sched_.annotate(j.drain_id, cid);
         if (m_checkpoints_) m_checkpoints_->add();
         break;
       }
@@ -455,6 +500,14 @@ void FleetScheduler::boundary(double t1) {
         m_net2_->add(rec.stats.bytes_acked + rec.stats.bytes_wasted);
       }
       if (m_tts_) m_tts_->observe(tts);
+      if (config_.obs) {
+        TenantObs& t = tenant_obs(j.spec.tenant);
+        ++t.commits_n;
+        t.net2_bytes += rec.stats.bytes_acked + rec.stats.bytes_wasted;
+        t.committed_bytes += rec.total_bytes;
+        t.tts->observe(tts);
+        committed_bytes_total_ += rec.total_bytes;
+      }
       sched_.discard(j.drain_id);
       j.drain_id = 0;
       j.drain_outstanding = false;
@@ -465,6 +518,10 @@ void FleetScheduler::boundary(double t1) {
       j.stats.net2_bytes += rec.stats.bytes_acked + rec.stats.bytes_wasted;
       if (m_net2_) {
         m_net2_->add(rec.stats.bytes_acked + rec.stats.bytes_wasted);
+      }
+      if (config_.obs) {
+        tenant_obs(j.spec.tenant).net2_bytes +=
+            rec.stats.bytes_acked + rec.stats.bytes_wasted;
       }
       sched_.discard(j.drain_id);
       j.drain_id = 0;
@@ -482,11 +539,24 @@ void FleetScheduler::boundary(double t1) {
       ++finished_jobs_;
       admission_.release(j.spec);
       if (m_finished_) m_finished_->add();
+      if (config_.obs) ++tenant_obs(j.spec.tenant).jobs_finished;
     }
   }
   for (const workload::FleetJobSpec& spec : admission_.drain_queue()) {
     activate(spec, t1);
   }
+}
+
+void FleetScheduler::round_telemetry(double t1) {
+  if (config_.obs == nullptr) return;
+  if (t1 > 0.0) g_goodput_->set(double(committed_bytes_total_) / t1);
+  for (auto& [tenant, t] : tenant_obs_) {
+    if (t1 > 0.0) t.goodput->set(double(t.committed_bytes) / t1);
+    t.net2->set(double(t.net2_bytes));
+    t.commits->set(double(t.commits_n));
+    t.finished->set(double(t.jobs_finished));
+  }
+  if (obs::Telemetry* tel = config_.obs->telemetry()) tel->tick(t1);
 }
 
 void FleetScheduler::run() {
@@ -531,6 +601,7 @@ void FleetScheduler::run() {
     apply_actions(merged);
     sched_.run_until(t1);
     boundary(t1);
+    round_telemetry(t1);
     now_ = t1;
   }
   if (config_.obs) export_metrics(report());

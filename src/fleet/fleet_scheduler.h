@@ -48,10 +48,12 @@
 #include "xfer/scheduler.h"
 
 namespace aic::obs {
+class CausalLog;
 class Counter;
 class Gauge;
 class Histogram;
 struct Hub;
+class Telemetry;
 }  // namespace aic::obs
 
 namespace aic::fleet {
@@ -228,6 +230,9 @@ class FleetScheduler {
     std::size_t resizes_applied = 0;
     /// Bounded-regret retention over this job's committed checkpoints.
     ckpt::RewindWindow rewind;
+    /// Arrival -> activation wait, charged to the admission-queue segment
+    /// of the job's first causal chain (then zeroed).
+    double admission_wait_s = 0.0;
     std::uint32_t round_seq = 0;
     JobStats stats;
   };
@@ -249,6 +254,13 @@ class FleetScheduler {
   void boundary(double t1);
   void mix(std::uint64_t v);
   void export_metrics(const FleetReport& r) const;
+  /// The hub's causal log when telemetry is enabled; nullptr otherwise.
+  obs::CausalLog* causal_log() const;
+  /// End-of-round telemetry (serial phase): refreshes the live per-tenant
+  /// and goodput gauges from the incremental aggregates, then ticks the
+  /// hub's Telemetry (sampler + SLO rules) at the round boundary. Pure
+  /// reader of deterministic state — the digest is unaffected.
+  void round_telemetry(double t1);
 
   FleetConfig config_;
   QosPolicy policy_;
@@ -271,6 +283,23 @@ class FleetScheduler {
   std::vector<double> tts_samples_;
   std::map<std::uint64_t, std::vector<double>> tenant_tts_;
   std::map<std::uint64_t, std::uint64_t> tenant_rejected_;
+  // Live-telemetry state (only populated when obs is non-null): handles
+  // and running sums the round-boundary gauge refresh reads, so a tick is
+  // O(tenants), never O(jobs).
+  struct TenantObs {
+    obs::Gauge* goodput = nullptr;
+    obs::Gauge* net2 = nullptr;
+    obs::Gauge* commits = nullptr;
+    obs::Gauge* finished = nullptr;
+    obs::Histogram* tts = nullptr;
+    std::uint64_t commits_n = 0;
+    std::uint64_t net2_bytes = 0;
+    std::uint64_t committed_bytes = 0;
+    std::uint64_t jobs_finished = 0;
+  };
+  TenantObs& tenant_obs(std::uint64_t tenant);
+  std::map<std::uint64_t, TenantObs> tenant_obs_;
+  std::uint64_t committed_bytes_total_ = 0;
   // Serial-phase metric handles (null when obs is null).
   obs::Counter* m_admitted_ = nullptr;
   obs::Counter* m_queued_ = nullptr;
@@ -282,6 +311,7 @@ class FleetScheduler {
   obs::Counter* m_net2_ = nullptr;
   obs::Counter* m_resizes_ = nullptr;
   obs::Histogram* m_tts_ = nullptr;
+  obs::Gauge* g_goodput_ = nullptr;
 };
 
 }  // namespace aic::fleet

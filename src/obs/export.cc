@@ -28,6 +28,154 @@ void append_number_array(std::ostringstream& os,
   os << "]";
 }
 
+/// RFC 4180: a field containing a comma, quote, CR, or LF is wrapped in
+/// double quotes with inner quotes doubled; anything else passes through.
+std::string csv_field(std::string_view s) {
+  if (s.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(s);
+  }
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Prometheus metric-name sanitization: [a-zA-Z0-9_:] with the aic_
+/// prefix; every other byte becomes '_'.
+std::string prom_name(std::string_view name) {
+  std::string out = "aic_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+std::string prom_label_value(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Flattens the schema's dynamic name families to label form:
+/// fleet.tenant.<id>.<field> -> (fleet.tenant.<field>, {tenant="<id>"}) and
+/// fleet.slo.<rule>.<field> -> (fleet.slo.<field>, {rule="<rule>"}).
+/// Returns false for plain (label-free) names.
+bool prom_split_labels(const std::string& name, std::string* family,
+                       std::string* labels) {
+  constexpr std::string_view kTenant = "fleet.tenant.";
+  constexpr std::string_view kSlo = "fleet.slo.";
+  if (name.size() > kTenant.size() &&
+      name.compare(0, kTenant.size(), kTenant) == 0) {
+    const std::string rest = name.substr(kTenant.size());
+    const std::size_t dot = rest.find('.');
+    if (dot != std::string::npos && dot > 0 &&
+        rest.find_first_not_of("0123456789") == dot) {
+      *family = std::string(kTenant) + rest.substr(dot + 1);
+      *labels = "{tenant=\"" + rest.substr(0, dot) + "\"}";
+      return true;
+    }
+  }
+  if (name.size() > kSlo.size() && name.compare(0, kSlo.size(), kSlo) == 0) {
+    const std::string rest = name.substr(kSlo.size());
+    // Rule names may contain dots; the field is the final component.
+    const std::size_t dot = rest.rfind('.');
+    if (dot != std::string::npos && dot > 0 && dot + 1 < rest.size()) {
+      *family = std::string(kSlo) + rest.substr(dot + 1);
+      *labels = "{rule=\"" + prom_label_value(rest.substr(0, dot)) + "\"}";
+      return true;
+    }
+  }
+  return false;
+}
+
+struct PromSample {
+  std::string suffix;  // "", "_bucket", "_sum", "_count"
+  std::string labels;  // "", "{k=\"v\"}", or "{k=\"v\",le=\"...\"}"
+  std::string value;   // preformatted
+};
+
+/// family name -> (type, samples); insertion-ordered so one family's
+/// samples stay contiguous as the exposition format requires.
+class PromFamilies {
+ public:
+  void add_scalar(const std::string& name, const char* type,
+                  std::string value) {
+    std::string family = name;
+    std::string labels;
+    prom_split_labels(name, &family, &labels);
+    family_of(family, type)
+        .samples.push_back({"", std::move(labels), std::move(value)});
+  }
+
+  void add_histogram(const std::string& name, const HistogramSnapshot& h) {
+    std::string family = name;
+    std::string labels;
+    prom_split_labels(name, &family, &labels);
+    Family& f = family_of(family, "histogram");
+    // The labels string ends in '}' when present; `le` joins inside it.
+    const std::string head =
+        labels.empty() ? "{le=\""
+                       : labels.substr(0, labels.size() - 1) + ",le=\"";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? json_number(h.bounds[i]) : "+Inf";
+      f.samples.push_back(
+          {"_bucket", head + le + "\"}", std::to_string(cumulative)});
+    }
+    f.samples.push_back({"_sum", labels, json_number(h.sum)});
+    f.samples.push_back({"_count", labels, std::to_string(h.count)});
+  }
+
+  void emit(std::ostringstream& os) const {
+    for (const auto& f : families_) {
+      const std::string name = prom_name(f.family);
+      os << "# TYPE " << name << " " << f.type << "\n";
+      for (const PromSample& s : f.samples) {
+        os << name << s.suffix << s.labels << " " << s.value << "\n";
+      }
+    }
+  }
+
+ private:
+  struct Family {
+    std::string family;
+    const char* type;
+    std::vector<PromSample> samples;
+  };
+
+  Family& family_of(const std::string& family, const char* type) {
+    auto it = index_.find(family);
+    if (it == index_.end()) {
+      it = index_.emplace(family, families_.size()).first;
+      families_.push_back({family, type, {}});
+    }
+    return families_[it->second];
+  }
+
+  std::vector<Family> families_;
+  std::map<std::string, std::size_t> index_;
+};
+
 }  // namespace
 
 std::string metrics_to_json(const MetricsSnapshot& snap) {
@@ -64,22 +212,23 @@ std::string metrics_to_csv(const MetricsSnapshot& snap) {
   std::ostringstream os;
   os << "kind,name,field,value\n";
   for (const auto& [name, v] : snap.counters)
-    os << "counter," << name << ",value," << v << "\n";
+    os << "counter," << csv_field(name) << ",value," << v << "\n";
   for (const auto& [name, v] : snap.gauges)
-    os << "gauge," << name << ",value," << json_number(v) << "\n";
+    os << "gauge," << csv_field(name) << ",value," << json_number(v) << "\n";
   for (const auto& [name, h] : snap.histograms) {
-    os << "histogram," << name << ",count," << h.count << "\n";
-    os << "histogram," << name << ",sum," << json_number(h.sum) << "\n";
+    const std::string field = csv_field(name);
+    os << "histogram," << field << ",count," << h.count << "\n";
+    os << "histogram," << field << ",sum," << json_number(h.sum) << "\n";
     if (h.count > 0) {
-      os << "histogram," << name << ",p50," << json_number(h.quantile(0.5))
+      os << "histogram," << field << ",p50," << json_number(h.quantile(0.5))
          << "\n";
-      os << "histogram," << name << ",p95," << json_number(h.quantile(0.95))
+      os << "histogram," << field << ",p95," << json_number(h.quantile(0.95))
          << "\n";
-      os << "histogram," << name << ",p99," << json_number(h.quantile(0.99))
+      os << "histogram," << field << ",p99," << json_number(h.quantile(0.99))
          << "\n";
     }
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
-      os << "histogram," << name << ",le_";
+      os << "histogram," << field << ",le_";
       if (i < h.bounds.size()) {
         os << json_number(h.bounds[i]);
       } else {
@@ -88,6 +237,22 @@ std::string metrics_to_csv(const MetricsSnapshot& snap) {
       os << "," << h.counts[i] << "\n";
     }
   }
+  return os.str();
+}
+
+std::string metrics_to_prom(const MetricsSnapshot& snap) {
+  PromFamilies families;
+  for (const auto& [name, v] : snap.counters) {
+    families.add_scalar(name, "counter", std::to_string(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    families.add_scalar(name, "gauge", json_number(v));
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    families.add_histogram(name, h);
+  }
+  std::ostringstream os;
+  families.emit(os);
   return os.str();
 }
 

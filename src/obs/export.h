@@ -10,7 +10,19 @@
 //                                 "count": <n>, "sum": <s> }, ... } }
 //
 // The CSV flattening is one `kind,name,field,value` row per datum, for
-// spreadsheet/plot ingestion without a JSON step.
+// spreadsheet/plot ingestion without a JSON step. Fields containing a
+// comma, double quote, or newline are RFC-4180-quoted (wrapped in double
+// quotes, inner quotes doubled), so dynamically named metrics can never
+// produce an unparseable row.
+//
+// metrics_to_prom emits the Prometheus text exposition format (version
+// 0.0.4): names are prefixed `aic_` and sanitized to [a-zA-Z0-9_:];
+// counters and gauges are one sample each, histograms emit cumulative
+// `_bucket{le="..."}` samples plus `_sum`/`_count`. The schema's dynamic
+// name families flatten to labels — `fleet.tenant.<id>.<field>` becomes
+// `aic_fleet_tenant_<field>{tenant="<id>"}` and `fleet.slo.<rule>.<field>`
+// becomes `aic_fleet_slo_<field>{rule="<rule>"}` — so one fleet family is
+// one Prometheus metric with a label dimension, not ten thousand metrics.
 //
 // trace_to_chrome_json emits the Chrome trace-event JSON object format
 // ({"traceEvents": [...]}): spans as "X" (complete) events, instants as
@@ -32,6 +44,7 @@ namespace aic::obs {
 
 std::string metrics_to_json(const MetricsSnapshot& snap);
 std::string metrics_to_csv(const MetricsSnapshot& snap);
+std::string metrics_to_prom(const MetricsSnapshot& snap);
 
 /// Inverse of metrics_to_json; throws aic::CheckError on malformed or
 /// schema-violating input.

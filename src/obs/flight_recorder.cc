@@ -41,6 +41,32 @@ std::uint64_t FlightRecorder::total_recorded() const {
   return total_;
 }
 
+void FlightRecorder::record_slo(const SloEvent& e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++slo_total_;
+  if (slo_ring_.size() < kSloCapacity) {
+    slo_ring_.push_back(e);
+    return;
+  }
+  slo_ring_[slo_next_] = e;
+  slo_next_ = (slo_next_ + 1) % kSloCapacity;
+}
+
+std::vector<SloEvent> FlightRecorder::recent_slo() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloEvent> out;
+  out.reserve(slo_ring_.size());
+  for (std::size_t i = 0; i < slo_ring_.size(); ++i) {
+    out.push_back(slo_ring_[(slo_next_ + i) % slo_ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_slo_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slo_total_;
+}
+
 void FlightRecorder::set_metrics(const MetricsRegistry* metrics) {
   std::lock_guard<std::mutex> lock(mutex_);
   metrics_ = metrics;
@@ -86,6 +112,17 @@ std::string FlightRecorder::postmortem_json(std::string_view reason,
       os << "}";
     }
     os << "}";
+  }
+  os << "],\"slo_events\":[";
+  const std::vector<SloEvent> slo_events = recent_slo();
+  for (std::size_t i = 0; i < slo_events.size(); ++i) {
+    const SloEvent& e = slo_events[i];
+    if (i) os << ",";
+    os << "{\"rule\":\"" << json_escape(e.rule) << "\",\"kind\":\""
+       << to_string(e.kind) << "\",\"t\":" << json_number(e.t)
+       << ",\"value\":" << json_number(e.value)
+       << ",\"burn_short\":" << json_number(e.burn_short)
+       << ",\"burn_long\":" << json_number(e.burn_long) << "}";
   }
   os << "],\"metrics\":"
      << metrics_to_json(metrics != nullptr ? metrics->snapshot()

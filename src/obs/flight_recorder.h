@@ -24,6 +24,9 @@
 //     "events": [{"domain": "virtual", "cat": "xfer", "name": "abort",
 //                 "phase": "instant", "t": 12.5, "dur": 0, "track": 3,
 //                 "args": {"offset": 65536, "attempts": 4}}, ...],
+//     "slo_events": [{"rule": "tts-p99", "kind": "breach", "t": 40.0,
+//                     "value": 0.61, "burn_short": 2.5,
+//                     "burn_long": 1.1}, ...],   // record_slo ring
 //     "metrics": { ... obs::metrics_to_json snapshot ... }
 //   }
 //
@@ -38,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace aic::obs {
@@ -47,6 +51,10 @@ inline constexpr const char kPostmortemSchema[] = "aic-postmortem-v1";
 class FlightRecorder {
  public:
   static constexpr std::size_t kDefaultCapacity = 256;
+  /// Retained tail of SLO events (record_slo), a separate smaller ring —
+  /// SLO state changes are rare next to trace events and must not be
+  /// evicted by a burst of chunk spans.
+  static constexpr std::size_t kSloCapacity = 64;
 
   explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
 
@@ -59,6 +67,12 @@ class FlightRecorder {
   std::vector<TraceEvent> recent() const;
   /// Events seen over the whole flight (>= recent().size()).
   std::uint64_t total_recorded() const;
+
+  /// Appends one SLO event to the dedicated ring (fed by Telemetry::tick);
+  /// the postmortem's "slo_events" section is this ring, oldest -> newest.
+  void record_slo(const SloEvent& e);
+  std::vector<SloEvent> recent_slo() const;
+  std::uint64_t total_slo_recorded() const;
 
   /// Metrics source embedded in the postmortem (may be nullptr: the dump
   /// then has an empty metrics object).
@@ -84,6 +98,9 @@ class FlightRecorder {
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;  // overwrite cursor once the ring is full
   std::uint64_t total_ = 0;
+  std::vector<SloEvent> slo_ring_;
+  std::size_t slo_next_ = 0;
+  std::uint64_t slo_total_ = 0;
   const MetricsRegistry* metrics_ = nullptr;
   std::string dump_path_ = "postmortem.json";
 };

@@ -111,6 +111,37 @@ inline constexpr const char* kFleetRewindGapBoundSeconds =
 /// Elastic resizes applied across the fleet.
 inline constexpr const char* kFleetResizes = "fleet.resizes";
 
+// Admission-controller head-room (live gauges, updated on every offer /
+// resize / release / promotion).
+inline constexpr const char* kFleetAdmissionDemandBps =
+    "fleet.admission.demand_bps";
+inline constexpr const char* kFleetAdmissionBudgetBps =
+    "fleet.admission.budget_bps";
+inline constexpr const char* kFleetAdmissionQueueDepth =
+    "fleet.admission.queue_depth";
+
+// --- fleet.slo: the SLO/burn-rate engine (obs/slo.h) ---
+inline constexpr const char* kSloEvaluations = "fleet.slo.evaluations";
+inline constexpr const char* kSloEvents = "fleet.slo.events";
+inline constexpr const char* kSloBreaches = "fleet.slo.breaches";
+inline constexpr const char* kSloBurnAlerts = "fleet.slo.burn_alerts";
+
+// Per-rule gauge fields, namespaced under `fleet.slo.<rule>.` by
+// slo_metric() below. `ok` is 1 while the rule holds AND is not burning.
+inline constexpr const char* kSloRuleOk = "ok";
+inline constexpr const char* kSloRuleValue = "value";
+inline constexpr const char* kSloRuleBurnShort = "burn_short";
+inline constexpr const char* kSloRuleBurnLong = "burn_long";
+
+/// Builds the per-rule SLO metric name `fleet.slo.<rule>.<field>`.
+inline std::string slo_metric(const std::string& rule, const char* field) {
+  std::string name = "fleet.slo.";
+  name += rule;
+  name += '.';
+  name += field;
+  return name;
+}
+
 // Per-tenant metric fields, namespaced under `fleet.tenant.<id>.` by
 // tenant_metric() below.
 inline constexpr const char* kTenantGoodputBps = "goodput_bps";
@@ -118,6 +149,11 @@ inline constexpr const char* kTenantNet2Bytes = "net2_bytes";
 inline constexpr const char* kTenantCommits = "commits";
 inline constexpr const char* kTenantJobsFinished = "jobs_finished";
 inline constexpr const char* kTenantTimeToSafeP99 = "time_to_safe_p99_s";
+/// Per-tenant time-to-safe histogram (observed at every commit): the
+/// source of the per-tenant windowed p99 series the telemetry plane and
+/// aic_top render.
+inline constexpr const char* kTenantTimeToSafeSeconds =
+    "time_to_safe_seconds";
 
 /// Builds the per-tenant metric name `fleet.tenant.<id>.<field>` — the one
 /// dynamic corner of the schema; consumers reconstruct names with the same
@@ -137,6 +173,7 @@ inline constexpr const char* kCatXfer = "xfer";
 inline constexpr const char* kCatDecider = "decider";
 inline constexpr const char* kCatSim = "sim";
 inline constexpr const char* kCatFleet = "fleet";
+inline constexpr const char* kCatSlo = "slo";
 
 // --- trace event names ---
 inline constexpr const char* kEvInterval = "interval";   // ckpt, span

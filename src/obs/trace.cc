@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
 
 namespace aic::obs {
 
@@ -99,6 +100,13 @@ FlightRecorder& Hub::enable_flight_recorder(std::size_t capacity,
   }
   flight_->set_dump_path(std::move(dump_path));
   return *flight_;
+}
+
+Telemetry& Hub::enable_telemetry() { return enable_telemetry(TelemetryConfig{}); }
+
+Telemetry& Hub::enable_telemetry(const TelemetryConfig& config) {
+  if (!telemetry_) telemetry_ = std::make_unique<Telemetry>(*this, config);
+  return *telemetry_;
 }
 
 bool Hub::dump_postmortem(std::string_view reason,

@@ -36,6 +36,8 @@
 namespace aic::obs {
 
 class FlightRecorder;
+class Telemetry;
+struct TelemetryConfig;
 
 enum class TimeDomain : std::uint8_t { kVirtual = 0, kWall = 1 };
 
@@ -132,6 +134,18 @@ struct Hub {
   /// The attached recorder, or nullptr when none was enabled.
   FlightRecorder* flight() const { return flight_.get(); }
 
+  /// Attaches the telemetry plane (telemetry.h): a TimeseriesStore fed by
+  /// a Sampler over `metrics`, an SLO engine, and a causal time-to-safe
+  /// log, driven by Telemetry::tick from a virtual clock. Idempotent (the
+  /// first call's config wins); returns the plane. Enable before
+  /// constructing the components that will feed it — instruments resolve
+  /// the plane once, at attach time.
+  Telemetry& enable_telemetry();
+  Telemetry& enable_telemetry(const TelemetryConfig& config);
+
+  /// The attached telemetry plane, or nullptr when none was enabled.
+  Telemetry* telemetry() const { return telemetry_.get(); }
+
   /// Writes the postmortem via the attached recorder; false (and no file)
   /// when no recorder is enabled. Never throws — this runs on failure
   /// paths.
@@ -140,6 +154,7 @@ struct Hub {
 
  private:
   std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace aic::obs

@@ -11,6 +11,7 @@
 #include "mem/snapshot.h"
 #include "model/optimizer.h"
 #include "obs/names.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "storage/multilevel_store.h"
 #include "workload/elastic.h"
@@ -51,6 +52,7 @@ class SimObs {
     hub_->trace.span(obs::TimeDomain::kVirtual, on::kCatSim, on::kEvRestore,
                      t0, t1, std::uint32_t(level),
                      {{"level", double(level)}, {"read_s", read_seconds}});
+    tick(t1);
   }
 
   void interval(double t0, double t1, std::uint64_t file_bytes) {
@@ -58,6 +60,18 @@ class SimObs {
     m_checkpoints_->add();
     hub_->trace.span(obs::TimeDomain::kVirtual, on::kCatCkpt, on::kEvInterval,
                      t0, t1, 0, {{"file_bytes", double(file_bytes)}});
+    tick(t1);
+  }
+
+  /// One telemetry round on the sim's virtual clock (checkpoint and
+  /// restore boundaries). Out-of-order boundaries (a restore span ending
+  /// before the last checkpoint tick) are skipped — the sampler demands a
+  /// nondecreasing clock.
+  void tick(double t) {
+    if (hub_ == nullptr) return;
+    obs::Telemetry* tel = hub_->telemetry();
+    if (tel == nullptr || (tel->ticks() > 0 && t < tel->last_tick_s())) return;
+    tel->tick(t);
   }
 
   void drains_resumed(std::size_t n) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/names.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace aic::xfer {
@@ -138,6 +139,7 @@ TransferId TransferScheduler::submit(int level, std::string key, Bytes data,
   e.rec.submit_time = now_;
   e.data = std::move(data);
   e.ready_at = now_;
+  e.wait_since = now_;
   const TransferId id = e.rec.id;
   entries_.emplace(id, std::move(e));
   return id;
@@ -158,6 +160,7 @@ TransferId TransferScheduler::submit_sized(int level, std::string key,
   e.rec.submit_time = now_;
   e.synthetic = true;
   e.ready_at = now_;
+  e.wait_since = now_;
   const TransferId id = e.rec.id;
   entries_.emplace(id, std::move(e));
   return id;
@@ -182,8 +185,30 @@ std::size_t TransferScheduler::interrupted_count() const {
   return n;
 }
 
+void TransferScheduler::close_causal(Entry& e, bool aborted) {
+  if (e.causal_id == 0) return;
+  const std::uint64_t id = e.causal_id;
+  e.causal_id = 0;
+  if (config_.obs == nullptr) return;
+  obs::Telemetry* telemetry = config_.obs->telemetry();
+  if (telemetry == nullptr) return;
+  obs::CausalLog& log = telemetry->causal();
+  log.add(id, obs::CausalSegment::kDrainQueue, e.seg_drainq_s);
+  log.add(id, obs::CausalSegment::kInFlight, e.seg_inflight_s);
+  log.add(id, obs::CausalSegment::kBackoff, e.seg_backoff_s);
+  log.add(id, obs::CausalSegment::kStalled, e.seg_stalled_s);
+  log.close_at(id, now_, aborted);
+}
+
+void TransferScheduler::annotate(TransferId id, std::uint64_t causal_id) {
+  auto it = entries_.find(id);
+  AIC_CHECK_MSG(it != entries_.end(), "annotate of unknown transfer " << id);
+  it->second.causal_id = causal_id;
+}
+
 void TransferScheduler::commit(Entry& e) {
   level_of(e).sink->commit(e.rec.key);
+  close_causal(e, false);
   e.rec.state = TransferState::kCommitted;
   e.rec.commit_time = now_;
   ++e.rec.stats.transfers_committed;
@@ -240,6 +265,7 @@ void TransferScheduler::start_ready_attempts() {
     }
     e->rec.state = TransferState::kInFlight;
     ++e->rec.chunk_attempts;
+    e->seg_drainq_s += std::max(0.0, now_ - e->wait_since);
     e->attempt_active = true;
     e->attempt_start = now_;
     e->attempt_end = now_ + out.seconds;
@@ -303,6 +329,7 @@ void TransferScheduler::finish_attempt(Entry& e) {
   level.channel->close_stream();
   e.attempt_active = false;
   e.rec.stats.wire_seconds += e.attempt_end - e.attempt_start;
+  e.seg_inflight_s += e.attempt_end - e.attempt_start;
   if (config_.obs) {
     m_chunk_seconds_->observe(e.attempt_end - e.attempt_start);
     config_.obs->trace.span(
@@ -340,6 +367,7 @@ void TransferScheduler::finish_attempt(Entry& e) {
     }
     e.rec.chunk_attempts = 0;
     e.ready_at = now_;
+    e.wait_since = now_;
     if (e.rec.acked_bytes >= e.rec.total_bytes) {
       commit(e);
     } else {
@@ -362,6 +390,7 @@ void TransferScheduler::finish_attempt(Entry& e) {
        << " aborted at chunk offset " << e.rec.acked_bytes << " after "
        << e.rec.chunk_attempts << " attempts";
     e.rec.error = os.str();
+    close_causal(e, true);
     e.rec.state = TransferState::kAborted;
     ++e.rec.stats.transfers_aborted;
     level.sink->discard(e.rec.key);
@@ -392,6 +421,8 @@ void TransferScheduler::finish_attempt(Entry& e) {
         {{"retry", double(retry_index + 1)}});
   }
   e.ready_at = now_ + backoff;
+  e.seg_backoff_s += backoff;
+  e.wait_since = e.ready_at;
   e.rec.state = TransferState::kPending;
 }
 
@@ -429,6 +460,7 @@ void TransferScheduler::interrupt_entry(Entry& e) {
     // actually elapsed, nothing is acked.
     level_of(e).channel->close_stream();
     e.rec.stats.wire_seconds += std::max(0.0, now_ - e.attempt_start);
+    e.seg_inflight_s += std::max(0.0, now_ - e.attempt_start);
     e.attempt_active = false;
     if (config_.obs) {
       config_.obs->trace.span(
@@ -439,7 +471,10 @@ void TransferScheduler::interrupt_entry(Entry& e) {
            {"ok", 0.0},
            {"lost", 1.0}});
     }
+  } else {
+    e.seg_drainq_s += std::max(0.0, now_ - e.wait_since);
   }
+  e.stall_since = now_;
   e.rec.state = TransferState::kInterrupted;
   ++e.rec.stats.transfers_interrupted;
   if (config_.obs) {
@@ -454,6 +489,8 @@ void TransferScheduler::resume_entry(Entry& e) {
   e.rec.state = TransferState::kPending;
   e.rec.chunk_attempts = 0;  // fresh budget for the resumed drain
   e.ready_at = now_;
+  e.seg_stalled_s += std::max(0.0, now_ - e.stall_since);
+  e.wait_since = now_;
   if (config_.obs) {
     m_resumes_->add();
     config_.obs->trace.instant(
@@ -520,7 +557,12 @@ void TransferScheduler::discard(TransferId id) {
     level_of(e).channel->close_stream();
     e.attempt_active = false;
   }
-  if (!e.rec.terminal()) level_of(e).sink->discard(e.rec.key);
+  if (!e.rec.terminal()) {
+    level_of(e).sink->discard(e.rec.key);
+    // Dropping a live drain abandons its checkpoint: close the chain
+    // aborted so the attribution ledger balances.
+    close_causal(e, true);
+  }
   discarded_stats_ += e.rec.stats;
   entries_.erase(it);
 }

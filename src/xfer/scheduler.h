@@ -130,6 +130,14 @@ class TransferScheduler {
   /// checkpoint that no longer exists). Terminal records are erased too.
   void discard(TransferId id);
 
+  /// Associates a causal chain (obs/causal.h, id from CausalLog::open)
+  /// with a live transfer: the drain-queue / in-flight / backoff / stalled
+  /// seconds this transfer accumulates are added to the chain, which is
+  /// closed at commit (or closed aborted at abort/discard). Requires an
+  /// obs hub with telemetry enabled at that point; without one the
+  /// association is dropped silently — attribution is best-effort.
+  void annotate(TransferId id, std::uint64_t causal_id);
+
   const TransferRecord& record(TransferId id) const;
   bool known(TransferId id) const { return entries_.count(id) > 0; }
   /// Throws the transfer's TransferError if it aborted; no-op otherwise.
@@ -162,12 +170,24 @@ class TransferScheduler {
     bool attempt_acked = false;
     std::uint64_t attempt_bytes = 0;
     std::uint64_t attempt_delivered = 0;
+    // Causal attribution (annotate()): where this transfer's latency went,
+    // accumulated as it runs, flushed to the chain when it closes.
+    std::uint64_t causal_id = 0;
+    double wait_since = 0.0;   // start of the current drain-queue wait
+    double stall_since = 0.0;  // interrupt time while kInterrupted
+    double seg_drainq_s = 0.0;
+    double seg_inflight_s = 0.0;
+    double seg_backoff_s = 0.0;
+    double seg_stalled_s = 0.0;
   };
 
   Level& level_of(const Entry& e);
   void start_ready_attempts();
   void finish_attempt(Entry& e);
   void commit(Entry& e);
+  /// Flushes the entry's accumulated segments into its causal chain and
+  /// closes it; no-op without an annotation or telemetry.
+  void close_causal(Entry& e, bool aborted);
   void run_events(double limit);
   void interrupt_entry(Entry& e);
   void resume_entry(Entry& e);

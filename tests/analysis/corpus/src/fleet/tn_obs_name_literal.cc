@@ -1,0 +1,13 @@
+// TN obs-name-literal: instrumentation through name constants (the
+// obs/names.h idiom) is the sanctioned form.
+namespace corpus_names {
+inline constexpr const char* kEvents = "fleet.corpus.events";
+}
+
+struct CorpusRegistryOk {
+  void* counter(const char* name);
+};
+
+void corpus_instrument_ok(CorpusRegistryOk& m) {
+  m.counter(corpus_names::kEvents);
+}

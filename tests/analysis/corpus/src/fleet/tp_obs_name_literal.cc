@@ -1,0 +1,13 @@
+// TP obs-name-literal: inline metric-name literals at instrumentation
+// sites outside src/obs/.
+struct CorpusRegistry {
+  void* counter(const char* name);
+  void* gauge(const char* name);
+  void* histogram(const char* name);
+};
+
+void corpus_instrument(CorpusRegistry& m) {
+  m.counter("fleet.corpus.events");
+  m.gauge("fleet.corpus.depth");
+  m.histogram("fleet.corpus.latency");
+}

@@ -1,0 +1,10 @@
+// TN obs-name-literal: src/obs/ owns the metric-name constants (and its
+// own registration plumbing), so literals here are the definition site,
+// not a violation.
+struct CorpusObsRegistry {
+  void* counter(const char* name);
+};
+
+void corpus_obs_register(CorpusObsRegistry& m) {
+  m.counter("obs.internal.samples");
+}

@@ -7,12 +7,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "fleet/admission.h"
 #include "fleet/fleet_scheduler.h"
 #include "fleet/qos_policy.h"
 #include "obs/names.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "workload/lanl_trace.h"
 
@@ -289,6 +292,64 @@ TEST(FleetDeterminism, SeedChangesTheTimeline) {
   const RunSummary b = run_fleet(1, 43);
   EXPECT_NE(a.digest, b.digest)
       << "a different seed must produce a different failure timeline";
+}
+
+TEST(FleetDeterminism, TelemetryIsAPureReaderOfTheTimeline) {
+  // The telemetry plane (sampler + SLO engine + causal log) attached to
+  // the round-boundary tick must not perturb the simulation: the digest
+  // stays byte-identical to the unobserved run, at every shard count.
+  const RunSummary bare = run_fleet(1, 42);
+
+  auto observed = [&](int shards) {
+    auto hub = std::make_unique<obs::Hub>();
+    obs::Telemetry& tel = hub->enable_telemetry();
+    tel.slo().add_rule("tts: fleet.time_to_safe_seconds.p99 < 1e6");
+    tel.slo().add_rule("goodput: fleet.goodput_bps > 0 budget 0.5 burn 60/600 x1");
+    FleetConfig cfg = small_fleet_config(shards, 42);
+    cfg.obs = hub.get();
+    FleetScheduler fleet(cfg, small_mix(7), QosPolicy{});
+    fleet.run();
+    return std::pair(fleet.digest(), std::move(hub));
+  };
+
+  const auto [d1, hub1] = observed(1);
+  const auto [d2, hub2] = observed(2);
+  const auto [d4, hub4] = observed(4);
+  EXPECT_EQ(d1, bare.digest)
+      << "attaching telemetry changed the simulated timeline";
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d1, d4);
+
+  // The attached plane actually recorded the run: per-tenant goodput
+  // series exist for every tenant in the mix, the fleet gauges ticked,
+  // and causal chains closed for committed checkpoints.
+  obs::Telemetry& tel = *hub1->telemetry();
+  EXPECT_GT(tel.ticks(), 0u);
+  const obs::TimeseriesStore& store = tel.store();
+  EXPECT_NE(store.find(on::kFleetGoodputBps), nullptr);
+  for (std::uint64_t tenant = 0; tenant < 4; ++tenant) {
+    const obs::Series* s = store.find(
+        on::tenant_metric(tenant, on::kTenantGoodputBps));
+    ASSERT_NE(s, nullptr) << "tenant " << tenant;
+    EXPECT_GT(s->size(), 0u);
+  }
+  EXPECT_GT(tel.causal().closed(), 0u);
+  EXPECT_FALSE(tel.causal().slowest().empty());
+
+  // And the frozen doc round-trips through the recorded-run JSON format
+  // that aic_top consumes.
+  const obs::TelemetryDoc doc = tel.doc();
+  const obs::TelemetryDoc back =
+      obs::telemetry_from_json(obs::telemetry_to_json(doc));
+  EXPECT_EQ(back.series.size(), doc.series.size());
+  EXPECT_EQ(back.rules.size(), doc.rules.size());
+  EXPECT_EQ(back.status.size(), doc.status.size());
+  EXPECT_EQ(back.events.size(), doc.events.size());
+  EXPECT_EQ(back.slowest.size(), doc.slowest.size());
+  EXPECT_DOUBLE_EQ(back.now_s, doc.now_s);
+  ASSERT_FALSE(doc.slowest.empty());
+  EXPECT_EQ(back.slowest[0].label, doc.slowest[0].label);
+  EXPECT_DOUBLE_EQ(back.slowest[0].total_s, doc.slowest[0].total_s);
 }
 
 TEST(FleetScheduler, CompletesAndAccountsPerTenant) {

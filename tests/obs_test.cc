@@ -12,6 +12,7 @@
 #include <limits>
 #include <new>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -380,6 +381,113 @@ TEST(ObsTest, MetricsCsvSkipsQuantilesForEmptyHistogram) {
   const std::string csv = metrics_to_csv(reg.snapshot());
   EXPECT_NE(csv.find("histogram,empty,count,0"), std::string::npos);
   EXPECT_EQ(csv.find("histogram,empty,p50"), std::string::npos);
+}
+
+// Minimal RFC-4180 row splitter: enough to round-trip the exporter's own
+// output, including quoted fields with embedded commas and quotes.
+std::vector<std::string> csv_split_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        cur += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+TEST(ObsTest, MetricsCsvQuotesHostileNamesRfc4180) {
+  // Dynamically named metrics can carry commas and quotes (an SLO rule
+  // named from user text, say); the flattened rows must stay parseable.
+  MetricsRegistry reg;
+  reg.counter("plain")->add(1);
+  reg.gauge("evil,name")->set(2.0);
+  reg.gauge("worse\"quoted\",name")->set(3.0);
+  const std::string csv = metrics_to_csv(reg.snapshot());
+
+  // Round trip: every row splits back to exactly 4 fields and the
+  // hostile names survive byte-exact.
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream lines(csv);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = csv_split_row(line);
+    ASSERT_EQ(fields.size(), 4u) << "unparseable row: " << line;
+    rows.push_back(fields);
+  }
+  bool saw_comma = false, saw_quote = false;
+  for (const auto& r : rows) {
+    if (r[1] == "evil,name") saw_comma = true;
+    if (r[1] == "worse\"quoted\",name") saw_quote = true;
+  }
+  EXPECT_TRUE(saw_comma);
+  EXPECT_TRUE(saw_quote);
+  // And the quoting is the RFC form on the wire, not a lossy substitute.
+  EXPECT_NE(csv.find("\"evil,name\""), std::string::npos);
+  EXPECT_NE(csv.find("\"worse\"\"quoted\"\",name\""), std::string::npos);
+}
+
+TEST(ObsTest, MetricsPromExposition) {
+  MetricsRegistry reg;
+  reg.counter("xfer.commits")->add(3);
+  reg.gauge("fleet.goodput_bps")->set(1.5e6);
+  Histogram* h = reg.histogram("lat", Histogram::linear_buckets(0.0, 1.0, 2));
+  h->observe(0.5);
+  h->observe(1.5);
+  h->observe(99.0);
+  const std::string prom = metrics_to_prom(reg.snapshot());
+
+  // Names are sanitized into the aic_ prefix with TYPE headers.
+  EXPECT_NE(prom.find("# TYPE aic_xfer_commits counter"), std::string::npos);
+  EXPECT_NE(prom.find("aic_xfer_commits 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE aic_fleet_goodput_bps gauge"),
+            std::string::npos);
+  // Histograms expose cumulative buckets plus sum/count.
+  EXPECT_NE(prom.find("# TYPE aic_lat histogram"), std::string::npos);
+  EXPECT_NE(prom.find("aic_lat_bucket{le=\"0.5\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("aic_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("aic_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("aic_lat_sum 101"), std::string::npos);
+  EXPECT_NE(prom.find("aic_lat_count 3"), std::string::npos);
+}
+
+TEST(ObsTest, MetricsPromFlattensDynamicFamiliesToLabels) {
+  MetricsRegistry reg;
+  reg.gauge(names::tenant_metric(0, names::kTenantGoodputBps))->set(1.0);
+  reg.gauge(names::tenant_metric(7, names::kTenantGoodputBps))->set(2.0);
+  reg.gauge(names::slo_metric("tts-p99", names::kSloRuleOk))->set(1.0);
+  reg.gauge("fleet.tenant.notanid.x")->set(3.0);  // not the family shape
+  const std::string prom = metrics_to_prom(reg.snapshot());
+
+  // One family, two labeled samples — not one metric per tenant id.
+  EXPECT_NE(prom.find("aic_fleet_tenant_goodput_bps{tenant=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("aic_fleet_tenant_goodput_bps{tenant=\"7\"} 2"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("aic_fleet_tenant_0_goodput_bps"), std::string::npos);
+  // SLO rules flatten the same way, keyed by rule name.
+  EXPECT_NE(prom.find("aic_fleet_slo_ok{rule=\"tts-p99\"} 1"),
+            std::string::npos);
+  // Names outside the family shape stay plain (sanitized) metrics.
+  EXPECT_NE(prom.find("aic_fleet_tenant_notanid_x 3"), std::string::npos);
 }
 
 TEST(ObsTest, ChromeTraceExportShape) {

@@ -1,0 +1,256 @@
+// Tests for the SLO/burn-rate engine (src/obs/slo.*) and its telemetry
+// integration: the rule grammar and its round trip, threshold
+// breach/recover edges, the multi-window burn-rate golden over a scripted
+// degradation, the `fleet.slo.*` gauge publication through
+// Telemetry::tick, and the flight-recorder postmortem's slo_events
+// section. The TSan leg runs every SloTest.*.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+namespace {
+
+namespace on = aic::obs::names;
+using aic::CheckError;
+using aic::obs::Hub;
+using aic::obs::parse_slo_rule;
+using aic::obs::SloComparison;
+using aic::obs::SloEngine;
+using aic::obs::SloEvent;
+using aic::obs::SloRule;
+using aic::obs::SloStatus;
+using aic::obs::Telemetry;
+using aic::obs::TimeseriesStore;
+
+TEST(SloTest, ParsesThresholdOnlyRule) {
+  const SloRule r = parse_slo_rule("tts-p99: fleet.time_to_safe_seconds.p99 < 0.5");
+  EXPECT_EQ(r.name, "tts-p99");
+  EXPECT_EQ(r.series, "fleet.time_to_safe_seconds.p99");
+  EXPECT_EQ(r.cmp, SloComparison::kLt);
+  EXPECT_DOUBLE_EQ(r.threshold, 0.5);
+  EXPECT_FALSE(r.burn_enabled());
+  EXPECT_TRUE(r.good(0.4));
+  EXPECT_FALSE(r.good(0.5));  // strict <
+}
+
+TEST(SloTest, ParsesFullGrammar) {
+  const SloRule r = parse_slo_rule(
+      "goodput: fleet.tenant.0.goodput_bps >= 9e7 budget 0.05 burn 60/600 x2");
+  EXPECT_EQ(r.cmp, SloComparison::kGe);
+  EXPECT_DOUBLE_EQ(r.threshold, 9e7);
+  EXPECT_DOUBLE_EQ(r.error_budget, 0.05);
+  EXPECT_DOUBLE_EQ(r.short_window_s, 60.0);
+  EXPECT_DOUBLE_EQ(r.long_window_s, 600.0);
+  EXPECT_DOUBLE_EQ(r.burn_factor, 2.0);
+  EXPECT_TRUE(r.burn_enabled());
+}
+
+TEST(SloTest, RuleRoundTripsThroughText) {
+  for (const char* text :
+       {"a: s < 1", "b: s <= 2.5", "c: s > 3", "d: s >= 4 budget 0.1",
+        "e: x.y.p99 < 0.5 budget 0.01 burn 30/300 x1.5"}) {
+    const SloRule r = parse_slo_rule(text);
+    const SloRule again = parse_slo_rule(to_string(r));
+    EXPECT_EQ(again.name, r.name);
+    EXPECT_EQ(again.series, r.series);
+    EXPECT_EQ(again.cmp, r.cmp);
+    EXPECT_DOUBLE_EQ(again.threshold, r.threshold);
+    EXPECT_DOUBLE_EQ(again.error_budget, r.error_budget);
+    EXPECT_DOUBLE_EQ(again.short_window_s, r.short_window_s);
+    EXPECT_DOUBLE_EQ(again.long_window_s, r.long_window_s);
+    EXPECT_DOUBLE_EQ(again.burn_factor, r.burn_factor);
+  }
+}
+
+TEST(SloTest, MalformedRulesThrow) {
+  for (const char* text :
+       {"", "no-colon s < 1", "a: s ! 1", "a: s <", "a: s < notanumber",
+        "a: s < 1 budget", "a: s < 1 burn 60 x2", "a: s < 1 burn 60/600",
+        "a: s < 1 trailing garbage"}) {
+    EXPECT_THROW(parse_slo_rule(text), CheckError) << "accepted: " << text;
+  }
+}
+
+TEST(SloTest, BreachAndRecoverAreEdgeTriggered) {
+  TimeseriesStore store;
+  SloEngine engine;
+  engine.add_rule("depth: q < 5");
+  aic::obs::Series& s = store.series("q");
+
+  s.push(1.0, 2.0);
+  EXPECT_TRUE(engine.evaluate(store, 1.0).empty());  // good: no event
+
+  s.push(2.0, 9.0);
+  std::vector<SloEvent> ev = engine.evaluate(store, 2.0);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].kind, SloEvent::Kind::kBreach);
+  EXPECT_DOUBLE_EQ(ev[0].value, 9.0);
+
+  s.push(3.0, 9.0);
+  EXPECT_TRUE(engine.evaluate(store, 3.0).empty());  // still bad: no re-fire
+
+  s.push(4.0, 1.0);
+  ev = engine.evaluate(store, 4.0);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].kind, SloEvent::Kind::kRecover);
+
+  const std::vector<SloStatus> status = engine.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_TRUE(status[0].evaluated);
+  EXPECT_FALSE(status[0].breached);
+  EXPECT_EQ(status[0].breaches, 1u);
+}
+
+TEST(SloTest, AbsentSeriesIsSkippedNotBreached) {
+  TimeseriesStore store;
+  SloEngine engine;
+  engine.add_rule("ghost: never.sampled < 1");
+  EXPECT_TRUE(engine.evaluate(store, 1.0).empty());
+  const std::vector<SloStatus> status = engine.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_FALSE(status[0].evaluated);
+  EXPECT_FALSE(status[0].breached);
+}
+
+// Golden: a scripted degradation against "lat < 10 budget 0.25 burn 4/16
+// x2". One sample per second; the first 20 s are good, then latency goes
+// bad. The alert must fire only once BOTH windows burn at >= 2x budget
+// (i.e. bad fraction >= 0.5), and clear after recovery drains the short
+// window first.
+TEST(SloTest, BurnRateGoldenOverScriptedDegradation) {
+  TimeseriesStore store;
+  SloEngine engine;
+  engine.add_rule("lat: svc.lat < 10 budget 0.25 burn 4/16 x2");
+  aic::obs::Series& s = store.series("svc.lat");
+
+  std::vector<SloEvent> all;
+  auto step = [&](double t, double v) {
+    s.push(t, v);
+    for (SloEvent& e : engine.evaluate(store, t)) all.push_back(e);
+  };
+
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) step(t += 1.0, 1.0);   // healthy baseline
+  EXPECT_TRUE(all.empty());
+
+  for (int i = 0; i < 12; ++i) step(t += 1.0, 50.0);  // incident
+  // Expect exactly one breach edge and one burn alert, in that order:
+  // the breach fires on the first bad sample, the alert once the long
+  // window's bad fraction reaches 0.5 (>= 8 of the trailing 16 s bad).
+  ASSERT_GE(all.size(), 2u);
+  EXPECT_EQ(all[0].kind, SloEvent::Kind::kBreach);
+  EXPECT_EQ(all[1].kind, SloEvent::Kind::kBurnAlert);
+  EXPECT_GE(all[1].t, 28.0);  // not before 8 bad seconds accumulated
+  EXPECT_GE(all[1].burn_short, 2.0);
+  EXPECT_GE(all[1].burn_long, 2.0);
+  const std::size_t incident_events = all.size();
+
+  for (int i = 0; i < 20; ++i) step(t += 1.0, 1.0);   // recovery
+  // Recovery emits the recover edge and the burn clear, nothing else.
+  ASSERT_EQ(all.size(), incident_events + 2);
+  EXPECT_EQ(all[incident_events].kind, SloEvent::Kind::kRecover);
+  EXPECT_EQ(all[incident_events + 1].kind, SloEvent::Kind::kBurnClear);
+  // The short window (4 s) drains before the long (16 s) refills with
+  // good samples; the clear lands once the short burn drops under 2x.
+  EXPECT_LE(all[incident_events + 1].t, all[incident_events].t + 5.0);
+
+  const std::vector<SloStatus> status = engine.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_FALSE(status[0].breached);
+  EXPECT_FALSE(status[0].burning);
+  EXPECT_EQ(status[0].breaches, 1u);
+  EXPECT_EQ(status[0].burn_alerts, 1u);
+}
+
+TEST(SloTest, EventRingIsBounded) {
+  TimeseriesStore store;
+  SloEngine engine(4);
+  engine.add_rule("flap: f < 1");
+  aic::obs::Series& s = store.series("f");
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i) {  // 10 breach + 10 recover edges
+    s.push(t += 1.0, 5.0);
+    engine.evaluate(store, t);
+    s.push(t += 1.0, 0.0);
+    engine.evaluate(store, t);
+  }
+  EXPECT_EQ(engine.total_events(), 20u);
+  const std::vector<SloEvent> kept = engine.events();
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_LE(kept[i - 1].t, kept[i].t);  // oldest -> newest
+  }
+  EXPECT_DOUBLE_EQ(kept.back().t, 20.0);
+}
+
+TEST(SloTest, TelemetryTickPublishesSloGauges) {
+  Hub hub;
+  Telemetry& tel = hub.enable_telemetry();
+  tel.slo().add_rule("depth: svc.q < 5 budget 0.5 burn 2/4 x1");
+  aic::obs::Gauge* q = hub.metrics.gauge("svc.q");
+
+  q->set(1.0);
+  tel.tick(1.0);
+  q->set(9.0);
+  tel.tick(2.0);
+
+  // The verdict lands back in the registry as fleet.slo.<rule>.* gauges
+  // (so SLO health is itself sampled), plus the event counters.
+  const auto snap = hub.metrics.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at(on::slo_metric("depth", on::kSloRuleOk)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      snap.gauges.at(on::slo_metric("depth", on::kSloRuleValue)), 9.0);
+  EXPECT_EQ(snap.counters.at(on::kSloBreaches), 1u);
+  EXPECT_GE(snap.counters.at(on::kSloEvaluations), 2u);
+
+  // And the trace log carries one "slo" instant per event. Compare by
+  // content: the category is a const char* and literal addresses are not
+  // merged across TUs in every build (ASan defeats -fmerge-constants).
+  bool saw_slo_instant = false;
+  for (const auto& e : hub.trace.snapshot()) {
+    if (std::strcmp(e.category, on::kCatSlo) == 0) saw_slo_instant = true;
+  }
+  EXPECT_TRUE(saw_slo_instant);
+}
+
+TEST(SloTest, PostmortemCarriesSloEventTail) {
+  Hub hub;
+  aic::obs::FlightRecorder& rec = hub.enable_flight_recorder(64, "unused");
+  Telemetry& tel = hub.enable_telemetry();
+  tel.slo().add_rule("depth: svc.q < 5");
+  aic::obs::Gauge* q = hub.metrics.gauge("svc.q");
+
+  q->set(1.0);
+  tel.tick(1.0);
+  q->set(9.0);
+  tel.tick(2.0);  // breach -> forwarded to the recorder's SLO ring
+
+  ASSERT_EQ(rec.total_slo_recorded(), 1u);
+  const std::vector<SloEvent> tail = rec.recent_slo();
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].rule, "depth");
+  EXPECT_EQ(tail[0].kind, SloEvent::Kind::kBreach);
+
+  const std::string pm = rec.postmortem_json("test", "scripted breach");
+  EXPECT_NE(pm.find("\"slo_events\""), std::string::npos);
+  EXPECT_NE(pm.find("\"depth\""), std::string::npos);
+  EXPECT_NE(pm.find("\"breach\""), std::string::npos);
+  // The per-tenant gauge family rides along in the final-metrics section.
+  hub.metrics.gauge(on::tenant_metric(3, on::kTenantGoodputBps))->set(5.0);
+  const std::string pm2 = rec.postmortem_json("test", "with tenant gauge");
+  EXPECT_NE(pm2.find("fleet.tenant.3.goodput_bps"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Tests for the telemetry time-series layer (src/obs/timeseries.*):
+// bounded-ring semantics, the sampler's counter/gauge/histogram
+// derivations (reset handling, empty-window quantiles, the min-interval
+// throttle), and the backwards-clock guard. The TSan leg runs every
+// TimeseriesTest.* (concurrent reader/writer over one series).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace {
+
+using aic::CheckError;
+using aic::obs::Counter;
+using aic::obs::Gauge;
+using aic::obs::Histogram;
+using aic::obs::MetricsRegistry;
+using aic::obs::SamplePoint;
+using aic::obs::Sampler;
+using aic::obs::Series;
+using aic::obs::TimeseriesStore;
+
+TEST(TimeseriesTest, RingEvictsOldestAndCountsEvictions) {
+  Series s("t.ring", 4);
+  for (int i = 0; i < 10; ++i) s.push(double(i), double(i) * 10.0);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.total_pushed(), 10u);
+  EXPECT_EQ(s.evicted(), 6u);
+  const std::vector<SamplePoint> pts = s.points();
+  ASSERT_EQ(pts.size(), 4u);
+  // Oldest -> newest, and the oldest retained point is t=6.
+  EXPECT_DOUBLE_EQ(pts.front().t, 6.0);
+  EXPECT_DOUBLE_EQ(pts.back().t, 9.0);
+  EXPECT_DOUBLE_EQ(s.last().v, 90.0);
+}
+
+TEST(TimeseriesTest, BackwardsTimeIsACheckError) {
+  Series s("t.clock", 8);
+  s.push(5.0, 1.0);
+  s.push(5.0, 2.0);  // equal time is fine (same-round points)
+  EXPECT_THROW(s.push(4.9, 3.0), CheckError);
+}
+
+TEST(TimeseriesTest, PointsInFiltersInclusive) {
+  Series s("t.window", 16);
+  for (int i = 0; i < 10; ++i) s.push(double(i), double(i));
+  const auto win = s.points_in(3.0, 6.0);
+  ASSERT_EQ(win.size(), 4u);
+  EXPECT_DOUBLE_EQ(win.front().t, 3.0);
+  EXPECT_DOUBLE_EQ(win.back().t, 6.0);
+}
+
+TEST(TimeseriesTest, StoreGetOrCreateAndFind) {
+  TimeseriesStore store(8);
+  Series& a = store.series("x");
+  Series& again = store.series("x");
+  EXPECT_EQ(&a, &again);
+  EXPECT_EQ(store.find("x"), &a);
+  EXPECT_EQ(store.find("absent"), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TimeseriesTest, CounterBecomesWindowedRate) {
+  MetricsRegistry m;
+  TimeseriesStore store;
+  Sampler sampler(&m, &store);
+  Counter* c = m.counter("t.events");
+
+  c->add(10);
+  sampler.sample(0.0);  // baseline: no rate yet
+  EXPECT_EQ(store.find("t.events.rate"), nullptr);
+
+  c->add(30);
+  sampler.sample(10.0);  // 30 events over 10 s
+  const Series* rate = store.find("t.events.rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->last().v, 3.0);
+}
+
+TEST(TimeseriesTest, CounterResetChargesFullCurrentValue) {
+  // A value below the previous snapshot means the source restarted; the
+  // window's delta is the full current value, never a negative rate.
+  // Counters are monotone through the public API, so drive the value
+  // backwards the only way an unsigned atomic allows: wraparound.
+  MetricsRegistry m;
+  TimeseriesStore store;
+  Sampler sampler(&m, &store);
+  Counter* c = m.counter("t.resets");
+  c->add(100);
+  sampler.sample(0.0);
+
+  c->add(~std::uint64_t{0} - 92);  // 100 + (2^64 - 93) wraps to 7
+  ASSERT_EQ(c->value(), 7u);
+  sampler.sample(10.0);
+  const Series* rate = store.find("t.resets.rate");
+  ASSERT_NE(rate, nullptr);
+  // The window's delta is the full post-reset value 7, not 7 - 100.
+  EXPECT_DOUBLE_EQ(rate->last().v, 0.7);
+}
+
+TEST(TimeseriesTest, GaugeSamplesLastValue) {
+  MetricsRegistry m;
+  TimeseriesStore store;
+  Sampler sampler(&m, &store);
+  Gauge* g = m.gauge("t.depth");
+  g->set(4.0);
+  sampler.sample(0.0);
+  g->set(9.0);
+  g->set(2.0);
+  sampler.sample(1.0);
+  const Series* s = store.find("t.depth");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_DOUBLE_EQ(s->points()[0].v, 4.0);
+  EXPECT_DOUBLE_EQ(s->points()[1].v, 2.0);
+}
+
+TEST(TimeseriesTest, HistogramWindowQuantiles) {
+  MetricsRegistry m;
+  TimeseriesStore store;
+  Sampler sampler(&m, &store);
+  Histogram* h =
+      m.histogram("t.lat", Histogram::exponential_buckets(1.0, 2.0, 8));
+
+  for (int i = 0; i < 100; ++i) h->observe(1.5);
+  sampler.sample(0.0);  // baseline
+
+  // Window 2: 90 fast + 10 slow observations. p50 stays in the fast
+  // bucket; p99 (rank 99 of 100) lands in the slow one — and the
+  // baseline's 100 fast observations must not dilute the window.
+  for (int i = 0; i < 90; ++i) h->observe(1.5);
+  for (int i = 0; i < 10; ++i) h->observe(100.0);
+  sampler.sample(10.0);
+
+  const Series* p50 = store.find("t.lat.p50");
+  const Series* p99 = store.find("t.lat.p99");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p99, nullptr);
+  EXPECT_LE(p50->last().v, 2.0);
+  EXPECT_GT(p99->last().v, 50.0);
+  // And the observation rate covers only the window's 101 observations.
+  const Series* rate = store.find("t.lat.rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->last().v, 10.0);
+}
+
+TEST(TimeseriesTest, EmptyHistogramWindowAppendsNoQuantiles) {
+  MetricsRegistry m;
+  TimeseriesStore store;
+  Sampler sampler(&m, &store);
+  Histogram* h =
+      m.histogram("t.quiet", Histogram::exponential_buckets(1.0, 2.0, 4));
+  sampler.sample(0.0);
+  h->observe(3.0);
+  sampler.sample(1.0);  // window with observations: quantiles appear
+  const Series* p99 = store.find("t.quiet.p99");
+  ASSERT_NE(p99, nullptr);
+  const std::size_t before = p99->size();
+
+  sampler.sample(2.0);  // quiet window: nothing is fabricated
+  EXPECT_EQ(p99->size(), before);
+  // The rate series does record the quiet window (as zero).
+  const Series* rate = store.find("t.quiet.rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->last().v, 0.0);
+}
+
+TEST(TimeseriesTest, MinIntervalThrottleSkipsDenseTicks) {
+  MetricsRegistry m;
+  TimeseriesStore store;
+  Sampler::Config cfg;
+  cfg.min_interval_s = 5.0;
+  Sampler sampler(&m, &store, cfg);
+  m.gauge("t.g")->set(1.0);
+
+  EXPECT_GT(sampler.sample(0.0), 0u);   // baseline always lands
+  EXPECT_EQ(sampler.sample(1.0), 0u);   // too close: skipped entirely
+  EXPECT_EQ(sampler.sample(4.99), 0u);  // still inside the throttle
+  EXPECT_GT(sampler.sample(5.0), 0u);   // window boundary samples
+  EXPECT_EQ(sampler.samples(), 2u);
+  EXPECT_EQ(store.series("t.g").size(), 2u);
+}
+
+TEST(TimeseriesTest, SamplerBackwardsClockIsACheckError) {
+  MetricsRegistry m;
+  TimeseriesStore store;
+  Sampler sampler(&m, &store);
+  m.gauge("t.g")->set(1.0);
+  sampler.sample(10.0);
+  EXPECT_THROW(sampler.sample(9.0), CheckError);
+}
+
+TEST(TimeseriesTest, ConcurrentReadersSeeConsistentSeries) {
+  // One writer pushing monotone points, three readers snapshotting — the
+  // per-series mutex must keep every snapshot internally ordered.
+  Series s("t.race", 64);
+  std::thread writer([&] {
+    for (int i = 0; i < 2000; ++i) s.push(double(i), double(i));
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        const std::vector<SamplePoint> pts = s.points();
+        for (std::size_t k = 1; k < pts.size(); ++k) {
+          ASSERT_LE(pts[k - 1].t, pts[k].t);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(s.total_pushed(), 2000u);
+}
+
+}  // namespace
